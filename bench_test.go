@@ -1,0 +1,329 @@
+// Package mlfair's benchmark suite: one benchmark per paper table/figure
+// regenerator plus the ablations called out in DESIGN.md (closed-form vs
+// bisection allocator steps, closed-form vs Monte-Carlo redundancy,
+// dense vs power-iteration stationary solves, per-protocol simulator
+// throughput).
+//
+// Run with: go test -bench=. -benchmem
+package mlfair
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/capsim"
+	"mlfair/internal/experiments"
+	"mlfair/internal/fairness"
+	"mlfair/internal/layering"
+	"mlfair/internal/markov"
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/protocol"
+	"mlfair/internal/redundancy"
+	"mlfair/internal/sim"
+	"mlfair/internal/topology"
+	"mlfair/internal/treesim"
+)
+
+// --- Figure 1 / Figure 2: allocation of the paper's example networks ---
+
+func BenchmarkFigure1Allocation(b *testing.B) {
+	net := topology.Figure1().Network
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.Allocate(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Allocation(b *testing.B) {
+	net := topology.Figure2(netmodel.SingleRate).Network
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.Allocate(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Allocator ablation: closed-form step vs generic bisection ---
+
+func randomNet() *netmodel.Network {
+	rng := rand.New(rand.NewPCG(5, 5))
+	o := topology.DefaultRandomOptions()
+	o.Nodes, o.Sessions, o.MaxReceivers = 30, 10, 6
+	return topology.RandomNetwork(rng, o)
+}
+
+func BenchmarkAllocateClosedForm(b *testing.B) {
+	net := randomNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.Allocate(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllocateGenericBisection(b *testing.B) {
+	net := randomNet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.AllocateGeneric(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFairnessCheck(b *testing.B) {
+	net := randomNet()
+	res, err := maxmin.Allocate(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fairness.Check(res.Alloc)
+	}
+}
+
+// --- Figure 3: receiver-removal re-allocation ---
+
+func BenchmarkFigure3Removal(b *testing.B) {
+	net := topology.Figure3a().Network
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		after, err := net.RemoveReceiver(netmodel.ReceiverID{Session: 2, Receiver: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := maxmin.Allocate(after); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 3 example: fixed-layer feasible-set search ---
+
+func BenchmarkSection3FixedLayerSearch(b *testing.B) {
+	net := topology.SingleLink(6).Network
+	schemes := []layering.Scheme{layering.Uniform(3, 2), layering.Uniform(2, 3)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := layering.FindMaxMinFixed(net, schemes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4: allocation under a redundancy function ---
+
+func BenchmarkFigure4RedundantAllocation(b *testing.B) {
+	net := topology.Figure4(2).Network
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.Allocate(net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5: redundancy closed form vs Monte Carlo (ablation) ---
+
+func fig5Rates() []float64 {
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = 0.1
+	}
+	return rates
+}
+
+func BenchmarkFigure5Redundancy(b *testing.B) {
+	rates := fig5Rates()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		redundancy.SingleLayer(rates, 1)
+	}
+}
+
+func BenchmarkFigure5MonteCarlo(b *testing.B) {
+	rates := fig5Rates()
+	rng := rand.New(rand.NewPCG(9, 9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		redundancy.MonteCarloLinkRate(rates, 1, 100, 10, rng)
+	}
+}
+
+// --- Figure 6: constrained fair-rate curve ---
+
+func BenchmarkFigure6FairRate(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 1.0; v <= 10; v += 0.5 {
+			redundancy.NormalizedFairRate(0.05, v)
+		}
+	}
+}
+
+// --- Figure 7a / Markov analysis: stationary solves (ablation) ---
+
+func uncoordChain(b *testing.B) *markov.Model {
+	m, err := markov.BuildStar(protocol.Uncoordinated, markov.StarParams{
+		Layers: 5, SharedLoss: 0.001, Loss1: 0.05, Loss2: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkMarkovSolveDense(b *testing.B) {
+	m := uncoordChain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkovSolvePower(b *testing.B) {
+	m := uncoordChain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SolvePower(1e-10, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 8: one sweep point per protocol (reduced size), and raw
+// simulator throughput ---
+
+func benchFigure8Point(b *testing.B, kind protocol.Kind) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Figure8Point(kind, 0.0001, 0.04, experiments.Figure8Options{
+			Receivers: 100, Packets: 20000, Trials: 2, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8PointCoordinated(b *testing.B)   { benchFigure8Point(b, protocol.Coordinated) }
+func BenchmarkFigure8PointUncoordinated(b *testing.B) { benchFigure8Point(b, protocol.Uncoordinated) }
+func BenchmarkFigure8PointDeterministic(b *testing.B) { benchFigure8Point(b, protocol.Deterministic) }
+
+func BenchmarkSimulatorPacketThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Layers: 8, Receivers: 100, SharedLoss: 0.0001,
+			IndependentLoss: 0.04, Protocol: protocol.Deterministic,
+			Packets: 100000, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(100000) // report packets/sec as MB/s-style rate
+}
+
+// --- Whole-figure regenerators (quick settings) ---
+
+func BenchmarkExperimentFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExperimentFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExperimentMarkovAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.MarkovAnalysis(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Extension benches: tree simulation and closed-loop convergence ---
+
+func BenchmarkTreeSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := treesim.Run(treesim.Config{
+			Tree: treesim.Binary(4, 0.02), Layers: 8,
+			Protocol: protocol.Coordinated, Packets: 50000, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClosedLoopSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := capsim.Run(capsim.Config{
+			SharedCapacity: 24, Packets: 50000, Seed: uint64(i),
+			Sessions: []capsim.SessionConfig{
+				{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{2, 8, 64}},
+				{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{64}},
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeightedAllocation(b *testing.B) {
+	net := randomNet()
+	w := maxmin.UniformWeights(net)
+	for i := range w {
+		for k := range w[i] {
+			w[i][k] = 1 + float64((i+k)%3)
+		}
+	}
+	// Single-rate sessions need uniform weights.
+	for i, s := range net.Sessions() {
+		if s.Type == netmodel.SingleRate {
+			for k := range w[i] {
+				w[i][k] = 2
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxmin.AllocateWeighted(net, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAnalyticFigures(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "1,2,3,4,s3,5,6,markov", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 1", "Figure 2", "Figure 3(a)", "Figure 3(b)", "Figure 4",
+		"Section 3 example", "Figure 5", "Figure 6", "Markov analysis",
+		"max-min fair allocation exists: false",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRunQuickSimulationPanel(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "8a", true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 8", "Coordinated", "Uncoordinated", "Deterministic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "99", true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

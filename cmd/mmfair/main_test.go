@@ -1,0 +1,135 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mlfair/internal/netmodel"
+)
+
+func TestParseExample(t *testing.T) {
+	net, err := Parse([]byte(exampleJSON))
+	if err != nil {
+		t.Fatalf("Parse(example): %v", err)
+	}
+	if net.NumSessions() != 2 || net.NumLinks() != 4 {
+		t.Fatalf("sessions=%d links=%d", net.NumSessions(), net.NumLinks())
+	}
+	if net.Session(0).Type != netmodel.SingleRate {
+		t.Fatal("session 1 should be single-rate")
+	}
+	if net.Session(1).Type != netmodel.MultiRate {
+		t.Fatal("session 2 should be multi-rate")
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	net, err := Parse([]byte(`{"links":[10],"sessions":[{"paths":[[0]]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untyped = multi; maxRate 0 = unbounded.
+	if net.Session(0).Type != netmodel.MultiRate {
+		t.Fatal("default type should be multi")
+	}
+	if !netmodel.Geq(net.Session(0).MaxRate, 1e18) {
+		t.Fatalf("default κ = %v, want +Inf", net.Session(0).MaxRate)
+	}
+}
+
+func TestParseRedundancy(t *testing.T) {
+	net, err := Parse([]byte(`{"links":[12],"sessions":[
+		{"redundancy": 2, "paths":[[0],[0]]},
+		{"paths":[[0]]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := netmodel.AllocationFromRates(net, [][]float64{{1, 1}, {1}})
+	if got := a.SessionLinkRate(0, 0); !netmodel.Eq(got, 2) {
+		t.Fatalf("redundant session link rate = %v, want 2", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"no links":       `{"links":[],"sessions":[]}`,
+		"negative cap":   `{"links":[-1],"sessions":[]}`,
+		"bad type":       `{"links":[1],"sessions":[{"type":"zigzag","paths":[[0]]}]}`,
+		"no receivers":   `{"links":[1],"sessions":[{"paths":[]}]}`,
+		"empty path":     `{"links":[1],"sessions":[{"paths":[[]]}]}`,
+		"bad link index": `{"links":[1],"sessions":[{"paths":[[7]]}]}`,
+		"redundancy <1":  `{"links":[1],"sessions":[{"redundancy":0.5,"paths":[[0]]}]}`,
+		"negative link":  `{"links":[1],"sessions":[{"paths":[[-1]]}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Parse([]byte(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReportOutput(t *testing.T) {
+	net, err := Parse([]byte(exampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Report(&b, net); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Max-min fair receiver rates",
+		"Link utilization",
+		"r1,1", "r2,1",
+		"single-rate-peer",
+		"same-path violation",
+		"fairness:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in report:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseWeighted(t *testing.T) {
+	net, w, err := ParseWeighted([]byte(`{"links":[10],"sessions":[
+		{"paths":[[0]],"weights":[3]},
+		{"paths":[[0]]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || w[0][0] != 3 || w[1][0] != 1 {
+		t.Fatalf("weights = %v", w)
+	}
+	if net.NumSessions() != 2 {
+		t.Fatal("sessions wrong")
+	}
+	// No weights anywhere -> nil.
+	_, w2, err := ParseWeighted([]byte(`{"links":[10],"sessions":[{"paths":[[0]]}]}`))
+	if err != nil || w2 != nil {
+		t.Fatalf("w2 = %v err = %v", w2, err)
+	}
+	// Wrong weight count.
+	if _, _, err := ParseWeighted([]byte(`{"links":[10],"sessions":[{"paths":[[0]],"weights":[1,2]}]}`)); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+}
+
+func TestReportWeighted(t *testing.T) {
+	net, w, err := ParseWeighted([]byte(`{"links":[12],"sessions":[
+		{"paths":[[0]],"weights":[1]},
+		{"paths":[[0]],"weights":[3]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ReportWeighted(&b, net, w); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "3") || !strings.Contains(out, "9") {
+		t.Fatalf("weighted rates 3 and 9 missing:\n%s", out)
+	}
+}

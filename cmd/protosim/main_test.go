@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+func TestParseKinds(t *testing.T) {
+	all, err := parseKinds("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all -> %v, %v", all, err)
+	}
+	one, err := parseKinds("coordinated")
+	if err != nil || len(one) != 1 || one[0] != protocol.Coordinated {
+		t.Fatalf("coordinated -> %v, %v", one, err)
+	}
+	if _, err := parseKinds("bogus"); err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	if d, err := parseDrop("priority"); err != nil || d.String() != "priority" {
+		t.Fatalf("parseDrop priority -> %v %v", d, err)
+	}
+	if d, err := parseDrop(""); err != nil || d.String() != "uniform" {
+		t.Fatalf("parseDrop empty -> %v %v", d, err)
+	}
+	if _, err := parseDrop("zig"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, options{proto: "uncoordinated", receivers: 10, layers: 6,
+		shared: 0.001, ind: 0.03, packets: 5000, trials: 3, seed: 1, drop: "uniform"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Shared-link redundancy", "Uncoordinated", "mean level"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadProtocol(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, options{proto: "nope", receivers: 10, layers: 6,
+		shared: 0.001, ind: 0.03, packets: 5000, trials: 3, seed: 1}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if err := run(&b, options{proto: "all", receivers: 2, layers: 3,
+		shared: 0.001, ind: 0.03, packets: 500, trials: 1, seed: 1, drop: "zigzag"}); err == nil {
+		t.Fatal("bad drop policy accepted")
+	}
+}

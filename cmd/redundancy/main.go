@@ -1,0 +1,101 @@
+// Command redundancy evaluates the paper's analytical redundancy
+// formulas: the Appendix B expected link rate for a single layer with
+// random joins (Figure 5) and the impact of redundancy on constrained
+// fair rates (Figure 6), with custom parameters.
+//
+// Usage:
+//
+//	redundancy -mode layer -rates 0.1,0.1,0.5 -layer-rate 1
+//	redundancy -mode fig5
+//	redundancy -mode fig6
+//	redundancy -mode fairrate -capacity 30 -sessions 10 -multirate 3 -v 2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mlfair/internal/experiments"
+	"mlfair/internal/redundancy"
+	"mlfair/internal/trace"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "fig5", "fig5 | fig6 | layer | fairrate")
+		rates     = flag.String("rates", "0.1,0.1,0.1", "comma-separated receiver rates (mode=layer)")
+		layerRate = flag.Float64("layer-rate", 1, "layer transmission rate Λ (mode=layer)")
+		capacity  = flag.Float64("capacity", 30, "link capacity c (mode=fairrate)")
+		sessions  = flag.Int("sessions", 10, "sessions n constrained by the link (mode=fairrate)")
+		multirate = flag.Int("multirate", 3, "multi-rate sessions m (mode=fairrate)")
+		v         = flag.Float64("v", 2, "redundancy v of the multi-rate sessions (mode=fairrate)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *mode, *rates, *layerRate, *capacity, *sessions, *multirate, *v); err != nil {
+		fmt.Fprintln(os.Stderr, "redundancy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, mode, ratesCSV string, layerRate, capacity float64, n, m int, v float64) error {
+	switch mode {
+	case "fig5":
+		return experiments.Figure5(w)
+	case "fig6":
+		return experiments.Figure6(w)
+	case "layer":
+		rates, err := parseRates(ratesCSV)
+		if err != nil {
+			return err
+		}
+		t := trace.NewTable("Single-layer random-join redundancy (Appendix B)",
+			"quantity", "value")
+		t.AddRow("receivers", strconv.Itoa(len(rates)))
+		t.AddRow("layer rate Λ", trace.Float(layerRate))
+		t.AddRow("efficient link rate (max a)", trace.Float(maxOf(rates)))
+		t.AddRow("E[U] (expected link rate)", trace.Float(redundancy.ExpectedLinkRate(rates, layerRate)))
+		t.AddRow("redundancy", trace.Float(redundancy.SingleLayer(rates, layerRate)))
+		t.AddRow("asymptotic bound Λ/max", trace.Float(redundancy.UpperBound(rates, layerRate)))
+		_, err = t.WriteTo(w)
+		return err
+	case "fairrate":
+		t := trace.NewTable("Constrained fair rate under redundancy (Section 3.1)",
+			"quantity", "value")
+		t.AddRow("capacity c", trace.Float(capacity))
+		t.AddRow("sessions n", strconv.Itoa(n))
+		t.AddRow("multi-rate m", strconv.Itoa(m))
+		t.AddRow("redundancy v", trace.Float(v))
+		t.AddRow("fair rate c/((n-m)+mv)", trace.Float(redundancy.ConstrainedFairRate(capacity, n, m, v)))
+		t.AddRow("normalized by c/n", trace.Float(redundancy.NormalizedFairRate(float64(m)/float64(n), v)))
+		_, err := t.WriteTo(w)
+		return err
+	}
+	return fmt.Errorf("unknown mode %q", mode)
+}
+
+func parseRates(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %w", p, err)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRates(t *testing.T) {
+	rs, err := parseRates("0.1, 0.5,0.9")
+	if err != nil || len(rs) != 3 || rs[1] != 0.5 {
+		t.Fatalf("parseRates -> %v, %v", rs, err)
+	}
+	if _, err := parseRates("0.1,abc"); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+func TestModes(t *testing.T) {
+	for _, mode := range []string{"fig5", "fig6", "layer", "fairrate"} {
+		var b strings.Builder
+		if err := run(&b, mode, "0.1,0.5", 1, 30, 10, 3, 2); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("mode %s produced no output", mode)
+		}
+	}
+	var b strings.Builder
+	if err := run(&b, "bogus", "", 1, 1, 1, 0, 1); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestLayerModeValues(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "layer", "0.5,0.5", 1, 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// E[U] = 1-(0.5)^2 = 0.75, redundancy 1.5, bound 2.
+	for _, want := range []string{"0.75", "1.5", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

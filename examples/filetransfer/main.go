@@ -1,0 +1,79 @@
+// Filetransfer: layered *reliable* bulk data distribution — the
+// digital-fountain / RLC use case the paper cites (Byers et al.,
+// Vicisano et al.). With a rateless encoding, any sufficiently large set
+// of distinct packets reconstructs the file, so each receiver finishes
+// after collecting fileSize packets at whatever rate its own path
+// sustains.
+//
+// The example distributes one "file" to a mixed audience and reports,
+// per protocol:
+//
+//   - each receiver's completion time (fileSize / achieved rate),
+//   - the total bandwidth consumed on the shared link, and
+//   - the redundancy — bandwidth beyond what the fastest receiver needed,
+//     which is exactly the waste the paper's Definition 3 measures.
+//
+// Coordinated joins deliver the same completion times for a fraction of
+// the shared-link bandwidth.
+//
+// Run with: go run ./examples/filetransfer
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mlfair/internal/core"
+	"mlfair/internal/protocol"
+)
+
+const (
+	fileSizePackets = 50000
+	receivers       = 30
+)
+
+func main() {
+	// A third of the receivers on clean paths, a third average, a third
+	// lossy.
+	losses := make([]float64, receivers)
+	for i := range losses {
+		switch i % 3 {
+		case 0:
+			losses[i] = 0.005
+		case 1:
+			losses[i] = 0.02
+		case 2:
+			losses[i] = 0.06
+		}
+	}
+
+	fmt.Printf("Distributing a %d-packet file to %d receivers (8 layers, shared loss 0.001)\n\n",
+		fileSizePackets, receivers)
+	for _, kind := range protocol.Kinds() {
+		res, err := core.Simulate(core.SimConfig{
+			Layers: 8, Receivers: receivers, SharedLoss: 0.001,
+			IndependentLosses: losses, Protocol: kind,
+			Packets: 400000, Seed: 77,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		times := make([]float64, len(res.ReceiverRates))
+		for i, r := range res.ReceiverRates {
+			if r > 0 {
+				times[i] = fileSizePackets / r
+			}
+		}
+		sort.Float64s(times)
+		sharedBytes := res.LinkRate * times[len(times)-1] // usage until the last finisher
+		fmt.Printf("%-14s first done %8.0f  median %8.0f  last %8.0f  (time units)\n",
+			kind, times[0], times[len(times)/2], times[len(times)-1])
+		fmt.Printf("%14s shared-link redundancy %.2f -> %.2gM packet-units on the bottleneck\n",
+			"", res.Redundancy, sharedBytes/1e6)
+	}
+	fmt.Println()
+	fmt.Println("All protocols finish in similar time (completion is set by each")
+	fmt.Println("receiver's own loss rate), but uncoordinated joins burn the shared")
+	fmt.Println("link's bandwidth — the paper's argument for sender coordination.")
+}

@@ -1,0 +1,36 @@
+package mlfair
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end, asserting a
+// key line of its expected output — so the documented entry points can
+// never silently rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples in -short mode")
+	}
+	cases := map[string]string{
+		"./examples/quickstart":      "Theorem 1",
+		"./examples/videoconference": "Sender-coordinated joins",
+		"./examples/filetransfer":    "shared-link redundancy",
+		"./examples/fairnessaudit":   "Corollary 1",
+		"./examples/sessionchurn":    "non-obvious directions",
+	}
+	for dir, want := range cases {
+		dir, want := dir, want
+		t.Run(strings.TrimPrefix(dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", dir, err, out)
+			}
+			if !strings.Contains(string(out), want) {
+				t.Fatalf("%s output missing %q:\n%s", dir, want, out)
+			}
+		})
+	}
+}

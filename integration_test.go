@@ -1,0 +1,169 @@
+// Cross-module integration tests: whole-pipeline runs that exercise the
+// topology generators, the allocator, the fairness checkers, the
+// redundancy measures, the exporters and the experiment drivers
+// together, at larger scales than the per-package unit tests.
+package mlfair
+
+import (
+	"io"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"mlfair/internal/experiments"
+	"mlfair/internal/fairness"
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/redundancy"
+	"mlfair/internal/routing"
+	"mlfair/internal/topology"
+	"mlfair/internal/vecorder"
+)
+
+// TestPipelineRandomNetworks runs the full analysis pipeline over many
+// random topologies: route, allocate, verify feasibility + saturation,
+// check Theorem 2, measure redundancy, export DOT.
+func TestPipelineRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(201, 202))
+	opts := topology.DefaultRandomOptions()
+	for trial := 0; trial < 40; trial++ {
+		net := topology.RandomNetwork(rng, opts)
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Alloc.Feasible(); err != nil {
+			t.Fatalf("trial %d infeasible: %v", trial, err)
+		}
+		if id, ok := maxmin.CheckSaturation(res.Alloc); !ok {
+			t.Fatalf("trial %d: %v not saturated", trial, id)
+		}
+		if m := fairness.CheckTheorem2(res.Alloc); !m.AllHold() {
+			t.Fatalf("trial %d: %s", trial, m)
+		}
+		// Efficient sessions have redundancy 1 wherever defined.
+		for i := 0; i < net.NumSessions(); i++ {
+			for j := 0; j < net.NumLinks(); j++ {
+				if r, ok := redundancy.OfAllocation(res.Alloc, i, j); ok && !netmodel.Eq(r, 1) {
+					t.Fatalf("trial %d: efficient session redundancy %v", trial, r)
+				}
+			}
+		}
+		var b strings.Builder
+		if err := netmodel.WriteDOT(&b, net, res.Alloc); err != nil || b.Len() == 0 {
+			t.Fatalf("trial %d: DOT export failed: %v", trial, err)
+		}
+	}
+}
+
+// TestLargeNetworkAllocationScales: a 150-node, 40-session network
+// allocates quickly and correctly.
+func TestLargeNetworkAllocationScales(t *testing.T) {
+	rng := rand.New(rand.NewPCG(203, 204))
+	opts := topology.RandomOptions{
+		Nodes: 150, ExtraLinks: 60, Sessions: 40, MaxReceivers: 8,
+		CapMin: 1, CapMax: 50, SingleRateProb: 0.4, KappaProb: 0.2, KappaMax: 20,
+	}
+	net := topology.RandomNetwork(rng, opts)
+	start := time.Now()
+	res, err := maxmin.Allocate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("allocation took %v", d)
+	}
+	if err := res.Alloc.Feasible(); err != nil {
+		t.Fatal(err)
+	}
+	if m := fairness.CheckTheorem2(res.Alloc); !m.AllHold() {
+		t.Fatalf("Theorem 2 failed at scale: %s", m)
+	}
+	// Every session remains a routed tree.
+	for i := 0; i < net.NumSessions(); i++ {
+		if err := routing.TreeCheck(net, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWeightedConsistentWithUnweightedOrdering: weighting by a common
+// constant leaves the allocation unchanged.
+func TestWeightedConsistentWithUnweightedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(205, 206))
+	for trial := 0; trial < 20; trial++ {
+		net := topology.RandomNetwork(rng, topology.DefaultRandomOptions())
+		plain, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := maxmin.UniformWeights(net)
+		for i := range w {
+			for k := range w[i] {
+				w[i][k] = 2.5 // common scale
+			}
+		}
+		scaled, err := maxmin.AllocateWeighted(net, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv := plain.Alloc.OrderedVector()
+		sv := scaled.Alloc.OrderedVector()
+		for i := range pv {
+			if d := pv[i] - sv[i]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("common-scale weights changed rates: %v vs %v", pv, sv)
+			}
+		}
+	}
+}
+
+// TestUpgradeChainIsMonotone: full Lemma-3 chains — upgrading sessions
+// one at a time yields a ≼_m-monotone sequence ending at the Theorem-1
+// regime.
+func TestUpgradeChainIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(207, 208))
+	opts := topology.DefaultRandomOptions()
+	opts.SingleRateProb = 1
+	for trial := 0; trial < 20; trial++ {
+		net := topology.RandomNetwork(rng, opts)
+		var prev []float64
+		types := make([]netmodel.SessionType, net.NumSessions())
+		for step := 0; step <= net.NumSessions(); step++ {
+			for i := range types {
+				types[i] = netmodel.SingleRate
+				if i < step {
+					types[i] = netmodel.MultiRate
+				}
+			}
+			n, err := net.WithSessionTypes(types)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := maxmin.Allocate(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vec := res.Alloc.OrderedVector()
+			if prev != nil && !vecorder.LessEq(prev, vec) {
+				t.Fatalf("trial %d step %d: not monotone", trial, step)
+			}
+			if step == net.NumSessions() {
+				if rep := fairness.Check(res.Alloc); !rep.AllHold() {
+					t.Fatalf("trial %d: final all-multi-rate network fails: %s", trial, rep.Summary())
+				}
+			}
+			prev = vec
+		}
+	}
+}
+
+// TestRunAllQuickCompletes: the entire experiment suite runs end to end.
+func TestRunAllQuickCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	if err := experiments.RunAll(io.Discard, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package capsim is a capacity-coupled ("closed-loop") variant of the
+// packet-level simulator: instead of the paper's exogenous Bernoulli
+// loss rates, loss emerges from link capacities — a packet is dropped
+// with probability max(0, (D-C)/D) where D is the instantaneous demand
+// on the link and C its capacity (the fluid limit of a droptail queue).
+//
+// This closes the loop the paper leaves open between its two halves:
+// Section 2 derives what the max-min fair rates *are*; Section 4 shows
+// the layered protocols react sensibly to fixed loss processes. Here the
+// protocols generate their own congestion, so we can measure how close
+// their long-term average rates come to the multi-rate max-min fair
+// allocation of the same topology ("it can be argued that these
+// protocols come 'close' to achieving the max-min fair rates", §4).
+//
+// The topology is the modified star of Figure 7(b), generalized to
+// several sessions: every session's sender sits behind one shared link
+// of capacity SharedCapacity; receiver k of session i sits behind its
+// own fanout link of capacity FanoutCapacity[k]. Each session transmits
+// the exponential layer scheme; only layers with at least one subscribed
+// receiver consume shared capacity (and a session's shared-link demand
+// is the cumulative rate of its maximum subscribed level, since
+// subscriptions are layer prefixes).
+package capsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+)
+
+// SessionConfig describes one layered session in the star.
+type SessionConfig struct {
+	// Protocol is the join-coordination discipline.
+	Protocol protocol.Kind
+	// Layers is M for this session.
+	Layers int
+	// FanoutCapacities gives each receiver's access-link capacity in
+	// layer-rate units; its length sets the receiver count.
+	FanoutCapacities []float64
+}
+
+// Config parameterizes one closed-loop run.
+type Config struct {
+	// SharedCapacity is the shared link's capacity in layer-rate units.
+	SharedCapacity float64
+	// Sessions share the link.
+	Sessions []SessionConfig
+	// Packets is the total packet budget across all sessions' senders.
+	Packets int
+	// SignalPeriod is the Coordinated signal base period (0 = 1.0).
+	SignalPeriod float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if c.SharedCapacity <= 0 {
+		return fmt.Errorf("capsim: SharedCapacity = %v", c.SharedCapacity)
+	}
+	if len(c.Sessions) == 0 {
+		return fmt.Errorf("capsim: no sessions")
+	}
+	if c.Packets < 1 {
+		return fmt.Errorf("capsim: Packets = %d", c.Packets)
+	}
+	for i, s := range c.Sessions {
+		if s.Layers < 1 {
+			return fmt.Errorf("capsim: session %d: Layers = %d", i, s.Layers)
+		}
+		if len(s.FanoutCapacities) == 0 {
+			return fmt.Errorf("capsim: session %d has no receivers", i)
+		}
+		for k, f := range s.FanoutCapacities {
+			if f <= 0 {
+				return fmt.Errorf("capsim: session %d receiver %d capacity %v", i, k, f)
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes a closed-loop run.
+type Result struct {
+	// ReceiverRates[i][k] is receiver k of session i's long-run receive
+	// rate.
+	ReceiverRates [][]float64
+	// SessionLinkRates[i] is session i's average shared-link usage.
+	SessionLinkRates []float64
+	// SharedUtilization is total shared usage over capacity.
+	SharedUtilization float64
+	// SharedLossRate is the fraction of shared-link packets dropped.
+	SharedLossRate float64
+	// Duration is the simulated time.
+	Duration float64
+}
+
+// session carries one session's runtime state.
+type session struct {
+	cfg       SessionConfig
+	scheme    layering.Scheme
+	receivers []*protocol.Receiver
+	levels    []int
+	maxLev    int
+	cnt       []int
+
+	nextTx []float64
+	period []float64
+
+	received []int
+	crossed  int // packets that entered the shared link
+}
+
+func (s *session) syncReceiver(k int) {
+	nl := s.receivers[k].Level()
+	ol := s.levels[k]
+	if nl == ol {
+		return
+	}
+	s.cnt[ol]--
+	s.cnt[nl]++
+	s.levels[k] = nl
+	if nl > s.maxLev {
+		s.maxLev = nl
+	}
+}
+
+func (s *session) maxLevel() int {
+	for s.maxLev > 1 && s.cnt[s.maxLev] == 0 {
+		s.maxLev--
+	}
+	return s.maxLev
+}
+
+// sharedDemand is the session's instantaneous shared-link demand: the
+// cumulative rate of its maximum subscribed level.
+func (s *session) sharedDemand() float64 {
+	return s.scheme.CumulativeRate(s.maxLevel())
+}
+
+// Run executes one closed-loop simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+	sessions := make([]*session, len(cfg.Sessions))
+	for i, sc := range cfg.Sessions {
+		s := &session{
+			cfg:       sc,
+			scheme:    layering.Exponential(sc.Layers),
+			receivers: make([]*protocol.Receiver, len(sc.FanoutCapacities)),
+			levels:    make([]int, len(sc.FanoutCapacities)),
+			cnt:       make([]int, sc.Layers+1),
+			nextTx:    make([]float64, sc.Layers),
+			period:    make([]float64, sc.Layers),
+			received:  make([]int, len(sc.FanoutCapacities)),
+		}
+		for k := range s.receivers {
+			s.receivers[k] = protocol.NewReceiver(sc.Protocol, sc.Layers, rng)
+			s.levels[k] = 1
+		}
+		s.cnt[1] = len(sc.FanoutCapacities)
+		s.maxLev = 1
+		for l := 0; l < sc.Layers; l++ {
+			s.period[l] = 1 / s.scheme.LayerRate(l)
+			s.nextTx[l] = s.period[l]
+		}
+		sessions[i] = s
+	}
+	signalPeriod := cfg.SignalPeriod
+	if signalPeriod == 0 {
+		signalPeriod = 1
+	}
+	nextSignal := math.Inf(1)
+	signalIdx := 0
+	for _, s := range sessions {
+		if s.cfg.Protocol == protocol.Coordinated && s.cfg.Layers > 1 {
+			nextSignal = signalPeriod
+			break
+		}
+	}
+
+	// usageIntegral[i] accumulates session i's shared demand over time.
+	usageIntegral := make([]float64, len(sessions))
+	lastT := 0.0
+	now := 0.0
+	sent, sharedDropped, sharedEntered := 0, 0, 0
+
+	for sent < cfg.Packets {
+		// Earliest event across sessions' layers and the signal clock.
+		minSess, minLayer := -1, -1
+		minT := math.Inf(1)
+		for si, s := range sessions {
+			for l := 0; l < s.cfg.Layers; l++ {
+				if s.nextTx[l] < minT {
+					minT, minSess, minLayer = s.nextTx[l], si, l
+				}
+			}
+		}
+		isSignal := nextSignal < minT
+		if isSignal {
+			minT = nextSignal
+		}
+		for si, s := range sessions {
+			usageIntegral[si] += s.sharedDemand() * (minT - lastT)
+		}
+		lastT = minT
+		now = minT
+
+		if isSignal {
+			signalIdx++
+			for _, s := range sessions {
+				if s.cfg.Protocol != protocol.Coordinated {
+					continue
+				}
+				lvl := sim.SignalLevel(signalIdx, s.cfg.Layers-1)
+				for k, r := range s.receivers {
+					r.OnSignal(lvl)
+					s.syncReceiver(k)
+				}
+			}
+			nextSignal += signalPeriod
+			continue
+		}
+
+		s := sessions[minSess]
+		l := minLayer
+		s.nextTx[l] += s.period[l]
+		sent++
+		if s.maxLevel() <= l {
+			continue
+		}
+		sharedEntered++
+		s.crossed++
+		// Shared-link drop probability from total instantaneous demand.
+		demand := 0.0
+		for _, ss := range sessions {
+			demand += ss.sharedDemand()
+		}
+		pShared := 0.0
+		if demand > cfg.SharedCapacity {
+			pShared = (demand - cfg.SharedCapacity) / demand
+		}
+		sharedLost := pShared > 0 && rng.Float64() < pShared
+		if sharedLost {
+			sharedDropped++
+		}
+		for k, r := range s.receivers {
+			if s.levels[k] <= l {
+				continue
+			}
+			if sharedLost {
+				r.OnCongestion()
+				s.syncReceiver(k)
+				continue
+			}
+			// Fanout drop probability from the receiver's own demand.
+			rate := s.scheme.CumulativeRate(s.levels[k])
+			pInd := 0.0
+			if c := s.cfg.FanoutCapacities[k]; rate > c {
+				pInd = (rate - c) / rate
+			}
+			if pInd > 0 && rng.Float64() < pInd {
+				r.OnCongestion()
+				s.syncReceiver(k)
+				continue
+			}
+			s.received[k]++
+			r.OnReceive()
+			s.syncReceiver(k)
+		}
+	}
+
+	res := &Result{
+		ReceiverRates:    make([][]float64, len(sessions)),
+		SessionLinkRates: make([]float64, len(sessions)),
+		Duration:         now,
+	}
+	if now > 0 {
+		totalUsage := 0.0
+		for si, s := range sessions {
+			res.ReceiverRates[si] = make([]float64, len(s.received))
+			for k, n := range s.received {
+				res.ReceiverRates[si][k] = float64(n) / now
+			}
+			res.SessionLinkRates[si] = usageIntegral[si] / now
+			totalUsage += res.SessionLinkRates[si]
+		}
+		res.SharedUtilization = totalUsage / cfg.SharedCapacity
+		if sharedEntered > 0 {
+			res.SharedLossRate = float64(sharedDropped) / float64(sharedEntered)
+		}
+	}
+	return res, nil
+}
+
+// FairRates computes the multi-rate max-min fair rates of the same star
+// in the fluid model, for comparing against achieved protocol rates:
+// progressive filling where session i's shared-link usage is the maximum
+// of its receivers' rates (prefix subscriptions) and each receiver is
+// capped by its fanout capacity.
+func FairRates(cfg Config) [][]float64 {
+	type recv struct{ si, k int }
+	var active []recv
+	rates := make([][]float64, len(cfg.Sessions))
+	for si, s := range cfg.Sessions {
+		rates[si] = make([]float64, len(s.FanoutCapacities))
+		for k := range s.FanoutCapacities {
+			active = append(active, recv{si, k})
+		}
+	}
+	level := 0.0
+	for len(active) > 0 {
+		// Next κ-style stop: the smallest fanout capacity among active.
+		step := math.Inf(1)
+		for _, r := range active {
+			if c := cfg.Sessions[r.si].FanoutCapacities[r.k] - level; c < step {
+				step = c
+			}
+		}
+		// Shared-link stop: usage = Σ_i max(level+t, frozen max of i)
+		// grows with slope = #sessions with an active receiver.
+		slope := 0
+		base := 0.0
+		for si := range cfg.Sessions {
+			hasActive := false
+			frozenMax := 0.0
+			for k, r := range rates[si] {
+				isActive := false
+				for _, a := range active {
+					if a.si == si && a.k == k {
+						isActive = true
+						break
+					}
+				}
+				if isActive {
+					hasActive = true
+				} else if r > frozenMax {
+					frozenMax = r
+				}
+			}
+			if hasActive {
+				slope++
+				base += level
+			} else {
+				base += frozenMax
+			}
+		}
+		if slope > 0 {
+			if t := (cfg.SharedCapacity - base) / float64(slope); t < step {
+				step = t
+			}
+		}
+		if step < 0 {
+			step = 0
+		}
+		level += step
+		// Freeze receivers at their fanout caps or on the saturated
+		// shared link.
+		sharedU := 0.0
+		for si := range cfg.Sessions {
+			m := 0.0
+			for k, r := range rates[si] {
+				cur := r
+				for _, a := range active {
+					if a.si == si && a.k == k {
+						cur = level
+					}
+				}
+				if cur > m {
+					m = cur
+				}
+			}
+			sharedU += m
+		}
+		sharedFull := sharedU >= cfg.SharedCapacity-1e-9
+		var still []recv
+		for _, r := range active {
+			rates[r.si][r.k] = level
+			if level >= cfg.Sessions[r.si].FanoutCapacities[r.k]-1e-9 || sharedFull {
+				continue
+			}
+			still = append(still, r)
+		}
+		if len(still) == len(active) {
+			// No progress (defensive; cannot happen with finite caps).
+			break
+		}
+		active = still
+	}
+	return rates
+}

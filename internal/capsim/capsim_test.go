@@ -1,0 +1,181 @@
+package capsim
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestValidation(t *testing.T) {
+	good := Config{SharedCapacity: 8, Packets: 100,
+		Sessions: []SessionConfig{{Protocol: protocol.Deterministic, Layers: 4, FanoutCapacities: []float64{4}}}}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{SharedCapacity: 0, Packets: 100, Sessions: good.Sessions},
+		{SharedCapacity: 8, Packets: 0, Sessions: good.Sessions},
+		{SharedCapacity: 8, Packets: 100},
+		{SharedCapacity: 8, Packets: 100, Sessions: []SessionConfig{{Layers: 0, FanoutCapacities: []float64{1}}}},
+		{SharedCapacity: 8, Packets: 100, Sessions: []SessionConfig{{Layers: 4}}},
+		{SharedCapacity: 8, Packets: 100, Sessions: []SessionConfig{{Layers: 4, FanoutCapacities: []float64{0}}}},
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestFairRatesStar: the fluid reference allocation matches hand
+// computation.
+func TestFairRatesStar(t *testing.T) {
+	cfg := Config{
+		SharedCapacity: 10,
+		Sessions: []SessionConfig{
+			{Layers: 8, FanoutCapacities: []float64{1, 2, 30}},
+			{Layers: 8, FanoutCapacities: []float64{30}},
+		},
+	}
+	// Session 1's shared usage = max of its receivers; session 2's = its
+	// receiver. Fill: both rise to 5 = shared saturation (5+5=10); fanout
+	// caps freeze receivers 0 (1) and 1 (2) early.
+	rates := FairRates(cfg)
+	want := [][]float64{{1, 2, 5}, {5}}
+	for si := range want {
+		for k := range want[si] {
+			if math.Abs(rates[si][k]-want[si][k]) > 1e-9 {
+				t.Fatalf("FairRates = %v, want %v", rates, want)
+			}
+		}
+	}
+}
+
+// TestSingleReceiverConvergesToCap: one receiver behind a fanout cap
+// between subscription levels oscillates below the cap, achieving a
+// substantial fraction of its fair rate.
+func TestSingleReceiverConvergesToCap(t *testing.T) {
+	for _, k := range protocol.Kinds() {
+		res := run(t, Config{
+			SharedCapacity: 1000, Packets: 200000, Seed: 5,
+			Sessions: []SessionConfig{{Protocol: k, Layers: 8, FanoutCapacities: []float64{5}}},
+		})
+		rate := res.ReceiverRates[0][0]
+		if rate > 5+0.5 {
+			t.Errorf("%v: rate %v exceeds the capacity 5", k, rate)
+		}
+		if rate < 2 {
+			t.Errorf("%v: rate %v too far below the fair rate 5", k, rate)
+		}
+	}
+}
+
+// TestInterSessionFairness: two identical sessions sharing a bottleneck
+// settle at comparable shared-link usage — fairness emerges from the
+// closed loop.
+func TestInterSessionFairness(t *testing.T) {
+	res := run(t, Config{
+		SharedCapacity: 16, Packets: 400000, Seed: 11,
+		Sessions: []SessionConfig{
+			{Protocol: protocol.Deterministic, Layers: 8, FanoutCapacities: []float64{100, 100}},
+			{Protocol: protocol.Deterministic, Layers: 8, FanoutCapacities: []float64{100, 100}},
+		},
+	})
+	u1, u2 := res.SessionLinkRates[0], res.SessionLinkRates[1]
+	if u1 <= 0 || u2 <= 0 {
+		t.Fatalf("degenerate usages %v %v", u1, u2)
+	}
+	ratio := u1 / u2
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("inter-session usage ratio %v, want near 1", ratio)
+	}
+	if res.SharedUtilization > 1.5 {
+		t.Fatalf("utilization %v far above capacity", res.SharedUtilization)
+	}
+}
+
+// TestHeterogeneousReceiversRespectOwnCaps: receivers behind different
+// fanout caps converge to distinct rates bounded by their caps — the
+// multi-rate promise under closed-loop congestion.
+func TestHeterogeneousReceiversRespectOwnCaps(t *testing.T) {
+	res := run(t, Config{
+		SharedCapacity: 1000, Packets: 400000, Seed: 13,
+		Sessions: []SessionConfig{{
+			Protocol: protocol.Coordinated, Layers: 8,
+			FanoutCapacities: []float64{2, 8, 32},
+		}},
+	})
+	r := res.ReceiverRates[0]
+	if !(r[0] < r[1] && r[1] < r[2]) {
+		t.Fatalf("rates not ordered by capacity: %v", r)
+	}
+	for k, cap_ := range []float64{2, 8, 32} {
+		if r[k] > cap_*1.1 {
+			t.Fatalf("receiver %d rate %v above its cap %v", k, r[k], cap_)
+		}
+		if r[k] < cap_*0.25 {
+			t.Fatalf("receiver %d rate %v too far below its cap %v", k, r[k], cap_)
+		}
+	}
+}
+
+// TestAchievedWithinFairEnvelope: every receiver's achieved rate stays
+// below its fluid max-min fair rate (plus noise) — protocols are
+// conservative, not over-claiming.
+func TestAchievedWithinFairEnvelope(t *testing.T) {
+	cfg := Config{
+		SharedCapacity: 12, Packets: 400000, Seed: 17,
+		Sessions: []SessionConfig{
+			{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{2, 100}},
+			{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{100}},
+		},
+	}
+	fair := FairRates(cfg)
+	res := run(t, cfg)
+	for si := range fair {
+		for k := range fair[si] {
+			got, want := res.ReceiverRates[si][k], fair[si][k]
+			if got > want*1.25 {
+				t.Errorf("receiver %d,%d achieved %v above fair %v", si, k, got, want)
+			}
+			if got < want*0.2 {
+				t.Errorf("receiver %d,%d achieved %v far below fair %v", si, k, got, want)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{SharedCapacity: 8, Packets: 50000, Seed: 19,
+		Sessions: []SessionConfig{{Protocol: protocol.Uncoordinated, Layers: 6, FanoutCapacities: []float64{3, 9}}}}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.ReceiverRates[0][0] != b.ReceiverRates[0][0] || a.SharedLossRate != b.SharedLossRate {
+		t.Fatal("same seed, different results")
+	}
+}
+
+// TestAmpleCapacityNoLoss: when capacity exceeds the full stack, no loss
+// occurs and receivers top out.
+func TestAmpleCapacityNoLoss(t *testing.T) {
+	res := run(t, Config{
+		SharedCapacity: 1000, Packets: 100000, Seed: 23,
+		Sessions: []SessionConfig{{Protocol: protocol.Deterministic, Layers: 6, FanoutCapacities: []float64{1000}}},
+	})
+	if res.SharedLossRate != 0 {
+		t.Fatalf("loss %v with ample capacity", res.SharedLossRate)
+	}
+	if res.ReceiverRates[0][0] < 30 {
+		t.Fatalf("rate %v, want near 32", res.ReceiverRates[0][0])
+	}
+}

@@ -1,0 +1,57 @@
+package capsim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+)
+
+// buildEquivalentNetwork expresses a capsim Config as a netmodel star so
+// the general allocator can serve as reference.
+func buildEquivalentNetwork(cfg Config) *netmodel.Network {
+	b := netmodel.NewBuilder()
+	shared := b.AddLink(cfg.SharedCapacity)
+	for _, sc := range cfg.Sessions {
+		s := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, len(sc.FanoutCapacities))
+		for k, c := range sc.FanoutCapacities {
+			fan := b.AddLink(c)
+			b.SetPath(s, k, shared, fan)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestFairRatesMatchesGeneralAllocator: the specialized fluid reference
+// agrees with the Appendix-A allocator on random star configurations.
+func TestFairRatesMatchesGeneralAllocator(t *testing.T) {
+	rng := rand.New(rand.NewPCG(401, 402))
+	for trial := 0; trial < 100; trial++ {
+		cfg := Config{SharedCapacity: 2 + 30*rng.Float64(), Packets: 1}
+		ns := 1 + rng.IntN(4)
+		for i := 0; i < ns; i++ {
+			nr := 1 + rng.IntN(4)
+			caps := make([]float64, nr)
+			for k := range caps {
+				caps[k] = 0.5 + 20*rng.Float64()
+			}
+			cfg.Sessions = append(cfg.Sessions, SessionConfig{Layers: 8, FanoutCapacities: caps})
+		}
+		fast := FairRates(cfg)
+		res, err := maxmin.Allocate(buildEquivalentNetwork(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range cfg.Sessions {
+			for k := range cfg.Sessions[si].FanoutCapacities {
+				want := res.Alloc.Rate(si, k)
+				got := fast[si][k]
+				if !netmodel.Eq(got, want) && (got-want > 1e-6 || want-got > 1e-6) {
+					t.Fatalf("trial %d r%d,%d: FairRates %v vs allocator %v\ncfg %+v",
+						trial, si+1, k+1, got, want, cfg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package core is the public facade of the mlfair library: a compact API
+// over the network model, the max-min fair allocator, the fairness
+// property checkers, the redundancy analysis, and the layered-protocol
+// simulator. Examples and command-line tools program against this
+// package; the specialized internal packages remain available for
+// fine-grained use.
+//
+// The three-call quickstart:
+//
+//	net := core.NewNetworkBuilder().  // describe links and sessions
+//		Link(3).                      // capacity 3
+//		MultiRateSession(core.Unbounded, core.Path(0)).
+//		Build()
+//	res, _ := core.MaxMinFair(net)    // allocate
+//	rep := core.CheckFairness(res.Alloc) // audit the four properties
+package core
+
+import (
+	"math"
+
+	"mlfair/internal/capsim"
+	"mlfair/internal/fairness"
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/protocol"
+	"mlfair/internal/redundancy"
+	"mlfair/internal/sim"
+	"mlfair/internal/treesim"
+)
+
+// Unbounded is the κ value for sessions with no maximum desired rate.
+var Unbounded = math.Inf(1)
+
+// Re-exported model types. See the netmodel package for full
+// documentation.
+type (
+	// Network is an immutable network: graph, sessions, data-paths.
+	Network = netmodel.Network
+	// Allocation assigns a rate to every receiver of a network.
+	Allocation = netmodel.Allocation
+	// Session describes one multicast session.
+	Session = netmodel.Session
+	// SessionType is single-rate or multi-rate (the paper's Γ).
+	SessionType = netmodel.SessionType
+	// ReceiverID names receiver r_{i,k} by indices (i, k).
+	ReceiverID = netmodel.ReceiverID
+	// Graph is an undirected capacitated multigraph.
+	Graph = netmodel.Graph
+)
+
+// Session type constants.
+const (
+	SingleRate = netmodel.SingleRate
+	MultiRate  = netmodel.MultiRate
+)
+
+// AllocResult is a max-min fair allocation with per-receiver bottleneck
+// diagnostics.
+type AllocResult = maxmin.Result
+
+// MaxMinFair computes the unique max-min fair allocation of a network
+// containing any mix of single-rate, multi-rate and unicast sessions
+// (the paper's Appendix A algorithm).
+func MaxMinFair(net *Network) (*AllocResult, error) { return maxmin.Allocate(net) }
+
+// FairnessReport is the outcome of checking the paper's four fairness
+// properties.
+type FairnessReport = fairness.Report
+
+// CheckFairness evaluates all four Section 2.1 fairness properties
+// (fully-utilized-receiver, same-path-receiver, per-receiver-link,
+// per-session-link) on an allocation.
+func CheckFairness(a *Allocation) *FairnessReport { return fairness.Check(a) }
+
+// Redundancy measures Definition 3 on an allocation: session i's link
+// usage on link j divided by its maximum downstream receiver rate. The
+// boolean is false when the session has no positive-rate receiver on the
+// link.
+func Redundancy(a *Allocation, session, link int) (float64, bool) {
+	return redundancy.OfAllocation(a, session, link)
+}
+
+// Protocol kinds for the layered congestion-control simulator.
+const (
+	Uncoordinated = protocol.Uncoordinated
+	Deterministic = protocol.Deterministic
+	Coordinated   = protocol.Coordinated
+)
+
+// SimConfig parameterizes a packet-level protocol simulation on the
+// paper's modified-star topology.
+type SimConfig = sim.Config
+
+// SimResult summarizes a simulation run.
+type SimResult = sim.Result
+
+// Simulate runs the layered multicast congestion-control simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NetworkBuilder assembles abstract networks fluently. It wraps
+// netmodel.Builder with a chainable API; receivers' data-paths are given
+// as link-index lists.
+type NetworkBuilder struct {
+	b        *netmodel.Builder
+	sessions int
+}
+
+// NewNetworkBuilder returns an empty builder.
+func NewNetworkBuilder() *NetworkBuilder {
+	return &NetworkBuilder{b: netmodel.NewBuilder()}
+}
+
+// Link adds a link with the given capacity; links are numbered 0,1,...
+// in call order.
+func (nb *NetworkBuilder) Link(capacity float64) *NetworkBuilder {
+	nb.b.AddLink(capacity)
+	return nb
+}
+
+// Links adds several links at once.
+func (nb *NetworkBuilder) Links(capacities ...float64) *NetworkBuilder {
+	for _, c := range capacities {
+		nb.b.AddLink(c)
+	}
+	return nb
+}
+
+// Path is a receiver's data-path: the set of links it crosses.
+func Path(links ...int) []int { return links }
+
+// MultiRateSession adds a multi-rate session with maximum desired rate
+// maxRate and one receiver per path.
+func (nb *NetworkBuilder) MultiRateSession(maxRate float64, paths ...[]int) *NetworkBuilder {
+	return nb.session(MultiRate, maxRate, paths)
+}
+
+// SingleRateSession adds a single-rate session.
+func (nb *NetworkBuilder) SingleRateSession(maxRate float64, paths ...[]int) *NetworkBuilder {
+	return nb.session(SingleRate, maxRate, paths)
+}
+
+func (nb *NetworkBuilder) session(t SessionType, maxRate float64, paths [][]int) *NetworkBuilder {
+	s := nb.b.AddSession(t, maxRate, len(paths))
+	for k, p := range paths {
+		nb.b.SetPath(s, k, p...)
+	}
+	nb.sessions++
+	return nb
+}
+
+// WithRedundancy sets the most recently added session's link-rate
+// function to SharedScaledMax(factor): usage factor×max on links shared
+// by two or more of its receivers.
+func (nb *NetworkBuilder) WithRedundancy(factor float64) *NetworkBuilder {
+	nb.b.SetLinkRate(nb.sessions-1, netmodel.SharedScaledMax(factor))
+	return nb
+}
+
+// Build assembles the network.
+func (nb *NetworkBuilder) Build() (*Network, error) { return nb.b.Build() }
+
+// MustBuild assembles the network, panicking on error (for examples and
+// fixed test fixtures).
+func (nb *NetworkBuilder) MustBuild() *Network {
+	n, err := nb.b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MaxMinFairWeighted computes the weighted (TCP-style) max-min fair
+// allocation: rates proportional to weights wherever unconstrained. nil
+// weights mean uniform. See maxmin.Weights.
+func MaxMinFairWeighted(net *Network, w Weights) (*AllocResult, error) {
+	return maxmin.AllocateWeighted(net, w)
+}
+
+// Weights assigns per-receiver weights for MaxMinFairWeighted.
+type Weights = maxmin.Weights
+
+// TreeConfig parameterizes a protocol simulation over an arbitrary
+// multicast tree (per-link loss, per-link redundancy measurement).
+type TreeConfig = treesim.Config
+
+// TreeResult is the tree simulation outcome.
+type TreeResult = treesim.Result
+
+// Tree is a rooted multicast distribution tree.
+type Tree = treesim.Tree
+
+// SimulateTree runs the layered protocols over a multicast tree and
+// measures Definition-3 redundancy on every link.
+func SimulateTree(cfg TreeConfig) (*TreeResult, error) { return treesim.Run(cfg) }
+
+// ClosedLoopConfig parameterizes a capacity-coupled simulation in which
+// loss emerges from congestion instead of being configured.
+type ClosedLoopConfig = capsim.Config
+
+// ClosedLoopResult is the closed-loop outcome.
+type ClosedLoopResult = capsim.Result
+
+// ClosedLoopSession describes one session in a closed-loop run.
+type ClosedLoopSession = capsim.SessionConfig
+
+// SimulateClosedLoop runs the capacity-coupled simulator.
+func SimulateClosedLoop(cfg ClosedLoopConfig) (*ClosedLoopResult, error) { return capsim.Run(cfg) }
+
+// FluidFairRates returns the multi-rate max-min fair rates of a
+// closed-loop star configuration — the reference the protocols are
+// measured against.
+func FluidFairRates(cfg ClosedLoopConfig) [][]float64 { return capsim.FairRates(cfg) }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"mlfair/internal/netmodel"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net := NewNetworkBuilder().
+		Links(5, 2, 3, 6).
+		SingleRateSession(100, Path(0, 3), Path(1), Path(2)).
+		MultiRateSession(100, Path(0, 3)).
+		MustBuild()
+	res, err := MaxMinFair(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 2 rates.
+	for k := 0; k < 3; k++ {
+		if !netmodel.Eq(res.Alloc.Rate(0, k), 2) {
+			t.Fatalf("S1 rate = %v, want 2", res.Alloc.Rate(0, k))
+		}
+	}
+	if !netmodel.Eq(res.Alloc.Rate(1, 0), 3) {
+		t.Fatalf("S2 rate = %v, want 3", res.Alloc.Rate(1, 0))
+	}
+	rep := CheckFairness(res.Alloc)
+	if rep.AllHold() {
+		t.Fatal("single-rate Figure 2 should fail properties")
+	}
+}
+
+func TestBuilderWithRedundancy(t *testing.T) {
+	net := NewNetworkBuilder().
+		Links(6, 5, 2, 3).
+		MultiRateSession(100, Path(0, 1), Path(0, 2), Path(0, 3)).
+		WithRedundancy(2).
+		MultiRateSession(100, Path(0, 1)).
+		MustBuild()
+	res, err := MaxMinFair(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := Redundancy(res.Alloc, 0, 0)
+	if !ok || !netmodel.Eq(r, 2) {
+		t.Fatalf("redundancy = %v (%v), want 2", r, ok)
+	}
+	rep := CheckFairness(res.Alloc)
+	if rep.PerSessionLinkFair() {
+		t.Fatal("redundancy should break per-session-link-fairness")
+	}
+}
+
+func TestBuildError(t *testing.T) {
+	_, err := NewNetworkBuilder().
+		Link(1).
+		MultiRateSession(Unbounded, nil). // empty path
+		Build()
+	if err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	NewNetworkBuilder().Link(1).MultiRateSession(Unbounded, nil).MustBuild()
+}
+
+func TestSimulateFacade(t *testing.T) {
+	res, err := Simulate(SimConfig{
+		Layers: 4, Receivers: 3, IndependentLoss: 0.02,
+		Protocol: Coordinated, Packets: 5000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsSent != 5000 {
+		t.Fatalf("sent = %d", res.PacketsSent)
+	}
+	if res.Redundancy <= 0 {
+		t.Fatalf("redundancy = %v", res.Redundancy)
+	}
+}
+
+func TestWeightedFacade(t *testing.T) {
+	net := NewNetworkBuilder().
+		Link(12).
+		MultiRateSession(Unbounded, Path(0)).
+		MultiRateSession(Unbounded, Path(0)).
+		MustBuild()
+	res, err := MaxMinFairWeighted(net, Weights{{1}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netmodel.Eq(res.Alloc.Rate(0, 0), 3) || !netmodel.Eq(res.Alloc.Rate(1, 0), 9) {
+		t.Fatalf("weighted rates: %s", res.Alloc)
+	}
+}
+
+func TestTreeFacade(t *testing.T) {
+	res, err := SimulateTree(TreeConfig{
+		Tree:   &Tree{Parent: []int{0, 0, 1}, Loss: []float64{0, 0.01, 0.01}, Receivers: []int{2}},
+		Layers: 4, Protocol: Coordinated, Packets: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Links) != 2 {
+		t.Fatalf("links = %d", len(res.Links))
+	}
+}
+
+func TestClosedLoopFacade(t *testing.T) {
+	cfg := ClosedLoopConfig{
+		SharedCapacity: 8, Packets: 4000, Seed: 5,
+		Sessions: []ClosedLoopSession{{Protocol: Deterministic, Layers: 4, FanoutCapacities: []float64{4}}},
+	}
+	res, err := SimulateClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReceiverRates[0][0] <= 0 {
+		t.Fatal("no goodput")
+	}
+	fair := FluidFairRates(cfg)
+	if !netmodel.Eq(fair[0][0], 4) {
+		t.Fatalf("fluid fair rate = %v", fair[0][0])
+	}
+}

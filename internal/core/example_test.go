@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"mlfair/internal/core"
+)
+
+// ExampleMaxMinFair computes the paper's Figure 2 allocation.
+func ExampleMaxMinFair() {
+	net := core.NewNetworkBuilder().
+		Links(5, 2, 3, 6).
+		SingleRateSession(100, core.Path(0, 3), core.Path(1), core.Path(2)).
+		MultiRateSession(100, core.Path(0, 3)).
+		MustBuild()
+	res, _ := core.MaxMinFair(net)
+	fmt.Println(res.Alloc)
+	// Output: S1[S]: 2 2 2 | S2[M]: 3
+}
+
+// ExampleCheckFairness audits the four Section 2.1 properties.
+func ExampleCheckFairness() {
+	net := core.NewNetworkBuilder().
+		Links(10).
+		MultiRateSession(core.Unbounded, core.Path(0)).
+		MultiRateSession(core.Unbounded, core.Path(0)).
+		MustBuild()
+	res, _ := core.MaxMinFair(net)
+	rep := core.CheckFairness(res.Alloc)
+	fmt.Println(rep.AllHold())
+	// Output: true
+}
+
+// ExampleRedundancy measures Definition 3 on an inefficient session.
+func ExampleRedundancy() {
+	net := core.NewNetworkBuilder().
+		Links(6, 5, 2, 3).
+		MultiRateSession(100, core.Path(0, 1), core.Path(0, 2), core.Path(0, 3)).
+		WithRedundancy(2).
+		MultiRateSession(100, core.Path(0, 1)).
+		MustBuild()
+	res, _ := core.MaxMinFair(net)
+	r, _ := core.Redundancy(res.Alloc, 0, 0)
+	fmt.Printf("%.0f\n", r)
+	// Output: 2
+}

@@ -1,0 +1,216 @@
+// Package dynamics studies max-min fairness under session churn — the
+// Section 5 question of how fair allocations behave "in networks like
+// the Internet, where a session's fair allocation may vary due to
+// startup and/or termination of other sessions", and the Section 2.5
+// observation that membership changes move other receivers' fair rates
+// in non-obvious directions.
+//
+// A Timeline is a sequence of events (session joins/leaves, receiver
+// removals) over a fixed graph. Replaying it recomputes the max-min
+// fair allocation after every event and reports churn metrics: how much
+// surviving receivers' rates moved, in which directions, and how the
+// minimum rate evolved. The Figure 3 networks show single events moving
+// rates both ways; this package quantifies the effect at scale.
+package dynamics
+
+import (
+	"fmt"
+	"math"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+)
+
+// EventKind says what changed.
+type EventKind int
+
+const (
+	// SessionArrival activates a (pre-declared) session.
+	SessionArrival EventKind = iota
+	// SessionDeparture deactivates a session.
+	SessionDeparture
+	// ReceiverRemoval removes one receiver from an active session (the
+	// Section 2.5 operation); the session must keep >= 1 receiver.
+	ReceiverRemoval
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case SessionArrival:
+		return "arrival"
+	case SessionDeparture:
+		return "departure"
+	case ReceiverRemoval:
+		return "receiver-removal"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one timeline step.
+type Event struct {
+	Kind EventKind
+	// Session indexes the full session population.
+	Session int
+	// Receiver is the receiver index for ReceiverRemoval.
+	Receiver int
+}
+
+// Timeline couples a session population (over one graph, with routed
+// paths) with an event sequence. Sessions all start inactive; arrivals
+// activate them.
+type Timeline struct {
+	// Population is the full network containing every session that may
+	// ever be active.
+	Population *netmodel.Network
+	Events     []Event
+}
+
+// StepReport describes the allocation after one event.
+type StepReport struct {
+	Event Event
+	// ActiveSessions counts sessions active after the event.
+	ActiveSessions int
+	// MinRate and TotalRate summarize the new allocation (over active
+	// receivers).
+	MinRate, TotalRate float64
+	// Winners / Losers count surviving receivers whose rate rose/fell
+	// versus the previous step (receivers present in both).
+	Winners, Losers int
+	// MaxSwing is the largest absolute per-receiver rate change among
+	// survivors.
+	MaxSwing float64
+}
+
+// Replay runs the timeline, recomputing the max-min fair allocation
+// after every event.
+func Replay(tl *Timeline) ([]StepReport, error) {
+	if tl == nil || tl.Population == nil {
+		return nil, fmt.Errorf("dynamics: nil timeline")
+	}
+	pop := tl.Population
+	active := make([]bool, pop.NumSessions())
+	// removed[i] marks receiver indices (of the population) removed from
+	// session i.
+	removed := make([]map[int]bool, pop.NumSessions())
+	for i := range removed {
+		removed[i] = map[int]bool{}
+	}
+
+	prev := map[netmodel.ReceiverID]float64{}
+	var out []StepReport
+	for _, ev := range tl.Events {
+		if ev.Session < 0 || ev.Session >= pop.NumSessions() {
+			return nil, fmt.Errorf("dynamics: event session %d out of range", ev.Session)
+		}
+		switch ev.Kind {
+		case SessionArrival:
+			if active[ev.Session] {
+				return nil, fmt.Errorf("dynamics: session %d already active", ev.Session)
+			}
+			active[ev.Session] = true
+		case SessionDeparture:
+			if !active[ev.Session] {
+				return nil, fmt.Errorf("dynamics: session %d not active", ev.Session)
+			}
+			active[ev.Session] = false
+			// A departing session's removals are forgotten; a re-arrival
+			// starts fresh.
+			removed[ev.Session] = map[int]bool{}
+		case ReceiverRemoval:
+			if !active[ev.Session] {
+				return nil, fmt.Errorf("dynamics: removal from inactive session %d", ev.Session)
+			}
+			if removed[ev.Session][ev.Receiver] {
+				return nil, fmt.Errorf("dynamics: receiver %d already removed", ev.Receiver)
+			}
+			left := pop.Session(ev.Session).NumReceivers() - len(removed[ev.Session])
+			if left <= 1 {
+				return nil, fmt.Errorf("dynamics: session %d cannot lose its last receiver", ev.Session)
+			}
+			removed[ev.Session][ev.Receiver] = true
+		default:
+			return nil, fmt.Errorf("dynamics: unknown event kind %v", ev.Kind)
+		}
+
+		net, idmap, err := restrict(pop, active, removed)
+		rep := StepReport{Event: ev, ActiveSessions: countTrue(active)}
+		cur := map[netmodel.ReceiverID]float64{}
+		if err == nil && net != nil {
+			res, aerr := maxmin.Allocate(net)
+			if aerr != nil {
+				return nil, aerr
+			}
+			rep.MinRate = res.Alloc.MinRate()
+			rep.TotalRate = res.Alloc.TotalRate()
+			for sub, orig := range idmap {
+				cur[orig] = res.Alloc.RateOf(sub)
+			}
+		} else if err != nil {
+			return nil, err
+		}
+		for id, r := range cur {
+			if p, ok := prev[id]; ok {
+				d := r - p
+				if d > netmodel.Eps {
+					rep.Winners++
+				} else if d < -netmodel.Eps {
+					rep.Losers++
+				}
+				if a := math.Abs(d); a > rep.MaxSwing {
+					rep.MaxSwing = a
+				}
+			}
+		}
+		prev = cur
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// restrict builds the active sub-network. idmap maps sub-network
+// receiver IDs back to population IDs. Returns (nil, nil, nil) when no
+// session is active.
+func restrict(pop *netmodel.Network, active []bool, removed []map[int]bool) (*netmodel.Network, map[netmodel.ReceiverID]netmodel.ReceiverID, error) {
+	var sessions []*netmodel.Session
+	var paths [][][]int
+	idmap := map[netmodel.ReceiverID]netmodel.ReceiverID{}
+	for i := 0; i < pop.NumSessions(); i++ {
+		if !active[i] {
+			continue
+		}
+		src := pop.Session(i)
+		c := *src
+		c.Receivers = nil
+		var ps [][]int
+		for k := range src.Receivers {
+			if removed[i][k] {
+				continue
+			}
+			idmap[netmodel.ReceiverID{Session: len(sessions), Receiver: len(c.Receivers)}] =
+				netmodel.ReceiverID{Session: i, Receiver: k}
+			c.Receivers = append(c.Receivers, src.Receivers[k])
+			ps = append(ps, pop.Path(i, k))
+		}
+		sessions = append(sessions, &c)
+		paths = append(paths, ps)
+	}
+	if len(sessions) == 0 {
+		return nil, nil, nil
+	}
+	net, err := netmodel.NewNetwork(pop.Graph(), sessions, paths)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, idmap, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	"mlfair/internal/dynamics"
+	"mlfair/internal/stats"
+	"mlfair/internal/topology"
+	"mlfair/internal/trace"
+)
+
+// Churn quantifies the Section 2.5 / Section 5 observation at scale:
+// replaying long random arrival/departure/removal timelines, how often
+// does an event that *frees* resources (a departure or removal)
+// nevertheless lower some surviving receiver's max-min fair rate? The
+// Figure 3 networks show it can happen; this measures how often.
+func Churn(w io.Writer, seed uint64) error {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	opts := topology.DefaultRandomOptions()
+	opts.Sessions = 6
+
+	type agg struct {
+		events          int
+		withLosers      int
+		winners, losers stats.Accumulator
+		maxSwing        stats.Accumulator
+	}
+	byKind := map[dynamics.EventKind]*agg{}
+	for _, k := range []dynamics.EventKind{dynamics.SessionArrival, dynamics.SessionDeparture, dynamics.ReceiverRemoval} {
+		byKind[k] = &agg{}
+	}
+
+	const timelines = 20
+	for tli := 0; tli < timelines; tli++ {
+		pop := topology.RandomNetwork(rng, opts)
+		active := make([]bool, pop.NumSessions())
+		removed := make([]int, pop.NumSessions())
+		var events []dynamics.Event
+		for step := 0; step < 40; step++ {
+			i := rng.IntN(pop.NumSessions())
+			switch {
+			case !active[i]:
+				events = append(events, dynamics.Event{Kind: dynamics.SessionArrival, Session: i})
+				active[i] = true
+				removed[i] = 0
+			case rng.IntN(3) == 0 && pop.Session(i).NumReceivers()-removed[i] > 1:
+				events = append(events, dynamics.Event{
+					Kind: dynamics.ReceiverRemoval, Session: i,
+					Receiver: pop.Session(i).NumReceivers() - 1 - removed[i],
+				})
+				removed[i]++
+			default:
+				events = append(events, dynamics.Event{Kind: dynamics.SessionDeparture, Session: i})
+				active[i] = false
+			}
+		}
+		reps, err := dynamics.Replay(&dynamics.Timeline{Population: pop, Events: events})
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			a := byKind[r.Event.Kind]
+			a.events++
+			if r.Losers > 0 {
+				a.withLosers++
+			}
+			a.winners.Add(float64(r.Winners))
+			a.losers.Add(float64(r.Losers))
+			a.maxSwing.Add(r.MaxSwing)
+		}
+	}
+
+	t := trace.NewTable(
+		"Extension: session churn — effect of events on surviving receivers' max-min fair rates",
+		"event", "count", "mean winners", "mean losers", "events with losers", "mean max swing")
+	for _, k := range []dynamics.EventKind{dynamics.SessionArrival, dynamics.SessionDeparture, dynamics.ReceiverRemoval} {
+		a := byKind[k]
+		frac := 0.0
+		if a.events > 0 {
+			frac = float64(a.withLosers) / float64(a.events)
+		}
+		t.AddRow(k.String(), fmt.Sprintf("%d", a.events),
+			trace.Float(a.winners.Mean()), trace.Float(a.losers.Mean()),
+			fmt.Sprintf("%.0f%%", frac*100), trace.Float(a.maxSwing.Mean()))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "departures and removals free capacity, yet a fraction of them still")
+	fmt.Fprintln(w, "lower some surviving receiver's rate — the paper's §2.5 non-monotonicity")
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+func capture(t *testing.T, f func(w *strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestFigure1Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure1(b) })
+	for _, want := range []string{
+		"Figure 1", "S1[M]: 1 | S2[M]: 1 2 | S3[M]: 1 2",
+		"l3", "l4", "true",
+		"per-session-link: holds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure2(b) })
+	if !strings.Contains(out, "S1[S]: 2 2 2 | S2[M]: 3") {
+		t.Errorf("single-rate allocation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "S1[M]: 2.5 2 3 | S2[M]: 2.5") {
+		t.Errorf("multi-rate allocation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "FAILS") {
+		t.Error("single-rate failures not reported")
+	}
+}
+
+func TestFigure3Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure3(b) })
+	for _, want := range []string{"Figure 3(a)", "Figure 3(b)", "r3,2", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// 3(a) numbers.
+	for _, want := range []string{"8", "6", "3", "5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing rate %q", want)
+		}
+	}
+}
+
+func TestFigure4Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure4(b) })
+	if !strings.Contains(out, "redundancy of S1 on l4: 2") {
+		t.Errorf("redundancy not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "per-session-link: FAILS") {
+		t.Error("property failure not reported")
+	}
+}
+
+func TestSection3Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Section3Example(b) })
+	if !strings.Contains(out, "exists: false") {
+		t.Errorf("nonexistence not reported:\n%s", out)
+	}
+	// All seven feasible rows present, none max-min fair.
+	if got := strings.Count(out, "false"); got < 7 {
+		t.Errorf("expected 7+ 'false' cells, got %d:\n%s", got, out)
+	}
+}
+
+func TestFigure5Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure5(b) })
+	for _, want := range []string{"All 0.1", "All 0.5", "1st .5 rest .1", "All 0.9", "1st .9 rest .1", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFigure6Driver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Figure6(b) })
+	for _, want := range []string{"m/n=0.01", "m/n=1", "0.5263"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkovAnalysisDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return MarkovAnalysis(b) })
+	for _, want := range []string{"Coordinated", "Uncoordinated", "Deterministic", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFigure8PointAndQuickPanel(t *testing.T) {
+	o := Figure8Options{Receivers: 10, Packets: 4000, Trials: 2, Seed: 3}
+	s, err := Figure8Point(protocol.Coordinated, 0.001, 0.02, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean < 0.9 || s.Mean > 6 {
+		t.Fatalf("implausible redundancy %v", s.Mean)
+	}
+	var b strings.Builder
+	if err := Figure8(&b, 0.001, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Figure 8 (shared loss 0.001)") {
+		t.Errorf("panel title missing:\n%s", b.String())
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	p := PaperFigure8Options()
+	if p.Receivers != 100 || p.Packets != 100000 || p.Trials != 30 {
+		t.Fatalf("paper options = %+v", p)
+	}
+	q := QuickFigure8Options()
+	if q.Packets >= p.Packets || q.Trials >= p.Trials {
+		t.Fatal("quick options not smaller than paper options")
+	}
+}
+
+func TestRateHelpers(t *testing.T) {
+	u := uniformRates(0.3)(4)
+	for _, x := range u {
+		if x != 0.3 {
+			t.Fatal("uniformRates wrong")
+		}
+	}
+	f := firstRest(0.9, 0.1)(3)
+	if f[0] != 0.9 || f[1] != 0.1 || f[2] != 0.1 {
+		t.Fatalf("firstRest = %v", f)
+	}
+}

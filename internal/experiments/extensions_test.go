@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyExtOptions() ExtensionOptions {
+	return ExtensionOptions{Receivers: 8, Packets: 4000, Trials: 2, Seed: 7}
+}
+
+func TestWeightedFairnessDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return WeightedFairness(b) })
+	for _, want := range []string{"weighted", "rate/weight", "r4,2", "0.3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// All unpinned receivers share the normalized level 0.3 (12 / 40 total weight).
+	if got := strings.Count(out, "0.3"); got < 5 {
+		t.Errorf("expected five 0.3 normalized rates, found %d:\n%s", got, out)
+	}
+}
+
+func TestLeaveLatencyDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return LeaveLatency(b, tinyExtOptions()) })
+	for _, want := range []string{"leave latency", "Coordinated", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPriorityDropDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return PriorityDrop(b, tinyExtOptions()) })
+	for _, want := range []string{"priority dropping", "uniform", "change", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultExtensionOptions(t *testing.T) {
+	o := DefaultExtensionOptions()
+	if o.Receivers < 10 || o.Trials < 2 || o.Packets < 10000 {
+		t.Fatalf("implausible defaults %+v", o)
+	}
+}
+
+func TestConvergenceDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Convergence(b, tinyExtOptions()) })
+	for _, want := range []string{"Convergence", "fair rate", "r1,1", "r2,1", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTreeRedundancyDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return TreeRedundancy(b, tinyExtOptions()) })
+	for _, want := range []string{"tree depth", "depth", "Coordinated", "leaf links"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChurnDriver(t *testing.T) {
+	out := capture(t, func(b *strings.Builder) error { return Churn(b, 7) })
+	for _, want := range []string{"session churn", "arrival", "departure", "receiver-removal", "events with losers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyticOutput concatenates every fully deterministic driver's output
+// (no simulation, no RNG) — the regression anchor for the paper's
+// analytic artifacts.
+func analyticOutput(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for _, f := range []func(io.Writer) error{
+		Figure1, Figure2, Figure3, Figure4, Section3Example, Figure5, Figure6, MarkovAnalysis,
+	} {
+		if err := f(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// TestAnalyticGolden locks the analytic figure outputs byte for byte.
+// Regenerate after an intentional change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestAnalyticGolden
+func TestAnalyticGolden(t *testing.T) {
+	got := analyticOutput(t)
+	path := filepath.Join("testdata", "analytic.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("analytic output drifted from golden file.\nFirst difference near byte %d.\nRun UPDATE_GOLDEN=1 go test ./internal/experiments -run TestAnalyticGolden if intentional.",
+			firstDiff(got, string(want)))
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

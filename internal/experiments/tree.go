@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mlfair/internal/protocol"
+	"mlfair/internal/stats"
+	"mlfair/internal/trace"
+	"mlfair/internal/treesim"
+)
+
+// TreeRedundancy measures Definition 3 on every level of a binary
+// distribution tree: per-link redundancy versus depth, for the three
+// protocols. Links near the root serve more receivers and accumulate
+// more uncoordination — the protocol-dynamics analogue of Figure 5's
+// receiver-count effect, and the generalization of Figure 8 from the
+// star's single shared link to a whole tree.
+func TreeRedundancy(w io.Writer, o ExtensionOptions) error {
+	const depth = 4
+	const linkLoss = 0.02
+	kinds := protocol.Kinds()
+	series := make([]trace.Series, len(kinds))
+	xs := make([]float64, depth)
+	for d := 0; d < depth; d++ {
+		xs[d] = float64(d + 1)
+	}
+	for ki, k := range kinds {
+		byDepth := make([]*stats.Accumulator, depth+1)
+		for d := range byDepth {
+			byDepth[d] = &stats.Accumulator{}
+		}
+		for trial := 0; trial < o.Trials; trial++ {
+			res, err := treesim.Run(treesim.Config{
+				Tree: treesim.Binary(depth, linkLoss), Layers: 8,
+				Protocol: k, Packets: o.Packets * 2, Seed: o.Seed + uint64(trial),
+			})
+			if err != nil {
+				return err
+			}
+			for _, ls := range res.Links {
+				byDepth[ls.Depth].Add(ls.Redundancy)
+			}
+		}
+		ys := make([]float64, depth)
+		for d := 1; d <= depth; d++ {
+			ys[d-1] = byDepth[d].Mean()
+		}
+		series[ki] = trace.Series{Name: k.String(), Y: ys}
+	}
+	if err := trace.WriteSeries(w,
+		fmt.Sprintf("Extension: per-link redundancy vs tree depth (binary tree, depth %d, link loss %g)",
+			depth, linkLoss),
+		"depth", xs, series); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "depth 1 = root link (16 downstream receivers), depth 4 = leaf links (1)")
+	fmt.Fprintln(w)
+	return nil
+}

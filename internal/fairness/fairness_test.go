@@ -1,0 +1,231 @@
+package fairness
+
+import (
+	"strings"
+	"testing"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+)
+
+// figure1 reconstructs the paper's Figure 1 (see maxmin tests for the
+// link layout derivation).
+func figure1() *netmodel.Network {
+	b := netmodel.NewBuilder()
+	l1 := b.AddLink(5)
+	l2 := b.AddLink(7)
+	l3 := b.AddLink(4)
+	l4 := b.AddLink(3)
+	s1 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 1)
+	s2 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 2)
+	s3 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 2)
+	b.SetPath(s1, 0, l2, l4)
+	b.SetPath(s2, 0, l2, l4)
+	b.SetPath(s2, 1, l2, l3)
+	b.SetPath(s3, 0, l1, l4)
+	b.SetPath(s3, 1, l1, l3)
+	return b.MustBuild()
+}
+
+func figure2(s1Type netmodel.SessionType) *netmodel.Network {
+	b := netmodel.NewBuilder()
+	l1 := b.AddLink(5)
+	l2 := b.AddLink(2)
+	l3 := b.AddLink(3)
+	l4 := b.AddLink(6)
+	s1 := b.AddSession(s1Type, 100, 3)
+	s2 := b.AddSession(netmodel.MultiRate, 100, 1)
+	b.SetPath(s1, 0, l1, l4)
+	b.SetPath(s1, 1, l2)
+	b.SetPath(s1, 2, l3)
+	b.SetPath(s2, 0, l1, l4)
+	return b.MustBuild()
+}
+
+func allocate(t *testing.T, net *netmodel.Network) *netmodel.Allocation {
+	t.Helper()
+	res, err := maxmin.Allocate(net)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return res.Alloc
+}
+
+// TestFigure1AllPropertiesHold: the paper walks through Figure 1 showing
+// the multi-rate max-min fair allocation satisfies all four properties.
+func TestFigure1AllPropertiesHold(t *testing.T) {
+	rep := Check(allocate(t, figure1()))
+	if !rep.AllHold() {
+		t.Fatalf("Figure 1 properties should all hold: %s", rep.Summary())
+	}
+}
+
+// TestFigure2SingleRateFailures reproduces Section 2.3: the single-rate
+// max-min fair allocation fails properties 1, 2 and 3 but satisfies 4.
+func TestFigure2SingleRateFailures(t *testing.T) {
+	net := figure2(netmodel.SingleRate)
+	rep := Check(allocate(t, net))
+
+	if rep.FullyUtilizedReceiverFair() {
+		t.Error("fully-utilized-receiver-fairness should fail")
+	}
+	// The paper pinpoints r1,3 (our index {0,2}).
+	found := false
+	for _, id := range rep.FullyUtilizedReceiverViolations {
+		if id == (netmodel.ReceiverID{Session: 0, Receiver: 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r1,3 should violate property 1; got %v", rep.FullyUtilizedReceiverViolations)
+	}
+
+	if rep.SamePathReceiverFair() {
+		t.Error("same-path-receiver-fairness should fail")
+	}
+	if len(rep.SamePathViolations) != 1 {
+		t.Fatalf("expected exactly one same-path violation, got %v", rep.SamePathViolations)
+	}
+	v := rep.SamePathViolations[0]
+	if v.A != (netmodel.ReceiverID{Session: 0, Receiver: 0}) || v.B != (netmodel.ReceiverID{Session: 1, Receiver: 0}) {
+		t.Errorf("violating pair = %v", v)
+	}
+
+	if rep.PerReceiverLinkFair() {
+		t.Error("per-receiver-link-fairness should fail")
+	}
+	// The paper cites the data-paths of r1,1 and r1,3.
+	wantViol := map[netmodel.ReceiverID]bool{
+		{Session: 0, Receiver: 0}: true,
+		{Session: 0, Receiver: 2}: true,
+	}
+	for _, id := range rep.PerReceiverLinkViolations {
+		delete(wantViol, id)
+	}
+	if len(wantViol) != 0 {
+		t.Errorf("missing property-3 violations for %v (got %v)", wantViol, rep.PerReceiverLinkViolations)
+	}
+
+	if !rep.PerSessionLinkFair() {
+		t.Error("per-session-link-fairness should hold (direct consequence of Tzeng-Siu)")
+	}
+}
+
+// TestFigure2MultiRateAllHold: with S1 multi-rate, Theorem 1 applies.
+func TestFigure2MultiRateAllHold(t *testing.T) {
+	rep := Check(allocate(t, figure2(netmodel.MultiRate)))
+	if !rep.AllHold() {
+		t.Fatalf("multi-rate Figure 2 should satisfy all properties: %s", rep.Summary())
+	}
+}
+
+// TestFigure4RedundancyBreaksSessionPerspective reproduces Section 3:
+// redundancy 2 on the shared link breaks per-session-link-fairness (and
+// per-receiver-link-fairness) for S2, while the receiver-perspective
+// properties survive.
+func TestFigure4RedundancyBreaksSessionPerspective(t *testing.T) {
+	b := netmodel.NewBuilder()
+	l4 := b.AddLink(6)
+	l1 := b.AddLink(5)
+	l2 := b.AddLink(2)
+	l3 := b.AddLink(3)
+	s1 := b.AddSession(netmodel.MultiRate, 100, 3)
+	s2 := b.AddSession(netmodel.MultiRate, 100, 1)
+	b.SetLinkRate(s1, netmodel.SharedScaledMax(2))
+	b.SetPath(s1, 0, l4, l1)
+	b.SetPath(s1, 1, l4, l2)
+	b.SetPath(s1, 2, l4, l3)
+	b.SetPath(s2, 0, l4, l1)
+	rep := Check(allocate(t, b.MustBuild()))
+
+	if rep.PerSessionLinkFair() {
+		t.Error("per-session-link-fairness should fail for S2")
+	}
+	if len(rep.PerSessionLinkViolations) != 1 || rep.PerSessionLinkViolations[0] != 1 {
+		t.Errorf("violating sessions = %v, want [1]", rep.PerSessionLinkViolations)
+	}
+	if rep.PerReceiverLinkFair() {
+		t.Error("per-receiver-link-fairness should fail for S2")
+	}
+	if !rep.FullyUtilizedReceiverFair() {
+		t.Errorf("fully-utilized-receiver-fairness should survive redundancy: %v",
+			rep.FullyUtilizedReceiverViolations)
+	}
+	if !rep.SamePathReceiverFair() {
+		t.Error("same-path-receiver-fairness should survive redundancy")
+	}
+}
+
+// TestKappaWitness: receivers pinned at κ satisfy properties vacuously.
+func TestKappaWitness(t *testing.T) {
+	b := netmodel.NewBuilder()
+	l := b.AddLink(100)
+	s1 := b.AddSession(netmodel.MultiRate, 3, 1)
+	s2 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 1)
+	b.SetPath(s1, 0, l)
+	b.SetPath(s2, 0, l)
+	a := allocate(t, b.MustBuild())
+	// s1 at κ=3, s2 at 97: same path, different rates, still fair.
+	rep := Check(a)
+	if !rep.AllHold() {
+		t.Fatalf("κ-pinned allocation should satisfy all properties: %s", rep.Summary())
+	}
+	w, ok := ReceiverFullyUtilizedFair(a, netmodel.ReceiverID{Session: 0, Receiver: 0})
+	if !ok || w.Link != -1 {
+		t.Fatalf("κ witness = %+v, %v", w, ok)
+	}
+}
+
+func TestSamePathPairFairDirections(t *testing.T) {
+	b := netmodel.NewBuilder()
+	l := b.AddLink(10)
+	s1 := b.AddSession(netmodel.MultiRate, 2, 1)
+	s2 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 1)
+	b.SetPath(s1, 0, l)
+	b.SetPath(s2, 0, l)
+	net := b.MustBuild()
+	x := netmodel.ReceiverID{Session: 0, Receiver: 0}
+	y := netmodel.ReceiverID{Session: 1, Receiver: 0}
+
+	set := func(rx, ry float64) *netmodel.Allocation {
+		a := netmodel.NewAllocation(net)
+		a.SetRate(0, 0, rx)
+		a.SetRate(1, 0, ry)
+		return a
+	}
+	if !SamePathPairFair(set(2, 8), x, y) {
+		t.Error("κ-pinned below should be fair")
+	}
+	if !SamePathPairFair(set(3, 3), x, y) {
+		t.Error("equal rates should be fair")
+	}
+	if SamePathPairFair(set(1, 8), x, y) {
+		t.Error("below κ and unequal should be unfair")
+	}
+	if !SamePathPairFair(set(2, 8), y, x) {
+		t.Error("argument order must not matter for κ-pinning")
+	}
+}
+
+func TestReportSummaryFormat(t *testing.T) {
+	rep := Check(allocate(t, figure2(netmodel.SingleRate)))
+	s := rep.Summary()
+	if !strings.Contains(s, "FAILS") || !strings.Contains(s, "holds") {
+		t.Fatalf("Summary = %q", s)
+	}
+	if rep.AllHold() {
+		t.Fatal("AllHold should be false")
+	}
+}
+
+func TestPairViolationString(t *testing.T) {
+	v := PairViolation{
+		A:     netmodel.ReceiverID{Session: 0, Receiver: 0},
+		B:     netmodel.ReceiverID{Session: 1, Receiver: 0},
+		RateA: 2, RateB: 3,
+	}
+	s := v.String()
+	if !strings.Contains(s, "r1,1") || !strings.Contains(s, "r2,1") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,91 @@
+package fairness
+
+import (
+	"fmt"
+
+	"mlfair/internal/netmodel"
+)
+
+// MixedReport records violations of Theorem 2's clauses (a)-(e), the
+// guarantees the paper proves for max-min fair allocations of networks
+// mixing multi-rate and single-rate sessions.
+type MixedReport struct {
+	// A: fully-utilized-receiver-fairness fails for a multi-rate receiver.
+	A []netmodel.ReceiverID
+	// B: per-receiver-link-fairness fails for a multi-rate session's receiver.
+	B []netmodel.ReceiverID
+	// C: per-session-link-fairness fails for any session.
+	C []int
+	// D: same-path fairness fails between two multi-rate receivers.
+	D []PairViolation
+	// E: a multi-rate receiver sharing a data-path with a single-rate
+	// receiver is below both its κ and the single-rate receiver's rate.
+	E []PairViolation
+}
+
+// AllHold reports whether every clause of Theorem 2 holds.
+func (m *MixedReport) AllHold() bool {
+	return len(m.A) == 0 && len(m.B) == 0 && len(m.C) == 0 && len(m.D) == 0 && len(m.E) == 0
+}
+
+// String summarizes the violations per clause.
+func (m *MixedReport) String() string {
+	return fmt.Sprintf("theorem2{a:%d b:%d c:%d d:%d e:%d}",
+		len(m.A), len(m.B), len(m.C), len(m.D), len(m.E))
+}
+
+// CheckTheorem2 evaluates clauses (a)-(e) of Theorem 2 on an allocation
+// of a mixed-type network. For the max-min fair allocation the report
+// must be empty; for other allocations it is diagnostic only.
+func CheckTheorem2(a *netmodel.Allocation) *MixedReport {
+	net := a.Network()
+	m := &MixedReport{}
+	ids := net.ReceiverIDs()
+
+	isMulti := func(id netmodel.ReceiverID) bool {
+		return net.Session(id.Session).Type == netmodel.MultiRate
+	}
+
+	for _, id := range ids {
+		if !isMulti(id) {
+			continue
+		}
+		if _, ok := ReceiverFullyUtilizedFair(a, id); !ok {
+			m.A = append(m.A, id)
+		}
+		if _, ok := ReceiverPerReceiverLinkFair(a, id); !ok {
+			m.B = append(m.B, id)
+		}
+	}
+	for i := 0; i < net.NumSessions(); i++ {
+		if _, ok := SessionPerSessionLinkFair(a, i); !ok {
+			m.C = append(m.C, i)
+		}
+	}
+	for x := 0; x < len(ids); x++ {
+		for y := x + 1; y < len(ids); y++ {
+			rx, ry := ids[x], ids[y]
+			if !net.SamePath(rx, ry) {
+				continue
+			}
+			switch {
+			case isMulti(rx) && isMulti(ry):
+				if !SamePathPairFair(a, rx, ry) {
+					m.D = append(m.D, PairViolation{A: rx, B: ry, RateA: a.RateOf(rx), RateB: a.RateOf(ry), SharedLinkSets: true})
+				}
+			case isMulti(rx) != isMulti(ry):
+				// Orient so mr is the multi-rate one.
+				mr, sr := rx, ry
+				if isMulti(ry) {
+					mr, sr = ry, rx
+				}
+				// Clause (e): a_mr = κ or a_mr >= a_sr.
+				if !netmodel.Geq(a.RateOf(mr), net.Session(mr.Session).MaxRate) &&
+					netmodel.Less(a.RateOf(mr), a.RateOf(sr)) {
+					m.E = append(m.E, PairViolation{A: mr, B: sr, RateA: a.RateOf(mr), RateB: a.RateOf(sr), SharedLinkSets: true})
+				}
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,163 @@
+package fairness
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+)
+
+// randNetwork mirrors the maxmin test generator: random incidence
+// networks with configurable session types.
+func randNetwork(rng *rand.Rand, forceType *netmodel.SessionType) *netmodel.Network {
+	nl := 2 + rng.IntN(5)
+	b := netmodel.NewBuilder()
+	links := make([]int, nl)
+	for i := range links {
+		links[i] = b.AddLink(1 + float64(rng.IntN(20)))
+	}
+	ns := 1 + rng.IntN(4)
+	for i := 0; i < ns; i++ {
+		typ := netmodel.MultiRate
+		if forceType != nil {
+			typ = *forceType
+		} else if rng.IntN(2) == 0 {
+			typ = netmodel.SingleRate
+		}
+		kappa := netmodel.NoRateCap
+		if rng.IntN(3) == 0 {
+			kappa = 1 + 10*rng.Float64()
+		}
+		nr := 1 + rng.IntN(3)
+		s := b.AddSession(typ, kappa, nr)
+		for k := 0; k < nr; k++ {
+			var p []int
+			for _, l := range links {
+				if rng.IntN(3) == 0 {
+					p = append(p, l)
+				}
+			}
+			if len(p) == 0 {
+				p = []int{links[rng.IntN(nl)]}
+			}
+			b.SetPath(s, k, p...)
+		}
+	}
+	return b.MustBuild()
+}
+
+// TestTheorem1RandomMultiRate: on random all-multi-rate networks the
+// max-min fair allocation satisfies all four fairness properties.
+func TestTheorem1RandomMultiRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	multi := netmodel.MultiRate
+	for trial := 0; trial < 300; trial++ {
+		net := randNetwork(rng, &multi)
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		rep := Check(res.Alloc)
+		if !rep.AllHold() {
+			t.Fatalf("trial %d: Theorem 1 violated: %s\nalloc %s",
+				trial, rep.Summary(), res.Alloc)
+		}
+	}
+}
+
+// TestTheorem2RandomMixed: on random mixed networks the max-min fair
+// allocation satisfies clauses (a)-(e).
+func TestTheorem2RandomMixed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	for trial := 0; trial < 300; trial++ {
+		net := randNetwork(rng, nil)
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		m := CheckTheorem2(res.Alloc)
+		if !m.AllHold() {
+			t.Fatalf("trial %d: Theorem 2 violated: %s\nalloc %s", trial, m, res.Alloc)
+		}
+	}
+}
+
+// TestTheorem2DetectsViolations: a deliberately unfair allocation
+// triggers the checker (guarding against a vacuously-true checker).
+func TestTheorem2DetectsViolations(t *testing.T) {
+	b := netmodel.NewBuilder()
+	l := b.AddLink(10)
+	s1 := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 1)
+	s2 := b.AddSession(netmodel.SingleRate, netmodel.NoRateCap, 1)
+	b.SetPath(s1, 0, l)
+	b.SetPath(s2, 0, l)
+	net := b.MustBuild()
+	a := netmodel.NewAllocation(net)
+	a.SetRate(0, 0, 2) // multi-rate receiver below...
+	a.SetRate(1, 0, 8) // ...the single-rate receiver on the same path
+	m := CheckTheorem2(a)
+	if len(m.E) != 1 {
+		t.Fatalf("clause (e) violation not detected: %s", m)
+	}
+	if m.AllHold() {
+		t.Fatal("AllHold must be false")
+	}
+}
+
+// TestSingleRateOnlyPerSessionHolds: on random all-single-rate networks
+// per-session-link-fairness always holds in the max-min fair allocation
+// (the Tzeng-Siu consequence noted in Section 2.3).
+func TestSingleRateOnlyPerSessionHolds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 36))
+	single := netmodel.SingleRate
+	for trial := 0; trial < 300; trial++ {
+		net := randNetwork(rng, &single)
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		rep := Check(res.Alloc)
+		if !rep.PerSessionLinkFair() {
+			t.Fatalf("trial %d: per-session-link-fairness failed on single-rate network: %v\nalloc %s",
+				trial, rep.PerSessionLinkViolations, res.Alloc)
+		}
+	}
+}
+
+// TestUnicastNetworksSatisfyEverything: with only unicast sessions the
+// four properties collapse to the classical unicast ones and all hold.
+func TestUnicastNetworksSatisfyEverything(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 38))
+	for trial := 0; trial < 200; trial++ {
+		nl := 2 + rng.IntN(4)
+		b := netmodel.NewBuilder()
+		links := make([]int, nl)
+		for i := range links {
+			links[i] = b.AddLink(1 + float64(rng.IntN(15)))
+		}
+		ns := 1 + rng.IntN(5)
+		for i := 0; i < ns; i++ {
+			s := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 1)
+			var p []int
+			for _, l := range links {
+				if rng.IntN(2) == 0 {
+					p = append(p, l)
+				}
+			}
+			if len(p) == 0 {
+				p = []int{links[0]}
+			}
+			b.SetPath(s, 0, p...)
+		}
+		net := b.MustBuild()
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		rep := Check(res.Alloc)
+		if !rep.AllHold() {
+			t.Fatalf("trial %d: unicast network failed: %s\nalloc %s", trial, rep.Summary(), res.Alloc)
+		}
+	}
+}

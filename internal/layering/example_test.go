@@ -1,0 +1,23 @@
+package layering_test
+
+import (
+	"fmt"
+
+	"mlfair/internal/layering"
+)
+
+// ExampleExponential shows the paper's Section 4 scheme: the aggregate
+// rate of layers 1..i is 2^(i-1).
+func ExampleExponential() {
+	s := layering.Exponential(4)
+	fmt.Println(s.Levels())
+	// Output: [0 1 2 4 8]
+}
+
+// ExampleScheme_LevelFor maps a max-min fair rate to a sustainable layer
+// subscription.
+func ExampleScheme_LevelFor() {
+	s := layering.Exponential(8)
+	fmt.Println(s.LevelFor(5.3)) // between cumulative 4 (level 3) and 8 (level 4)
+	// Output: 3
+}

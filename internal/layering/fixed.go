@@ -1,0 +1,86 @@
+package layering
+
+import (
+	"fmt"
+
+	"mlfair/internal/netmodel"
+)
+
+// FixedLayerAllocations enumerates every feasible allocation of a network
+// when each receiver of session i must sit at one of schemes[i]'s
+// subscription levels for the whole session (no joins/leaves). The
+// network's κ and single-rate constraints apply as usual. The result can
+// be exponentially large; this is an analysis tool for small examples
+// like the paper's Section 3 network.
+func FixedLayerAllocations(net *netmodel.Network, schemes []Scheme) ([]*netmodel.Allocation, error) {
+	if len(schemes) != net.NumSessions() {
+		return nil, fmt.Errorf("layering: %d schemes for %d sessions", len(schemes), net.NumSessions())
+	}
+	ids := net.ReceiverIDs()
+	var out []*netmodel.Allocation
+	alloc := netmodel.NewAllocation(net)
+	var rec func(x int)
+	rec = func(x int) {
+		if x == len(ids) {
+			if alloc.Feasible() == nil {
+				out = append(out, alloc.Clone())
+			}
+			return
+		}
+		id := ids[x]
+		for _, level := range schemes[id.Session].Levels() {
+			alloc.SetRate(id.Session, id.Receiver, level)
+			rec(x + 1)
+		}
+		alloc.SetRate(id.Session, id.Receiver, 0)
+	}
+	rec(0)
+	return out, nil
+}
+
+// IsMaxMinOver checks Definition 1 restricted to a finite candidate set:
+// a is max-min fair over feasible iff for every alternative b and every
+// receiver r with b_r > a_r there is another receiver r' with
+// a_{r'} <= a_r whose rate decreased (b_{r'} < a_{r'}).
+func IsMaxMinOver(a *netmodel.Allocation, feasible []*netmodel.Allocation) bool {
+	ids := a.Network().ReceiverIDs()
+	for _, b := range feasible {
+		for _, r := range ids {
+			ar, br := a.RateOf(r), b.RateOf(r)
+			if !netmodel.Greater(br, ar) {
+				continue
+			}
+			// Some receiver with a_{r'} <= a_r must lose.
+			compensated := false
+			for _, rp := range ids {
+				if rp == r {
+					continue
+				}
+				if netmodel.Leq(a.RateOf(rp), ar) && netmodel.Less(b.RateOf(rp), a.RateOf(rp)) {
+					compensated = true
+					break
+				}
+			}
+			if !compensated {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FindMaxMinFixed searches the fixed-layer feasible set for a max-min
+// fair allocation. It returns (nil, false, nil) when none exists — the
+// situation the paper demonstrates for the Section 3 single-link example.
+func FindMaxMinFixed(net *netmodel.Network, schemes []Scheme) (*netmodel.Allocation, bool, error) {
+	feasible, err := FixedLayerAllocations(net, schemes)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, a := range feasible {
+		if IsMaxMinOver(a, feasible) {
+			return a, true, nil
+		}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,226 @@
+package layering
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/redundancy"
+	"mlfair/internal/topology"
+)
+
+func TestExponentialScheme(t *testing.T) {
+	s := Exponential(8)
+	if s.NumLayers() != 8 {
+		t.Fatalf("NumLayers = %d", s.NumLayers())
+	}
+	// Cumulative rate of layers 1..i must be 2^(i-1).
+	for i := 1; i <= 8; i++ {
+		want := math.Exp2(float64(i - 1))
+		if got := s.CumulativeRate(i); got != want {
+			t.Fatalf("CumulativeRate(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if s.CumulativeRate(0) != 0 {
+		t.Fatal("level 0 must be rate 0")
+	}
+	if s.TotalRate() != 128 {
+		t.Fatalf("TotalRate = %v", s.TotalRate())
+	}
+}
+
+func TestUniformScheme(t *testing.T) {
+	s := Uniform(3, 2)
+	for l := 0; l < 3; l++ {
+		if s.LayerRate(l) != 2 {
+			t.Fatalf("LayerRate(%d) = %v", l, s.LayerRate(l))
+		}
+	}
+	levels := s.Levels()
+	want := []float64{0, 2, 4, 6}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Fatalf("Levels = %v", levels)
+		}
+	}
+	// Levels returns a copy.
+	levels[0] = 99
+	if s.CumulativeRate(0) != 0 {
+		t.Fatal("Levels aliased internal state")
+	}
+}
+
+func TestLevelFor(t *testing.T) {
+	s := NewScheme(1, 1, 2) // levels 0,1,2,4
+	cases := []struct {
+		rate float64
+		want int
+	}{{0, 0}, {0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {3.9, 2}, {4, 3}, {100, 3}}
+	for _, c := range cases {
+		if got := s.LevelFor(c.rate); got != c.want {
+			t.Errorf("LevelFor(%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+}
+
+func TestSchemePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":       func() { NewScheme() },
+		"zero layer":  func() { NewScheme(1, 0) },
+		"exp zero":    func() { Exponential(0) },
+		"neg quantum": func() { NewQuantumPlan(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSection3NoMaxMinExists reproduces the paper's Section 3 example:
+// one link of capacity c, S1 with three layers of c/3, S2 with two
+// layers of c/2. The feasible fixed-layer set is exactly the seven
+// allocations listed in the paper and none of them is max-min fair.
+func TestSection3NoMaxMinExists(t *testing.T) {
+	const c = 6.0
+	net := topology.SingleLink(c).Network
+	schemes := []Scheme{Uniform(3, c/3), Uniform(2, c/2)}
+
+	feasible, err := FixedLayerAllocations(net, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]float64]bool{
+		{0, 0}: true, {0, c / 2}: true, {0, c}: true,
+		{c / 3, 0}: true, {c / 3, c / 2}: true,
+		{2 * c / 3, 0}: true, {c, 0}: true,
+	}
+	if len(feasible) != len(want) {
+		t.Fatalf("got %d feasible allocations, want %d", len(feasible), len(want))
+	}
+	for _, a := range feasible {
+		key := [2]float64{a.Rate(0, 0), a.Rate(1, 0)}
+		if !want[key] {
+			t.Fatalf("unexpected feasible allocation %v", key)
+		}
+	}
+
+	// The paper's argument: (c/3, c/2) is not max-min fair because
+	// (2c/3, 0) raises r1 without compensating anyone at or below r1.
+	var a13 *netmodel.Allocation
+	for _, a := range feasible {
+		if netmodel.Eq(a.Rate(0, 0), c/3) && netmodel.Eq(a.Rate(1, 0), c/2) {
+			a13 = a
+		}
+	}
+	if a13 == nil {
+		t.Fatal("(c/3, c/2) not found")
+	}
+	if IsMaxMinOver(a13, feasible) {
+		t.Fatal("(c/3, c/2) should not be max-min fair")
+	}
+
+	// And no feasible allocation is.
+	if _, ok, err := FindMaxMinFixed(net, schemes); err != nil || ok {
+		t.Fatalf("max-min fair fixed-layer allocation should not exist (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestFixedMaxMinExistsWhenAligned: when the schemes can express the
+// fluid max-min rates, the fixed-layer max-min allocation exists and
+// matches.
+func TestFixedMaxMinExistsWhenAligned(t *testing.T) {
+	const c = 6.0
+	net := topology.SingleLink(c).Network
+	schemes := []Scheme{Uniform(3, 1), Uniform(3, 1)} // levels 0..3 each
+	a, ok, err := FindMaxMinFixed(net, schemes)
+	if err != nil || !ok {
+		t.Fatalf("expected existence (ok=%v err=%v)", ok, err)
+	}
+	if !netmodel.Eq(a.Rate(0, 0), 3) || !netmodel.Eq(a.Rate(1, 0), 3) {
+		t.Fatalf("fixed max-min = (%v, %v), want (3, 3)", a.Rate(0, 0), a.Rate(1, 0))
+	}
+}
+
+func TestFixedLayerSchemesLengthChecked(t *testing.T) {
+	net := topology.SingleLink(1).Network
+	if _, err := FixedLayerAllocations(net, nil); err == nil {
+		t.Fatal("scheme length mismatch accepted")
+	}
+}
+
+func TestQuantumPlanAverageConverges(t *testing.T) {
+	for _, target := range []float64{0.25, 1.5, 2.999, 7} {
+		p := NewQuantumPlan(target)
+		for q := 0; q < 10000; q++ {
+			n := p.Next()
+			if f := math.Floor(target); float64(n) != f && float64(n) != f+1 {
+				t.Fatalf("Next() = %d for target %v", n, target)
+			}
+		}
+		if avg := p.Average(); math.Abs(avg-target) > 1e-3 {
+			t.Fatalf("average %v, want %v", avg, target)
+		}
+	}
+	if NewQuantumPlan(1).Average() != 0 {
+		t.Fatal("average before quanta should be 0")
+	}
+}
+
+// TestPrefixStrategyEfficient: coordinated (prefix) joins make the link
+// carry exactly the maximum demand — redundancy 1.
+func TestPrefixStrategyEfficient(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	res := SimulateQuantumUsage([]float64{0.2, 0.5, 0.8}, 1, Prefix, 100, 500, rng)
+	if math.Abs(res.Redundancy-1) > 0.02 {
+		t.Fatalf("prefix redundancy = %v, want ~1", res.Redundancy)
+	}
+	for i, want := range []float64{0.2, 0.5, 0.8} {
+		if math.Abs(res.ReceiverRates[i]-want) > 0.02 {
+			t.Fatalf("receiver %d rate %v, want %v", i, res.ReceiverRates[i], want)
+		}
+	}
+}
+
+// TestRandomStrategyMatchesAppendixB: uncoordinated joins match the
+// closed-form expectation.
+func TestRandomStrategyMatchesAppendixB(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	rates := []float64{0.3, 0.3, 0.3, 0.3}
+	res := SimulateQuantumUsage(rates, 1, Random, 200, 400, rng)
+	want := redundancy.ExpectedLinkRate(rates, 1)
+	if math.Abs(res.LinkRate-want) > 0.03 {
+		t.Fatalf("random link rate = %v, closed form %v", res.LinkRate, want)
+	}
+	if res.Redundancy <= 1.5 {
+		t.Fatalf("random redundancy = %v, expected well above 1", res.Redundancy)
+	}
+}
+
+func TestSimulatePanics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for name, f := range map[string]func(){
+		"zero quanta": func() { SimulateQuantumUsage([]float64{0.1}, 1, Prefix, 10, 0, rng) },
+		"rate > Λ":    func() { SimulateQuantumUsage([]float64{2}, 1, Prefix, 10, 10, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if NewScheme(1, 2).String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,103 @@
+// Package layering models layered multicast transmission as in Section 3
+// of the paper: data split across M ordered layers (multicast groups),
+// receivers subscribing to prefixes of the layer stack, restricted rate
+// sets, and quantum-timed join/leave plans that realize fractional
+// average rates.
+//
+// The package provides three things:
+//
+//   - Scheme: a layer-rate configuration, including the paper's Section 4
+//     exponential scheme (cumulative rate of layers 1..i equal to 2^(i-1)).
+//   - Fixed-layer analysis: enumeration of the feasible allocations when
+//     every receiver must sit at a subscription level for the whole
+//     session, and a Definition-1 max-min search over that finite set —
+//     which demonstrates the paper's Section 3 example where no max-min
+//     fair allocation exists.
+//   - Quantum plans: the floor/ceil carry scheme of footnote 7 by which a
+//     receiver achieves a long-term average rate between levels, and a
+//     quantum-level usage simulator contrasting coordinated (prefix)
+//     with uncoordinated (random) packet choices.
+package layering
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme is an ordered set of layer rates. Layer l (0-based) adds
+// rates[l] to a subscriber's aggregate rate; a receiver joined "up to
+// level v" (v in 0..NumLayers) receives the sum of layers 0..v-1.
+type Scheme struct {
+	rates []float64
+	cum   []float64 // cum[v] = aggregate rate at level v; cum[0] = 0
+}
+
+// NewScheme builds a scheme from per-layer rates, all of which must be
+// positive.
+func NewScheme(rates ...float64) Scheme {
+	if len(rates) == 0 {
+		panic("layering: scheme needs at least one layer")
+	}
+	cum := make([]float64, len(rates)+1)
+	for l, r := range rates {
+		if r <= 0 {
+			panic(fmt.Sprintf("layering: layer %d has non-positive rate %v", l, r))
+		}
+		cum[l+1] = cum[l] + r
+	}
+	return Scheme{rates: append([]float64{}, rates...), cum: cum}
+}
+
+// Exponential returns the paper's Section 4 scheme with m layers: the
+// aggregate rate of layers 1..i equals 2^(i-1) (so per-layer rates are
+// 1, 1, 2, 4, ..., 2^(m-2)).
+func Exponential(m int) Scheme {
+	if m < 1 {
+		panic("layering: need at least one layer")
+	}
+	rates := make([]float64, m)
+	rates[0] = 1
+	for l := 1; l < m; l++ {
+		rates[l] = math.Exp2(float64(l - 1))
+	}
+	return NewScheme(rates...)
+}
+
+// Uniform returns m layers of equal rate.
+func Uniform(m int, rate float64) Scheme {
+	rates := make([]float64, m)
+	for l := range rates {
+		rates[l] = rate
+	}
+	return NewScheme(rates...)
+}
+
+// NumLayers returns M.
+func (s Scheme) NumLayers() int { return len(s.rates) }
+
+// LayerRate returns the rate of layer l (0-based).
+func (s Scheme) LayerRate(l int) float64 { return s.rates[l] }
+
+// CumulativeRate returns the aggregate rate at subscription level v
+// (0 <= v <= NumLayers); level 0 is 0.
+func (s Scheme) CumulativeRate(v int) float64 { return s.cum[v] }
+
+// Levels returns all achievable aggregate rates, 0 through the full
+// stack, as a fresh slice.
+func (s Scheme) Levels() []float64 { return append([]float64{}, s.cum...) }
+
+// TotalRate returns the aggregate rate with all layers joined.
+func (s Scheme) TotalRate() float64 { return s.cum[len(s.cum)-1] }
+
+// LevelFor returns the highest subscription level whose aggregate rate
+// does not exceed rate (the best sustained approximation from below).
+func (s Scheme) LevelFor(rate float64) int {
+	v := 0
+	for v < s.NumLayers() && s.cum[v+1] <= rate+1e-12 {
+		v++
+	}
+	return v
+}
+
+// String renders the scheme as its per-layer rates.
+func (s Scheme) String() string { return fmt.Sprintf("layers%v", s.rates) }

@@ -1,0 +1,115 @@
+package layering
+
+import "fmt"
+
+// SubscriptionPlan realizes an arbitrary target rate over a layer scheme
+// by the paper's Section 3 construction generalized to multiple layers:
+// the receiver stays joined to every layer fully below its target and
+// runs a footnote-7 quantum join/leave plan on the first partial layer.
+// Over time the average aggregate rate converges to the target (clamped
+// to the scheme's total rate).
+type SubscriptionPlan struct {
+	scheme Scheme
+	target float64
+	// fullLayers are always joined (indices 0..fullLayers-1).
+	fullLayers int
+	// partial is the quantum plan on layer fullLayers, nil when the
+	// target is exactly a subscription level.
+	partial           *QuantumPlan
+	packetsPerQuantum int
+	quanta            int64
+	received          int64
+}
+
+// NewSubscriptionPlan plans a receiver's joins for the given target
+// rate. packetsPerQuantum scales the quantum resolution of the partial
+// layer (packets transmitted on that layer per quantum).
+func NewSubscriptionPlan(target float64, scheme Scheme, packetsPerQuantum int) *SubscriptionPlan {
+	if target < 0 {
+		panic("layering: negative target rate")
+	}
+	if packetsPerQuantum <= 0 {
+		panic("layering: non-positive quantum size")
+	}
+	if target > scheme.TotalRate() {
+		target = scheme.TotalRate()
+	}
+	p := &SubscriptionPlan{scheme: scheme, target: target, packetsPerQuantum: packetsPerQuantum}
+	for p.fullLayers < scheme.NumLayers() &&
+		scheme.CumulativeRate(p.fullLayers+1) <= target+1e-12 {
+		p.fullLayers++
+	}
+	rest := target - scheme.CumulativeRate(p.fullLayers)
+	if rest > 1e-12 && p.fullLayers < scheme.NumLayers() {
+		frac := rest / scheme.LayerRate(p.fullLayers)
+		p.partial = NewQuantumPlan(frac * float64(packetsPerQuantum))
+	}
+	return p
+}
+
+// Target returns the (possibly clamped) target rate.
+func (p *SubscriptionPlan) Target() float64 { return p.target }
+
+// FullLayers returns how many layers are permanently joined.
+func (p *SubscriptionPlan) FullLayers() int { return p.fullLayers }
+
+// PartialLayer returns the index of the quantum-shared layer and whether
+// one exists.
+func (p *SubscriptionPlan) PartialLayer() (int, bool) {
+	if p.partial == nil {
+		return 0, false
+	}
+	return p.fullLayers, true
+}
+
+// NextQuantum advances one quantum and returns the packet counts the
+// receiver takes per layer this quantum (length NumLayers). Full layers
+// contribute their whole quantum share; the partial layer contributes
+// its plan's count.
+func (p *SubscriptionPlan) NextQuantum() []int {
+	counts := make([]int, p.scheme.NumLayers())
+	for l := 0; l < p.fullLayers; l++ {
+		// A full layer delivers rate·(quantum length) packets; the
+		// quantum length is packetsPerQuantum / rate of the partial
+		// layer... to keep units uniform we express every layer in its
+		// own per-quantum packet budget, scaled by relative rate.
+		counts[l] = int(float64(p.packetsPerQuantum) * p.scheme.LayerRate(l) / p.partialLayerRate())
+	}
+	if p.partial != nil {
+		n := p.partial.Next()
+		counts[p.fullLayers] = n
+		p.received += int64(n)
+	}
+	for l := 0; l < p.fullLayers; l++ {
+		p.received += int64(counts[l])
+	}
+	p.quanta++
+	return counts
+}
+
+func (p *SubscriptionPlan) partialLayerRate() float64 {
+	if p.fullLayers < p.scheme.NumLayers() {
+		return p.scheme.LayerRate(p.fullLayers)
+	}
+	return p.scheme.LayerRate(p.scheme.NumLayers() - 1)
+}
+
+// AverageRate returns the achieved long-run rate so far, in scheme rate
+// units.
+func (p *SubscriptionPlan) AverageRate() float64 {
+	if p.quanta == 0 {
+		return 0
+	}
+	perQuantum := float64(p.received) / float64(p.quanta)
+	// packetsPerQuantum packets on the partial layer correspond to its
+	// full rate; convert back to rate units.
+	return perQuantum / float64(p.packetsPerQuantum) * p.partialLayerRate()
+}
+
+// String describes the plan.
+func (p *SubscriptionPlan) String() string {
+	if p.partial == nil {
+		return fmt.Sprintf("subscribe[0..%d)", p.fullLayers)
+	}
+	return fmt.Sprintf("subscribe[0..%d)+quantum(l%d)", p.fullLayers, p.fullLayers)
+}

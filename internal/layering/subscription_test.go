@@ -1,0 +1,107 @@
+package layering
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubscriptionPlanExactLevel(t *testing.T) {
+	s := Exponential(4) // levels 0,1,2,4,8
+	p := NewSubscriptionPlan(2, s, 100)
+	if p.FullLayers() != 2 {
+		t.Fatalf("FullLayers = %d, want 2", p.FullLayers())
+	}
+	if _, ok := p.PartialLayer(); ok {
+		t.Fatal("exact level should have no partial layer")
+	}
+	for q := 0; q < 100; q++ {
+		p.NextQuantum()
+	}
+	if avg := p.AverageRate(); math.Abs(avg-2) > 0.05 {
+		t.Fatalf("average rate = %v, want 2", avg)
+	}
+}
+
+func TestSubscriptionPlanFractional(t *testing.T) {
+	s := Exponential(4)
+	for _, target := range []float64{0.5, 1.5, 2.7, 3, 5.25, 7.9} {
+		p := NewSubscriptionPlan(target, s, 64)
+		for q := 0; q < 4000; q++ {
+			p.NextQuantum()
+		}
+		if avg := p.AverageRate(); math.Abs(avg-target)/target > 0.02 {
+			t.Errorf("target %v: average %v", target, avg)
+		}
+	}
+}
+
+func TestSubscriptionPlanClamp(t *testing.T) {
+	s := Exponential(3) // total 4
+	p := NewSubscriptionPlan(100, s, 10)
+	if p.Target() != 4 {
+		t.Fatalf("target not clamped: %v", p.Target())
+	}
+	if p.FullLayers() != 3 {
+		t.Fatalf("FullLayers = %d", p.FullLayers())
+	}
+	for q := 0; q < 50; q++ {
+		p.NextQuantum()
+	}
+	if avg := p.AverageRate(); math.Abs(avg-4) > 0.1 {
+		t.Fatalf("average = %v, want 4", avg)
+	}
+}
+
+func TestSubscriptionPlanZero(t *testing.T) {
+	s := Exponential(3)
+	p := NewSubscriptionPlan(0, s, 10)
+	if p.FullLayers() != 0 {
+		t.Fatal("zero rate should join nothing")
+	}
+	p.NextQuantum()
+	if p.AverageRate() != 0 {
+		t.Fatal("zero rate received packets")
+	}
+}
+
+func TestSubscriptionPlanPartialCounts(t *testing.T) {
+	s := NewScheme(1, 1, 2)
+	p := NewSubscriptionPlan(2.5, s, 100)
+	if p.FullLayers() != 2 {
+		t.Fatalf("FullLayers = %d", p.FullLayers())
+	}
+	l, ok := p.PartialLayer()
+	if !ok || l != 2 {
+		t.Fatalf("PartialLayer = %d, %v", l, ok)
+	}
+	counts := p.NextQuantum()
+	// Partial layer rate 2, 100 packets per quantum; full layers rate 1
+	// each -> 50 packets per quantum.
+	if counts[0] != 50 || counts[1] != 50 {
+		t.Fatalf("full layer counts = %v", counts)
+	}
+	// 0.5/2 = 25% of the partial layer per quantum.
+	if counts[2] < 20 || counts[2] > 30 {
+		t.Fatalf("partial count = %d, want ~25", counts[2])
+	}
+	if p.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestSubscriptionPlanPanics(t *testing.T) {
+	s := Exponential(2)
+	for name, f := range map[string]func(){
+		"negative rate": func() { NewSubscriptionPlan(-1, s, 10) },
+		"zero quantum":  func() { NewSubscriptionPlan(1, s, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

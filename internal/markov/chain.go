@@ -1,0 +1,288 @@
+// Package markov provides finite continuous-time Markov chains and
+// stationary-distribution solvers, plus the two-receiver star models of
+// the paper's Section 4 analysis (Figure 7a): exact chains for the
+// Uncoordinated, Deterministic and Coordinated layered congestion-control
+// protocols under shared and independent Bernoulli loss.
+//
+// The paper's own Markov models (technical-report Appendix F) are not
+// published; these chains are reconstructed from the protocol definitions
+// with one standard modeling step — packet and signal event streams are
+// Poissonized (exponential inter-event times at the true rates) so the
+// joint process is a CTMC. Shared events (a packet crossing the shared
+// link, a sender signal) drive both receivers simultaneously, preserving
+// exactly the loss correlation the analysis studies. The paper's headline
+// analytical finding — redundancy is highest when receivers experience
+// the same end-to-end loss rates — is reproduced by these models (see the
+// tests and the experiments package).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Chain is a finite-state continuous-time Markov chain described by its
+// off-diagonal transition rates.
+type Chain struct {
+	n     int
+	rates map[int]map[int]float64
+}
+
+// NewChain creates a chain with n states and no transitions.
+func NewChain(n int) *Chain {
+	if n < 1 {
+		panic("markov: need at least one state")
+	}
+	return &Chain{n: n, rates: make(map[int]map[int]float64)}
+}
+
+// NumStates returns the state count.
+func (c *Chain) NumStates() int { return c.n }
+
+// AddRate accumulates transition rate r from state i to state j.
+// Self-loops and non-positive rates are ignored (they do not affect the
+// stationary distribution).
+func (c *Chain) AddRate(i, j int, r float64) {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		panic(fmt.Sprintf("markov: state out of range: %d -> %d (n=%d)", i, j, c.n))
+	}
+	if i == j || r <= 0 {
+		return
+	}
+	row := c.rates[i]
+	if row == nil {
+		row = make(map[int]float64)
+		c.rates[i] = row
+	}
+	row[j] += r
+}
+
+// Rate returns the accumulated rate from i to j.
+func (c *Chain) Rate(i, j int) float64 { return c.rates[i][j] }
+
+// ErrNotIrreducible is returned when the stationary solve fails, which
+// for these models indicates a disconnected chain.
+var ErrNotIrreducible = errors.New("markov: chain is not irreducible")
+
+// Stationary solves πQ = 0, Σπ = 1 by dense Gaussian elimination with
+// partial pivoting. Suitable for chains up to a few thousand states.
+func (c *Chain) Stationary() ([]float64, error) {
+	n := c.n
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Build A = Qᵀ with the last equation replaced by Σπ = 1.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	for i, row := range c.rates {
+		var out float64
+		for j, r := range row {
+			a[j][i] += r // inflow to j from i
+			out += r
+		}
+		a[i][i] -= out
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	a[n-1][n] = 1
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, ErrNotIrreducible
+		}
+		a[col], a[piv] = a[piv], a[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col] * inv
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pi[i] = a[i][n] / a[i][i]
+		if pi[i] < 0 {
+			if pi[i] < -1e-9 {
+				return nil, ErrNotIrreducible
+			}
+			pi[i] = 0
+		}
+	}
+	// Renormalize against accumulated round-off.
+	sum := 0.0
+	for _, p := range pi {
+		sum += p
+	}
+	if sum <= 0 {
+		return nil, ErrNotIrreducible
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// StationaryPower computes the stationary distribution by uniformization
+// and power iteration, as an independent cross-check of (and scalable
+// alternative to) the direct solve. It iterates until the L1 change is
+// below tol or maxIter is reached. The transition structure is flattened
+// to index/value arrays once, so each iteration is a sparse
+// matrix-vector product.
+func (c *Chain) StationaryPower(tol float64, maxIter int) ([]float64, error) {
+	n := c.n
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	// Uniformization constant: max outflow rate.
+	lambda := 0.0
+	out := make([]float64, n)
+	nnz := 0
+	for i, row := range c.rates {
+		for _, r := range row {
+			out[i] += r
+		}
+		nnz += len(row)
+		if out[i] > lambda {
+			lambda = out[i]
+		}
+	}
+	if lambda == 0 {
+		return nil, ErrNotIrreducible
+	}
+	lambda *= 1.05
+	// CSR-style flattening.
+	src := make([]int32, 0, nnz)
+	dst := make([]int32, 0, nnz)
+	prob := make([]float64, 0, nnz)
+	for i := 0; i < n; i++ {
+		for j, r := range c.rates[i] {
+			src = append(src, int32(i))
+			dst = append(dst, int32(j))
+			prob = append(prob, r/lambda)
+		}
+	}
+	stay := make([]float64, n)
+	for i := 0; i < n; i++ {
+		stay[i] = 1 - out[i]/lambda
+	}
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = pi[i] * stay[i]
+		}
+		for e := range src {
+			next[dst[e]] += pi[src[e]] * prob[e]
+		}
+		diff := 0.0
+		for i := range pi {
+			diff += math.Abs(next[i] - pi[i])
+		}
+		pi, next = next, pi
+		if diff < tol {
+			return pi, nil
+		}
+	}
+	return pi, nil
+}
+
+// ReachableFrom returns the set of states reachable from start by
+// positive-rate transitions (including start itself).
+func (c *Chain) ReachableFrom(start int) []bool {
+	if start < 0 || start >= c.n {
+		panic("markov: start state out of range")
+	}
+	seen := make([]bool, c.n)
+	seen[start] = true
+	queue := []int{start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for j := range c.rates[s] {
+			if !seen[j] {
+				seen[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	return seen
+}
+
+// Restrict returns the sub-chain induced by the states reachable from
+// start, along with the original index of each reduced state. Solving
+// the restriction avoids singularities from unreachable states (which
+// have stationary probability zero by construction).
+func (c *Chain) Restrict(start int) (*Chain, []int) {
+	reach := c.ReachableFrom(start)
+	orig := make([]int, 0, c.n)
+	index := make([]int, c.n)
+	for s := 0; s < c.n; s++ {
+		index[s] = -1
+		if reach[s] {
+			index[s] = len(orig)
+			orig = append(orig, s)
+		}
+	}
+	r := NewChain(len(orig))
+	for s, row := range c.rates {
+		if !reach[s] {
+			continue
+		}
+		for j, rate := range row {
+			r.AddRate(index[s], index[j], rate)
+		}
+	}
+	return r, orig
+}
+
+// StationaryFrom computes the stationary distribution of the process
+// started in state start: unreachable states get probability zero, and
+// the reachable sub-chain is solved directly (or by power iteration when
+// it exceeds denseLimit states).
+func (c *Chain) StationaryFrom(start, denseLimit int) ([]float64, error) {
+	sub, orig := c.Restrict(start)
+	var (
+		pi  []float64
+		err error
+	)
+	if sub.NumStates() > denseLimit {
+		pi, err = sub.StationaryPower(1e-12, 200000)
+	} else {
+		pi, err = sub.Stationary()
+	}
+	if err != nil {
+		return nil, err
+	}
+	full := make([]float64, c.n)
+	for i, s := range orig {
+		full[s] = pi[i]
+	}
+	return full, nil
+}
+
+// Expectation returns Σ_s π(s)·f(s).
+func Expectation(pi []float64, f func(state int) float64) float64 {
+	e := 0.0
+	for s, p := range pi {
+		e += p * f(s)
+	}
+	return e
+}

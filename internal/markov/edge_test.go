@@ -1,0 +1,114 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+// TestSingleLayerModel: M=1 chains collapse to one reachable state with
+// redundancy equal to pure loss inflation.
+func TestSingleLayerModel(t *testing.T) {
+	for _, k := range protocol.Kinds() {
+		ms := solve(t, k, StarParams{Layers: 1, SharedLoss: 0.02, Loss1: 0.05, Loss2: 0.05})
+		if ms.MeanLevel1 != 1 || ms.MeanLevel2 != 1 {
+			t.Errorf("%v: levels %v %v", k, ms.MeanLevel1, ms.MeanLevel2)
+		}
+		want := 1 / ((1 - 0.02) * (1 - 0.05))
+		if math.Abs(ms.Redundancy-want) > 1e-9 {
+			t.Errorf("%v: redundancy %v, want %v", k, ms.Redundancy, want)
+		}
+	}
+}
+
+// TestTwoLayerModel: M=2 chains solve and sit strictly between levels.
+func TestTwoLayerModel(t *testing.T) {
+	for _, k := range protocol.Kinds() {
+		ms := solve(t, k, StarParams{Layers: 2, SharedLoss: 0.01, Loss1: 0.1, Loss2: 0.1})
+		if ms.MeanLevel1 <= 1 || ms.MeanLevel1 >= 2 {
+			t.Errorf("%v: mean level %v", k, ms.MeanLevel1)
+		}
+	}
+}
+
+// TestRestrictAndReachable: unreachable states get zero stationary mass
+// and the restriction preserves the distribution.
+func TestRestrictAndReachable(t *testing.T) {
+	c := NewChain(4)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 0, 2)
+	// States 2, 3 unreachable from 0.
+	reach := c.ReachableFrom(0)
+	if !reach[0] || !reach[1] || reach[2] || reach[3] {
+		t.Fatalf("reach = %v", reach)
+	}
+	pi, err := c.StationaryFrom(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-2.0/3) > 1e-12 || math.Abs(pi[1]-1.0/3) > 1e-12 {
+		t.Fatalf("pi = %v", pi)
+	}
+	if pi[2] != 0 || pi[3] != 0 {
+		t.Fatal("unreachable states have mass")
+	}
+	sub, orig := c.Restrict(0)
+	if sub.NumStates() != 2 || orig[0] != 0 || orig[1] != 1 {
+		t.Fatalf("restrict = %d states, orig %v", sub.NumStates(), orig)
+	}
+}
+
+func TestReachableFromPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range start accepted")
+		}
+	}()
+	NewChain(2).ReachableFrom(5)
+}
+
+// TestStationaryFromPowerPath: forcing the power path (denseLimit 0)
+// matches the dense result.
+func TestStationaryFromPowerPath(t *testing.T) {
+	c := NewChain(3)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 2, 1)
+	c.AddRate(2, 0, 1)
+	dense, err := c.StationaryFrom(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := c.StationaryFrom(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dense {
+		if math.Abs(dense[i]-power[i]) > 1e-8 {
+			t.Fatalf("solvers disagree: %v vs %v", dense, power)
+		}
+	}
+}
+
+// TestDeterministicFourLayers: the 7k-state Deterministic chain solves
+// via the power path and behaves sanely.
+func TestDeterministicFourLayers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large chain in -short mode")
+	}
+	m, err := BuildStar(protocol.Deterministic, StarParams{
+		Layers: 4, SharedLoss: 0.005, Loss1: 0.05, Loss2: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Redundancy < 1 || ms.Redundancy > 3 {
+		t.Fatalf("redundancy = %v", ms.Redundancy)
+	}
+	if ms.MeanLevel1 <= 1 || ms.MeanLevel1 >= 4 {
+		t.Fatalf("mean level = %v", ms.MeanLevel1)
+	}
+}

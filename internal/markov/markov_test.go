@@ -1,0 +1,124 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTwoStateStationary: classic birth-death chain with rates a (0->1)
+// and b (1->0): π = (b, a)/(a+b).
+func TestTwoStateStationary(t *testing.T) {
+	c := NewChain(2)
+	c.AddRate(0, 1, 3)
+	c.AddRate(1, 0, 1)
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.25) > 1e-12 || math.Abs(pi[1]-0.75) > 1e-12 {
+		t.Fatalf("pi = %v, want [0.25 0.75]", pi)
+	}
+}
+
+// TestBirthDeathChain: M/M/1/K-style chain has geometric stationary
+// distribution π_i ∝ ρ^i.
+func TestBirthDeathChain(t *testing.T) {
+	const k = 6
+	const lambda, mu = 2.0, 3.0
+	c := NewChain(k)
+	for i := 0; i < k-1; i++ {
+		c.AddRate(i, i+1, lambda)
+		c.AddRate(i+1, i, mu)
+	}
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	norm := 0.0
+	for i := 0; i < k; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	for i := 0; i < k; i++ {
+		want := math.Pow(rho, float64(i)) / norm
+		if math.Abs(pi[i]-want) > 1e-10 {
+			t.Fatalf("pi[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestStationarySingleState(t *testing.T) {
+	pi, err := NewChain(1).Stationary()
+	if err != nil || pi[0] != 1 {
+		t.Fatalf("pi = %v err = %v", pi, err)
+	}
+}
+
+func TestDisconnectedChain(t *testing.T) {
+	c := NewChain(4)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 0, 1)
+	// States 2,3 isolated.
+	if _, err := c.Stationary(); err == nil {
+		t.Fatal("disconnected chain accepted")
+	}
+}
+
+func TestPowerMatchesDirect(t *testing.T) {
+	c := NewChain(5)
+	// Random-ish strongly connected chain.
+	rates := [][3]float64{{0, 1, 2}, {1, 2, 1}, {2, 3, 4}, {3, 4, 0.5}, {4, 0, 3}, {2, 0, 1}, {4, 2, 2}}
+	for _, r := range rates {
+		c.AddRate(int(r[0]), int(r[1]), r[2])
+	}
+	direct, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	power, err := c.StationaryPower(1e-12, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if math.Abs(direct[i]-power[i]) > 1e-6 {
+			t.Fatalf("solvers disagree at %d: %v vs %v", i, direct[i], power[i])
+		}
+	}
+}
+
+func TestAddRateValidation(t *testing.T) {
+	c := NewChain(2)
+	c.AddRate(0, 0, 5) // self-loop ignored
+	c.AddRate(0, 1, -1)
+	if c.Rate(0, 0) != 0 || c.Rate(0, 1) != 0 {
+		t.Fatal("ignored rates were stored")
+	}
+	c.AddRate(0, 1, 2)
+	c.AddRate(0, 1, 3)
+	if c.Rate(0, 1) != 5 {
+		t.Fatal("rates not accumulated")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range state accepted")
+		}
+	}()
+	c.AddRate(0, 7, 1)
+}
+
+func TestNewChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero states accepted")
+		}
+	}()
+	NewChain(0)
+}
+
+func TestExpectation(t *testing.T) {
+	pi := []float64{0.25, 0.75}
+	e := Expectation(pi, func(s int) float64 { return float64(s + 1) })
+	if math.Abs(e-1.75) > 1e-12 {
+		t.Fatalf("E = %v, want 1.75", e)
+	}
+}

@@ -1,0 +1,347 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"mlfair/internal/protocol"
+)
+
+// StarParams describes the two-receiver analysis topology of Figure 7(a):
+// a shared link with Bernoulli loss rate SharedLoss feeding two fanout
+// links with independent loss rates Loss1 and Loss2.
+type StarParams struct {
+	// Layers is M; the Deterministic model's state space grows as
+	// (Σ_v 2^(2(v-1)))², so keep M <= 4 for that protocol.
+	Layers int
+	// SharedLoss, Loss1, Loss2 are the Bernoulli loss rates p, p1, p2.
+	SharedLoss, Loss1, Loss2 float64
+	// SignalPeriod is the Coordinated protocol's base signal period
+	// (0 means 1.0, matching the simulator).
+	SignalPeriod float64
+}
+
+func (p StarParams) validate() error {
+	if p.Layers < 1 {
+		return fmt.Errorf("markov: Layers = %d", p.Layers)
+	}
+	for _, x := range []float64{p.SharedLoss, p.Loss1, p.Loss2} {
+		if x < 0 || x >= 1 {
+			return fmt.Errorf("markov: loss rate %v outside [0,1)", x)
+		}
+	}
+	return nil
+}
+
+// outcome is one branch of a receiver's reaction to a received packet.
+type outcome struct {
+	state int
+	prob  float64
+}
+
+// recvModel is a per-receiver protocol state machine in enumerable form,
+// mirroring protocol.Receiver exactly (see the equivalence tests).
+type recvModel interface {
+	numStates() int
+	initial() int
+	level(s int) int
+	congest(s int) int
+	receive(s int) []outcome
+	signal(s, sigLevel int) int
+}
+
+// --- Uncoordinated: state = level-1. ---
+
+type uncoordModel struct{ m int }
+
+func (u uncoordModel) numStates() int    { return u.m }
+func (u uncoordModel) initial() int      { return 0 }
+func (u uncoordModel) level(s int) int   { return s + 1 }
+func (u uncoordModel) congest(s int) int { return max(0, s-1) }
+func (u uncoordModel) receive(s int) []outcome {
+	v := s + 1
+	if v == u.m {
+		return []outcome{{state: s, prob: 1}}
+	}
+	q := 1 / float64(protocol.JoinThreshold(v))
+	if q >= 1 {
+		return []outcome{{state: s + 1, prob: 1}}
+	}
+	return []outcome{{state: s + 1, prob: q}, {state: s, prob: 1 - q}}
+}
+func (u uncoordModel) signal(s, _ int) int { return s }
+
+// --- Deterministic: state = (level, cleanCount). ---
+
+type determModel struct {
+	m      int
+	states []struct{ v, c int }
+	index  map[[2]int]int
+}
+
+func newDetermModel(m int) *determModel {
+	d := &determModel{m: m, index: map[[2]int]int{}}
+	for v := 1; v <= m; v++ {
+		for c := 0; c < protocol.JoinThreshold(v); c++ {
+			d.index[[2]int{v, c}] = len(d.states)
+			d.states = append(d.states, struct{ v, c int }{v, c})
+		}
+	}
+	return d
+}
+
+func (d *determModel) numStates() int  { return len(d.states) }
+func (d *determModel) initial() int    { return d.index[[2]int{1, 0}] }
+func (d *determModel) level(s int) int { return d.states[s].v }
+func (d *determModel) congest(s int) int {
+	v := d.states[s].v
+	if v > 1 {
+		v--
+	}
+	return d.index[[2]int{v, 0}]
+}
+func (d *determModel) receive(s int) []outcome {
+	v, c := d.states[s].v, d.states[s].c
+	if c+1 >= protocol.JoinThreshold(v) {
+		nv := v
+		if nv < d.m {
+			nv++
+		}
+		return []outcome{{state: d.index[[2]int{nv, 0}], prob: 1}}
+	}
+	return []outcome{{state: d.index[[2]int{v, c + 1}], prob: 1}}
+}
+func (d *determModel) signal(s, _ int) int { return s }
+
+// --- Coordinated: state = (level-1)*2 + clean. ---
+
+type coordModel struct{ m int }
+
+func (c coordModel) numStates() int  { return 2 * c.m }
+func (c coordModel) initial() int    { return c.enc(1, true) }
+func (c coordModel) level(s int) int { return s/2 + 1 }
+func (c coordModel) clean(s int) bool {
+	return s%2 == 1
+}
+func (c coordModel) enc(v int, clean bool) int {
+	s := (v - 1) * 2
+	if clean {
+		s++
+	}
+	return s
+}
+func (c coordModel) congest(s int) int {
+	v := c.level(s)
+	if v > 1 {
+		v--
+	}
+	return c.enc(v, false)
+}
+func (c coordModel) receive(s int) []outcome { return []outcome{{state: s, prob: 1}} }
+func (c coordModel) signal(s, sigLevel int) int {
+	v := c.level(s)
+	if sigLevel < v {
+		return s
+	}
+	if c.clean(s) {
+		if v < c.m {
+			v++
+		}
+		return c.enc(v, true)
+	}
+	return c.enc(v, true)
+}
+
+// Model is a solvable two-receiver protocol chain with its measurement
+// functions.
+type Model struct {
+	Chain  *Chain
+	kind   protocol.Kind
+	prm    StarParams
+	rm     recvModel
+	size   int // per-receiver state count
+	pShare float64
+}
+
+// joint combines per-receiver states into a chain state.
+func (m *Model) joint(s1, s2 int) int { return s1*m.size + s2 }
+
+// split recovers per-receiver states.
+func (m *Model) split(s int) (int, int) { return s / m.size, s % m.size }
+
+// layerRate returns the transmission rate of layer ℓ (1-based) in the
+// exponential scheme: r_1 = 1, r_ℓ = 2^(ℓ-2).
+func layerRate(l int) float64 {
+	if l == 1 {
+		return 1
+	}
+	return math.Exp2(float64(l - 2))
+}
+
+// cumulativeRate is 2^(v-1), the aggregate rate at subscription level v.
+func cumulativeRate(v int) float64 { return math.Exp2(float64(v - 1)) }
+
+// BuildStar constructs the CTMC for two receivers of the given protocol
+// on the Figure 7(a) topology. Packet events are Poissonized at the true
+// layer rates; a packet on layer ℓ is a joint event for both subscribed
+// receivers (shared loss hits both; fanout losses are independent).
+// Coordinated join signals are likewise joint Poisson events at the
+// nested schedule's level densities.
+func BuildStar(kind protocol.Kind, prm StarParams) (*Model, error) {
+	if err := prm.validate(); err != nil {
+		return nil, err
+	}
+	var rm recvModel
+	switch kind {
+	case protocol.Uncoordinated:
+		rm = uncoordModel{m: prm.Layers}
+	case protocol.Deterministic:
+		if prm.Layers > 4 {
+			return nil, fmt.Errorf("markov: Deterministic model limited to 4 layers (state explosion), got %d", prm.Layers)
+		}
+		rm = newDetermModel(prm.Layers)
+	case protocol.Coordinated:
+		rm = coordModel{m: prm.Layers}
+	default:
+		return nil, fmt.Errorf("markov: unknown protocol %v", kind)
+	}
+	m := &Model{kind: kind, prm: prm, rm: rm, size: rm.numStates(), pShare: prm.SharedLoss}
+	m.Chain = NewChain(m.size * m.size)
+	losses := [2]float64{prm.Loss1, prm.Loss2}
+
+	for s1 := 0; s1 < m.size; s1++ {
+		for s2 := 0; s2 < m.size; s2++ {
+			s := m.joint(s1, s2)
+			states := [2]int{s1, s2}
+			maxV := max(rm.level(s1), rm.level(s2))
+			for l := 1; l <= maxV; l++ {
+				rate := layerRate(l)
+				in1 := rm.level(s1) >= l
+				in2 := rm.level(s2) >= l
+				// Shared loss: every subscribed receiver congests.
+				t1, t2 := s1, s2
+				if in1 {
+					t1 = rm.congest(s1)
+				}
+				if in2 {
+					t2 = rm.congest(s2)
+				}
+				m.Chain.AddRate(s, m.joint(t1, t2), rate*prm.SharedLoss)
+				// Survived the shared link: independent per-receiver fates.
+				d1 := receiverDist(rm, states[0], in1, losses[0])
+				d2 := receiverDist(rm, states[1], in2, losses[1])
+				for _, o1 := range d1 {
+					for _, o2 := range d2 {
+						m.Chain.AddRate(s, m.joint(o1.state, o2.state),
+							rate*(1-prm.SharedLoss)*o1.prob*o2.prob)
+					}
+				}
+			}
+			if kind == protocol.Coordinated && prm.Layers > 1 {
+				period := prm.SignalPeriod
+				if period == 0 {
+					period = 1
+				}
+				for _, ls := range signalLevels(prm.Layers) {
+					m.Chain.AddRate(s,
+						m.joint(rm.signal(s1, ls.level), rm.signal(s2, ls.level)),
+						ls.density/period)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// receiverDist is one receiver's reaction distribution to a packet that
+// survived the shared link.
+func receiverDist(rm recvModel, s int, subscribed bool, loss float64) []outcome {
+	if !subscribed {
+		return []outcome{{state: s, prob: 1}}
+	}
+	out := []outcome{{state: rm.congest(s), prob: loss}}
+	for _, o := range rm.receive(s) {
+		out = append(out, outcome{state: o.state, prob: (1 - loss) * o.prob})
+	}
+	return out
+}
+
+// signalLevel couples a signal level with its per-period density in the
+// nested "binary ruler" schedule: level ℓ < M-1 has density 2^-ℓ, and
+// the capped top level M-1 has density 2^-(M-2).
+type signalLevelDensity struct {
+	level   int
+	density float64
+}
+
+func signalLevels(m int) []signalLevelDensity {
+	var out []signalLevelDensity
+	for l := 1; l <= m-1; l++ {
+		d := math.Exp2(-float64(l))
+		if l == m-1 {
+			d = math.Exp2(-float64(l - 1))
+		}
+		out = append(out, signalLevelDensity{level: l, density: d})
+	}
+	return out
+}
+
+// Measures holds the stationary performance measures of a model.
+type Measures struct {
+	// Redundancy is E[shared-link rate] / max goodput (Definition 3).
+	Redundancy float64
+	// LinkRate is the expected shared-link usage in packets per time.
+	LinkRate float64
+	// Goodput1, Goodput2 are the receivers' long-run receive rates.
+	Goodput1, Goodput2 float64
+	// MeanLevel1, MeanLevel2 are expected subscription levels.
+	MeanLevel1, MeanLevel2 float64
+}
+
+// Solve computes the stationary distribution of the process started
+// with both receivers at the base layer, and evaluates the measures.
+// Reachable sub-chains beyond ~1500 states (the Deterministic model at
+// 4 layers) are solved by power iteration instead of dense elimination.
+func (m *Model) Solve() (*Measures, error) {
+	start := m.joint(m.rm.initial(), m.rm.initial())
+	pi, err := m.Chain.StationaryFrom(start, 1500)
+	if err != nil {
+		return nil, err
+	}
+	return m.measuresFrom(pi), nil
+}
+
+// SolvePower is Solve using the power-iteration solver (cross-check).
+func (m *Model) SolvePower(tol float64, maxIter int) (*Measures, error) {
+	pi, err := m.Chain.StationaryPower(tol, maxIter)
+	if err != nil {
+		return nil, err
+	}
+	return m.measuresFrom(pi), nil
+}
+
+func (m *Model) measuresFrom(pi []float64) *Measures {
+	ms := &Measures{}
+	ms.LinkRate = Expectation(pi, func(s int) float64 {
+		s1, s2 := m.split(s)
+		return cumulativeRate(max(m.rm.level(s1), m.rm.level(s2)))
+	})
+	g := func(which int, loss float64) float64 {
+		return Expectation(pi, func(s int) float64 {
+			s1, s2 := m.split(s)
+			v := m.rm.level(s1)
+			if which == 1 {
+				v = m.rm.level(s2)
+			}
+			return cumulativeRate(v) * (1 - m.pShare) * (1 - loss)
+		})
+	}
+	ms.Goodput1 = g(0, m.prm.Loss1)
+	ms.Goodput2 = g(1, m.prm.Loss2)
+	ms.MeanLevel1 = Expectation(pi, func(s int) float64 { s1, _ := m.split(s); return float64(m.rm.level(s1)) })
+	ms.MeanLevel2 = Expectation(pi, func(s int) float64 { _, s2 := m.split(s); return float64(m.rm.level(s2)) })
+	if mg := math.Max(ms.Goodput1, ms.Goodput2); mg > 0 {
+		ms.Redundancy = ms.LinkRate / mg
+	}
+	return ms
+}

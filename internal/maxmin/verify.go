@@ -1,0 +1,49 @@
+package maxmin
+
+import (
+	"mlfair/internal/netmodel"
+	"mlfair/internal/vecorder"
+)
+
+// CanIncrease reports whether receiver id's rate can be raised by delta
+// while keeping every other rate fixed and the allocation feasible. In a
+// max-min fair allocation this must be false for every receiver and every
+// delta > 0 (otherwise the raised allocation would contradict
+// Definition 1, since no other receiver's rate decreases).
+func CanIncrease(a *netmodel.Allocation, id netmodel.ReceiverID, delta float64) bool {
+	c := a.Clone()
+	c.SetRate(id.Session, id.Receiver, c.RateOf(id)+delta)
+	if c.Network().Session(id.Session).Type == netmodel.SingleRate {
+		// Raising one receiver of a single-rate session forces the whole
+		// session up.
+		for k := 0; k < c.Network().Session(id.Session).NumReceivers(); k++ {
+			c.SetRate(id.Session, k, c.Rate(id.Session, id.Receiver))
+		}
+	}
+	return c.Feasible() == nil
+}
+
+// CheckSaturation verifies the weak-Pareto necessary condition of
+// max-min fairness: every receiver is at κ_i or cannot be unilaterally
+// increased. It returns the first violating receiver and false, or a zero
+// ID and true.
+func CheckSaturation(a *netmodel.Allocation) (netmodel.ReceiverID, bool) {
+	const delta = 1e-6
+	for _, id := range a.Network().ReceiverIDs() {
+		if netmodel.Geq(a.RateOf(id), a.Network().Session(id.Session).MaxRate) {
+			continue
+		}
+		if CanIncrease(a, id, delta) {
+			return id, false
+		}
+	}
+	return netmodel.ReceiverID{}, true
+}
+
+// Dominates reports whether candidate is min-unfavorable-or-equal to
+// reference: reference ≽_m candidate. Lemma 1 states every feasible
+// allocation is ≼_m the max-min fair allocation, so this must hold with
+// reference = Allocate(net).Alloc for any feasible candidate.
+func Dominates(reference, candidate *netmodel.Allocation) bool {
+	return vecorder.LessEq(candidate.OrderedVector(), reference.OrderedVector())
+}

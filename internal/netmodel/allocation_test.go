@@ -1,0 +1,171 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoSessionNet: one shared link (c=6) crossed by a 2-receiver multi-rate
+// session and a unicast session, plus a private tail link (c=2) for the
+// multicast session's second receiver.
+func twoSessionNet(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder()
+	shared := b.AddLink(6)
+	tail := b.AddLink(2)
+	m := b.AddSession(MultiRate, NoRateCap, 2)
+	u := b.AddSession(SingleRate, 5, 1)
+	b.SetPath(m, 0, shared)
+	b.SetPath(m, 1, shared, tail)
+	b.SetPath(u, 0, shared)
+	return b.MustBuild()
+}
+
+func TestAllocationZero(t *testing.T) {
+	n := twoSessionNet(t)
+	a := NewAllocation(n)
+	if a.Rate(0, 0) != 0 || a.Rate(1, 0) != 0 {
+		t.Fatal("fresh allocation not zero")
+	}
+	if err := a.Feasible(); err != nil {
+		t.Fatalf("zero allocation infeasible: %v", err)
+	}
+	if a.TotalRate() != 0 || a.MinRate() != 0 {
+		t.Fatal("zero summary stats wrong")
+	}
+}
+
+func TestSessionLinkRateMax(t *testing.T) {
+	n := twoSessionNet(t)
+	a := NewAllocation(n)
+	a.SetRate(0, 0, 4)
+	a.SetRate(0, 1, 1.5)
+	a.SetRate(1, 0, 2)
+	// u_{1,shared} = max(4, 1.5) = 4; u_{2,shared} = 2.
+	if got := a.SessionLinkRate(0, 0); !Eq(got, 4) {
+		t.Fatalf("u_{1,0} = %v, want 4", got)
+	}
+	if got := a.SessionLinkRate(1, 0); !Eq(got, 2) {
+		t.Fatalf("u_{2,0} = %v, want 2", got)
+	}
+	if got := a.LinkRate(0); !Eq(got, 6) {
+		t.Fatalf("u_0 = %v, want 6", got)
+	}
+	if !a.FullyUtilized(0) {
+		t.Fatal("link 0 should be fully utilized")
+	}
+	// Tail carries only receiver (0,1).
+	if got := a.LinkRate(1); !Eq(got, 1.5) {
+		t.Fatalf("u_1 = %v, want 1.5", got)
+	}
+	if a.FullyUtilized(1) {
+		t.Fatal("link 1 should not be fully utilized")
+	}
+	// Session 1 has nobody on the tail link.
+	if got := a.SessionLinkRate(1, 1); got != 0 {
+		t.Fatalf("u_{2,1} = %v, want 0", got)
+	}
+}
+
+func TestFeasibleViolations(t *testing.T) {
+	n := twoSessionNet(t)
+
+	a := NewAllocation(n)
+	a.SetRate(0, 0, -1)
+	if err := a.Feasible(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative rate not caught: %v", err)
+	}
+
+	a = NewAllocation(n)
+	a.SetRate(1, 0, 5.5) // κ_2 = 5
+	if err := a.Feasible(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("κ violation not caught: %v", err)
+	}
+
+	a = NewAllocation(n)
+	a.SetRate(0, 0, 5)
+	a.SetRate(1, 0, 5)
+	if err := a.Feasible(); err == nil || !strings.Contains(err.Error(), "overutilized") {
+		t.Fatalf("capacity violation not caught: %v", err)
+	}
+}
+
+func TestFeasibleSingleRateEquality(t *testing.T) {
+	b := NewBuilder()
+	l := b.AddLink(10)
+	s := b.AddSession(SingleRate, NoRateCap, 2)
+	b.SetPath(s, 0, l)
+	b.SetPath(s, 1, l)
+	n := b.MustBuild()
+	a := NewAllocation(n)
+	a.SetRate(0, 0, 1)
+	a.SetRate(0, 1, 2)
+	if err := a.Feasible(); err == nil || !strings.Contains(err.Error(), "unequal") {
+		t.Fatalf("single-rate inequality not caught: %v", err)
+	}
+}
+
+func TestAllocationFromRates(t *testing.T) {
+	n := twoSessionNet(t)
+	a, err := AllocationFromRates(n, [][]float64{{1, 2}, {3}})
+	if err != nil {
+		t.Fatalf("AllocationFromRates: %v", err)
+	}
+	if a.Rate(0, 1) != 2 || a.Rate(1, 0) != 3 {
+		t.Fatal("rates not copied")
+	}
+	if _, err := AllocationFromRates(n, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong session count accepted")
+	}
+	if _, err := AllocationFromRates(n, [][]float64{{1}, {3}}); err == nil {
+		t.Fatal("wrong receiver count accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := twoSessionNet(t)
+	a, _ := AllocationFromRates(n, [][]float64{{1, 2}, {3}})
+	c := a.Clone()
+	c.SetRate(0, 0, 9)
+	if a.Rate(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if c.Network() != a.Network() {
+		t.Fatal("Clone should share the network")
+	}
+}
+
+func TestOrderedVector(t *testing.T) {
+	n := twoSessionNet(t)
+	a, _ := AllocationFromRates(n, [][]float64{{3, 1}, {2}})
+	v := a.OrderedVector()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("OrderedVector = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	n := twoSessionNet(t)
+	a, _ := AllocationFromRates(n, [][]float64{{3, 1}, {2}})
+	if got := a.RateOf(ReceiverID{0, 1}); got != 1 {
+		t.Fatalf("RateOf = %v, want 1", got)
+	}
+	if got := a.MinRate(); got != 1 {
+		t.Fatalf("MinRate = %v, want 1", got)
+	}
+	if got := a.TotalRate(); got != 6 {
+		t.Fatalf("TotalRate = %v, want 6", got)
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	n := twoSessionNet(t)
+	a, _ := AllocationFromRates(n, [][]float64{{3, 1}, {2}})
+	s := a.String()
+	if !strings.Contains(s, "S1[M]") || !strings.Contains(s, "S2[S]") {
+		t.Fatalf("String = %q", s)
+	}
+}

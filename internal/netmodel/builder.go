@@ -1,0 +1,99 @@
+package netmodel
+
+import "fmt"
+
+// Builder constructs "abstract" networks directly from link/receiver
+// incidence, without a routable graph. This is the form the paper's proofs
+// operate on: fairness depends only on capacities c_j and the sets R_{i,j}.
+//
+// Internally the builder synthesizes a star-shaped placeholder graph (one
+// node, plus two nodes per link) so that the rest of the library — which
+// reads capacities and incidence — works unchanged; node identities and
+// walk validation are bypassed via sentinel -1 member nodes.
+//
+//	b := netmodel.NewBuilder()
+//	lA := b.AddLink(4)
+//	lB := b.AddLink(10)
+//	s := b.AddSession(netmodel.MultiRate, netmodel.NoRateCap, 2)
+//	b.SetPath(s, 0, lA)      // receiver 0 crosses link A
+//	b.SetPath(s, 1, lA, lB)  // receiver 1 crosses links A and B
+//	net, err := b.Build()
+type Builder struct {
+	caps     []float64
+	sessions []*Session
+	paths    [][][]int
+}
+
+// NewBuilder returns an empty abstract-network builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddLink adds a link with the given capacity and returns its index.
+func (b *Builder) AddLink(capacity float64) int {
+	if capacity < 0 {
+		panic("netmodel: negative capacity")
+	}
+	b.caps = append(b.caps, capacity)
+	return len(b.caps) - 1
+}
+
+// AddSession adds a session with the given type, maximum desired rate and
+// receiver count, and returns its index. Paths start empty; set them with
+// SetPath.
+func (b *Builder) AddSession(t SessionType, maxRate float64, numReceivers int) int {
+	if numReceivers < 1 {
+		panic("netmodel: session needs at least one receiver")
+	}
+	recv := make([]int, numReceivers)
+	for k := range recv {
+		recv[k] = -1
+	}
+	b.sessions = append(b.sessions, &Session{
+		Sender:    -1,
+		Receivers: recv,
+		Type:      t,
+		MaxRate:   maxRate,
+	})
+	b.paths = append(b.paths, make([][]int, numReceivers))
+	return len(b.sessions) - 1
+}
+
+// SetLinkRate sets session i's link-rate (redundancy) function.
+func (b *Builder) SetLinkRate(i int, fn LinkRateFunc) {
+	b.sessions[i].LinkRate = fn
+}
+
+// SetPath declares the set of links receiver k of session i crosses.
+func (b *Builder) SetPath(i, k int, links ...int) {
+	for _, j := range links {
+		if j < 0 || j >= len(b.caps) {
+			panic(fmt.Sprintf("netmodel: link %d out of range", j))
+		}
+	}
+	b.paths[i][k] = append([]int{}, links...)
+}
+
+// Build assembles the network. Every receiver must have been given a
+// non-empty path.
+func (b *Builder) Build() (*Network, error) {
+	g := NewGraph(1 + 2*len(b.caps))
+	for j, c := range b.caps {
+		g.AddLink(1+2*j, 2+2*j, c)
+	}
+	for i, ps := range b.paths {
+		for k, p := range ps {
+			if len(p) == 0 {
+				return nil, fmt.Errorf("netmodel: session %d receiver %d has no path", i, k)
+			}
+		}
+	}
+	return NewNetwork(g, b.sessions, b.paths)
+}
+
+// MustBuild is Build that panics on error, for tests and fixed examples.
+func (b *Builder) MustBuild() *Network {
+	n, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

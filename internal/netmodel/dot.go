@@ -1,0 +1,58 @@
+package netmodel
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the network as a Graphviz graph: nodes, capacitated
+// links (edge labels "l<j>: c=<cap>"), and one colored box per session
+// member. Abstract (Builder-built) networks render their placeholder
+// topology, which still shows link sharing. Optionally pass an
+// allocation to annotate links with their utilization.
+func WriteDOT(w io.Writer, n *Network, a *Allocation) error {
+	var b strings.Builder
+	b.WriteString("graph mlfair {\n  node [shape=circle];\n")
+	for node := 0; node < n.graph.NumNodes(); node++ {
+		labels := memberLabels(n, node)
+		if len(labels) > 0 {
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"n%d\\n%s\"];\n",
+				node, node, strings.Join(labels, " "))
+		} else {
+			fmt.Fprintf(&b, "  n%d;\n", node)
+		}
+	}
+	for j := 0; j < n.graph.NumLinks(); j++ {
+		l := n.graph.Link(j)
+		label := fmt.Sprintf("l%d: c=%.4g", j+1, l.Capacity)
+		attrs := ""
+		if a != nil {
+			label += fmt.Sprintf("\\nu=%.4g", a.LinkRate(j))
+			if a.FullyUtilized(j) {
+				attrs = ", color=red, penwidth=2"
+			}
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%s\"%s];\n", l.From, l.To, label, attrs)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// memberLabels lists the session members placed at a node ("X1",
+// "r2,1", ...).
+func memberLabels(n *Network, node int) []string {
+	var out []string
+	for i, s := range n.sessions {
+		if s.Sender == node {
+			out = append(out, fmt.Sprintf("X%d", i+1))
+		}
+		for k, rn := range s.Receivers {
+			if rn == node {
+				out = append(out, ReceiverID{Session: i, Receiver: k}.String())
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 5)
+	g.AddLink(1, 2, 2)
+	s := &Session{Sender: 0, Receivers: []int{1, 2}, Type: MultiRate, MaxRate: NoRateCap}
+	n, err := NewNetwork(g, []*Session{s}, [][][]int{{{0}, {0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, n, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graph mlfair", "X1", "r1,1", "r1,2", "l1: c=5", "l2: c=2", "n0 -- n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "color=red") {
+		t.Error("no allocation given, but saturation color present")
+	}
+}
+
+func TestWriteDOTWithAllocation(t *testing.T) {
+	g := NewGraph(2)
+	g.AddLink(0, 1, 4)
+	s := &Session{Sender: 0, Receivers: []int{1}, Type: MultiRate, MaxRate: NoRateCap}
+	n, err := NewNetwork(g, []*Session{s}, [][][]int{{{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAllocation(n)
+	a.SetRate(0, 0, 4)
+	var b strings.Builder
+	if err := WriteDOT(&b, n, a); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "u=4") || !strings.Contains(out, "color=red") {
+		t.Fatalf("utilization annotation missing:\n%s", out)
+	}
+}

@@ -1,0 +1,44 @@
+package netmodel
+
+import "math"
+
+// Eps is the tolerance used for all rate and capacity comparisons.
+// Allocations are built by iterative filling; accumulated error stays many
+// orders of magnitude below this for the network sizes this library targets.
+const Eps = 1e-9
+
+// Eq reports whether a and b are equal within Eps.
+func Eq(a, b float64) bool {
+	return math.Abs(a-b) <= Eps
+}
+
+// Leq reports whether a <= b within Eps.
+func Leq(a, b float64) bool {
+	return a <= b+Eps
+}
+
+// Less reports whether a < b by more than Eps.
+func Less(a, b float64) bool {
+	return a < b-Eps
+}
+
+// Geq reports whether a >= b within Eps.
+func Geq(a, b float64) bool {
+	return a >= b-Eps
+}
+
+// Greater reports whether a > b by more than Eps.
+func Greater(a, b float64) bool {
+	return a > b+Eps
+}
+
+// maxFloat returns the maximum of a non-empty slice, or 0 for an empty one.
+func maxFloat(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+package netmodel
+
+import "fmt"
+
+// Link is an undirected capacitated edge between two nodes. Capacity limits
+// the aggregate rate of flow crossing the link in either direction
+// (the paper's c_j; a per-direction capacity is modeled by using two links).
+type Link struct {
+	From, To int
+	Capacity float64
+}
+
+// Graph is an undirected multigraph of capacitated links. Links are
+// identified by their index (the paper's j, 0-based here). Parallel links
+// and self-avoiding arbitrary topologies are allowed.
+type Graph struct {
+	numNodes int
+	links    []Link
+	incident [][]int // incident[n] = indices of links touching node n
+}
+
+// NewGraph returns an empty graph with n nodes and no links.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("netmodel: negative node count")
+	}
+	return &Graph{numNodes: n, incident: make([][]int, n)}
+}
+
+// AddLink appends an undirected link between from and to with the given
+// capacity and returns its index. Capacity must be non-negative; from and
+// to must be distinct valid nodes.
+func (g *Graph) AddLink(from, to int, capacity float64) int {
+	if from < 0 || from >= g.numNodes || to < 0 || to >= g.numNodes {
+		panic(fmt.Sprintf("netmodel: link endpoint out of range [%d,%d) : %d-%d", 0, g.numNodes, from, to))
+	}
+	if from == to {
+		panic("netmodel: self-loop links are not allowed")
+	}
+	if capacity < 0 {
+		panic("netmodel: negative link capacity")
+	}
+	j := len(g.links)
+	g.links = append(g.links, Link{From: from, To: to, Capacity: capacity})
+	g.incident[from] = append(g.incident[from], j)
+	g.incident[to] = append(g.incident[to], j)
+	return j
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.numNodes }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with index j.
+func (g *Graph) Link(j int) Link { return g.links[j] }
+
+// Capacity returns the capacity of link j.
+func (g *Graph) Capacity(j int) float64 { return g.links[j].Capacity }
+
+// Incident returns the indices of links touching node n. The returned slice
+// must not be modified.
+func (g *Graph) Incident(n int) []int { return g.incident[n] }
+
+// Other returns the endpoint of link j that is not n. It panics if n is not
+// an endpoint of j.
+func (g *Graph) Other(j, n int) int {
+	l := g.links[j]
+	switch n {
+	case l.From:
+		return l.To
+	case l.To:
+		return l.From
+	}
+	panic(fmt.Sprintf("netmodel: node %d is not an endpoint of link %d", n, j))
+}
+
+// Capacities returns a copy of all link capacities indexed by link.
+func (g *Graph) Capacities() []float64 {
+	cs := make([]float64, len(g.links))
+	for j, l := range g.links {
+		cs[j] = l.Capacity
+	}
+	return cs
+}

@@ -1,0 +1,126 @@
+package netmodel
+
+import "testing"
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := NewGraph(3)
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumLinks() != 0 {
+		t.Fatalf("NumLinks = %d, want 0", g.NumLinks())
+	}
+}
+
+func TestAddLinkIndices(t *testing.T) {
+	g := NewGraph(4)
+	j0 := g.AddLink(0, 1, 5)
+	j1 := g.AddLink(1, 2, 7)
+	j2 := g.AddLink(1, 3, 3)
+	if j0 != 0 || j1 != 1 || j2 != 2 {
+		t.Fatalf("link indices = %d,%d,%d; want 0,1,2", j0, j1, j2)
+	}
+	if g.NumLinks() != 3 {
+		t.Fatalf("NumLinks = %d, want 3", g.NumLinks())
+	}
+	if c := g.Capacity(1); c != 7 {
+		t.Fatalf("Capacity(1) = %v, want 7", c)
+	}
+	l := g.Link(2)
+	if l.From != 1 || l.To != 3 || l.Capacity != 3 {
+		t.Fatalf("Link(2) = %+v", l)
+	}
+}
+
+func TestParallelLinks(t *testing.T) {
+	g := NewGraph(2)
+	g.AddLink(0, 1, 1)
+	g.AddLink(0, 1, 2)
+	if g.NumLinks() != 2 {
+		t.Fatalf("parallel links not kept: NumLinks = %d", g.NumLinks())
+	}
+	if got := g.Incident(0); len(got) != 2 {
+		t.Fatalf("Incident(0) = %v, want 2 entries", got)
+	}
+}
+
+func TestIncident(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 1)
+	g.AddLink(1, 2, 1)
+	inc := g.Incident(1)
+	if len(inc) != 2 || inc[0] != 0 || inc[1] != 1 {
+		t.Fatalf("Incident(1) = %v, want [0 1]", inc)
+	}
+	if len(g.Incident(0)) != 1 || len(g.Incident(2)) != 1 {
+		t.Fatalf("leaf incidence wrong: %v %v", g.Incident(0), g.Incident(2))
+	}
+}
+
+func TestOther(t *testing.T) {
+	g := NewGraph(3)
+	j := g.AddLink(0, 2, 1)
+	if got := g.Other(j, 0); got != 2 {
+		t.Fatalf("Other(j,0) = %d, want 2", got)
+	}
+	if got := g.Other(j, 2); got != 0 {
+		t.Fatalf("Other(j,2) = %d, want 0", got)
+	}
+}
+
+func TestOtherPanicsOnNonEndpoint(t *testing.T) {
+	g := NewGraph(3)
+	j := g.AddLink(0, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	g.Other(j, 1)
+}
+
+func TestAddLinkPanics(t *testing.T) {
+	cases := []struct {
+		name     string
+		from, to int
+		cap      float64
+	}{
+		{"self-loop", 1, 1, 1},
+		{"negative capacity", 0, 1, -2},
+		{"from out of range", -1, 1, 1},
+		{"to out of range", 0, 9, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewGraph(2)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddLink(%d,%d,%v) did not panic", c.from, c.to, c.cap)
+				}
+			}()
+			g.AddLink(c.from, c.to, c.cap)
+		})
+	}
+}
+
+func TestCapacities(t *testing.T) {
+	g := NewGraph(3)
+	g.AddLink(0, 1, 5)
+	g.AddLink(1, 2, 7)
+	cs := g.Capacities()
+	if len(cs) != 2 || cs[0] != 5 || cs[1] != 7 {
+		t.Fatalf("Capacities = %v", cs)
+	}
+	cs[0] = 99
+	if g.Capacity(0) != 5 {
+		t.Fatal("Capacities did not return a copy")
+	}
+}
+
+func TestZeroCapacityLinkAllowed(t *testing.T) {
+	g := NewGraph(2)
+	j := g.AddLink(0, 1, 0)
+	if g.Capacity(j) != 0 {
+		t.Fatalf("zero-capacity link rejected")
+	}
+}

@@ -1,0 +1,134 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// SessionType is the paper's Γ mapping value: single-rate sessions must
+// deliver the same rate to every receiver; multi-rate sessions may deliver
+// arbitrary per-receiver rates (achievable with layering).
+type SessionType int
+
+const (
+	// SingleRate marks a session whose receivers must all share one rate
+	// (Γ(S_i) = S in the paper).
+	SingleRate SessionType = iota
+	// MultiRate marks a session whose receivers may have independent
+	// rates (Γ(S_i) = M).
+	MultiRate
+)
+
+// String returns the paper's one-letter name for the type.
+func (t SessionType) String() string {
+	switch t {
+	case SingleRate:
+		return "S"
+	case MultiRate:
+		return "M"
+	}
+	return fmt.Sprintf("SessionType(%d)", int(t))
+}
+
+// LinkRateFunc is a session link-rate ("redundancy") function v_i: it maps
+// the set of rates of the session's receivers downstream of a link to the
+// bandwidth the session consumes on that link. Any implementation must
+// dominate max (v(X) >= max(X)): every byte received must have crossed the
+// receiver's data-path. The function must be monotone in each rate and
+// continuous; the allocator relies on both.
+type LinkRateFunc func(rates []float64) float64
+
+// MaxLinkRate is the efficient link-rate function v(X) = max(X): the
+// session sends exactly the layers its fastest downstream receiver needs.
+// This is the paper's Section 2 assumption for multi-rate sessions, and is
+// exact for single-rate and unicast sessions. A nil LinkRateFunc on a
+// Session means MaxLinkRate.
+func MaxLinkRate(rates []float64) float64 { return maxFloat(rates) }
+
+// ScaledMax returns v(X) = factor*max(X) for factor >= 1, modeling a
+// session with uniform redundancy "factor" on every link (Definition 3
+// redundancy equals factor wherever the session has downstream receivers).
+func ScaledMax(factor float64) LinkRateFunc {
+	if factor < 1 {
+		panic("netmodel: ScaledMax factor must be >= 1")
+	}
+	return func(rates []float64) float64 { return factor * maxFloat(rates) }
+}
+
+// SharedScaledMax returns v(X) = factor*max(X) when the link serves two or
+// more of the session's receivers and max(X) otherwise. It models
+// uncoordinated joins: redundancy appears only on links shared by multiple
+// receivers of the session (the situation in the paper's Figure 4).
+func SharedScaledMax(factor float64) LinkRateFunc {
+	if factor < 1 {
+		panic("netmodel: SharedScaledMax factor must be >= 1")
+	}
+	return func(rates []float64) float64 {
+		m := maxFloat(rates)
+		if len(rates) > 1 {
+			return factor * m
+		}
+		return m
+	}
+}
+
+// Session describes one multicast session: a sender node, receiver nodes,
+// the session type, the maximum desired rate κ (use math.Inf(1) or
+// NoRateCap for "unbounded"), and an optional link-rate function.
+//
+// A unicast session is simply a session with one receiver; the paper notes
+// it behaves identically whether typed single- or multi-rate.
+type Session struct {
+	// Sender is the graph node hosting X_i. For abstract (incidence-built)
+	// networks it is -1.
+	Sender int
+	// ExtraSenders lists additional sender nodes for multi-sender
+	// sessions — the Section 5 extension in which several co-located
+	// sources (e.g. server replicas) serve one logical session and each
+	// receiver is fed from one of them. Fairness definitions are
+	// unchanged: they are receiver-oriented, and R_{i,j} is determined
+	// by whichever sender serves each receiver. Empty for the paper's
+	// single-sender model.
+	ExtraSenders []int
+	// Receivers are the graph nodes hosting r_{i,1}.. r_{i,k_i}. For
+	// abstract networks the entries are -1.
+	Receivers []int
+	// Type is Γ(S_i).
+	Type SessionType
+	// MaxRate is κ_i, the maximum desired rate (0 < κ_i <= +Inf).
+	MaxRate float64
+	// LinkRate is v_i; nil means MaxLinkRate.
+	LinkRate LinkRateFunc
+}
+
+// NoRateCap is a convenience κ value for sessions with no maximum desired
+// rate.
+var NoRateCap = math.Inf(1)
+
+// NumReceivers returns k_i.
+func (s *Session) NumReceivers() int { return len(s.Receivers) }
+
+// EffectiveLinkRate applies the session's link-rate function (MaxLinkRate
+// when nil) to the given downstream receiver rates.
+func (s *Session) EffectiveLinkRate(rates []float64) float64 {
+	if len(rates) == 0 {
+		return 0
+	}
+	if s.LinkRate == nil {
+		return maxFloat(rates)
+	}
+	return s.LinkRate(rates)
+}
+
+// ReceiverID identifies receiver r_{i,k} as the pair (session index i,
+// receiver index k), both 0-based. It is comparable and usable as a map
+// key.
+type ReceiverID struct {
+	Session  int
+	Receiver int
+}
+
+// String returns the paper's r_{i,k} notation (1-based, as printed there).
+func (r ReceiverID) String() string {
+	return fmt.Sprintf("r%d,%d", r.Session+1, r.Receiver+1)
+}

@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickLevelAlwaysInRange: under arbitrary event sequences every
+// protocol keeps its subscription level in [1, M].
+func TestQuickLevelAlwaysInRange(t *testing.T) {
+	f := func(events []byte, mRaw uint8) bool {
+		m := 1 + int(mRaw%8)
+		rng := rand.New(rand.NewPCG(uint64(len(events)), uint64(mRaw)))
+		for _, kind := range Kinds() {
+			r := NewReceiver(kind, m, rng)
+			for _, e := range events {
+				switch e % 3 {
+				case 0:
+					r.OnReceive()
+				case 1:
+					r.OnCongestion()
+				case 2:
+					r.OnSignal(1 + int(e/3)%m)
+				}
+				if r.Level() < 1 || r.Level() > m {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCongestionNeverRaisesLevel and joins never skip levels.
+func TestQuickStepSizeOne(t *testing.T) {
+	f := func(events []byte, mRaw uint8) bool {
+		m := 2 + int(mRaw%7)
+		rng := rand.New(rand.NewPCG(uint64(len(events))+7, uint64(mRaw)))
+		for _, kind := range Kinds() {
+			r := NewReceiver(kind, m, rng)
+			prev := r.Level()
+			for _, e := range events {
+				switch e % 3 {
+				case 0:
+					r.OnReceive()
+				case 1:
+					r.OnCongestion()
+					if r.Level() > prev {
+						return false
+					}
+				case 2:
+					r.OnSignal(1 + int(e/3)%m)
+				}
+				d := r.Level() - prev
+				if d > 1 || d < -1 {
+					return false
+				}
+				prev = r.Level()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

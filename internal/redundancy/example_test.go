@@ -1,0 +1,29 @@
+package redundancy_test
+
+import (
+	"fmt"
+
+	"mlfair/internal/redundancy"
+)
+
+// ExampleExpectedLinkRate evaluates the Appendix B formula: two
+// receivers each taking half the layer's packets at random use 75% of
+// the layer on a shared link.
+func ExampleExpectedLinkRate() {
+	fmt.Println(redundancy.ExpectedLinkRate([]float64{0.5, 0.5}, 1))
+	// Output: 0.75
+}
+
+// ExampleSingleLayer shows the Figure 5 "All 0.5" point at two
+// receivers: E[U]/max = 0.75/0.5.
+func ExampleSingleLayer() {
+	fmt.Println(redundancy.SingleLayer([]float64{0.5, 0.5}, 1))
+	// Output: 1.5
+}
+
+// ExampleNormalizedFairRate reproduces a Figure 6 point: with all
+// sessions multi-rate (β=1) at redundancy 2, fair rates halve.
+func ExampleNormalizedFairRate() {
+	fmt.Println(redundancy.NormalizedFairRate(1, 2))
+	// Output: 0.5
+}

@@ -1,0 +1,133 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlfair/internal/netmodel"
+)
+
+// sanitizeRates maps fuzz input into (0, 1] receiver rates for a
+// unit-rate layer.
+func sanitizeRates(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, r := range raw {
+		if r != r { // NaN
+			continue
+		}
+		if r < 0 {
+			r = -r
+		}
+		for r > 1 {
+			r /= 2
+		}
+		if r < 0.01 {
+			r = 0.01
+		}
+		out = append(out, r)
+	}
+	if len(out) > 20 {
+		out = out[:20]
+	}
+	return out
+}
+
+// TestQuickRedundancyBounds: 1 <= redundancy <= Λ/max for any rate set.
+func TestQuickRedundancyBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		rates := sanitizeRates(raw)
+		if len(rates) == 0 {
+			return true
+		}
+		r := SingleLayer(rates, 1)
+		return r >= 1-netmodel.Eps && r <= UpperBound(rates, 1)+netmodel.Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRedundancyMonotoneInReceivers: adding a receiver with a rate
+// no larger than the current maximum never decreases E[U] and never
+// decreases redundancy.
+func TestQuickRedundancyMonotoneInReceivers(t *testing.T) {
+	f := func(raw []float64, extraRaw float64) bool {
+		rates := sanitizeRates(raw)
+		if len(rates) == 0 {
+			return true
+		}
+		extra := sanitizeRates([]float64{extraRaw})
+		if len(extra) == 0 {
+			return true
+		}
+		// Clamp the newcomer below the current max so max(rates) is
+		// unchanged and redundancy must not drop.
+		maxR := 0.0
+		for _, r := range rates {
+			if r > maxR {
+				maxR = r
+			}
+		}
+		add := extra[0]
+		if add > maxR {
+			add = maxR
+		}
+		before := SingleLayer(rates, 1)
+		after := SingleLayer(append(append([]float64{}, rates...), add), 1)
+		return after >= before-netmodel.Eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiLayerNeverAboveSingle: the Appendix E reconstruction —
+// splitting the same total rate across layers never increases
+// redundancy, for arbitrary rate populations.
+func TestQuickMultiLayerNeverAboveSingle(t *testing.T) {
+	scheme := []float64{0.25, 0.25, 0.5}
+	f := func(raw []float64) bool {
+		rates := sanitizeRates(raw)
+		if len(rates) == 0 {
+			return true
+		}
+		return MultiLayer(rates, scheme) <= SingleLayer(rates, 1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLayerDemandsPartition: greedy demands sum to min(rate, total
+// scheme rate) and never exceed per-layer rates.
+func TestQuickLayerDemandsPartition(t *testing.T) {
+	scheme := []float64{1, 1, 2, 4}
+	f := func(rateRaw float64) bool {
+		rate := rateRaw
+		if rate != rate || rate < 0 {
+			rate = -rate
+		}
+		if rate != rate {
+			rate = 1
+		}
+		for rate > 100 {
+			rate /= 8
+		}
+		d := LayerDemands(rate, scheme)
+		sum := 0.0
+		for l, x := range d {
+			if x < -netmodel.Eps || x > scheme[l]+netmodel.Eps {
+				return false
+			}
+			sum += x
+		}
+		want := rate
+		if want > 8 {
+			want = 8
+		}
+		return netmodel.Eq(sum, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

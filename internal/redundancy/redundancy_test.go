@@ -1,0 +1,280 @@
+package redundancy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/topology"
+)
+
+func TestExpectedLinkRateBasics(t *testing.T) {
+	// Single receiver: E[U] = its own rate (no redundancy possible).
+	if got := ExpectedLinkRate([]float64{0.3}, 1); !netmodel.Eq(got, 0.3) {
+		t.Fatalf("single receiver E[U] = %v, want 0.3", got)
+	}
+	// Receiver needing the whole layer forces full usage.
+	if got := ExpectedLinkRate([]float64{1, 0.2}, 1); !netmodel.Eq(got, 1) {
+		t.Fatalf("full-rate receiver E[U] = %v, want 1", got)
+	}
+	// Two receivers at 0.5: E[U] = 1-(0.5)^2 = 0.75.
+	if got := ExpectedLinkRate([]float64{0.5, 0.5}, 1); !netmodel.Eq(got, 0.75) {
+		t.Fatalf("E[U] = %v, want 0.75", got)
+	}
+	// No receivers: zero usage.
+	if got := ExpectedLinkRate(nil, 1); got != 0 {
+		t.Fatalf("empty E[U] = %v, want 0", got)
+	}
+	// Scaling the layer rate scales the absolute usage.
+	if got := ExpectedLinkRate([]float64{1, 1}, 2); !netmodel.Eq(got, 1.5) {
+		t.Fatalf("Λ=2 E[U] = %v, want 1.5", got)
+	}
+}
+
+func TestExpectedLinkRatePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero layer rate": func() { ExpectedLinkRate([]float64{0.5}, 0) },
+		"rate above Λ":    func() { ExpectedLinkRate([]float64{2}, 1) },
+		"negative rate":   func() { ExpectedLinkRate([]float64{-0.1}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestFigure5Shape verifies the qualitative findings the paper draws from
+// Figure 5.
+func TestFigure5Shape(t *testing.T) {
+	allSame := func(z float64, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = z
+		}
+		return v
+	}
+
+	// (1) Redundancy grows with the receiver count.
+	prev := 0.0
+	for _, n := range []int{1, 2, 5, 10, 50, 100} {
+		r := SingleLayer(allSame(0.1, n), 1)
+		if r < prev {
+			t.Fatalf("redundancy decreased with receivers: %v -> %v at n=%d", prev, r, n)
+		}
+		prev = r
+	}
+
+	// (2) It approaches but never exceeds Λ/max = 10 for "All 0.1".
+	r100 := SingleLayer(allSame(0.1, 100), 1)
+	if r100 > UpperBound(allSame(0.1, 100), 1)+netmodel.Eps {
+		t.Fatalf("redundancy %v exceeds bound", r100)
+	}
+	if r100 < 9.9 {
+		t.Fatalf("All-0.1 redundancy at 100 receivers = %v, want near 10", r100)
+	}
+
+	// (3) One receiver = 1 (efficient).
+	if r := SingleLayer([]float64{0.1}, 1); !netmodel.Eq(r, 1) {
+		t.Fatalf("single receiver redundancy = %v, want 1", r)
+	}
+
+	// (4) Equal rates maximize redundancy for a fixed efficient link rate:
+	// "1st .5 rest .1" stays below "All 0.5" pointwise.
+	for _, n := range []int{2, 5, 20, 100} {
+		mixed := allSame(0.1, n)
+		mixed[0] = 0.5
+		if SingleLayer(mixed, 1) > SingleLayer(allSame(0.5, n), 1)+netmodel.Eps {
+			t.Fatalf("mixed rates exceed equal rates at n=%d", n)
+		}
+	}
+
+	// (5) "1st .9 rest .1" stays close to 1 (bound 1/0.9 ≈ 1.11).
+	mixed := allSame(0.1, 100)
+	mixed[0] = 0.9
+	if r := SingleLayer(mixed, 1); r > 1.0/0.9+netmodel.Eps {
+		t.Fatalf("1st-.9 redundancy = %v, exceeds 1.11 bound", r)
+	}
+}
+
+// TestMonteCarloMatchesClosedForm cross-checks Appendix B against
+// direct simulation.
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	cases := [][]float64{
+		{0.5, 0.5},
+		{0.1, 0.1, 0.1, 0.1},
+		{0.9, 0.1},
+		{0.25, 0.5, 0.75},
+	}
+	for _, rates := range cases {
+		want := ExpectedLinkRate(rates, 1)
+		got := MonteCarloLinkRate(rates, 1, 1000, 400, rng)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("rates %v: MC=%v closed=%v", rates, got, want)
+		}
+	}
+}
+
+func TestMonteCarloPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero quanta accepted")
+		}
+	}()
+	MonteCarloLinkRate([]float64{0.5}, 1, 0, 0, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestLayerDemands(t *testing.T) {
+	// Layers 1,1,2 (cumulative 1,2,4); rate 2.5 -> demands (1,1,0.5).
+	d := LayerDemands(2.5, []float64{1, 1, 2})
+	want := []float64{1, 1, 0.5}
+	for i := range want {
+		if !netmodel.Eq(d[i], want[i]) {
+			t.Fatalf("LayerDemands = %v, want %v", d, want)
+		}
+	}
+	// Rate exceeding the scheme saturates all layers.
+	d = LayerDemands(9, []float64{1, 1, 2})
+	if !netmodel.Eq(d[0]+d[1]+d[2], 4) {
+		t.Fatalf("saturated demands = %v", d)
+	}
+	// Zero rate.
+	for _, x := range LayerDemands(0, []float64{1, 2}) {
+		if x != 0 {
+			t.Fatal("zero rate produced demand")
+		}
+	}
+}
+
+// TestMultiLayerNeverWorse: adding layers never increases redundancy
+// beyond the single-layer scheme of the same total rate (the technical
+// report's Appendix E headline).
+func TestMultiLayerNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 54))
+	schemes := [][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.5, 0.5},
+		{0.1, 0.2, 0.3, 0.4},
+		{0.5, 0.25, 0.125, 0.125},
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.IntN(20)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.05 + 0.95*rng.Float64()
+		}
+		single := SingleLayer(rates, 1)
+		for _, scheme := range schemes {
+			multi := MultiLayer(rates, scheme)
+			if multi > single+1e-9 {
+				t.Fatalf("multi-layer %v redundancy %v > single %v for rates %v",
+					scheme, multi, single, rates)
+			}
+		}
+	}
+}
+
+// TestMultiLayerSubstantialReduction: the reduction can be large — with
+// many receivers at matched layer boundaries, multi-layer is near 1 while
+// single-layer is near the bound.
+func TestMultiLayerSubstantialReduction(t *testing.T) {
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = 0.25
+	}
+	single := SingleLayer(rates, 1)
+	multi := MultiLayer(rates, []float64{0.25, 0.25, 0.25, 0.25})
+	if !netmodel.Eq(multi, 1) {
+		t.Fatalf("boundary-matched multi-layer redundancy = %v, want 1", multi)
+	}
+	if single < 3 {
+		t.Fatalf("single-layer redundancy = %v, want near 4", single)
+	}
+}
+
+// TestFigure6Formula checks the Section 3.1 closed form and the shape of
+// Figure 6.
+func TestFigure6Formula(t *testing.T) {
+	// v=1 is the efficient baseline: normalized rate 1 at any β.
+	for _, beta := range []float64{0, 0.01, 0.1, 1} {
+		if got := NormalizedFairRate(beta, 1); !netmodel.Eq(got, 1) {
+			t.Fatalf("NormalizedFairRate(%v, 1) = %v, want 1", beta, got)
+		}
+	}
+	// β=1: normalized rate is 1/v.
+	if got := NormalizedFairRate(1, 4); !netmodel.Eq(got, 0.25) {
+		t.Fatalf("NormalizedFairRate(1,4) = %v, want 0.25", got)
+	}
+	// Monotone decreasing in v, and higher β hurts more.
+	for _, beta := range []float64{0.01, 0.05, 0.1, 1} {
+		prev := math.Inf(1)
+		for v := 1.0; v <= 10; v++ {
+			r := NormalizedFairRate(beta, v)
+			if r > prev {
+				t.Fatalf("not decreasing at β=%v v=%v", beta, v)
+			}
+			prev = r
+		}
+	}
+	if NormalizedFairRate(0.05, 10) < NormalizedFairRate(0.5, 10) {
+		t.Fatal("smaller multi-rate share should suffer less")
+	}
+	// Absolute form agrees with the normalized one.
+	c, n, m, v := 30.0, 10, 3, 2.5
+	abs := ConstrainedFairRate(c, n, m, v)
+	norm := NormalizedFairRate(float64(m)/float64(n), v)
+	if !netmodel.Eq(abs, norm*c/float64(n)) {
+		t.Fatalf("forms disagree: %v vs %v", abs, norm*c/float64(n))
+	}
+}
+
+func TestFormulaPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"m > n":        func() { ConstrainedFairRate(1, 2, 3, 1) },
+		"v < 1":        func() { ConstrainedFairRate(1, 2, 1, 0.5) },
+		"β > 1":        func() { NormalizedFairRate(2, 1) },
+		"norm v < 1":   func() { NormalizedFairRate(0.5, 0.2) },
+		"zero rates":   func() { SingleLayer([]float64{0, 0}, 1) },
+		"bound zeros":  func() { UpperBound([]float64{0}, 1) },
+		"ml zero rate": func() { MultiLayer([]float64{0}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestOfAllocationFigure4: the measured Definition 3 redundancy on the
+// Figure 4 allocation is 2 on the shared link and 1 elsewhere.
+func TestOfAllocationFigure4(t *testing.T) {
+	f := topology.Figure4(2)
+	a, err := netmodel.AllocationFromRates(f.Network, [][]float64{{2, 2, 2}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := OfAllocation(a, 0, f.LinkIndex("l4")); !ok || !netmodel.Eq(r, 2) {
+		t.Fatalf("redundancy on l4 = %v (%v), want 2", r, ok)
+	}
+	if r, ok := OfAllocation(a, 0, f.LinkIndex("l1")); !ok || !netmodel.Eq(r, 1) {
+		t.Fatalf("redundancy on l1 = %v (%v), want 1", r, ok)
+	}
+	// Session 2 is efficient everywhere it appears.
+	if r, ok := OfAllocation(a, 1, f.LinkIndex("l4")); !ok || !netmodel.Eq(r, 1) {
+		t.Fatalf("S2 redundancy = %v (%v), want 1", r, ok)
+	}
+	// No receivers of S2 on l2.
+	if _, ok := OfAllocation(a, 1, f.LinkIndex("l2")); ok {
+		t.Fatal("OfAllocation should report absence")
+	}
+}

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"fmt"
+
+	"mlfair/internal/netmodel"
+)
+
+// MultiSenderPaths routes one multi-sender session: each receiver is
+// served by its nearest sender (fewest hops; ties broken by sender
+// order: Sender first, then ExtraSenders in order). It returns the
+// per-receiver paths and, for diagnostics, which sender serves each
+// receiver (as an index into [Sender, ExtraSenders...]).
+//
+// This realizes the paper's Section 5 multi-sender extension: the
+// receiver-oriented fairness definitions need no change, because each
+// receiver still has one data-path; only the session's aggregate
+// data-path (and hence R_{i,j}) reflects the multiple sources.
+func MultiSenderPaths(g *netmodel.Graph, s *netmodel.Session) (paths [][]int, servedBy []int, err error) {
+	senders := append([]int{s.Sender}, s.ExtraSenders...)
+	type tree struct {
+		parentLink []int
+		dist       []int
+	}
+	trees := make([]tree, len(senders))
+	for x, sn := range senders {
+		pl, d := bfsTree(g, sn)
+		trees[x] = tree{parentLink: pl, dist: d}
+	}
+	paths = make([][]int, len(s.Receivers))
+	servedBy = make([]int, len(s.Receivers))
+	for k, node := range s.Receivers {
+		best := -1
+		for x := range senders {
+			if trees[x].dist[node] == -1 {
+				continue
+			}
+			if best == -1 || trees[x].dist[node] < trees[best].dist[node] {
+				best = x
+			}
+		}
+		if best == -1 {
+			return nil, nil, fmt.Errorf("routing: receiver node %d unreachable from all %d senders", node, len(senders))
+		}
+		paths[k] = walkBack(g, trees[best].parentLink, senders[best], node)
+		servedBy[k] = best
+	}
+	return paths, servedBy, nil
+}
+
+// BuildMultiSenderNetwork routes every session (using MultiSenderPaths
+// where a session declares ExtraSenders) and assembles the network.
+func BuildMultiSenderNetwork(g *netmodel.Graph, sessions []*netmodel.Session) (*netmodel.Network, error) {
+	paths := make([][][]int, len(sessions))
+	for i, s := range sessions {
+		var (
+			p   [][]int
+			err error
+		)
+		if len(s.ExtraSenders) > 0 {
+			p, _, err = MultiSenderPaths(g, s)
+		} else {
+			p, err = SessionPaths(g, s)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		paths[i] = p
+	}
+	return netmodel.NewNetwork(g, sessions, paths)
+}

@@ -1,0 +1,124 @@
+// Package routing computes data-paths for multicast sessions over a
+// netmodel.Graph. The paper assumes "the network employs a routing
+// algorithm" providing each receiver a link sequence from its sender;
+// this package provides the standard choice — shortest-path (minimum
+// hop) routing with deterministic tie-breaking — and assembles
+// netmodel.Networks from sessions routed that way.
+//
+// Because all receivers of a session are routed on one BFS tree rooted at
+// the sender, each session's data-paths form a proper multicast tree:
+// paths to different receivers share exactly their common prefix.
+package routing
+
+import (
+	"fmt"
+
+	"mlfair/internal/netmodel"
+)
+
+// bfsTree computes BFS parent pointers from root. parentLink[n] is the
+// link used to reach n, -1 for the root or unreachable nodes (which have
+// dist -1). Links are scanned in index order, so the tree — and every
+// path derived from it — is deterministic.
+func bfsTree(g *netmodel.Graph, root int) (parentLink []int, dist []int) {
+	n := g.NumNodes()
+	parentLink = make([]int, n)
+	dist = make([]int, n)
+	for i := range parentLink {
+		parentLink[i] = -1
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, j := range g.Incident(cur) {
+			nb := g.Other(j, cur)
+			if dist[nb] != -1 {
+				continue
+			}
+			dist[nb] = dist[cur] + 1
+			parentLink[nb] = j
+			queue = append(queue, nb)
+		}
+	}
+	return parentLink, dist
+}
+
+// ShortestPath returns the minimum-hop link sequence from "from" to "to",
+// or an error if to is unreachable. Ties are broken deterministically by
+// link index.
+func ShortestPath(g *netmodel.Graph, from, to int) ([]int, error) {
+	parentLink, dist := bfsTree(g, from)
+	if dist[to] == -1 {
+		return nil, fmt.Errorf("routing: node %d unreachable from %d", to, from)
+	}
+	return walkBack(g, parentLink, from, to), nil
+}
+
+func walkBack(g *netmodel.Graph, parentLink []int, root, to int) []int {
+	var rev []int
+	for cur := to; cur != root; {
+		j := parentLink[cur]
+		rev = append(rev, j)
+		cur = g.Other(j, cur)
+	}
+	// Reverse to sender-to-receiver order.
+	for i, k := 0, len(rev)-1; i < k; i, k = i+1, k-1 {
+		rev[i], rev[k] = rev[k], rev[i]
+	}
+	return rev
+}
+
+// SessionPaths routes one session: shortest paths from the sender to each
+// receiver, all on a single BFS tree (so the union is a multicast tree).
+func SessionPaths(g *netmodel.Graph, s *netmodel.Session) ([][]int, error) {
+	parentLink, dist := bfsTree(g, s.Sender)
+	paths := make([][]int, len(s.Receivers))
+	for k, node := range s.Receivers {
+		if dist[node] == -1 {
+			return nil, fmt.Errorf("routing: receiver node %d unreachable from sender %d", node, s.Sender)
+		}
+		paths[k] = walkBack(g, parentLink, s.Sender, node)
+	}
+	return paths, nil
+}
+
+// BuildNetwork routes every session over g and assembles the network.
+func BuildNetwork(g *netmodel.Graph, sessions []*netmodel.Session) (*netmodel.Network, error) {
+	paths := make([][][]int, len(sessions))
+	for i, s := range sessions {
+		p, err := SessionPaths(g, s)
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", i, err)
+		}
+		paths[i] = p
+	}
+	return netmodel.NewNetwork(g, sessions, paths)
+}
+
+// TreeCheck verifies that a session's routed paths form a tree: every
+// node reached has a unique parent link, and each receiver's path is the
+// tree path. It returns an error describing the first inconsistency.
+// Networks built by BuildNetwork always pass; hand-specified paths may
+// not (the paper's model does not require tree-ness, since fairness
+// depends only on link incidence, but physical IP multicast does).
+func TreeCheck(net *netmodel.Network, session int) error {
+	g := net.Graph()
+	s := net.Session(session)
+	parent := make(map[int]int) // node -> parent link
+	for k := range s.Receivers {
+		cur := s.Sender
+		for _, j := range net.Path(session, k) {
+			nb := g.Other(j, cur)
+			if pj, ok := parent[nb]; ok && pj != j {
+				return fmt.Errorf("routing: node %d reached via links %d and %d in session %d",
+					nb, pj, j, session)
+			}
+			parent[nb] = j
+			cur = nb
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+// TestSingleLayerSession: Layers=1 degenerates gracefully — everyone
+// stays at the base layer, no joins, redundancy ~1/(1-loss).
+func TestSingleLayerSession(t *testing.T) {
+	for _, k := range protocol.Kinds() {
+		res, err := Run(Config{Layers: 1, Receivers: 5, SharedLoss: 0.02,
+			IndependentLoss: 0.05, Protocol: k, Packets: 20000, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.MeanLevel != 1 {
+			t.Errorf("%v: mean level %v, want exactly 1", k, res.MeanLevel)
+		}
+		want := 1 / ((1 - 0.02) * (1 - 0.05))
+		if math.Abs(res.Redundancy-want) > 0.05 {
+			t.Errorf("%v: redundancy %v, want ~%v", k, res.Redundancy, want)
+		}
+	}
+}
+
+// TestTwoLayers: the minimal layered configuration still oscillates and
+// measures sensibly.
+func TestTwoLayers(t *testing.T) {
+	res, err := Run(Config{Layers: 2, Receivers: 10, IndependentLoss: 0.1,
+		Protocol: protocol.Coordinated, Packets: 20000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLevel <= 1 || res.MeanLevel >= 2 {
+		t.Fatalf("mean level %v, want strictly between 1 and 2", res.MeanLevel)
+	}
+}
+
+// TestSignalPeriodSlowsJoins: a Coordinated session with a much longer
+// signal period climbs more slowly, ending at a lower mean level over a
+// fixed horizon.
+func TestSignalPeriodSlowsJoins(t *testing.T) {
+	level := func(period float64) float64 {
+		res, err := Run(Config{Layers: 8, Receivers: 5, IndependentLoss: 0.03,
+			Protocol: protocol.Coordinated, Packets: 20000, Seed: 7,
+			SignalPeriod: period})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanLevel
+	}
+	fast, slow := level(1), level(50)
+	if !(slow < fast) {
+		t.Fatalf("period 50 level %v not below period 1 level %v", slow, fast)
+	}
+}
+
+// TestManyReceiversRedundancySaturates: Figure 8's "negligible changes
+// beyond 100 receivers" — growing the session from 100 to 200 receivers
+// moves redundancy by only a few percent.
+func TestManyReceiversRedundancySaturates(t *testing.T) {
+	point := func(n int) float64 {
+		res, err := Run(Config{Layers: 8, Receivers: n, SharedLoss: 0.0001,
+			IndependentLoss: 0.04, Protocol: protocol.Uncoordinated,
+			Packets: 100000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Redundancy
+	}
+	r100, r200 := point(100), point(200)
+	if rel := math.Abs(r200-r100) / r100; rel > 0.12 {
+		t.Fatalf("redundancy moved %v%% from 100 to 200 receivers (%v -> %v)",
+			rel*100, r100, r200)
+	}
+}
+
+// TestZeroLossZeroSharedExactAccounting: without any loss the crossed
+// count equals the sent count once some receiver subscribes to the top
+// layer, minus the climb transient.
+func TestZeroLossZeroSharedExactAccounting(t *testing.T) {
+	res, err := Run(Config{Layers: 4, Receivers: 3,
+		Protocol: protocol.Deterministic, Packets: 30000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsCrossed > res.PacketsSent {
+		t.Fatal("crossed > sent")
+	}
+	// The climb to level 4 takes ~21 packets; everything after crosses.
+	if res.PacketsSent-res.PacketsCrossed > 100 {
+		t.Fatalf("too many pruned packets without loss: sent %d crossed %d",
+			res.PacketsSent, res.PacketsCrossed)
+	}
+}

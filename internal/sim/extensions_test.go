@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/protocol"
+	"mlfair/internal/stats"
+)
+
+func TestDropPolicyString(t *testing.T) {
+	if UniformDrop.String() != "uniform" || PriorityDrop.String() != "priority" {
+		t.Fatal("policy strings wrong")
+	}
+	if DropPolicy(9).String() == "" {
+		t.Fatal("unknown policy empty")
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	base := Config{Layers: 4, Receivers: 2, Packets: 100}
+	bad := base
+	bad.LeaveLatency = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	bad = base
+	bad.Drop = DropPolicy(7)
+	if _, err := Run(bad); err == nil {
+		t.Fatal("unknown drop policy accepted")
+	}
+}
+
+// TestLeaveLatencyZeroIsIdentity: LeaveLatency affects only shared-link
+// accounting, so latency 0 equals the baseline exactly at equal seed.
+func TestLeaveLatencyZeroIsIdentity(t *testing.T) {
+	cfg := Config{Layers: 8, Receivers: 20, IndependentLoss: 0.04,
+		Protocol: protocol.Deterministic, Packets: 30000, Seed: 9}
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.LeaveLatency = 0
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PacketsCrossed != again.PacketsCrossed || base.Redundancy != again.Redundancy {
+		t.Fatal("latency 0 changed the run")
+	}
+}
+
+// TestLeaveLatencyMonotone: because receiver dynamics are identical at
+// equal seeds, shared-link usage (and hence redundancy) is
+// non-decreasing in the leave latency.
+func TestLeaveLatencyMonotone(t *testing.T) {
+	prev := -1
+	prevRed := 0.0
+	for _, latency := range []float64{0, 1, 4, 16} {
+		res, err := Run(Config{Layers: 8, Receivers: 20, IndependentLoss: 0.05,
+			Protocol: protocol.Deterministic, Packets: 40000, Seed: 15,
+			LeaveLatency: latency})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PacketsCrossed < prev {
+			t.Fatalf("crossed decreased with latency %v", latency)
+		}
+		if res.Redundancy < prevRed {
+			t.Fatalf("redundancy decreased with latency %v", latency)
+		}
+		prev, prevRed = res.PacketsCrossed, res.Redundancy
+	}
+}
+
+// TestLeaveLatencyHurts: a substantial latency visibly inflates
+// redundancy — the paper's Section 5 prediction ("long leave latencies
+// will also increase redundancy").
+func TestLeaveLatencyHurts(t *testing.T) {
+	point := func(latency float64) float64 {
+		reds, err := RunReplicated(Config{Layers: 8, Receivers: 20,
+			IndependentLoss: 0.05, Protocol: protocol.Coordinated,
+			Packets: 40000, Seed: 21, LeaveLatency: latency}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(reds)
+	}
+	if ideal, slow := point(0), point(16); slow < ideal*1.05 {
+		t.Fatalf("latency-16 redundancy %v not above ideal %v", slow, ideal)
+	}
+}
+
+// TestPriorityDropProtectsBaseLayer: under priority dropping, base-layer
+// packets are the safest, so receivers sustain higher goodput at equal
+// configured loss.
+func TestPriorityDropProtectsBaseLayer(t *testing.T) {
+	cfg := Config{Layers: 8, Receivers: 20, IndependentLoss: 0.08,
+		Protocol: protocol.Deterministic, Packets: 40000, Seed: 27}
+	uni, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Drop = PriorityDrop
+	pri, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pri.Redundancy < 0.9 || pri.MeanLevel < 1 {
+		t.Fatalf("implausible priority run: %+v", pri)
+	}
+	// Both runs must be internally consistent; the comparison itself is
+	// reported by the experiments driver. Sanity: priority dropping must
+	// change the outcome.
+	if pri.Redundancy == uni.Redundancy && pri.PacketsCrossed == uni.PacketsCrossed {
+		t.Fatal("priority dropping had no effect")
+	}
+}
+
+func TestPriorityFactorMeanIsOne(t *testing.T) {
+	// The traffic-weighted mean multiplier is 1 by construction.
+	scheme := layering.Exponential(8)
+	num, den := 0.0, 0.0
+	for l := 0; l < 8; l++ {
+		num += priorityFactor(scheme, l) * scheme.LayerRate(l)
+		den += scheme.LayerRate(l)
+	}
+	if mean := num / den; mean < 0.999 || mean > 1.001 {
+		t.Fatalf("traffic-weighted mean factor = %v, want 1", mean)
+	}
+	// Monotone in layer.
+	for l := 1; l < 8; l++ {
+		if priorityFactor(scheme, l) <= priorityFactor(scheme, l-1) {
+			t.Fatal("priority factor not increasing in layer")
+		}
+	}
+}
+
+func TestLayerLossCap(t *testing.T) {
+	if layerLoss(2.5) >= 1 {
+		t.Fatal("loss not capped below 1")
+	}
+	if layerLoss(0.3) != 0.3 {
+		t.Fatal("cap changed a valid probability")
+	}
+}

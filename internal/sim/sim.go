@@ -1,0 +1,469 @@
+// Package sim is a discrete-event, packet-level simulator for layered
+// multicast congestion control over the paper's modified-star topologies
+// (Figure 7): a sender behind one shared link feeding any number of
+// receivers through independent fanout links.
+//
+// The model is exactly the paper's Section 4 idealization:
+//
+//   - The sender splits data over M layers with the exponential scheme
+//     (aggregate rate of layers 1..i equal to 2^(i-1) packets per time
+//     unit); each layer emits equal-size packets periodically.
+//   - Packet loss (equivalently, congestion marking) is Bernoulli: one
+//     draw per packet on the shared link — a shared loss is observed by
+//     every subscribed receiver simultaneously — and an independent
+//     per-receiver draw on each fanout link.
+//   - Propagation delays and leave latencies are negligible: reactions
+//     take effect instantly, so receivers seeing identical loss patterns
+//     hold identical layer subscriptions (the paper's coordination
+//     assumption).
+//   - A packet traverses the shared link iff at least one receiver is
+//     subscribed to its layer at transmission time (idealized multicast
+//     pruning). Because subscriptions are always layer prefixes, the
+//     session's shared-link rate at any instant is the cumulative rate of
+//     the maximum subscribed level.
+//
+// The measured output is the Definition 3 redundancy of the session on
+// the shared link: packets crossing the link per unit time, divided by
+// the largest per-receiver long-run receive rate.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/protocol"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Layers is M, the number of layers (the paper uses 8).
+	Layers int
+	// Receivers is the session size (the paper uses 100).
+	Receivers int
+	// SharedLoss is the Bernoulli loss rate of the shared link.
+	SharedLoss float64
+	// IndependentLoss is the loss rate of every fanout link. For
+	// heterogeneous receivers set IndependentLosses instead.
+	IndependentLoss float64
+	// IndependentLosses, when non-nil, gives per-receiver fanout loss
+	// rates and overrides IndependentLoss. Length must equal Receivers.
+	IndependentLosses []float64
+	// Protocol selects the join-coordination discipline.
+	Protocol protocol.Kind
+	// Packets is the total number of packets the sender transmits across
+	// all layers (the paper uses 100,000 per experiment).
+	Packets int
+	// SignalPeriod is the base period of the Coordinated protocol's
+	// level-1 join signals, in time units. Zero means 1.0, which makes
+	// the expected packets between joins match the other protocols.
+	SignalPeriod float64
+	// LeaveLatency models slow IGMP-style leave processing (a Section 5
+	// concern of the paper): after a receiver leaves a layer, the shared
+	// link keeps carrying that layer for this many time units even if no
+	// receiver wants it. Zero (the paper's idealization) means leaves
+	// take effect instantly. Latency changes only the shared-link usage
+	// accounting, never receiver dynamics, so runs with equal seeds are
+	// comparable across latencies.
+	LeaveLatency float64
+	// Drop selects the router drop policy; see DropPolicy.
+	Drop DropPolicy
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+}
+
+// DropPolicy is the router's choice of which packets congestion kills,
+// following Bajaj/Breslau/Shenker ("Uniform versus Priority Dropping for
+// Layered Video"), which the paper cites when asking whether priority
+// dropping might reduce redundancy by increasing receiver coordination.
+type DropPolicy int
+
+const (
+	// UniformDrop loses every packet with the configured probability
+	// regardless of layer — the paper's Bernoulli model.
+	UniformDrop DropPolicy = iota
+	// PriorityDrop biases losses toward higher (enhancement) layers,
+	// preserving the traffic-weighted mean loss rate: a packet on layer
+	// l is lost with probability p·(l+1)/E[layer+1], so base-layer
+	// packets are the safest. Receivers near the same level then see
+	// losses on the same layers, increasing their correlation.
+	PriorityDrop
+)
+
+// String names the policy.
+func (d DropPolicy) String() string {
+	switch d {
+	case UniformDrop:
+		return "uniform"
+	case PriorityDrop:
+		return "priority"
+	}
+	return fmt.Sprintf("DropPolicy(%d)", int(d))
+}
+
+func (c *Config) validate() error {
+	if c.Layers < 1 {
+		return fmt.Errorf("sim: Layers = %d", c.Layers)
+	}
+	if c.Receivers < 1 {
+		return fmt.Errorf("sim: Receivers = %d", c.Receivers)
+	}
+	if c.Packets < 1 {
+		return fmt.Errorf("sim: Packets = %d", c.Packets)
+	}
+	if c.SharedLoss < 0 || c.SharedLoss >= 1 {
+		return fmt.Errorf("sim: SharedLoss = %v", c.SharedLoss)
+	}
+	if c.IndependentLosses != nil && len(c.IndependentLosses) != c.Receivers {
+		return fmt.Errorf("sim: %d IndependentLosses for %d receivers", len(c.IndependentLosses), c.Receivers)
+	}
+	for _, p := range c.lossSlice() {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("sim: independent loss %v out of [0,1)", p)
+		}
+	}
+	if c.LeaveLatency < 0 {
+		return fmt.Errorf("sim: LeaveLatency = %v", c.LeaveLatency)
+	}
+	if c.Drop != UniformDrop && c.Drop != PriorityDrop {
+		return fmt.Errorf("sim: unknown drop policy %v", c.Drop)
+	}
+	return nil
+}
+
+// priorityFactor returns the per-layer loss multiplier of PriorityDrop:
+// (l+1)/E[layer index+1], with the expectation taken over the traffic
+// mix of the exponential scheme so the aggregate loss volume matches
+// UniformDrop at the full stack.
+func priorityFactor(scheme layering.Scheme, l int) float64 {
+	num := 0.0
+	den := 0.0
+	for x := 0; x < scheme.NumLayers(); x++ {
+		num += float64(x+1) * scheme.LayerRate(x)
+		den += scheme.LayerRate(x)
+	}
+	mean := num / den
+	return float64(l+1) / mean
+}
+
+func (c *Config) lossSlice() []float64 {
+	if c.IndependentLosses != nil {
+		return c.IndependentLosses
+	}
+	ls := make([]float64, c.Receivers)
+	for i := range ls {
+		ls[i] = c.IndependentLoss
+	}
+	return ls
+}
+
+// Result summarizes one run.
+type Result struct {
+	// Redundancy is shared-link packets per time over the maximum
+	// receiver rate (Definition 3 measured on the shared link).
+	Redundancy float64
+	// LinkRate is the long-run shared-link usage in packets per time
+	// unit (u_{i,shared}).
+	LinkRate float64
+	// ReceiverRates are per-receiver long-run receive rates (packets per
+	// time unit, after losses).
+	ReceiverRates []float64
+	// MeanLevel is the time-average subscription level averaged across
+	// receivers (diagnostic).
+	MeanLevel float64
+	// PacketsSent / PacketsCrossed count sender transmissions and
+	// shared-link traversals.
+	PacketsSent, PacketsCrossed int
+	// Duration is the simulated time.
+	Duration float64
+}
+
+// SignalLevel returns the Coordinated protocol's nested signal level for
+// the n-th signal (n >= 1), capped at maxLevel: 1 + trailing zeros of n.
+// Signals inviting a join from level v then occur every 2^(v-1) base
+// periods, so a receiver at level v (receiving 2^(v-1) packets per time
+// unit) sees an expected 2^(2(v-1)) packets between its join
+// opportunities — the paper's parameter.
+func SignalLevel(n int, maxLevel int) int {
+	if n < 1 {
+		panic("sim: signal index starts at 1")
+	}
+	l := 1 + bits.TrailingZeros(uint(n))
+	if l > maxLevel {
+		return maxLevel
+	}
+	return l
+}
+
+// engine carries the mutable run state, tracking receiver levels
+// incrementally so per-packet work is O(subscribers), and packets on
+// layers above the maximum subscribed level skip receiver processing
+// entirely.
+type engine struct {
+	cfg       Config
+	rng       *rand.Rand
+	receivers []*protocol.Receiver
+	indLoss   []float64
+	lossIn    []int // deliveries until next independent loss (0 = never)
+
+	levels   []int // mirror of receiver levels
+	cnt      []int // cnt[v] = receivers at level v
+	sumLevel int
+	maxLev   int
+
+	// linger[l] is the time until which layer l still occupies the
+	// shared link after its last subscriber left (LeaveLatency > 0).
+	linger []float64
+	// Per-layer loss multipliers under PriorityDrop (nil for uniform).
+	prioFactor []float64
+}
+
+func newEngine(cfg Config) *engine {
+	e := &engine{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		indLoss:   cfg.lossSlice(),
+		receivers: make([]*protocol.Receiver, cfg.Receivers),
+		levels:    make([]int, cfg.Receivers),
+		cnt:       make([]int, cfg.Layers+1),
+		lossIn:    make([]int, cfg.Receivers),
+	}
+	for i := range e.receivers {
+		e.receivers[i] = protocol.NewReceiver(cfg.Protocol, cfg.Layers, e.rng)
+		e.levels[i] = 1
+	}
+	e.cnt[1] = cfg.Receivers
+	e.sumLevel = cfg.Receivers
+	e.maxLev = 1
+	if cfg.LeaveLatency > 0 {
+		e.linger = make([]float64, cfg.Layers)
+	}
+	if cfg.Drop == PriorityDrop {
+		scheme := layering.Exponential(cfg.Layers)
+		e.prioFactor = make([]float64, cfg.Layers)
+		for l := range e.prioFactor {
+			e.prioFactor[l] = priorityFactor(scheme, l)
+		}
+	} else {
+		// Geometric countdowns are only valid when the per-delivery loss
+		// probability is layer-independent.
+		for i := range e.lossIn {
+			e.drawLoss(i)
+		}
+	}
+	return e
+}
+
+// layerLoss caps a probability at just under 1.
+func layerLoss(p float64) float64 {
+	if p >= 0.999 {
+		return 0.999
+	}
+	return p
+}
+
+// drawLoss samples the geometric countdown to receiver i's next
+// independent loss.
+func (e *engine) drawLoss(i int) {
+	p := e.indLoss[i]
+	if p <= 0 {
+		e.lossIn[i] = 0
+		return
+	}
+	u := e.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int(math.Log(u)/math.Log(1-p)) + 1
+	if n < 1 {
+		n = 1
+	}
+	e.lossIn[i] = n
+}
+
+// sync reconciles the level mirror after a protocol callback on
+// receiver i at simulated time now, recording layer linger on leaves.
+func (e *engine) sync(i int, now float64) {
+	nl := e.receivers[i].Level()
+	ol := e.levels[i]
+	if nl == ol {
+		return
+	}
+	e.cnt[ol]--
+	e.cnt[nl]++
+	e.sumLevel += nl - ol
+	e.levels[i] = nl
+	if nl > e.maxLev {
+		e.maxLev = nl
+	}
+	if nl < ol && e.linger != nil {
+		until := now + e.cfg.LeaveLatency
+		for lay := nl; lay < ol; lay++ {
+			if e.linger[lay] < until {
+				e.linger[lay] = until
+			}
+		}
+	}
+}
+
+// maxLevel returns the highest subscribed level, fixing up lazily after
+// leaves.
+func (e *engine) maxLevel() int {
+	for e.maxLev > 1 && e.cnt[e.maxLev] == 0 {
+		e.maxLev--
+	}
+	return e.maxLev
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scheme := layering.Exponential(cfg.Layers)
+	e := newEngine(cfg)
+
+	// Next transmission time per layer; linear scan (M is tiny).
+	nextTx := make([]float64, cfg.Layers)
+	period := make([]float64, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		period[l] = 1 / scheme.LayerRate(l)
+		nextTx[l] = period[l]
+	}
+	signalPeriod := cfg.SignalPeriod
+	if signalPeriod == 0 {
+		signalPeriod = 1
+	}
+	nextSignal := math.Inf(1)
+	signalIdx := 0
+	if cfg.Protocol == protocol.Coordinated && cfg.Layers > 1 {
+		nextSignal = signalPeriod
+	}
+
+	received := make([]int, cfg.Receivers)
+	levelTime := 0.0 // integral of sum-of-levels dt
+	lastT := 0.0
+	sent, crossed := 0, 0
+	now := 0.0
+
+	for sent < cfg.Packets {
+		minLayer := 0
+		minT := nextTx[0]
+		for l := 1; l < cfg.Layers; l++ {
+			if nextTx[l] < minT {
+				minT, minLayer = nextTx[l], l
+			}
+		}
+		isSignal := nextSignal < minT
+		if isSignal {
+			minT = nextSignal
+		}
+		levelTime += float64(e.sumLevel) * (minT - lastT)
+		lastT = minT
+		now = minT
+
+		if isSignal {
+			signalIdx++
+			lvl := SignalLevel(signalIdx, cfg.Layers-1)
+			for i, r := range e.receivers {
+				r.OnSignal(lvl)
+				e.sync(i, now)
+			}
+			nextSignal += signalPeriod
+			continue
+		}
+
+		l := minLayer
+		nextTx[l] += period[l]
+		sent++
+		// Packets on layers nobody subscribes to never enter the shared
+		// link (idealized pruning) — unless a slow leave is still being
+		// processed, in which case the packet wastes shared-link
+		// bandwidth but reaches no receiver.
+		if e.maxLevel() <= l {
+			if e.linger != nil && e.linger[l] > now {
+				crossed++
+			}
+			continue
+		}
+		crossed++
+		pShared := cfg.SharedLoss
+		if e.prioFactor != nil {
+			pShared = layerLoss(pShared * e.prioFactor[l])
+		}
+		sharedLost := pShared > 0 && e.rng.Float64() < pShared
+		for i, r := range e.receivers {
+			if e.levels[i] <= l {
+				continue
+			}
+			if sharedLost {
+				r.OnCongestion()
+				e.sync(i, now)
+				continue
+			}
+			if e.prioFactor != nil {
+				// Layer-dependent loss: direct Bernoulli draw.
+				pInd := layerLoss(e.indLoss[i] * e.prioFactor[l])
+				if pInd > 0 && e.rng.Float64() < pInd {
+					r.OnCongestion()
+					e.sync(i, now)
+					continue
+				}
+			} else if e.lossIn[i] > 0 {
+				e.lossIn[i]--
+				if e.lossIn[i] == 0 {
+					r.OnCongestion()
+					e.sync(i, now)
+					e.drawLoss(i)
+					continue
+				}
+			}
+			received[i]++
+			r.OnReceive()
+			e.sync(i, now)
+		}
+	}
+
+	res := &Result{
+		ReceiverRates:  make([]float64, cfg.Receivers),
+		PacketsSent:    sent,
+		PacketsCrossed: crossed,
+		Duration:       now,
+	}
+	if now > 0 {
+		res.LinkRate = float64(crossed) / now
+		maxRate := 0.0
+		for i, n := range received {
+			res.ReceiverRates[i] = float64(n) / now
+			if res.ReceiverRates[i] > maxRate {
+				maxRate = res.ReceiverRates[i]
+			}
+		}
+		if maxRate > 0 {
+			res.Redundancy = res.LinkRate / maxRate
+		}
+		res.MeanLevel = levelTime / now / float64(cfg.Receivers)
+	}
+	return res, nil
+}
+
+// RunReplicated executes n runs with seeds seed, seed+1, ... and returns
+// the per-run redundancies (for summary by the stats package).
+func RunReplicated(cfg Config, n int) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sim: replications = %d", n)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		r, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.Redundancy
+	}
+	return out, nil
+}

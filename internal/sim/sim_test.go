@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/protocol"
+	"mlfair/internal/stats"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Layers: 4, Receivers: 2, Packets: 100}
+	bad := []Config{
+		{Layers: 0, Receivers: 2, Packets: 100},
+		{Layers: 4, Receivers: 0, Packets: 100},
+		{Layers: 4, Receivers: 2, Packets: 0},
+		{Layers: 4, Receivers: 2, Packets: 100, SharedLoss: 1.0},
+		{Layers: 4, Receivers: 2, Packets: 100, SharedLoss: -0.1},
+		{Layers: 4, Receivers: 2, Packets: 100, IndependentLoss: 1.5},
+		{Layers: 4, Receivers: 2, Packets: 100, IndependentLosses: []float64{0.1}},
+	}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	for i, c := range bad {
+		if _, err := Run(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSignalLevelRuler(t *testing.T) {
+	want := []int{1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1, 5}
+	for i, w := range want {
+		if got := SignalLevel(i+1, 7); got != w {
+			t.Fatalf("SignalLevel(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if got := SignalLevel(64, 3); got != 3 {
+		t.Fatalf("cap failed: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("index 0 accepted")
+		}
+	}()
+	SignalLevel(0, 3)
+}
+
+// TestNoLossClimbsToTop: without loss, every protocol drives all
+// receivers to the full layer stack and redundancy 1.
+func TestNoLossClimbsToTop(t *testing.T) {
+	for _, k := range protocol.Kinds() {
+		res := run(t, Config{
+			Layers: 6, Receivers: 10, Protocol: k, Packets: 60000, Seed: 1,
+		})
+		// Cumulative top rate is 2^5 = 32 packets/unit; long-run receive
+		// rate approaches it.
+		for i, rate := range res.ReceiverRates {
+			if rate < 25 {
+				t.Errorf("%v receiver %d rate = %v, want near 32", k, i, rate)
+			}
+		}
+		if res.Redundancy > 1.3 {
+			t.Errorf("%v lossless redundancy = %v, want near 1", k, res.Redundancy)
+		}
+		if res.MeanLevel < 5 {
+			t.Errorf("%v mean level = %v, want near 6", k, res.MeanLevel)
+		}
+	}
+}
+
+// TestDeterminism: equal seeds give identical results; different seeds
+// differ (for stochastic configs).
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Layers: 8, Receivers: 20, IndependentLoss: 0.02, SharedLoss: 0.001,
+		Protocol: protocol.Uncoordinated, Packets: 20000, Seed: 7}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Redundancy != b.Redundancy || a.PacketsCrossed != b.PacketsCrossed {
+		t.Fatal("same seed, different results")
+	}
+	cfg.Seed = 8
+	c := run(t, cfg)
+	if a.Redundancy == c.Redundancy {
+		t.Fatal("different seeds produced identical redundancy (suspicious)")
+	}
+}
+
+// TestHighLossKeepsLevelsLow: heavy independent loss pins receivers near
+// the base layer.
+func TestHighLossKeepsLevelsLow(t *testing.T) {
+	res := run(t, Config{Layers: 8, Receivers: 10, IndependentLoss: 0.5,
+		Protocol: protocol.Deterministic, Packets: 30000, Seed: 3})
+	if res.MeanLevel > 2.5 {
+		t.Fatalf("mean level = %v under 50%% loss", res.MeanLevel)
+	}
+}
+
+// TestSharedLossOnlyKeepsCorrelatedProtocolsEfficient: with loss only on
+// the shared link, Deterministic and Coordinated receivers see identical
+// events and stay synchronized: redundancy stays near 1.
+func TestSharedLossOnlyKeepsCorrelatedProtocolsEfficient(t *testing.T) {
+	for _, k := range []protocol.Kind{protocol.Deterministic, protocol.Coordinated} {
+		res := run(t, Config{Layers: 8, Receivers: 50, SharedLoss: 0.05,
+			Protocol: k, Packets: 50000, Seed: 11})
+		if res.Redundancy > 1.4 {
+			t.Errorf("%v shared-only redundancy = %v, want near 1", k, res.Redundancy)
+		}
+	}
+}
+
+// TestIndependentLossCreatesRedundancy: uncorrelated loss desynchronizes
+// receivers; the uncoordinated protocols pay redundancy well above 1.
+func TestIndependentLossCreatesRedundancy(t *testing.T) {
+	res := run(t, Config{Layers: 8, Receivers: 50, SharedLoss: 0.0001,
+		IndependentLoss: 0.05, Protocol: protocol.Uncoordinated,
+		Packets: 100000, Seed: 13})
+	if res.Redundancy < 1.5 {
+		t.Fatalf("Uncoordinated redundancy = %v, want well above 1", res.Redundancy)
+	}
+}
+
+// TestCoordinationReducesRedundancy is the paper's headline Figure 8
+// comparison at one operating point: Coordinated beats Uncoordinated
+// and stays below the paper's 2.5 bound. (Deterministic tracks
+// Coordinated closely in the idealized zero-delay model because
+// same-level receivers count identical packet streams; see DESIGN.md.)
+func TestCoordinationReducesRedundancy(t *testing.T) {
+	point := func(k protocol.Kind) float64 {
+		reds, err := RunReplicated(Config{Layers: 8, Receivers: 50,
+			SharedLoss: 0.0001, IndependentLoss: 0.04, Protocol: k,
+			Packets: 50000, Seed: 17}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(reds)
+	}
+	co, un := point(protocol.Coordinated), point(protocol.Uncoordinated)
+	if !(co < un) {
+		t.Errorf("Coordinated (%v) should beat Uncoordinated (%v)", co, un)
+	}
+	// Paper: sender coordination keeps redundancy below 2.5.
+	if co > 2.5 {
+		t.Errorf("Coordinated redundancy = %v, paper bound 2.5", co)
+	}
+}
+
+// TestCorrelatedLossAmplifiesCoordinationBenefit: Figure 8(b)'s setting —
+// with high shared (fully correlated) loss and no independent loss,
+// coordination-friendly protocols stay near 1 while Uncoordinated pays
+// heavily ("coordinated joins reduce redundancy most significantly when
+// the correlation in loss among receivers is high").
+func TestCorrelatedLossAmplifiesCoordinationBenefit(t *testing.T) {
+	point := func(k protocol.Kind) float64 {
+		reds, err := RunReplicated(Config{Layers: 8, Receivers: 50,
+			SharedLoss: 0.05, IndependentLoss: 0, Protocol: k,
+			Packets: 50000, Seed: 43}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Mean(reds)
+	}
+	co, un := point(protocol.Coordinated), point(protocol.Uncoordinated)
+	if co > 1.3 {
+		t.Errorf("Coordinated redundancy under pure shared loss = %v, want near 1", co)
+	}
+	if un < 1.8*co {
+		t.Errorf("Uncoordinated (%v) should pay far more than Coordinated (%v) under correlated loss", un, co)
+	}
+}
+
+// TestHeterogeneousLosses: per-receiver loss rates are honored — the
+// lossier receiver ends with a lower rate.
+func TestHeterogeneousLosses(t *testing.T) {
+	res := run(t, Config{Layers: 8, Receivers: 2,
+		IndependentLosses: []float64{0.001, 0.2},
+		Protocol:          protocol.Deterministic, Packets: 60000, Seed: 19})
+	if !(res.ReceiverRates[0] > 2*res.ReceiverRates[1]) {
+		t.Fatalf("rates = %v, want clean receiver much faster", res.ReceiverRates)
+	}
+}
+
+// TestCrossedNeverExceedsSent and basic accounting invariants.
+func TestAccountingInvariants(t *testing.T) {
+	res := run(t, Config{Layers: 6, Receivers: 8, IndependentLoss: 0.03,
+		SharedLoss: 0.01, Protocol: protocol.Uncoordinated, Packets: 20000, Seed: 23})
+	if res.PacketsSent != 20000 {
+		t.Fatalf("sent = %d", res.PacketsSent)
+	}
+	if res.PacketsCrossed > res.PacketsSent {
+		t.Fatal("crossed > sent")
+	}
+	if res.Duration <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	if res.Redundancy < 1-0.05 {
+		t.Fatalf("redundancy = %v < 1", res.Redundancy)
+	}
+	for _, rate := range res.ReceiverRates {
+		if rate < 0 || rate > res.LinkRate+1e-9 {
+			t.Fatalf("receiver rate %v outside [0, link rate %v]", rate, res.LinkRate)
+		}
+	}
+}
+
+// TestSingleReceiverEfficient: one receiver can produce no redundancy
+// beyond loss inflation.
+func TestSingleReceiverEfficient(t *testing.T) {
+	res := run(t, Config{Layers: 8, Receivers: 1, IndependentLoss: 0.02,
+		Protocol: protocol.Deterministic, Packets: 50000, Seed: 29})
+	if math.Abs(res.Redundancy-1) > 0.1 {
+		t.Fatalf("single-receiver redundancy = %v, want ~1 (loss inflation only)", res.Redundancy)
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	cfg := Config{Layers: 4, Receivers: 5, IndependentLoss: 0.05,
+		Protocol: protocol.Uncoordinated, Packets: 5000, Seed: 31}
+	reds, err := RunReplicated(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reds) != 4 {
+		t.Fatalf("got %d replications", len(reds))
+	}
+	if reds[0] == reds[1] && reds[1] == reds[2] && reds[2] == reds[3] {
+		t.Fatal("replications identical (seeds not advanced?)")
+	}
+	if _, err := RunReplicated(cfg, 0); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+}
+
+// TestMeanLevelBounds: the time-average level lies in [1, M].
+func TestMeanLevelBounds(t *testing.T) {
+	res := run(t, Config{Layers: 5, Receivers: 10, IndependentLoss: 0.08,
+		Protocol: protocol.Coordinated, Packets: 20000, Seed: 37})
+	if res.MeanLevel < 1 || res.MeanLevel > 5 {
+		t.Fatalf("mean level = %v outside [1,5]", res.MeanLevel)
+	}
+}

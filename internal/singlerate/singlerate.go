@@ -1,0 +1,177 @@
+// Package singlerate implements baselines for choosing the one
+// transmission rate of a single-rate multicast session, following the
+// inter-receiver fairness line of work the paper discusses in Section 5
+// (Jiang, Ammar, Zegura — "Inter-Receiver Fairness: A Novel Performance
+// Measure for Multicast ABR Sessions").
+//
+// Two regimes matter:
+//
+//   - Feasibility-constrained (the paper's model, its [18] baseline): a
+//     single-rate session may not overload any link, so its rate is
+//     capped at the slowest receiver's bottleneck — MaxMinFeasibleRate.
+//     The library's allocator implements this natively.
+//   - Best-effort (the [6] setting): the session may transmit above a
+//     branch's capability; that branch then loses packets. We model the
+//     surviving goodput of receiver k (bottleneck b_k) at session rate r
+//     as Delivered(r, b_k) = r for r <= b_k, else b_k²/r: the bottleneck
+//     forwards a b_k/r fraction of an r-rate stream, so useful goodput
+//     degrades as the session overshoots. Satisfaction compares
+//     delivered against b_k, and the sender picks r to maximize an
+//     aggregate of satisfactions — deliberately trading the slowest
+//     receivers against the rest, exactly the tension the paper's
+//     multi-rate sessions dissolve.
+//
+// OptimalRate searches the bottleneck values: with the tent-shaped
+// satisfactions provided here (rising for r <= b, falling for r > b,
+// convex on each segment between consecutive bottlenecks), every
+// aggregate's maximum lies at a bottleneck, so the search is exact.
+package singlerate
+
+import (
+	"math"
+	"sort"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+)
+
+// Delivered is the best-effort goodput of a receiver with bottleneck b
+// when the session transmits at rate r.
+func Delivered(r, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	if r <= b {
+		return r
+	}
+	return b * b / r
+}
+
+// MaxMinFeasibleRate is the feasibility-constrained single rate: the
+// slowest receiver's bottleneck (the Tzeng-Siu choice the paper's
+// Figure 2 exhibits).
+func MaxMinFeasibleRate(bottlenecks []float64) float64 {
+	if len(bottlenecks) == 0 {
+		panic("singlerate: no receivers")
+	}
+	m := math.Inf(1)
+	for _, b := range bottlenecks {
+		if b < m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Satisfaction maps (delivered, fair) to a per-receiver satisfaction in
+// [0, 1]-ish units. Implementations must be non-decreasing in delivered.
+type Satisfaction func(delivered, fair float64) float64
+
+// Ratio is delivered/fair — the normalized satisfaction of Jiang et al.
+func Ratio(delivered, fair float64) float64 {
+	if fair <= 0 {
+		return 0
+	}
+	return delivered / fair
+}
+
+// AtLeast returns a satisfaction that is 1 when the receiver gets at
+// least frac of its fair rate and 0 otherwise — a "satisfied receivers"
+// count.
+func AtLeast(frac float64) Satisfaction {
+	if frac <= 0 || frac > 1 {
+		panic("singlerate: AtLeast fraction must be in (0, 1]")
+	}
+	return func(delivered, fair float64) float64 {
+		if fair <= 0 {
+			return 0
+		}
+		if delivered >= frac*fair-netmodel.Eps {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Aggregate combines per-receiver satisfactions into a session score.
+type Aggregate int
+
+const (
+	// MeanSatisfaction maximizes average receiver satisfaction ([6]'s
+	// direction; sacrifices slow minorities to serve fast majorities).
+	MeanSatisfaction Aggregate = iota
+	// MinSatisfaction maximizes the worst receiver's satisfaction. In
+	// the best-effort regime this typically lands at an intermediate
+	// bottleneck (unlike the feasibility-constrained minimum).
+	MinSatisfaction
+	// TotalGoodput maximizes Σ_k delivered_k, ignoring fairness.
+	TotalGoodput
+)
+
+// Score evaluates an aggregate satisfaction at transmission rate r.
+func Score(bottlenecks []float64, r float64, s Satisfaction, agg Aggregate) float64 {
+	switch agg {
+	case MeanSatisfaction:
+		t := 0.0
+		for _, b := range bottlenecks {
+			t += s(Delivered(r, b), b)
+		}
+		return t / float64(len(bottlenecks))
+	case MinSatisfaction:
+		m := math.Inf(1)
+		for _, b := range bottlenecks {
+			if v := s(Delivered(r, b), b); v < m {
+				m = v
+			}
+		}
+		return m
+	case TotalGoodput:
+		t := 0.0
+		for _, b := range bottlenecks {
+			t += Delivered(r, b)
+		}
+		return t
+	}
+	panic("singlerate: unknown aggregate")
+}
+
+// OptimalRate returns the best-effort transmission rate maximizing the
+// aggregate satisfaction, with its score. Candidates are the bottleneck
+// values; ties resolve to the smaller (less wasteful) rate.
+func OptimalRate(bottlenecks []float64, s Satisfaction, agg Aggregate) (rate, score float64) {
+	if len(bottlenecks) == 0 {
+		panic("singlerate: no receivers")
+	}
+	cands := append([]float64{}, bottlenecks...)
+	sort.Float64s(cands)
+	best := math.Inf(-1)
+	bestRate := 0.0
+	for _, r := range cands {
+		if sc := Score(bottlenecks, r, s, agg); sc > best+netmodel.Eps {
+			best = sc
+			bestRate = r
+		}
+	}
+	return bestRate, best
+}
+
+// IsolatedFairRates computes each receiver's b_k for session i: its rate
+// in the multi-rate max-min fair allocation of the network with session
+// i re-typed multi-rate — the "what this receiver's path can fairly
+// sustain" reference used by inter-receiver fairness measures.
+func IsolatedFairRates(net *netmodel.Network, i int) ([]float64, error) {
+	types := make([]netmodel.SessionType, net.NumSessions())
+	for x, s := range net.Sessions() {
+		types[x] = s.Type
+	}
+	types[i] = netmodel.MultiRate
+	multi, err := net.WithSessionTypes(types)
+	if err != nil {
+		return nil, err
+	}
+	res, err := maxmin.Allocate(multi)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64{}, res.Alloc.SessionRates(i)...), nil
+}

@@ -1,0 +1,150 @@
+package singlerate
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/topology"
+)
+
+func approx(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestDelivered(t *testing.T) {
+	approx(t, Delivered(3, 5), 3, "under")
+	approx(t, Delivered(5, 5), 5, "at")
+	approx(t, Delivered(10, 5), 2.5, "over") // 25/10
+	approx(t, Delivered(1, 0), 0, "zero bottleneck")
+}
+
+func TestMaxMinFeasibleRate(t *testing.T) {
+	approx(t, MaxMinFeasibleRate([]float64{2, 5, 9}), 2, "min")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty accepted")
+		}
+	}()
+	MaxMinFeasibleRate(nil)
+}
+
+func TestSatisfactionFunctions(t *testing.T) {
+	approx(t, Ratio(2, 4), 0.5, "Ratio")
+	approx(t, Ratio(1, 0), 0, "Ratio zero fair")
+	at := AtLeast(0.95)
+	if at(4, 4) != 1 || at(3.7, 4) != 0 || at(1, 0) != 0 {
+		t.Fatal("AtLeast wrong")
+	}
+	for _, bad := range []float64{0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad fraction accepted")
+				}
+			}()
+			AtLeast(bad)
+		}()
+	}
+}
+
+// TestMinSatisfactionPicksInterior: in the best-effort regime the
+// max-min-satisfaction rate is an intermediate bottleneck — unlike the
+// feasibility-constrained minimum.
+func TestMinSatisfactionPicksInterior(t *testing.T) {
+	b := []float64{2, 5, 9}
+	rate, score := OptimalRate(b, Ratio, MinSatisfaction)
+	// r=2: min(1, 0.4, 2/9) = 2/9; r=5: min(0.4, 1, 5/9) = 0.4;
+	// r=9: min(2/9, 25/45... 25/9/5=5/9, 1) = 2/9. Best: r=5.
+	approx(t, rate, 5, "rate")
+	approx(t, score, 0.4, "score")
+	if f := MaxMinFeasibleRate(b); f != 2 {
+		t.Fatalf("feasible rate = %v", f)
+	}
+}
+
+// TestMeanSatisfactionFollowsMajority: the [6]-style mean rule serves
+// whichever class dominates.
+func TestMeanSatisfactionFollowsMajority(t *testing.T) {
+	fastMajority := []float64{1, 10, 10, 10, 10}
+	rate, _ := OptimalRate(fastMajority, Ratio, MeanSatisfaction)
+	approx(t, rate, 10, "fast-majority rate")
+
+	slowMajority := []float64{1, 1, 1, 1, 10}
+	rate, _ = OptimalRate(slowMajority, Ratio, MeanSatisfaction)
+	approx(t, rate, 1, "slow-majority rate")
+}
+
+// TestAtLeastCountsSatisfied: overshooting a branch destroys its
+// satisfaction, so the counting rule keeps the rate at the level that
+// fully serves the majority.
+func TestAtLeastCountsSatisfied(t *testing.T) {
+	b := []float64{2, 2, 2, 8}
+	rate, score := OptimalRate(b, AtLeast(0.95), MeanSatisfaction)
+	// r=2: three receivers fully served (8-receiver gets 2 < 7.6): 0.75.
+	// r=8: slow receivers get 0.5 each (b²/r), fast gets 8: 0.25.
+	approx(t, rate, 2, "rate")
+	approx(t, score, 0.75, "score")
+}
+
+func TestTotalGoodput(t *testing.T) {
+	b := []float64{2, 5, 9}
+	rate, score := OptimalRate(b, Ratio, TotalGoodput)
+	// r=9: 4/9 + 25/9 + 9 = 110/9 ≈ 12.22 beats r=5 (0.8+5+5=10.8).
+	approx(t, rate, 9, "rate")
+	approx(t, score, 110.0/9, "score")
+}
+
+func TestScoreUnknownAggregate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown aggregate accepted")
+		}
+	}()
+	Score([]float64{1}, 1, Ratio, Aggregate(9))
+}
+
+func TestOptimalRatePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty bottlenecks accepted")
+		}
+	}()
+	OptimalRate(nil, Ratio, MeanSatisfaction)
+}
+
+// TestIsolatedFairRatesFigure2: S1's isolated fair rates are its
+// multi-rate allocation (2.5, 2, 3); the feasible single rate is the
+// paper's 2, while best-effort satisfaction rules prefer 2.5.
+func TestIsolatedFairRatesFigure2(t *testing.T) {
+	net := topology.Figure2(netmodel.SingleRate).Network
+	b, err := IsolatedFairRates(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 2, 3}
+	for k := range want {
+		if !netmodel.Eq(b[k], want[k]) {
+			t.Fatalf("b = %v, want %v", b, want)
+		}
+	}
+	approx(t, MaxMinFeasibleRate(b), 2, "feasible rate (paper Figure 2)")
+
+	rate, score := OptimalRate(b, Ratio, MinSatisfaction)
+	// r=2.5: (1, 2/2.5/2=0.8, 2.5/3) min = 0.8 — the best-effort choice.
+	approx(t, rate, 2.5, "min-satisfaction rate")
+	approx(t, score, 0.8, "min-satisfaction score")
+
+	rate, _ = OptimalRate(b, Ratio, MeanSatisfaction)
+	approx(t, rate, 2.5, "mean-satisfaction rate")
+}
+
+// TestTieBreakPrefersSmallerRate: identical bottlenecks resolve cleanly.
+func TestTieBreakPrefersSmallerRate(t *testing.T) {
+	rate, score := OptimalRate([]float64{4, 4, 4}, Ratio, MeanSatisfaction)
+	approx(t, rate, 4, "rate")
+	approx(t, score, 1, "score")
+}

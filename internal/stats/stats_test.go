@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Sum of squared deviations = 32; sample variance = 32/7.
+	if want := 32.0 / 7.0; math.Abs(a.Variance()-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", a.Variance(), want)
+	}
+	if math.Abs(a.StdDev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", a.StdDev())
+	}
+	if math.Abs(a.StdErr()-a.StdDev()/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("StdErr = %v", a.StdErr())
+	}
+	if math.Abs(a.CI95()-1.96*a.StdErr()) > 1e-12 {
+		t.Fatalf("CI95 = %v", a.CI95())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 {
+		t.Fatal("single observation mishandled")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(71, 72))
+	xs := make([]float64, 1000)
+	sum := 0.0
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	ss := 0.0
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	naiveVar := ss / float64(len(xs)-1)
+
+	s := Summarize(xs)
+	if math.Abs(s.Mean-mean) > 1e-9 {
+		t.Fatalf("mean %v vs naive %v", s.Mean, mean)
+	}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if math.Abs(a.Variance()-naiveVar) > 1e-9 {
+		t.Fatalf("variance %v vs naive %v", a.Variance(), naiveVar)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// The 95% CI should cover the true mean roughly 95% of the time.
+	rng := rand.New(rand.NewPCG(73, 74))
+	const trials = 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var a Accumulator
+		for i := 0; i < 30; i++ {
+			a.Add(rng.NormFloat64())
+		}
+		if math.Abs(a.Mean()) <= a.CI95() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage = %v, want ~0.95", frac)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "±") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}

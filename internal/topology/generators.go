@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/routing"
+)
+
+// Star builds a one-session star network: a sender behind a shared link
+// of capacity sharedCap feeding a hub, with one fanout link per receiver
+// (capacities fanoutCaps). This is the capacity-domain analogue of the
+// paper's Figure 7 loss topologies.
+//
+//	sender --shared-- hub --fanout[k]-- receiver k
+func Star(t netmodel.SessionType, sharedCap float64, fanoutCaps []float64) *Named {
+	n := len(fanoutCaps)
+	if n == 0 {
+		panic("topology: star needs at least one receiver")
+	}
+	g := netmodel.NewGraph(2 + n)
+	const sender, hub = 0, 1
+	shared := g.AddLink(sender, hub, sharedCap)
+	links := map[string]int{"shared": shared}
+	receivers := make([]int, n)
+	for k := 0; k < n; k++ {
+		node := 2 + k
+		j := g.AddLink(hub, node, fanoutCaps[k])
+		links[fmt.Sprintf("fanout%d", k)] = j
+		receivers[k] = node
+	}
+	s := &netmodel.Session{Sender: sender, Receivers: receivers, Type: t, MaxRate: netmodel.NoRateCap}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		panic("topology: Star: " + err.Error())
+	}
+	return &Named{Network: net, Links: links}
+}
+
+// Chain builds a one-session chain network: the sender at one end,
+// receivers at every subsequent node, link k having capacity caps[k].
+// Receiver k's data-path is links 0..k — the canonical setting where
+// multi-rate sessions deliver each receiver exactly its own bottleneck.
+func Chain(t netmodel.SessionType, caps []float64) *Named {
+	n := len(caps)
+	if n == 0 {
+		panic("topology: chain needs at least one link")
+	}
+	g := netmodel.NewGraph(n + 1)
+	links := map[string]int{}
+	receivers := make([]int, n)
+	for k := 0; k < n; k++ {
+		j := g.AddLink(k, k+1, caps[k])
+		links[fmt.Sprintf("hop%d", k)] = j
+		receivers[k] = k + 1
+	}
+	s := &netmodel.Session{Sender: 0, Receivers: receivers, Type: t, MaxRate: netmodel.NoRateCap}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		panic("topology: Chain: " + err.Error())
+	}
+	return &Named{Network: net, Links: links}
+}
+
+// BinaryTree builds a one-session complete binary tree of the given
+// depth, sender at the root, receivers at the leaves. Link capacities are
+// drawn uniformly from [capMin, capMax] using rng (pass a fixed-seed rng
+// for reproducibility).
+func BinaryTree(t netmodel.SessionType, depth int, capMin, capMax float64, rng *rand.Rand) *Named {
+	if depth < 1 {
+		panic("topology: tree depth must be >= 1")
+	}
+	numNodes := 1<<(depth+1) - 1
+	g := netmodel.NewGraph(numNodes)
+	links := map[string]int{}
+	for child := 1; child < numNodes; child++ {
+		parent := (child - 1) / 2
+		c := capMin + (capMax-capMin)*rng.Float64()
+		j := g.AddLink(parent, child, c)
+		links[fmt.Sprintf("edge%d", child)] = j
+	}
+	firstLeaf := 1<<depth - 1
+	receivers := make([]int, 0, 1<<depth)
+	for n := firstLeaf; n < numNodes; n++ {
+		receivers = append(receivers, n)
+	}
+	s := &netmodel.Session{Sender: 0, Receivers: receivers, Type: t, MaxRate: netmodel.NoRateCap}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		panic("topology: BinaryTree: " + err.Error())
+	}
+	return &Named{Network: net, Links: links}
+}
+
+// RandomOptions parameterizes RandomNetwork.
+type RandomOptions struct {
+	Nodes          int     // graph nodes (>= 2)
+	ExtraLinks     int     // links beyond the spanning tree
+	Sessions       int     // session count (>= 1)
+	MaxReceivers   int     // receivers per session drawn from [1, MaxReceivers]
+	CapMin, CapMax float64 // uniform link capacities
+	SingleRateProb float64 // probability a session is single-rate
+	KappaProb      float64 // probability a session has a finite κ
+	KappaMax       float64 // finite κ drawn from (0, KappaMax]
+}
+
+// DefaultRandomOptions returns moderate settings for property testing:
+// 12 nodes, 4 extra links, 4 sessions of up to 4 receivers.
+func DefaultRandomOptions() RandomOptions {
+	return RandomOptions{
+		Nodes: 12, ExtraLinks: 4, Sessions: 4, MaxReceivers: 4,
+		CapMin: 1, CapMax: 20, SingleRateProb: 0.5, KappaProb: 0.3, KappaMax: 10,
+	}
+}
+
+// RandomNetwork generates a connected random graph (uniform random
+// spanning tree plus ExtraLinks random chords) and populates it with
+// randomly placed sessions, routed by shortest path. Determinism follows
+// the rng seed.
+func RandomNetwork(rng *rand.Rand, o RandomOptions) *netmodel.Network {
+	if o.Nodes < 2 || o.Sessions < 1 || o.MaxReceivers < 1 {
+		panic("topology: invalid RandomOptions")
+	}
+	g := netmodel.NewGraph(o.Nodes)
+	cap_ := func() float64 { return o.CapMin + (o.CapMax-o.CapMin)*rng.Float64() }
+	// Random spanning tree: attach each node to a random earlier node.
+	perm := rng.Perm(o.Nodes)
+	for x := 1; x < o.Nodes; x++ {
+		g.AddLink(perm[x], perm[rng.IntN(x)], cap_())
+	}
+	for e := 0; e < o.ExtraLinks; e++ {
+		a, b := rng.IntN(o.Nodes), rng.IntN(o.Nodes)
+		if a == b {
+			continue
+		}
+		g.AddLink(a, b, cap_())
+	}
+	sessions := make([]*netmodel.Session, o.Sessions)
+	for i := range sessions {
+		t := netmodel.MultiRate
+		if rng.Float64() < o.SingleRateProb {
+			t = netmodel.SingleRate
+		}
+		kappa := netmodel.NoRateCap
+		if rng.Float64() < o.KappaProb {
+			kappa = o.KappaMax * (0.1 + 0.9*rng.Float64())
+		}
+		sender := rng.IntN(o.Nodes)
+		nr := 1 + rng.IntN(o.MaxReceivers)
+		// Distinct receiver nodes, none equal to the sender (the τ
+		// restriction: no two members of one session share a node).
+		nodes := rng.Perm(o.Nodes)
+		receivers := make([]int, 0, nr)
+		for _, nd := range nodes {
+			if nd == sender {
+				continue
+			}
+			receivers = append(receivers, nd)
+			if len(receivers) == nr {
+				break
+			}
+		}
+		sessions[i] = &netmodel.Session{Sender: sender, Receivers: receivers, Type: t, MaxRate: kappa}
+	}
+	net, err := routing.BuildNetwork(g, sessions)
+	if err != nil {
+		// The spanning tree guarantees connectivity; routing cannot fail.
+		panic("topology: RandomNetwork: " + err.Error())
+	}
+	return net
+}

@@ -1,0 +1,266 @@
+package topology
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/fairness"
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/routing"
+)
+
+func allocate(t *testing.T, net *netmodel.Network) *netmodel.Allocation {
+	t.Helper()
+	res, err := maxmin.Allocate(net)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return res.Alloc
+}
+
+func wantRate(t *testing.T, a *netmodel.Allocation, i, k int, want float64) {
+	t.Helper()
+	if got := a.Rate(i, k); !netmodel.Eq(got, want) {
+		t.Errorf("a[%d][%d] = %v, want %v (%s)", i, k, got, want, a)
+	}
+}
+
+// TestFigure1GraphForm: the graph-built Figure 1 reproduces the paper's
+// rates and annotations, and its sessions are proper multicast trees.
+func TestFigure1GraphForm(t *testing.T) {
+	f := Figure1()
+	a := allocate(t, f.Network)
+	wantRate(t, a, 0, 0, 1)
+	wantRate(t, a, 1, 0, 1)
+	wantRate(t, a, 1, 1, 2)
+	wantRate(t, a, 2, 0, 1)
+	wantRate(t, a, 2, 1, 2)
+	for i := 0; i < 3; i++ {
+		if err := routing.TreeCheck(f.Network, i); err != nil {
+			t.Errorf("session %d not a tree: %v", i, err)
+		}
+	}
+	if got := a.SessionLinkRate(2, f.LinkIndex("l1")); !netmodel.Eq(got, 2) {
+		t.Errorf("u_{3,l1} = %v, want 2", got)
+	}
+	if !a.FullyUtilized(f.LinkIndex("l4")) || !a.FullyUtilized(f.LinkIndex("l3")) {
+		t.Error("l3 and l4 should be fully utilized")
+	}
+	if rep := fairness.Check(a); !rep.AllHold() {
+		t.Errorf("Figure 1 fairness: %s", rep.Summary())
+	}
+}
+
+func TestFigure2BothTypes(t *testing.T) {
+	aS := allocate(t, Figure2(netmodel.SingleRate).Network)
+	for k := 0; k < 3; k++ {
+		wantRate(t, aS, 0, k, 2)
+	}
+	wantRate(t, aS, 1, 0, 3)
+
+	aM := allocate(t, Figure2(netmodel.MultiRate).Network)
+	wantRate(t, aM, 0, 0, 2.5)
+	wantRate(t, aM, 0, 1, 2)
+	wantRate(t, aM, 0, 2, 3)
+	wantRate(t, aM, 1, 0, 2.5)
+}
+
+func TestFigure4LinkAnnotation(t *testing.T) {
+	f := Figure4(2)
+	a := allocate(t, f.Network)
+	for k := 0; k < 3; k++ {
+		wantRate(t, a, 0, k, 2)
+	}
+	wantRate(t, a, 1, 0, 2)
+	l4 := f.LinkIndex("l4")
+	if got := a.SessionLinkRate(0, l4); !netmodel.Eq(got, 4) {
+		t.Errorf("u_{1,l4} = %v, want 4", got)
+	}
+	rep := fairness.Check(a)
+	if rep.PerSessionLinkFair() {
+		t.Error("per-session-link-fairness should fail in Figure 4")
+	}
+}
+
+// TestFigure3aRemovalShifts reproduces the Figure 3(a) phenomenon:
+// removing r3,2 decreases r3,1 and increases r1,1.
+func TestFigure3aRemovalShifts(t *testing.T) {
+	f := Figure3a()
+	before := allocate(t, f.Network)
+	wantRate(t, before, 0, 0, 3)
+	wantRate(t, before, 1, 0, 2)
+	wantRate(t, before, 2, 0, 8)
+	wantRate(t, before, 2, 1, 2)
+
+	afterNet, err := f.Network.RemoveReceiver(netmodel.ReceiverID{Session: 2, Receiver: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := allocate(t, afterNet)
+	wantRate(t, after, 0, 0, 5) // r1,1 increased 3 -> 5
+	wantRate(t, after, 1, 0, 4)
+	wantRate(t, after, 2, 0, 6) // r3,1 decreased 8 -> 6
+}
+
+// TestFigure3bRemovalShifts reproduces Figure 3(b): removing r3,2
+// increases r3,1 and decreases r1,1.
+func TestFigure3bRemovalShifts(t *testing.T) {
+	f := Figure3b()
+	before := allocate(t, f.Network)
+	wantRate(t, before, 0, 0, 5)
+	wantRate(t, before, 1, 0, 2)
+	wantRate(t, before, 2, 0, 7)
+	wantRate(t, before, 2, 1, 2)
+
+	afterNet, err := f.Network.RemoveReceiver(netmodel.ReceiverID{Session: 2, Receiver: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := allocate(t, afterNet)
+	wantRate(t, after, 0, 0, 3.5) // r1,1 decreased 5 -> 3.5
+	wantRate(t, after, 1, 0, 3.5)
+	wantRate(t, after, 2, 0, 8.5) // r3,1 increased 7 -> 8.5
+}
+
+func TestSingleLink(t *testing.T) {
+	f := SingleLink(6)
+	a := allocate(t, f.Network)
+	wantRate(t, a, 0, 0, 3)
+	wantRate(t, a, 1, 0, 3)
+}
+
+func TestStar(t *testing.T) {
+	st := Star(netmodel.MultiRate, 10, []float64{1, 2, 30})
+	a := allocate(t, st.Network)
+	// Fanout caps bind receivers 0 and 1; receiver 2 is bound by its
+	// share of the shared link: 10 - 1 - ... shared link carries session
+	// max = a of fastest receiver only (multi-rate, one session):
+	// u_shared = max(1,2,a3) <= 10 -> receiver 2 gets 10.
+	wantRate(t, a, 0, 0, 1)
+	wantRate(t, a, 0, 1, 2)
+	wantRate(t, a, 0, 2, 10)
+}
+
+func TestStarSingleRate(t *testing.T) {
+	st := Star(netmodel.SingleRate, 10, []float64{1, 2, 30})
+	a := allocate(t, st.Network)
+	for k := 0; k < 3; k++ {
+		wantRate(t, a, 0, k, 1)
+	}
+}
+
+func TestChain(t *testing.T) {
+	ch := Chain(netmodel.MultiRate, []float64{5, 3, 8})
+	a := allocate(t, ch.Network)
+	// Receiver k is bound by the min capacity on links 0..k.
+	wantRate(t, a, 0, 0, 5)
+	wantRate(t, a, 0, 1, 3)
+	wantRate(t, a, 0, 2, 3)
+}
+
+func TestBinaryTree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	tr := BinaryTree(netmodel.MultiRate, 3, 1, 10, rng)
+	if tr.Network.Session(0).NumReceivers() != 8 {
+		t.Fatalf("depth-3 tree has %d leaves, want 8", tr.Network.Session(0).NumReceivers())
+	}
+	a := allocate(t, tr.Network)
+	if err := a.Feasible(); err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.TreeCheck(tr.Network, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Multi-rate, single session: every receiver is bound by the min
+	// capacity on its own root-to-leaf path.
+	for k := 0; k < 8; k++ {
+		min := netmodel.NoRateCap
+		for _, j := range tr.Network.Path(0, k) {
+			if c := tr.Network.Capacity(j); c < min {
+				min = c
+			}
+		}
+		if !netmodel.Eq(a.Rate(0, k), min) {
+			t.Errorf("leaf %d rate %v, want path min %v", k, a.Rate(0, k), min)
+		}
+	}
+}
+
+func TestRandomNetworkProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 44))
+	opts := DefaultRandomOptions()
+	for trial := 0; trial < 50; trial++ {
+		net := RandomNetwork(rng, opts)
+		if net.NumSessions() != opts.Sessions {
+			t.Fatalf("session count %d", net.NumSessions())
+		}
+		res, err := maxmin.Allocate(net)
+		if err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+		if err := res.Alloc.Feasible(); err != nil {
+			t.Fatalf("infeasible: %v", err)
+		}
+		// Sessions are routed on BFS trees.
+		for i := 0; i < net.NumSessions(); i++ {
+			if err := routing.TreeCheck(net, i); err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+		}
+		// τ restriction: distinct member nodes per session.
+		for i := 0; i < net.NumSessions(); i++ {
+			seen := map[int]bool{}
+			for _, nd := range net.Session(i).Receivers {
+				if seen[nd] {
+					t.Fatal("duplicate receiver node within session")
+				}
+				seen[nd] = true
+			}
+		}
+	}
+}
+
+func TestRandomNetworkDeterministic(t *testing.T) {
+	o := DefaultRandomOptions()
+	n1 := RandomNetwork(rand.New(rand.NewPCG(7, 7)), o)
+	n2 := RandomNetwork(rand.New(rand.NewPCG(7, 7)), o)
+	if n1.NumLinks() != n2.NumLinks() || n1.NumReceivers() != n2.NumReceivers() {
+		t.Fatal("same seed produced different networks")
+	}
+	a1 := allocate(t, n1)
+	a2 := allocate(t, n2)
+	v1, v2 := a1.OrderedVector(), a2.OrderedVector()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed produced different allocations")
+		}
+	}
+}
+
+func TestLinkIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown label accepted")
+		}
+	}()
+	Figure1().LinkIndex("nope")
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty star":    func() { Star(netmodel.MultiRate, 1, nil) },
+		"empty chain":   func() { Chain(netmodel.MultiRate, nil) },
+		"tree depth 0":  func() { BinaryTree(netmodel.MultiRate, 0, 1, 2, rand.New(rand.NewPCG(1, 1))) },
+		"bad rand opts": func() { RandomNetwork(rand.New(rand.NewPCG(1, 1)), RandomOptions{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

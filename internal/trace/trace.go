@@ -1,0 +1,128 @@
+// Package trace formats experiment output as fixed-width text tables and
+// plot-ready series, the textual equivalent of the paper's figures. Every
+// experiment driver prints through this package so `cmd/experiments`
+// output is uniform and diffable.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cell counts beyond the header count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddFloatRow appends a row of floats rendered with %.4g.
+func (t *Table) AddFloatRow(cells ...float64) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		s[i] = Float(c)
+	}
+	t.AddRow(s...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteTo renders the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		// strings.Builder never errors; keep the invariant explicit.
+		panic(err)
+	}
+	return b.String()
+}
+
+// Float renders a value the way the tables do (%.4g).
+func Float(x float64) string { return fmt.Sprintf("%.4g", x) }
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// WriteSeries renders a figure as a table: one x column and one column
+// per curve. All series must have len(Y) == len(x).
+func WriteSeries(w io.Writer, title, xLabel string, x []float64, series []Series) error {
+	headers := append([]string{xLabel}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(title, headers...)
+	for r := range x {
+		cells := make([]float64, 0, 1+len(series))
+		cells = append(cells, x[r])
+		for _, s := range series {
+			if r >= len(s.Y) {
+				return fmt.Errorf("trace: series %q has %d points, x has %d", s.Name, len(s.Y), len(x))
+			}
+			cells = append(cells, s.Y[r])
+		}
+		t.AddFloatRow(cells...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "x", "value")
+	tb.AddRow("1", "10")
+	tb.AddFloatRow(2, 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "value") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("missing %%.4g float:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "col", "c")
+	tb.AddRow("longvalue", "x")
+	out := tb.String()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.Contains(line, "  x") && !strings.HasPrefix(line, "longvalue") {
+			t.Fatalf("misaligned row: %q", line)
+		}
+	}
+}
+
+func TestAddRowShapes(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1")           // short
+	tb.AddRow("1", "2", "3") // long
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Fatalf("extra cell kept:\n%s", out)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeries(&b, "Figure X", "loss", []float64{0.01, 0.02},
+		[]Series{{Name: "Coordinated", Y: []float64{1.1, 1.2}}, {Name: "Uncoordinated", Y: []float64{2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure X", "loss", "Coordinated", "Uncoordinated", "0.01", "1.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSeriesLengthMismatch(t *testing.T) {
+	var b strings.Builder
+	err := WriteSeries(&b, "t", "x", []float64{1, 2}, []Series{{Name: "s", Y: []float64{1}}})
+	if err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestFloat(t *testing.T) {
+	if Float(0.123456) != "0.1235" {
+		t.Fatalf("Float = %q", Float(0.123456))
+	}
+}

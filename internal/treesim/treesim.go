@@ -1,0 +1,371 @@
+// Package treesim generalizes the packet-level protocol simulation from
+// the paper's modified star (one shared link) to arbitrary multicast
+// trees with per-link Bernoulli loss. This matters because the paper's
+// Definition 3 redundancy is a *per-link* quantity: on a real
+// distribution tree every interior link serves a different receiver
+// subset, with loss correlation induced by shared path prefixes.
+//
+// The model extends sim's idealization: the sender at the root transmits
+// the exponential layer scheme; a packet on layer l is forwarded over a
+// link iff some subscribed receiver (level > l) lies below it; each link
+// drops the packet independently with its loss rate, and every receiver
+// below a dropping link observes a congestion event simultaneously —
+// so siblings share the losses of their common ancestors, reproducing
+// Figure 7's shared/independent split at every branching point.
+//
+// The headline observation (see the experiments driver): per-link
+// redundancy grows toward the root, where more receivers share the link
+// — the protocol-dynamics analogue of Figure 5's receiver-count effect.
+package treesim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+)
+
+// Tree is a rooted multicast distribution tree. Node 0 is the root
+// (sender). Every other node has a parent link with a loss rate; link i
+// connects Parent[i] to node i (so link indices 1..N-1; index 0 unused).
+type Tree struct {
+	// Parent[i] is node i's parent; Parent[0] is ignored.
+	Parent []int
+	// Loss[i] is the Bernoulli loss rate of node i's parent link.
+	Loss []float64
+	// Receivers lists the nodes hosting receivers (a node may host at
+	// most one receiver; interior nodes may host receivers too).
+	Receivers []int
+}
+
+// Validate checks structural soundness: parents precede children
+// (topological numbering), loss rates in [0,1), receivers at distinct
+// non-root nodes.
+func (t *Tree) Validate() error {
+	n := len(t.Parent)
+	if n < 2 {
+		return fmt.Errorf("treesim: tree needs at least two nodes")
+	}
+	if len(t.Loss) != n {
+		return fmt.Errorf("treesim: %d loss rates for %d nodes", len(t.Loss), n)
+	}
+	for i := 1; i < n; i++ {
+		if t.Parent[i] < 0 || t.Parent[i] >= i {
+			return fmt.Errorf("treesim: node %d has parent %d (need topological order)", i, t.Parent[i])
+		}
+		if t.Loss[i] < 0 || t.Loss[i] >= 1 {
+			return fmt.Errorf("treesim: link %d loss %v outside [0,1)", i, t.Loss[i])
+		}
+	}
+	if len(t.Receivers) == 0 {
+		return fmt.Errorf("treesim: no receivers")
+	}
+	seen := map[int]bool{}
+	for _, nd := range t.Receivers {
+		if nd <= 0 || nd >= n {
+			return fmt.Errorf("treesim: receiver node %d out of range", nd)
+		}
+		if seen[nd] {
+			return fmt.Errorf("treesim: duplicate receiver at node %d", nd)
+		}
+		seen[nd] = true
+	}
+	return nil
+}
+
+// Star builds the paper's Figure 7(b) topology as a tree: root, one hub
+// behind the shared link, and n receivers behind independent fanout
+// links.
+func Star(n int, sharedLoss, fanoutLoss float64) *Tree {
+	t := &Tree{
+		Parent: make([]int, n+2),
+		Loss:   make([]float64, n+2),
+	}
+	t.Parent[1] = 0
+	t.Loss[1] = sharedLoss
+	for k := 0; k < n; k++ {
+		t.Parent[2+k] = 1
+		t.Loss[2+k] = fanoutLoss
+		t.Receivers = append(t.Receivers, 2+k)
+	}
+	return t
+}
+
+// Binary builds a complete binary tree of the given depth with uniform
+// per-link loss and receivers at the leaves.
+func Binary(depth int, linkLoss float64) *Tree {
+	if depth < 1 {
+		panic("treesim: depth must be >= 1")
+	}
+	n := 1<<(depth+1) - 1
+	t := &Tree{Parent: make([]int, n), Loss: make([]float64, n)}
+	for i := 1; i < n; i++ {
+		t.Parent[i] = (i - 1) / 2
+		t.Loss[i] = linkLoss
+	}
+	for i := 1<<depth - 1; i < n; i++ {
+		t.Receivers = append(t.Receivers, i)
+	}
+	return t
+}
+
+// Depth returns node nd's distance from the root.
+func (t *Tree) Depth(nd int) int {
+	d := 0
+	for nd != 0 {
+		nd = t.Parent[nd]
+		d++
+	}
+	return d
+}
+
+// Config parameterizes a tree simulation run.
+type Config struct {
+	Tree         *Tree
+	Layers       int
+	Protocol     protocol.Kind
+	Packets      int
+	SignalPeriod float64
+	Seed         uint64
+}
+
+// LinkStats is the per-link measurement.
+type LinkStats struct {
+	// Node identifies the link (node's parent link).
+	Node int
+	// Depth is the link's distance from the root (1 = root link).
+	Depth int
+	// Crossed counts packets forwarded over the link.
+	Crossed int
+	// Redundancy is Definition 3 on this link: crossing rate over the
+	// best downstream receiver's goodput (0 if no downstream receiver
+	// ever received).
+	Redundancy float64
+	// DownstreamReceivers counts receivers below the link.
+	DownstreamReceivers int
+}
+
+// Result summarizes a run.
+type Result struct {
+	// ReceiverRates[k] is the goodput of Tree.Receivers[k].
+	ReceiverRates []float64
+	// Links holds per-link stats for every link with a downstream
+	// receiver, in node order.
+	Links []LinkStats
+	// Duration is the simulated time.
+	Duration float64
+}
+
+// engine state.
+type eng struct {
+	cfg       Config
+	t         *Tree
+	rng       *rand.Rand
+	children  [][]int
+	recvAt    map[int]int // node -> receiver index
+	receivers []*protocol.Receiver
+	levels    []int
+	// subMax[node] = max subscription level among receivers at or below
+	// the node (0 when none).
+	subMax []int
+	// downCount[node] = receivers at or below node.
+	downCount []int
+
+	crossed  []int // per node (parent link)
+	received []int
+	// goodBelow[node][k-index...] too heavy; instead per receiver we
+	// track goodput and compute per-link max downstream afterwards.
+}
+
+// Run executes one tree simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tree == nil {
+		return nil, fmt.Errorf("treesim: nil tree")
+	}
+	if err := cfg.Tree.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Layers < 1 || cfg.Packets < 1 {
+		return nil, fmt.Errorf("treesim: Layers=%d Packets=%d", cfg.Layers, cfg.Packets)
+	}
+	t := cfg.Tree
+	n := len(t.Parent)
+	e := &eng{
+		cfg: cfg, t: t,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		children:  make([][]int, n),
+		recvAt:    map[int]int{},
+		subMax:    make([]int, n),
+		downCount: make([]int, n),
+		crossed:   make([]int, n),
+		received:  make([]int, len(t.Receivers)),
+	}
+	for i := 1; i < n; i++ {
+		e.children[t.Parent[i]] = append(e.children[t.Parent[i]], i)
+	}
+	e.receivers = make([]*protocol.Receiver, len(t.Receivers))
+	e.levels = make([]int, len(t.Receivers))
+	for k, nd := range t.Receivers {
+		e.receivers[k] = protocol.NewReceiver(cfg.Protocol, cfg.Layers, e.rng)
+		e.levels[k] = 1
+		e.recvAt[nd] = k
+		for cur := nd; ; cur = t.Parent[cur] {
+			e.downCount[cur]++
+			if cur == 0 {
+				break
+			}
+		}
+	}
+	for k := range e.receivers {
+		e.bubble(t.Receivers[k])
+	}
+
+	scheme := layering.Exponential(cfg.Layers)
+	nextTx := make([]float64, cfg.Layers)
+	period := make([]float64, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		period[l] = 1 / scheme.LayerRate(l)
+		nextTx[l] = period[l]
+	}
+	signalPeriod := cfg.SignalPeriod
+	if signalPeriod == 0 {
+		signalPeriod = 1
+	}
+	nextSignal := math.Inf(1)
+	signalIdx := 0
+	if cfg.Protocol == protocol.Coordinated && cfg.Layers > 1 {
+		nextSignal = signalPeriod
+	}
+
+	sent := 0
+	now := 0.0
+	for sent < cfg.Packets {
+		minLayer, minT := 0, nextTx[0]
+		for l := 1; l < cfg.Layers; l++ {
+			if nextTx[l] < minT {
+				minT, minLayer = nextTx[l], l
+			}
+		}
+		if nextSignal < minT {
+			now = nextSignal
+			signalIdx++
+			lvl := sim.SignalLevel(signalIdx, cfg.Layers-1)
+			for k, r := range e.receivers {
+				r.OnSignal(lvl)
+				e.syncReceiver(k)
+			}
+			nextSignal += signalPeriod
+			continue
+		}
+		now = minT
+		l := minLayer
+		nextTx[l] += period[l]
+		sent++
+		if e.subMax[0] <= l {
+			continue
+		}
+		e.forward(0, l, false)
+	}
+
+	res := &Result{ReceiverRates: make([]float64, len(t.Receivers)), Duration: now}
+	if now > 0 {
+		for k, c := range e.received {
+			res.ReceiverRates[k] = float64(c) / now
+		}
+	}
+	// Per-link stats: best downstream goodput per node via post-order.
+	bestDown := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		if k, ok := e.recvAt[i]; ok {
+			bestDown[i] = res.ReceiverRates[k]
+		}
+		for _, c := range e.children[i] {
+			if bestDown[c] > bestDown[i] {
+				bestDown[i] = bestDown[c]
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		if e.downCount[i] == 0 {
+			continue
+		}
+		ls := LinkStats{
+			Node: i, Depth: t.Depth(i), Crossed: e.crossed[i],
+			DownstreamReceivers: e.downCount[i],
+		}
+		if now > 0 && bestDown[i] > 0 {
+			ls.Redundancy = float64(e.crossed[i]) / now / bestDown[i]
+		}
+		res.Links = append(res.Links, ls)
+	}
+	return res, nil
+}
+
+// forward recursively pushes a layer-l packet down from node nd.
+// lostAbove reports whether some ancestor link already dropped it (the
+// packet still consumed those upstream links, and subscribed receivers
+// below observe the loss).
+func (e *eng) forward(nd, l int, lostAbove bool) {
+	if k, ok := e.recvAt[nd]; ok && e.levels[k] > l {
+		if lostAbove {
+			e.receivers[k].OnCongestion()
+		} else {
+			e.received[k]++
+			e.receivers[k].OnReceive()
+		}
+		e.syncReceiver(k)
+	}
+	for _, c := range e.children[nd] {
+		if e.subMax[c] <= l {
+			continue
+		}
+		lost := lostAbove
+		if !lostAbove {
+			// The packet actually reaches this link and consumes its
+			// bandwidth (even if the link itself then drops it); links
+			// below a drop carry nothing, but subscribed receivers
+			// beneath still observe the sequence gap.
+			e.crossed[c]++
+			if e.t.Loss[c] > 0 && e.rng.Float64() < e.t.Loss[c] {
+				lost = true
+			}
+		}
+		e.forward(c, l, lost)
+	}
+}
+
+// syncReceiver refreshes the level mirror and subtree maxima after a
+// protocol callback.
+func (e *eng) syncReceiver(k int) {
+	nl := e.receivers[k].Level()
+	if nl == e.levels[k] {
+		return
+	}
+	e.levels[k] = nl
+	e.bubble(e.t.Receivers[k])
+}
+
+// bubble recomputes subMax from node nd up to the root.
+func (e *eng) bubble(nd int) {
+	for cur := nd; ; cur = e.t.Parent[cur] {
+		m := 0
+		if k, ok := e.recvAt[cur]; ok {
+			m = e.levels[k]
+		}
+		for _, c := range e.children[cur] {
+			if e.subMax[c] > m {
+				m = e.subMax[c]
+			}
+		}
+		if e.subMax[cur] == m && cur != nd {
+			return // no change propagates further
+		}
+		e.subMax[cur] = m
+		if cur == 0 {
+			return
+		}
+	}
+}

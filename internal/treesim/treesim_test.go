@@ -1,0 +1,214 @@
+package treesim
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+	"mlfair/internal/stats"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func TestTreeValidate(t *testing.T) {
+	good := Star(3, 0.01, 0.02)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("star invalid: %v", err)
+	}
+	bad := []*Tree{
+		{Parent: []int{0}, Loss: []float64{0}},                                     // too small
+		{Parent: []int{0, 0}, Loss: []float64{0}},                                  // loss len
+		{Parent: []int{0, 1}, Loss: []float64{0, 0}, Receivers: []int{1}},          // parent not < i
+		{Parent: []int{0, 0}, Loss: []float64{0, 1.0}, Receivers: []int{1}},        // loss 1
+		{Parent: []int{0, 0}, Loss: []float64{0, 0}},                               // no receivers
+		{Parent: []int{0, 0}, Loss: []float64{0, 0}, Receivers: []int{0}},          // receiver at root
+		{Parent: []int{0, 0, 1}, Loss: []float64{0, 0, 0}, Receivers: []int{2, 2}}, // dup
+		{Parent: []int{0, 0, 1}, Loss: []float64{0, 0, -0.1}, Receivers: []int{2}}, // neg loss
+		{Parent: []int{0, 0, 1}, Loss: []float64{0, 0, 0}, Receivers: []int{5}},    // out of range
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad tree %d accepted", i)
+		}
+	}
+}
+
+func TestBinaryBuilder(t *testing.T) {
+	b := Binary(3, 0.01)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Receivers) != 8 {
+		t.Fatalf("leaves = %d", len(b.Receivers))
+	}
+	if b.Depth(b.Receivers[0]) != 3 {
+		t.Fatalf("leaf depth = %d", b.Depth(b.Receivers[0]))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("depth 0 accepted")
+		}
+	}()
+	Binary(0, 0)
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := Run(Config{Tree: Star(2, 0, 0), Layers: 0, Packets: 10}); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+}
+
+// TestStarMatchesFlatSimulator: the tree engine on a star topology
+// agrees statistically with the dedicated star simulator.
+func TestStarMatchesFlatSimulator(t *testing.T) {
+	const shared, ind = 0.001, 0.04
+	var treeReds, flatReds []float64
+	for seed := uint64(0); seed < 6; seed++ {
+		tr := run(t, Config{Tree: Star(30, shared, ind), Layers: 8,
+			Protocol: protocol.Deterministic, Packets: 60000, Seed: seed})
+		// Shared link = node 1's parent link.
+		for _, ls := range tr.Links {
+			if ls.Node == 1 {
+				treeReds = append(treeReds, ls.Redundancy)
+			}
+		}
+		fr, err := sim.Run(sim.Config{Layers: 8, Receivers: 30, SharedLoss: shared,
+			IndependentLoss: ind, Protocol: protocol.Deterministic,
+			Packets: 60000, Seed: seed + 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatReds = append(flatReds, fr.Redundancy)
+	}
+	tm, fm := stats.Mean(treeReds), stats.Mean(flatReds)
+	if rel := math.Abs(tm-fm) / fm; rel > 0.15 {
+		t.Fatalf("tree star %v vs flat star %v (rel %v)", tm, fm, rel)
+	}
+}
+
+// TestLeafLinksNearEfficient: a leaf link serves one receiver, so its
+// redundancy is just loss inflation.
+func TestLeafLinksNearEfficient(t *testing.T) {
+	res := run(t, Config{Tree: Binary(3, 0.02), Layers: 8,
+		Protocol: protocol.Coordinated, Packets: 100000, Seed: 5})
+	for _, ls := range res.Links {
+		if ls.DownstreamReceivers != 1 {
+			continue
+		}
+		if ls.Redundancy > 1.3 {
+			t.Fatalf("leaf link redundancy = %v", ls.Redundancy)
+		}
+	}
+}
+
+// TestRedundancyGrowsTowardRoot: averaging per depth, links closer to
+// the root (more downstream receivers) carry more redundancy — the
+// protocol-dynamics analogue of Figure 5.
+func TestRedundancyGrowsTowardRoot(t *testing.T) {
+	byDepth := map[int]*stats.Accumulator{}
+	for seed := uint64(0); seed < 4; seed++ {
+		res := run(t, Config{Tree: Binary(4, 0.02), Layers: 8,
+			Protocol: protocol.Uncoordinated, Packets: 150000, Seed: seed})
+		for _, ls := range res.Links {
+			if byDepth[ls.Depth] == nil {
+				byDepth[ls.Depth] = &stats.Accumulator{}
+			}
+			byDepth[ls.Depth].Add(ls.Redundancy)
+		}
+	}
+	root := byDepth[1].Mean()
+	leaf := byDepth[4].Mean()
+	if !(root > leaf*1.1) {
+		t.Fatalf("root redundancy %v not above leaf %v", root, leaf)
+	}
+}
+
+// TestLosslessTreePerfect: without loss every link converges to
+// redundancy ~1 and receivers to the top rate.
+func TestLosslessTreePerfect(t *testing.T) {
+	res := run(t, Config{Tree: Binary(2, 0), Layers: 6,
+		Protocol: protocol.Deterministic, Packets: 60000, Seed: 9})
+	for k, r := range res.ReceiverRates {
+		if r < 28 {
+			t.Fatalf("receiver %d rate %v, want near 32", k, r)
+		}
+	}
+	for _, ls := range res.Links {
+		if math.Abs(ls.Redundancy-1) > 0.1 {
+			t.Fatalf("link %d redundancy %v", ls.Node, ls.Redundancy)
+		}
+	}
+}
+
+// TestSharedPrefixCorrelation: two receivers sharing a lossy trunk stay
+// more synchronized (lower trunk redundancy) than two receivers losing
+// independently at the same end-to-end rate.
+func TestSharedPrefixCorrelation(t *testing.T) {
+	// Shared-loss tree: root -trunk(0.05)- hub -clean- r1, r2.
+	shared := &Tree{
+		Parent:    []int{0, 0, 1, 1},
+		Loss:      []float64{0, 0.05, 0, 0},
+		Receivers: []int{2, 3},
+	}
+	// Independent-loss tree: clean trunk, lossy leaves.
+	indep := &Tree{
+		Parent:    []int{0, 0, 1, 1},
+		Loss:      []float64{0, 0, 0.05, 0.05},
+		Receivers: []int{2, 3},
+	}
+	trunkRed := func(tr *Tree) float64 {
+		var acc stats.Accumulator
+		for seed := uint64(0); seed < 6; seed++ {
+			res := run(t, Config{Tree: tr, Layers: 8,
+				Protocol: protocol.Deterministic, Packets: 80000, Seed: seed})
+			for _, ls := range res.Links {
+				if ls.Node == 1 {
+					acc.Add(ls.Redundancy)
+				}
+			}
+		}
+		return acc.Mean()
+	}
+	sharedRed, indepRed := trunkRed(shared), trunkRed(indep)
+	if !(sharedRed < indepRed) {
+		t.Fatalf("shared-loss trunk %v not below independent-loss trunk %v", sharedRed, indepRed)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Tree: Binary(3, 0.03), Layers: 6,
+		Protocol: protocol.Uncoordinated, Packets: 20000, Seed: 21}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	for i := range a.Links {
+		if a.Links[i].Crossed != b.Links[i].Crossed {
+			t.Fatal("same seed, different crossings")
+		}
+	}
+}
+
+// TestInteriorReceiver: receivers need not sit at leaves.
+func TestInteriorReceiver(t *testing.T) {
+	tr := &Tree{
+		Parent:    []int{0, 0, 1, 2},
+		Loss:      []float64{0, 0.01, 0.01, 0.01},
+		Receivers: []int{1, 3}, // one interior, one deep
+	}
+	res := run(t, Config{Tree: tr, Layers: 6,
+		Protocol: protocol.Coordinated, Packets: 40000, Seed: 23})
+	if res.ReceiverRates[0] <= res.ReceiverRates[1] {
+		t.Fatalf("shallow receiver (%v) should beat deep receiver (%v)",
+			res.ReceiverRates[0], res.ReceiverRates[1])
+	}
+}

@@ -1,0 +1,26 @@
+package vecorder_test
+
+import (
+	"fmt"
+
+	"mlfair/internal/vecorder"
+)
+
+// ExampleCompare: the min-unfavorable order cares about the smallest
+// entries first — a huge rate later cannot compensate a small one
+// earlier.
+func ExampleCompare() {
+	x := []float64{1, 1, 100}
+	y := []float64{1, 2, 3}
+	fmt.Println(vecorder.Compare(x, y))
+	// Output: min-unfavorable
+}
+
+// ExampleThreshold exhibits the Lemma 2 witness for a strict comparison.
+func ExampleThreshold() {
+	x := []float64{1, 2, 3}
+	y := []float64{2, 2, 3}
+	x0, ok := vecorder.Threshold(x, y)
+	fmt.Println(x0, ok)
+	// Output: 1 true
+}

@@ -1,0 +1,174 @@
+// Package vecorder implements the min-unfavorable ordering of Definition 2
+// in Rubenstein/Kurose/Towsley (SIGCOMM '99): a lexicographic-style partial
+// order on ordered (ascending) rate vectors under which the max-min fair
+// allocation is the unique maximum among feasible allocations (Lemma 1).
+//
+// For ordered vectors X and Y of equal length, X ≼_m Y ("X is
+// min-unfavorable to Y") iff no index i has x_i > y_i, or every index i
+// with x_i > y_i is preceded by some j < i with x_j < y_j. Equivalently
+// (as the paper notes) X ≼_m Y iff X = Y or X precedes Y in standard
+// lexicographic ("alphabetical") order.
+//
+// The package also provides the Lemma 2 characterization: X ≺_m Y iff
+// there is a threshold x0 such that Y has no more receivers at-or-below
+// any rate z < x0 than X, and strictly fewer at-or-below x0 itself.
+package vecorder
+
+import (
+	"fmt"
+	"sort"
+
+	"mlfair/internal/netmodel"
+)
+
+// IsOrdered reports whether v is ascending (the precondition of
+// Definition 2).
+func IsOrdered(v []float64) bool {
+	return sort.Float64sAreSorted(v)
+}
+
+// Ordered returns an ascending copy of v.
+func Ordered(v []float64) []float64 {
+	c := append([]float64{}, v...)
+	sort.Float64s(c)
+	return c
+}
+
+// Relation is the outcome of comparing two ordered vectors under ≼_m.
+type Relation int
+
+const (
+	// Equal means X = Y (componentwise within tolerance).
+	Equal Relation = iota
+	// MinUnfavorable means X ≺_m Y: Y is strictly "more max-min fair".
+	MinUnfavorable
+	// MinFavorable means Y ≺_m X.
+	MinFavorable
+)
+
+// String names the relation from X's perspective.
+func (r Relation) String() string {
+	switch r {
+	case Equal:
+		return "equal"
+	case MinUnfavorable:
+		return "min-unfavorable"
+	case MinFavorable:
+		return "min-favorable"
+	}
+	return fmt.Sprintf("Relation(%d)", int(r))
+}
+
+// Compare evaluates X against Y under the min-unfavorable order. Both
+// vectors must be ordered (ascending) and of equal length; Compare panics
+// otherwise, since comparing unordered vectors silently would corrupt
+// every downstream fairness conclusion. Comparisons use the netmodel
+// tolerance.
+//
+// As the paper observes, for any two ordered vectors of equal length at
+// least one direction of ≼_m holds, so Compare is total.
+func Compare(x, y []float64) Relation {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecorder: length mismatch %d vs %d", len(x), len(y)))
+	}
+	if !IsOrdered(x) || !IsOrdered(y) {
+		panic("vecorder: Compare requires ordered vectors")
+	}
+	for i := range x {
+		if netmodel.Less(x[i], y[i]) {
+			return MinUnfavorable
+		}
+		if netmodel.Greater(x[i], y[i]) {
+			return MinFavorable
+		}
+	}
+	return Equal
+}
+
+// LessEq reports X ≼_m Y.
+func LessEq(x, y []float64) bool {
+	return Compare(x, y) != MinFavorable
+}
+
+// StrictlyLess reports X ≺_m Y (min-unfavorable and not equal).
+func StrictlyLess(x, y []float64) bool {
+	return Compare(x, y) == MinUnfavorable
+}
+
+// CountAtOrBelow returns |{x_i : x_i <= z}| (within tolerance) for an
+// ordered vector.
+func CountAtOrBelow(v []float64, z float64) int {
+	// Binary search for the first element > z+Eps.
+	return sort.Search(len(v), func(i int) bool {
+		return netmodel.Greater(v[i], z)
+	})
+}
+
+// Threshold returns the Lemma 2 witness for X ≺_m Y: a rate x0 such that
+// for every z < x0 the count of entries at-or-below z in X is >= the
+// count in Y, and the count at-or-below x0 is strictly greater in X.
+// The second return is false when X ≺_m Y does not hold.
+//
+// The witness returned is the first position of disagreement's X-value:
+// if i is the first index with x_i != y_i and x_i < y_i, then x0 = x_i
+// satisfies both clauses (all earlier entries agree, and X has at least
+// one more entry <= x0 than Y).
+func Threshold(x, y []float64) (x0 float64, ok bool) {
+	if Compare(x, y) != MinUnfavorable {
+		return 0, false
+	}
+	for i := range x {
+		if netmodel.Less(x[i], y[i]) {
+			return x[i], true
+		}
+	}
+	// Unreachable: StrictlyLess guarantees a strict coordinate.
+	return 0, false
+}
+
+// VerifyThreshold checks both clauses of Lemma 2 for a candidate x0
+// against vectors X and Y: ∀z < x0 (sampled at every distinct entry
+// value below x0): |{x <= z}| >= |{y <= z}|, and |{x <= x0}| > |{y <= x0}|.
+func VerifyThreshold(x, y []float64, x0 float64) bool {
+	if CountAtOrBelow(x, x0) <= CountAtOrBelow(y, x0) {
+		return false
+	}
+	// All distinct values below x0 from either vector are the only points
+	// where the counting functions change, so checking them checks all z.
+	for _, v := range append(append([]float64{}, x...), y...) {
+		if netmodel.Less(v, x0) {
+			if CountAtOrBelow(x, v) < CountAtOrBelow(y, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Utility computes a scalar utility consistent with ≼_m for vectors whose
+// entries lie in [0, bound]: U(A) < U(B) iff A ≺_m B (footnote 4 of the
+// paper). It maps the ordered vector to a number in base (bound+1)-like
+// positional weighting with the *smallest* entries most significant.
+//
+// Entries are first quantized to the given resolution; callers comparing
+// utilities must use the same bound and resolution for both vectors. With
+// q = bound/resolution quantization levels, the construction is
+// U = Σ_i digit_i * (q+1)^(len-1-i), exactly the "alphabetization" the
+// paper describes. For vectors longer than ~15 entries or very fine
+// resolutions this overflows float64 precision; Utility is provided for
+// illustration and tests, while Compare is the robust comparison.
+func Utility(v []float64, bound, resolution float64) float64 {
+	if !IsOrdered(v) {
+		panic("vecorder: Utility requires an ordered vector")
+	}
+	q := bound / resolution
+	u := 0.0
+	for _, x := range v {
+		d := x / resolution
+		if d > q {
+			d = q
+		}
+		u = u*(q+1) + d
+	}
+	return u
+}

@@ -1,0 +1,256 @@
+package vecorder
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		x, y []float64
+		want Relation
+	}{
+		{[]float64{1, 2, 3}, []float64{1, 2, 3}, Equal},
+		{[]float64{1, 2, 3}, []float64{1, 2, 4}, MinUnfavorable},
+		{[]float64{1, 2, 4}, []float64{1, 2, 3}, MinFavorable},
+		{[]float64{0, 5, 5}, []float64{1, 2, 3}, MinUnfavorable},   // first entry dominates
+		{[]float64{1, 1, 100}, []float64{1, 2, 3}, MinUnfavorable}, // later large entries irrelevant
+		{[]float64{}, []float64{}, Equal},
+		{[]float64{2}, []float64{1}, MinFavorable},
+	}
+	for _, c := range cases {
+		if got := Compare(c.x, c.y); got != c.want {
+			t.Errorf("Compare(%v, %v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestCompareTotality(t *testing.T) {
+	// For any two ordered vectors at least one direction holds.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(8)
+		x := randOrdered(rng, n)
+		y := randOrdered(rng, n)
+		r := Compare(x, y)
+		switch r {
+		case Equal:
+			if !LessEq(x, y) || !LessEq(y, x) {
+				t.Fatal("Equal but LessEq fails")
+			}
+		case MinUnfavorable:
+			if !StrictlyLess(x, y) || StrictlyLess(y, x) {
+				t.Fatal("asymmetry violated")
+			}
+		case MinFavorable:
+			if !StrictlyLess(y, x) || StrictlyLess(x, y) {
+				t.Fatal("asymmetry violated")
+			}
+		}
+	}
+}
+
+func TestCompareTransitive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.IntN(6)
+		w, x, y := randOrdered(rng, n), randOrdered(rng, n), randOrdered(rng, n)
+		if LessEq(w, x) && LessEq(x, y) && !LessEq(w, y) {
+			t.Fatalf("transitivity violated: %v %v %v", w, x, y)
+		}
+	}
+}
+
+func TestComparePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch accepted")
+			}
+		}()
+		Compare([]float64{1}, []float64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unordered vector accepted")
+			}
+		}()
+		Compare([]float64{2, 1}, []float64{1, 2})
+	}()
+}
+
+func TestOrderedHelpers(t *testing.T) {
+	v := []float64{3, 1, 2}
+	o := Ordered(v)
+	if !IsOrdered(o) {
+		t.Fatal("Ordered output not sorted")
+	}
+	if v[0] != 3 {
+		t.Fatal("Ordered mutated its input")
+	}
+	if IsOrdered(v) {
+		t.Fatal("IsOrdered wrong on unsorted input")
+	}
+}
+
+func TestCountAtOrBelow(t *testing.T) {
+	v := []float64{1, 2, 2, 3}
+	cases := []struct {
+		z    float64
+		want int
+	}{{0.5, 0}, {1, 1}, {2, 3}, {2.5, 3}, {3, 4}, {9, 4}}
+	for _, c := range cases {
+		if got := CountAtOrBelow(v, c.z); got != c.want {
+			t.Errorf("CountAtOrBelow(%v) = %d, want %d", c.z, got, c.want)
+		}
+	}
+}
+
+// TestLemma2 checks both directions of the Lemma 2 characterization on
+// random vector pairs: X ≺_m Y iff a valid threshold exists.
+func TestLemma2(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	sawStrict := 0
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.IntN(7)
+		x := randOrdered(rng, n)
+		y := randOrdered(rng, n)
+		x0, ok := Threshold(x, y)
+		if StrictlyLess(x, y) != ok {
+			t.Fatalf("Threshold existence mismatch for %v vs %v", x, y)
+		}
+		if ok {
+			sawStrict++
+			if !VerifyThreshold(x, y, x0) {
+				t.Fatalf("threshold %v fails Lemma 2 clauses for %v vs %v", x0, x, y)
+			}
+		}
+	}
+	if sawStrict < 100 {
+		t.Fatalf("too few strict cases exercised: %d", sawStrict)
+	}
+}
+
+// TestLemma2Converse: a valid threshold witness implies X ≺_m Y on
+// discrete random vectors (the ⇐ direction).
+func TestLemma2Converse(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(5)
+		x := randDiscreteOrdered(rng, n)
+		y := randDiscreteOrdered(rng, n)
+		// Try every entry of x as candidate threshold.
+		for _, x0 := range x {
+			if VerifyThreshold(x, y, x0) && !StrictlyLess(x, y) {
+				t.Fatalf("witness %v exists but %v not ≺_m %v", x0, x, y)
+			}
+		}
+	}
+}
+
+// TestUtilityConsistent checks footnote 4: U(A) < U(B) iff A ≺_m B, on
+// small discrete vectors where the positional encoding is exact.
+func TestUtilityConsistent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.IntN(5)
+		x := randDiscreteOrdered(rng, n)
+		y := randDiscreteOrdered(rng, n)
+		ux := Utility(x, 10, 1)
+		uy := Utility(y, 10, 1)
+		switch Compare(x, y) {
+		case Equal:
+			if ux != uy {
+				t.Fatalf("equal vectors, unequal utility: %v %v", x, y)
+			}
+		case MinUnfavorable:
+			if !(ux < uy) {
+				t.Fatalf("X ≺_m Y but U(X)=%v >= U(Y)=%v for %v %v", ux, uy, x, y)
+			}
+		case MinFavorable:
+			if !(ux > uy) {
+				t.Fatalf("Y ≺_m X but U(X)=%v <= U(Y)=%v for %v %v", ux, uy, x, y)
+			}
+		}
+	}
+}
+
+func TestUtilityPanicsUnordered(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unordered vector accepted by Utility")
+		}
+	}()
+	Utility([]float64{2, 1}, 10, 1)
+}
+
+func TestRelationString(t *testing.T) {
+	if Equal.String() != "equal" || MinUnfavorable.String() != "min-unfavorable" || MinFavorable.String() != "min-favorable" {
+		t.Fatal("Relation strings wrong")
+	}
+	if Relation(42).String() == "" {
+		t.Fatal("unknown relation empty")
+	}
+}
+
+// Property: adding the same constant to every element preserves order
+// relations (quick-check style).
+func TestCompareShiftInvariant(t *testing.T) {
+	f := func(raw []float64, shiftRaw uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		x := quantize(raw[:n])
+		y := quantize(raw[n : 2*n])
+		shift := float64(shiftRaw)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = x[i] + shift
+			ys[i] = y[i] + shift
+		}
+		return Compare(x, y) == Compare(xs, ys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quantize maps arbitrary floats to a sorted, well-behaved grid in [0,8].
+func quantize(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		v := r
+		if v < 0 {
+			v = -v
+		}
+		for v > 8 {
+			v /= 4
+		}
+		out[i] = float64(int(v))
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func randOrdered(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(int(rng.Float64()*100)) / 10
+	}
+	sort.Float64s(v)
+	return v
+}
+
+func randDiscreteOrdered(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(rng.IntN(10))
+	}
+	sort.Float64s(v)
+	return v
+}
