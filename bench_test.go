@@ -19,6 +19,7 @@ import (
 	"mlfair/internal/markov"
 	"mlfair/internal/maxmin"
 	"mlfair/internal/netmodel"
+	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
 	"mlfair/internal/redundancy"
 	"mlfair/internal/sim"
@@ -298,6 +299,75 @@ func BenchmarkClosedLoopSimulation(b *testing.B) {
 			},
 		})
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- netsim: the general engine on its headline scenarios ---
+
+func BenchmarkNetsimLargeStar(b *testing.B) {
+	cfg, err := netsim.Star(200, 0.0001, 0.04,
+		netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := netsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(50000) // packets/sec as a MB/s-style rate
+}
+
+func BenchmarkNetsimDeepTree(b *testing.B) {
+	cfg, err := netsim.FromTree(treesim.Binary(7, 0.02),
+		netsim.SessionConfig{Protocol: protocol.Coordinated, Layers: 8}, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := netsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNetsimMultiSessionMesh(b *testing.B) {
+	cfg, _, err := netsim.Mesh(4, 8, netsim.LinkSpec{Kind: netsim.Capacity, Capacity: 40},
+		0.01, netsim.SessionConfig{Protocol: protocol.Coordinated, Layers: 8}, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := netsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimParallelRunner measures replication-runner scaling:
+// compare ns/op across -cpu settings (the work per op is fixed at 8
+// replications, so ideal scaling halves ns/op per doubling).
+func BenchmarkNetsimParallelRunner(b *testing.B) {
+	cfg, err := netsim.Star(100, 0.0001, 0.04,
+		netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 20000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netsim.RunReplications(cfg, 8, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

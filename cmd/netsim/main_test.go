@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mlfair/internal/experiments"
+)
+
+func tinyOpts() experiments.NetsimOptions {
+	return experiments.NetsimOptions{Receivers: 6, Packets: 5000, Trials: 2, Workers: 2, Seed: 5}
+}
+
+func TestRunAllScenarios(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "all", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"netsim vs sim", "tree depth", "netsim mesh", "netsim churn", "background traffic",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -scenario all output", want)
+		}
+	}
+}
+
+func TestRunScenarioSubset(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "star, churn", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "netsim vs sim") || !strings.Contains(out, "netsim churn") {
+		t.Errorf("subset missing requested scenarios:\n%s", out)
+	}
+	if strings.Contains(out, "netsim mesh") {
+		t.Errorf("subset ran unrequested scenario:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "zigzag", tinyOpts()); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run(&b, " ", tinyOpts()); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module mlfair
+
+go 1.24

@@ -20,6 +20,11 @@
 // receiver consume shared capacity (and a session's shared-link demand
 // is the cumulative rate of its maximum subscribed level, since
 // subscriptions are layer prefixes).
+//
+// capsim is the specialized engine for the capacity-coupled star; the
+// netsim package applies the same fluid drop law per link of an
+// arbitrary netmodel.Network graph (netsim.FromCapsim lifts a Config
+// onto the general engine).
 package capsim
 
 import (

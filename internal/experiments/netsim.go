@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mlfair/internal/netsim"
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+	"mlfair/internal/stats"
+	"mlfair/internal/trace"
+	"mlfair/internal/treesim"
+)
+
+// NetsimOptions sizes the general-engine scenario drivers.
+type NetsimOptions struct {
+	Receivers int
+	Packets   int
+	Trials    int
+	// Workers bounds the replication pool (0 = GOMAXPROCS).
+	Workers int
+	Seed    uint64
+}
+
+// DefaultNetsimOptions resolves the scenario effects in a few seconds.
+func DefaultNetsimOptions() NetsimOptions {
+	return NetsimOptions{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777}
+}
+
+// NetsimStar runs the paper's modified star on the general engine next
+// to the specialized sim package — the special-case cross-check as a
+// readable artifact: both columns must agree within confidence bounds.
+func NetsimStar(w io.Writer, o NetsimOptions) error {
+	t := trace.NewTable(
+		fmt.Sprintf("netsim vs sim on the modified star: %d receivers, shared loss 1e-4, independent loss 0.04, %d packets, %d trials",
+			o.Receivers, o.Packets, o.Trials),
+		"protocol", "netsim redundancy", "ci95", "sim redundancy", "ci95")
+	for _, kind := range protocol.Kinds() {
+		simCfg := sim.Config{
+			Layers: 8, Receivers: o.Receivers, SharedLoss: 0.0001, IndependentLoss: 0.04,
+			Protocol: kind, Packets: o.Packets, Seed: o.Seed,
+		}
+		reds, err := sim.RunReplicated(simCfg, o.Trials)
+		if err != nil {
+			return err
+		}
+		simS := stats.Summarize(reds)
+		cfg, err := netsim.FromSim(simCfg)
+		if err != nil {
+			return err
+		}
+		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		if err != nil {
+			return err
+		}
+		netS := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		t.AddRow(kind.String(), trace.Float(netS.Mean), trace.Float(netS.CI95),
+			trace.Float(simS.Mean), trace.Float(simS.CI95))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// NetsimTree measures per-depth Definition 3 redundancy on a binary
+// loss tree with the general engine (treesim's scenario).
+func NetsimTree(w io.Writer, o NetsimOptions) error {
+	const depth = 4
+	const linkLoss = 0.02
+	tr := treesim.Binary(depth, linkLoss)
+	kinds := protocol.Kinds()
+	xs := make([]float64, depth)
+	for d := 0; d < depth; d++ {
+		xs[d] = float64(d + 1)
+	}
+	series := make([]trace.Series, len(kinds))
+	for ki, k := range kinds {
+		cfg, err := netsim.FromTree(tr, netsim.SessionConfig{Protocol: k, Layers: 8}, o.Packets, o.Seed)
+		if err != nil {
+			return err
+		}
+		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		if err != nil {
+			return err
+		}
+		byDepth := make([]stats.Accumulator, depth+1)
+		for _, res := range results {
+			for _, ls := range res.Links {
+				byDepth[tr.Depth(netsim.NodeForLink(ls.Link))].Add(ls.Redundancy)
+			}
+		}
+		ys := make([]float64, depth)
+		for d := 1; d <= depth; d++ {
+			ys[d-1] = byDepth[d].Mean()
+		}
+		series[ki] = trace.Series{Name: k.String(), Y: ys}
+	}
+	if err := trace.WriteSeries(w,
+		fmt.Sprintf("netsim: per-link redundancy vs tree depth (binary tree, depth %d, link loss %g)",
+			depth, linkLoss),
+		"depth", xs, series); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "depth 1 = root link (16 downstream receivers); redundancy grows toward the root")
+	fmt.Fprintln(w)
+	return nil
+}
+
+// NetsimMesh runs several sessions through one capacity-coupled
+// backbone — the multi-session scenario none of the specialized
+// simulators covers: sessions generate each other's congestion and the
+// engine reports how the backbone's bandwidth splits.
+func NetsimMesh(w io.Writer, o NetsimOptions) error {
+	const sessions, perSession = 3, 4
+	cfg, bb, err := netsim.Mesh(sessions, perSession,
+		netsim.LinkSpec{Kind: netsim.Capacity, Capacity: 24}, 0.01,
+		netsim.SessionConfig{Protocol: protocol.Coordinated, Layers: 8},
+		o.Packets*2, o.Seed)
+	if err != nil {
+		return err
+	}
+	results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("netsim mesh: %d sessions x %d receivers over one capacity-24 backbone, access loss 0.01",
+			sessions, perSession),
+		"session", "best receiver rate", "ci95", "backbone redundancy", "ci95")
+	for i := 0; i < sessions; i++ {
+		best := netsim.Summarize(results, func(r *netsim.Result) float64 {
+			m := 0.0
+			for _, v := range r.ReceiverRates[i] {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		})
+		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(bb, i))
+		t.AddRow(fmt.Sprintf("S%d", i+1), trace.Float(best.Mean), trace.Float(best.CI95),
+			trace.Float(red.Mean), trace.Float(red.CI95))
+	}
+	_, err = t.WriteTo(w)
+	return err
+}
+
+// NetsimChurn compares a stable star session against one under periodic
+// membership churn: departures prune layers off the shared link, and
+// fresh joins restart at the base layer, dragging goodput down while
+// redundancy stays put.
+func NetsimChurn(w io.Writer, o NetsimOptions) error {
+	t := trace.NewTable(
+		fmt.Sprintf("netsim churn: modified star, %d receivers, leave/rejoin round-robin, %d trials",
+			o.Receivers, o.Trials),
+		"scenario", "mean receiver rate", "ci95", "shared redundancy", "ci95")
+	for _, churny := range []bool{false, true} {
+		cfg, err := netsim.Star(o.Receivers, 0.0001, 0.04,
+			netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, o.Packets, o.Seed)
+		if err != nil {
+			return err
+		}
+		name := "stable"
+		if churny {
+			name = "churning"
+			horizon := float64(o.Packets) / 128 // approximate run duration
+			cfg.Churn = netsim.UniformChurn(cfg.Network, horizon/float64(2*o.Receivers), horizon/20, horizon)
+		}
+		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		if err != nil {
+			return err
+		}
+		rate := netsim.Summarize(results, netsim.MeanReceiverRateMetric())
+		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		t.AddRow(name, trace.Float(rate.Mean), trace.Float(rate.CI95),
+			trace.Float(red.Mean), trace.Float(red.CI95))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// NetsimBackground sweeps constant cross-traffic on a droptail
+// bottleneck shared with the layered session — the TCP-over-ABR/UBR
+// competition scenario: as background load eats the queue's service
+// rate, the session's achievable rate collapses along with it.
+func NetsimBackground(w io.Writer, o NetsimOptions) error {
+	const capacity = 32.0
+	t := trace.NewTable(
+		fmt.Sprintf("netsim background traffic: droptail bottleneck capacity %g, buffer 16, %d receivers",
+			capacity, o.Receivers),
+		"background load", "best receiver rate", "ci95", "shared redundancy", "ci95")
+	for _, bg := range []float64{0, 8, 16, 24, 28} {
+		cfg, err := netsim.Star(o.Receivers, 0, 0.02,
+			netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, o.Packets, o.Seed)
+		if err != nil {
+			return err
+		}
+		cfg.Links[0] = netsim.LinkSpec{Kind: netsim.DropTail, Capacity: capacity, Buffer: 16, Delay: 0.01, Background: bg}
+		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		if err != nil {
+			return err
+		}
+		best := netsim.Summarize(results, func(r *netsim.Result) float64 { return r.MaxReceiverRate() })
+		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		t.AddRow(trace.Float(bg), trace.Float(best.Mean), trace.Float(best.CI95),
+			trace.Float(red.Mean), trace.Float(red.CI95))
+	}
+	_, err := t.WriteTo(w)
+	return err
+}

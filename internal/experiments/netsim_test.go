@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyNetsimOptions() NetsimOptions {
+	return NetsimOptions{Receivers: 8, Packets: 6000, Trials: 2, Workers: 2, Seed: 31}
+}
+
+func TestNetsimStarDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimStar(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim vs sim", "Coordinated", "Deterministic", "sim redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimTreeDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimTree(w, tinyNetsimOptions()) })
+	for _, want := range []string{"per-link redundancy vs tree depth", "depth 1 = root link"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimMeshDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimMesh(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim mesh", "S1", "S3", "backbone redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimChurnDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimChurn(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim churn", "stable", "churning"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimBackgroundDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimBackground(w, tinyNetsimOptions()) })
+	for _, want := range []string{"background traffic", "droptail bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultNetsimOptions(t *testing.T) {
+	o := DefaultNetsimOptions()
+	if o.Receivers < 1 || o.Packets < 1 || o.Trials < 1 {
+		t.Fatalf("bad defaults %+v", o)
+	}
+}

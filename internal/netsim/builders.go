@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"fmt"
+
+	"mlfair/internal/capsim"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/routing"
+	"mlfair/internal/sim"
+	"mlfair/internal/treesim"
+)
+
+// Star builds the paper's Figure 7(b) modified star as a netsim Config:
+// a sender behind one shared Bernoulli link feeding n receivers through
+// independent Bernoulli fanout links — sim's exact topology on the
+// general engine. The shared link is link 0; fanout link k is link k+1.
+func Star(n int, sharedLoss, fanoutLoss float64, sc SessionConfig, packets int, seed uint64) (Config, error) {
+	if n < 1 {
+		return Config{}, fmt.Errorf("netsim: star needs at least one receiver")
+	}
+	g := netmodel.NewGraph(2 + n)
+	const sender, hub = 0, 1
+	g.AddLink(sender, hub, 1)
+	receivers := make([]int, n)
+	for k := 0; k < n; k++ {
+		g.AddLink(hub, 2+k, 1)
+		receivers[k] = 2 + k
+	}
+	s := &netmodel.Session{Sender: sender, Receivers: receivers, Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		return Config{}, err
+	}
+	specs := make([]LinkSpec, net.NumLinks())
+	specs[0] = LinkSpec{Kind: Bernoulli, Loss: sharedLoss}
+	for k := 0; k < n; k++ {
+		specs[1+k] = LinkSpec{Kind: Bernoulli, Loss: fanoutLoss}
+	}
+	return Config{
+		Network:  net,
+		Links:    specs,
+		Sessions: []SessionConfig{sc},
+		Packets:  packets,
+		Seed:     seed,
+	}, nil
+}
+
+// FromSim lifts a sim.Config onto the general engine (heterogeneous
+// fanout losses included). LeaveLatency and PriorityDrop are sim-only
+// extensions and are rejected.
+func FromSim(c sim.Config) (Config, error) {
+	if c.LeaveLatency != 0 || c.Drop != sim.UniformDrop {
+		return Config{}, fmt.Errorf("netsim: sim leave-latency / drop-policy extensions are not modeled")
+	}
+	cfg, err := Star(c.Receivers, c.SharedLoss, c.IndependentLoss,
+		SessionConfig{Protocol: c.Protocol, Layers: c.Layers}, c.Packets, c.Seed)
+	if err != nil {
+		return Config{}, err
+	}
+	if c.IndependentLosses != nil {
+		if len(c.IndependentLosses) != c.Receivers {
+			return Config{}, fmt.Errorf("netsim: %d losses for %d receivers", len(c.IndependentLosses), c.Receivers)
+		}
+		for k, p := range c.IndependentLosses {
+			cfg.Links[1+k].Loss = p
+		}
+	}
+	cfg.SignalPeriod = c.SignalPeriod
+	return cfg, nil
+}
+
+// FromTree lifts a treesim.Tree onto the general engine with per-link
+// Bernoulli loss. Graph node i mirrors tree node i; tree node i's parent
+// link becomes graph link i-1, so treesim's per-link stats line up with
+// Result.Links via NodeForLink.
+func FromTree(t *treesim.Tree, sc SessionConfig, packets int, seed uint64) (Config, error) {
+	if err := t.Validate(); err != nil {
+		return Config{}, err
+	}
+	n := len(t.Parent)
+	g := netmodel.NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddLink(t.Parent[i], i, 1)
+	}
+	s := &netmodel.Session{
+		Sender:    0,
+		Receivers: append([]int{}, t.Receivers...),
+		Type:      netmodel.MultiRate,
+		MaxRate:   netmodel.NoRateCap,
+	}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		return Config{}, err
+	}
+	specs := make([]LinkSpec, net.NumLinks())
+	for i := 1; i < n; i++ {
+		specs[i-1] = LinkSpec{Kind: Bernoulli, Loss: t.Loss[i]}
+	}
+	return Config{
+		Network:  net,
+		Links:    specs,
+		Sessions: []SessionConfig{sc},
+		Packets:  packets,
+		Seed:     seed,
+	}, nil
+}
+
+// NodeForLink maps a FromTree graph link index back to the treesim node
+// whose parent link it mirrors.
+func NodeForLink(link int) int { return link + 1 }
+
+// FromCapsim lifts a capsim.Config onto the general engine: every
+// session's sender sits behind one shared capacity-coupled link; each
+// receiver has its own capacity-coupled fanout link. Link 0 is the
+// shared link.
+func FromCapsim(c capsim.Config) (Config, error) {
+	nr := 0
+	for _, sc := range c.Sessions {
+		nr += len(sc.FanoutCapacities)
+	}
+	if nr == 0 {
+		return Config{}, fmt.Errorf("netsim: capsim config has no receivers")
+	}
+	g := netmodel.NewGraph(2 + nr)
+	const sender, hub = 0, 1
+	g.AddLink(sender, hub, c.SharedCapacity)
+	sessions := make([]*netmodel.Session, len(c.Sessions))
+	sessCfgs := make([]SessionConfig, len(c.Sessions))
+	node := 2
+	for i, sc := range c.Sessions {
+		receivers := make([]int, len(sc.FanoutCapacities))
+		for k, fc := range sc.FanoutCapacities {
+			g.AddLink(hub, node, fc)
+			receivers[k] = node
+			node++
+		}
+		sessions[i] = &netmodel.Session{Sender: sender, Receivers: receivers, Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
+		sessCfgs[i] = SessionConfig{Protocol: sc.Protocol, Layers: sc.Layers}
+	}
+	net, err := routing.BuildNetwork(g, sessions)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Network:      net,
+		Links:        CapacityLinks(net.NumLinks()),
+		Sessions:     sessCfgs,
+		Packets:      c.Packets,
+		SignalPeriod: c.SignalPeriod,
+		Seed:         c.Seed,
+	}, nil
+}
+
+// Mesh builds a multi-session "dumbbell mesh": ns sessions, each with
+// its own sender and nr receivers, all crossing one shared backbone link
+// of the given spec, with lossless sender access links and Bernoulli
+// receiver access links of loss accessLoss:
+//
+//	sender_i --perfect-- left ==backbone== right --bernoulli-- r_{i,k}
+//
+// It returns the config and the backbone's link index (ns, after the ns
+// sender access links).
+func Mesh(ns, nr int, backbone LinkSpec, accessLoss float64, sc SessionConfig, packets int, seed uint64) (Config, int, error) {
+	if ns < 1 || nr < 1 {
+		return Config{}, 0, fmt.Errorf("netsim: mesh needs sessions and receivers")
+	}
+	// Nodes: senders 0..ns-1, left = ns, right = ns+1, receivers after.
+	g := netmodel.NewGraph(ns + 2 + ns*nr)
+	left, right := ns, ns+1
+	for i := 0; i < ns; i++ {
+		g.AddLink(i, left, 1)
+	}
+	bb := g.AddLink(left, right, backbone.effCapacity(1))
+	sessions := make([]*netmodel.Session, ns)
+	node := ns + 2
+	for i := 0; i < ns; i++ {
+		receivers := make([]int, nr)
+		for k := 0; k < nr; k++ {
+			g.AddLink(right, node, 1)
+			receivers[k] = node
+			node++
+		}
+		sessions[i] = &netmodel.Session{Sender: i, Receivers: receivers, Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
+	}
+	net, err := routing.BuildNetwork(g, sessions)
+	if err != nil {
+		return Config{}, 0, err
+	}
+	specs := make([]LinkSpec, net.NumLinks())
+	specs[bb] = backbone
+	for j := bb + 1; j < net.NumLinks(); j++ {
+		specs[j] = LinkSpec{Kind: Bernoulli, Loss: accessLoss}
+	}
+	sessCfgs := make([]SessionConfig, ns)
+	for i := range sessCfgs {
+		sessCfgs[i] = sc
+	}
+	return Config{
+		Network:  net,
+		Links:    specs,
+		Sessions: sessCfgs,
+		Packets:  packets,
+		Seed:     seed,
+	}, bb, nil
+}
+
+// UniformChurn synthesizes a periodic leave/rejoin schedule: every
+// interval time units, the next receiver (round-robin across all
+// sessions of the network) leaves and rejoins downtime later, until
+// horizon. It exercises pruning and fresh-join dynamics.
+func UniformChurn(net *netmodel.Network, interval, downtime, horizon float64) []ChurnEvent {
+	ids := net.ReceiverIDs()
+	if len(ids) == 0 || interval <= 0 || downtime <= 0 {
+		return nil
+	}
+	var evs []ChurnEvent
+	i := 0
+	for t := interval; t < horizon; t += interval {
+		id := ids[i%len(ids)]
+		evs = append(evs, ChurnEvent{Time: t, Session: id.Session, Receiver: id.Receiver, Join: false})
+		evs = append(evs, ChurnEvent{Time: t + downtime, Session: id.Session, Receiver: id.Receiver, Join: true})
+		i++
+	}
+	return evs
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"mlfair/internal/capsim"
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+	"mlfair/internal/stats"
+	"mlfair/internal/treesim"
+)
+
+// close95 reports whether two Monte-Carlo estimates agree within a
+// relative slack plus both confidence half-widths.
+func close95(a, b stats.Summary, rel float64) bool {
+	return math.Abs(a.Mean-b.Mean) <= rel*math.Abs(a.Mean)+a.CI95+b.CI95
+}
+
+// TestStarCrossCheckSim: the general engine reproduces sim's session
+// redundancy on the modified star for all three protocols, within
+// Monte-Carlo tolerance — positioning sim as a special case of netsim.
+func TestStarCrossCheckSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-check")
+	}
+	for _, kind := range protocol.Kinds() {
+		simCfg := sim.Config{
+			Layers: 8, Receivers: 50, SharedLoss: 0.0001, IndependentLoss: 0.04,
+			Protocol: kind, Packets: 50000, Seed: 7,
+		}
+		reds, err := sim.RunReplicated(simCfg, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simS := stats.Summarize(reds)
+
+		cfg, err := FromSim(simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := RunReplications(cfg, 12, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netS := Summarize(results, LinkRedundancyMetric(0, 0))
+		if !close95(simS, netS, 0.06) {
+			t.Errorf("%v: sim redundancy %v vs netsim %v", kind, simS, netS)
+		}
+	}
+}
+
+// TestTreeCrossCheckTreesim: per-link Definition 3 redundancy matches
+// treesim on a 2-level binary tree, link by link.
+func TestTreeCrossCheckTreesim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-check")
+	}
+	tr := treesim.Binary(2, 0.03)
+	const reps, packets = 12, 50000
+	nodes := len(tr.Parent)
+	accT := make([]stats.Accumulator, nodes)
+	accN := make([]stats.Accumulator, nodes)
+	for rep := 0; rep < reps; rep++ {
+		tres, err := treesim.Run(treesim.Config{
+			Tree: tr, Layers: 8, Protocol: protocol.Deterministic,
+			Packets: packets, Seed: 100 + uint64(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ls := range tres.Links {
+			accT[ls.Node].Add(ls.Redundancy)
+		}
+		cfg, err := FromTree(tr, SessionConfig{Protocol: protocol.Deterministic, Layers: 8},
+			packets, ReplicationSeed(55, rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nres, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ls := range nres.Links {
+			accN[NodeForLink(ls.Link)].Add(ls.Redundancy)
+		}
+	}
+	sum := func(a stats.Accumulator) stats.Summary {
+		return stats.Summary{Mean: a.Mean(), CI95: a.CI95(), N: a.N()}
+	}
+	for nd := 1; nd < nodes; nd++ {
+		ts, ns := sum(accT[nd]), sum(accN[nd])
+		if ts.N == 0 {
+			continue
+		}
+		if !close95(ts, ns, 0.03) {
+			t.Errorf("node %d: treesim redundancy %v vs netsim %v", nd, ts, ns)
+		}
+	}
+	// The headline tree effect must survive the translation: redundancy
+	// grows toward the root, where more receivers share the link.
+	if accN[1].Mean() <= accN[3].Mean() {
+		t.Errorf("root-link redundancy %v not above leaf-link %v", accN[1].Mean(), accN[3].Mean())
+	}
+}
+
+// TestCapacityCrossCheckCapsim: the capacity-coupled link model
+// reproduces capsim's closed-loop receiver rates on a two-session star.
+func TestCapacityCrossCheckCapsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo cross-check")
+	}
+	cc := capsim.Config{
+		SharedCapacity: 24, Packets: 50000,
+		Sessions: []capsim.SessionConfig{
+			{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{2, 8, 64}},
+			{Protocol: protocol.Coordinated, Layers: 8, FanoutCapacities: []float64{64}},
+		},
+	}
+	type rid struct{ i, k int }
+	rids := []rid{{0, 0}, {0, 1}, {0, 2}, {1, 0}}
+	const reps = 12
+	accC := make([]stats.Accumulator, len(rids))
+	accN := make([]stats.Accumulator, len(rids))
+	for rep := 0; rep < reps; rep++ {
+		c := cc
+		c.Seed = 1000 + uint64(rep)
+		r, err := capsim.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := FromCapsim(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nr, err := Run(nc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x, id := range rids {
+			accC[x].Add(r.ReceiverRates[id.i][id.k])
+			accN[x].Add(nr.ReceiverRates[id.i][id.k])
+		}
+	}
+	for x, id := range rids {
+		cs := stats.Summary{Mean: accC[x].Mean(), CI95: accC[x].CI95(), N: accC[x].N()}
+		ns := stats.Summary{Mean: accN[x].Mean(), CI95: accN[x].CI95(), N: accN[x].N()}
+		if !close95(cs, ns, 0.08) {
+			t.Errorf("r%d,%d: capsim rate %v vs netsim %v", id.i+1, id.k+1, cs, ns)
+		}
+	}
+}

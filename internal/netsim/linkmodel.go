@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// LinkKind selects the loss/queue discipline of one link.
+type LinkKind int
+
+const (
+	// Perfect links never lose packets and add no delay.
+	Perfect LinkKind = iota
+	// Bernoulli links drop each entering packet independently with
+	// probability Loss — the paper's exogenous Section 4 loss model,
+	// identical to the sim and treesim packages.
+	Bernoulli
+	// Capacity links drop with probability max(0, (D-C)/D) where D is the
+	// instantaneous fluid demand of all sessions (plus background load) on
+	// the link and C its capacity — capsim's closed-loop model on a
+	// general graph.
+	Capacity
+	// DropTail links model a finite FIFO queue served at rate Capacity
+	// with Buffer waiting slots and propagation delay Delay: a packet
+	// arriving to a full buffer is dropped; otherwise it departs one
+	// service time after the previous departure (or after its arrival)
+	// and reaches the far end Delay later.
+	DropTail
+)
+
+// String names the kind.
+func (k LinkKind) String() string {
+	switch k {
+	case Perfect:
+		return "perfect"
+	case Bernoulli:
+		return "bernoulli"
+	case Capacity:
+		return "capacity"
+	case DropTail:
+		return "droptail"
+	}
+	return fmt.Sprintf("LinkKind(%d)", int(k))
+}
+
+// LinkSpec configures one link's model. The zero value is a Perfect link.
+type LinkSpec struct {
+	Kind LinkKind
+	// Loss is the Bernoulli drop probability (Bernoulli only).
+	Loss float64
+	// Capacity is the service/fluid rate in packets per time unit
+	// (Capacity and DropTail). Zero means "use the graph's link
+	// capacity".
+	Capacity float64
+	// Buffer is the DropTail waiting-room size in packets (the packet in
+	// service does not occupy a slot). Zero means 16.
+	Buffer int
+	// Delay is the propagation delay in time units (DropTail only; the
+	// other kinds deliver instantly, matching the paper's idealization).
+	Delay float64
+	// Background is a constant competing load in packets per time unit —
+	// cross traffic à la the TCP-over-ABR/UBR studies. It inflates the
+	// fluid demand of Capacity links and steals service rate from
+	// DropTail links. Ignored by Perfect and Bernoulli links.
+	Background float64
+}
+
+func (s LinkSpec) validate(j int, graphCap float64) error {
+	switch s.Kind {
+	case Perfect:
+	case Bernoulli:
+		if s.Loss < 0 || s.Loss >= 1 {
+			return fmt.Errorf("netsim: link %d loss %v outside [0,1)", j, s.Loss)
+		}
+	case Capacity, DropTail:
+		if s.effCapacity(graphCap) <= 0 {
+			return fmt.Errorf("netsim: link %d needs a positive capacity", j)
+		}
+		if s.Buffer < 0 {
+			return fmt.Errorf("netsim: link %d buffer %d", j, s.Buffer)
+		}
+		if s.Delay < 0 {
+			return fmt.Errorf("netsim: link %d delay %v", j, s.Delay)
+		}
+	default:
+		return fmt.Errorf("netsim: link %d has unknown kind %v", j, s.Kind)
+	}
+	if s.Background < 0 {
+		return fmt.Errorf("netsim: link %d background %v", j, s.Background)
+	}
+	return nil
+}
+
+func (s LinkSpec) effCapacity(graphCap float64) float64 {
+	if s.Capacity > 0 {
+		return s.Capacity
+	}
+	return graphCap
+}
+
+// CapacityLinks returns an all-Capacity spec slice for n links, each
+// using its graph capacity.
+func CapacityLinks(n int) []LinkSpec {
+	specs := make([]LinkSpec, n)
+	for j := range specs {
+		specs[j] = LinkSpec{Kind: Capacity}
+	}
+	return specs
+}
+
+// linkState is one link's mutable run state.
+type linkState struct {
+	spec LinkSpec
+	cap  float64 // resolved capacity (graph fallback applied)
+	buf  int     // resolved DropTail buffer (zero-default applied)
+
+	// DropTail queue: departure time of the most recent admitted packet
+	// and the number of admitted packets not yet departed.
+	lastDepart float64
+	queued     int
+	departures []float64 // ring of pending departure times
+	head       int
+}
+
+// admit decides the fate of a packet entering the link at time now, with
+// the current fluid demand of all sessions on the link (Capacity kind
+// only). It returns the time the packet reaches the far end and whether
+// it was dropped. exit == now means instant traversal.
+func (l *linkState) admit(now, demand float64, rng *rand.Rand) (exit float64, dropped bool) {
+	switch l.spec.Kind {
+	case Perfect:
+		return now, false
+	case Bernoulli:
+		if l.spec.Loss > 0 && rng.Float64() < l.spec.Loss {
+			return now, true
+		}
+		return now, false
+	case Capacity:
+		d := demand + l.spec.Background
+		if d > l.cap {
+			if rng.Float64() < (d-l.cap)/d {
+				return now, true
+			}
+		}
+		return now, false
+	case DropTail:
+		// Expire departures that happened before this arrival.
+		for l.queued > 0 && l.departures[l.head] <= now {
+			l.head = (l.head + 1) % len(l.departures)
+			l.queued--
+		}
+		if l.queued > l.buf {
+			return now, true
+		}
+		rate := l.cap - l.spec.Background
+		if rate <= 0 {
+			// Background saturates the server: nothing gets through.
+			return now, true
+		}
+		depart := now + 1/rate
+		if l.lastDepart+1/rate > depart {
+			depart = l.lastDepart + 1/rate
+		}
+		l.lastDepart = depart
+		tail := (l.head + l.queued) % len(l.departures)
+		l.departures[tail] = depart
+		l.queued++
+		return depart + l.spec.Delay, false
+	}
+	panic("netsim: unreachable link kind")
+}
+
+func newLinkState(spec LinkSpec, graphCap float64) *linkState {
+	l := &linkState{spec: spec, cap: spec.effCapacity(graphCap)}
+	if spec.Kind == DropTail {
+		l.buf = spec.Buffer
+		if l.buf == 0 {
+			l.buf = 16
+		}
+		// One service slot + buffer waiting slots + slack so the ring
+		// never wraps onto live entries.
+		l.departures = make([]float64, l.buf+2)
+	}
+	return l
+}

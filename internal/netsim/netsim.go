@@ -1,0 +1,635 @@
+// Package netsim is a discrete-event, packet-level simulator for layered
+// multicast congestion control over arbitrary netmodel.Network graphs —
+// the general engine of which sim (modified star, exogenous loss),
+// treesim (loss trees) and capsim (capacity-coupled star) are thin
+// special cases.
+//
+// The engine runs the paper's general network model N = (G, {S_i}, τ, Γ)
+// forward in time: every session transmits the Section 4 exponential
+// layer scheme from its sender; packets are forwarded down the session's
+// multicast tree (the union of its receivers' data-paths) with idealized
+// pruning — a packet enters a link iff some subscribed receiver below it
+// wants its layer; each link applies a pluggable loss/queue model
+// (LinkSpec): exogenous Bernoulli loss, capsim's fluid capacity-coupled
+// drop, or a finite droptail queue with service rate, buffer, and
+// propagation delay, optionally sharing its capacity with constant
+// background cross-traffic (the TCP-over-ABR/UBR setting). Receivers run
+// the protocol package's join/leave state machines; sessions may see
+// membership churn (ChurnEvent). Losses are observed by every subscribed
+// receiver below the dropping link at the drop instant (the paper's
+// instant-feedback idealization); successful deliveries arrive after
+// queueing and propagation delay when the link model has any.
+//
+// The measured outputs are per-receiver long-run throughput and the
+// paper's Definition 3 redundancy per (link, session): the session's
+// packet rate across the link divided by the best goodput among its
+// receivers downstream of the link.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/protocol"
+	"mlfair/internal/sim"
+)
+
+// SessionConfig sets one session's protocol parameters.
+type SessionConfig struct {
+	// Protocol is the join-coordination discipline.
+	Protocol protocol.Kind
+	// Layers is M, the depth of the exponential layer scheme.
+	Layers int
+}
+
+// ChurnEvent toggles one receiver's session membership at a given time.
+// A joining receiver starts fresh at the base layer; a leaving receiver
+// stops receiving, stops counting for pruning, and contributes nothing
+// to link demand until it rejoins.
+type ChurnEvent struct {
+	Time     float64
+	Session  int
+	Receiver int
+	// Join is true for a (re-)join, false for a leave.
+	Join bool
+}
+
+// Config parameterizes one run of the general engine.
+type Config struct {
+	// Network supplies the graph, the sessions (senders, receivers,
+	// data-paths), and per-link capacities. Each session's data-paths
+	// must form a multicast tree rooted at its sender (networks built by
+	// routing.BuildNetwork always do); abstract Builder networks and
+	// multi-sender sessions are rejected.
+	Network *netmodel.Network
+	// Links configures each link's loss/queue model, indexed like the
+	// graph's links. Nil means every link is Perfect (lossless).
+	Links []LinkSpec
+	// Sessions configures each session's protocol, indexed like the
+	// network's sessions.
+	Sessions []SessionConfig
+	// Packets is the total transmission budget summed over all senders.
+	Packets int
+	// SignalPeriod is the Coordinated protocols' base signal period
+	// (0 = 1.0); one global signal clock drives all Coordinated sessions.
+	SignalPeriod float64
+	// Churn lists membership changes, in any order.
+	Churn []ChurnEvent
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+}
+
+// LinkStats is the per-(link, session) measurement.
+type LinkStats struct {
+	// Link is the graph link index; Session the session index.
+	Link, Session int
+	// Crossed counts the session's packets that entered the link
+	// (consuming bandwidth even when the link itself drops them).
+	Crossed int
+	// Rate is Crossed over the run duration.
+	Rate float64
+	// Redundancy is Definition 3 on this link: Rate over the best
+	// long-run goodput among the session's receivers downstream (0 when
+	// no downstream receiver ever received).
+	Redundancy float64
+	// DownstreamReceivers is |R_{i,j}|, the session's receiver count on
+	// the link.
+	DownstreamReceivers int
+}
+
+// Result summarizes one run.
+type Result struct {
+	// ReceiverRates[i][k] is receiver r_{i,k}'s long-run goodput in
+	// packets per time unit.
+	ReceiverRates [][]float64
+	// Links holds per-(link, session) stats for every link crossed by at
+	// least one receiver of the session, in link-major order.
+	Links []LinkStats
+	// PacketsSent counts sender transmissions across all sessions.
+	PacketsSent int
+	// Duration is the simulated time.
+	Duration float64
+}
+
+// LinkRedundancy returns the Definition 3 redundancy of a session on a
+// link, or 0 if the session has no receivers across it.
+func (r *Result) LinkRedundancy(link, session int) float64 {
+	for _, ls := range r.Links {
+		if ls.Link == link && ls.Session == session {
+			return ls.Redundancy
+		}
+	}
+	return 0
+}
+
+// SessionRedundancy returns the session's redundancy on its root link:
+// the highest-rate link stats entry touching the session's sender-side
+// tree, defined as the link carrying the most session packets. For a
+// star or tree this is the link out of the sender.
+func (r *Result) SessionRedundancy(session int) float64 {
+	best := LinkStats{}
+	for _, ls := range r.Links {
+		if ls.Session == session && ls.Crossed >= best.Crossed {
+			best = ls
+		}
+	}
+	return best.Redundancy
+}
+
+func (c *Config) validate() error {
+	if c.Network == nil {
+		return fmt.Errorf("netsim: nil network")
+	}
+	if len(c.Sessions) != c.Network.NumSessions() {
+		return fmt.Errorf("netsim: %d session configs for %d sessions", len(c.Sessions), c.Network.NumSessions())
+	}
+	if c.Links != nil && len(c.Links) != c.Network.NumLinks() {
+		return fmt.Errorf("netsim: %d link specs for %d links", len(c.Links), c.Network.NumLinks())
+	}
+	for j, spec := range c.Links {
+		if err := spec.validate(j, c.Network.Capacity(j)); err != nil {
+			return err
+		}
+	}
+	if c.Packets < 1 {
+		return fmt.Errorf("netsim: Packets = %d", c.Packets)
+	}
+	if c.SignalPeriod < 0 {
+		return fmt.Errorf("netsim: SignalPeriod = %v", c.SignalPeriod)
+	}
+	for i, sc := range c.Sessions {
+		if sc.Layers < 1 {
+			return fmt.Errorf("netsim: session %d: Layers = %d", i, sc.Layers)
+		}
+		s := c.Network.Session(i)
+		if s.Sender < 0 {
+			return fmt.Errorf("netsim: session %d has no concrete sender node (abstract networks are not simulable)", i)
+		}
+		if len(s.ExtraSenders) > 0 {
+			return fmt.Errorf("netsim: session %d: multi-sender sessions are not supported", i)
+		}
+	}
+	for ci, ev := range c.Churn {
+		if ev.Time < 0 {
+			return fmt.Errorf("netsim: churn %d at negative time %v", ci, ev.Time)
+		}
+		if ev.Session < 0 || ev.Session >= c.Network.NumSessions() {
+			return fmt.Errorf("netsim: churn %d session %d out of range", ci, ev.Session)
+		}
+		if ev.Receiver < 0 || ev.Receiver >= c.Network.Session(ev.Session).NumReceivers() {
+			return fmt.Errorf("netsim: churn %d receiver %d out of range", ci, ev.Receiver)
+		}
+	}
+	return nil
+}
+
+// --- event heap ---
+
+type evKind int8
+
+const (
+	evTransmit evKind = iota
+	evForward
+	evChurn
+	evSignal
+)
+
+type event struct {
+	time float64
+	// prio breaks same-instant ties: packet events before signals,
+	// reproducing sim's strict-inequality signal clock.
+	prio int8
+	seq  int64
+	kind evKind
+
+	sess, layer, node int
+	churn             ChurnEvent
+}
+
+type eventHeap []event
+
+func (h eventHeap) less(a, b int) bool {
+	if h[a].time != h[b].time {
+		return h[a].time < h[b].time
+	}
+	if h[a].prio != h[b].prio {
+		return h[a].prio < h[b].prio
+	}
+	return h[a].seq < h[b].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top
+}
+
+// --- per-session state ---
+
+type edge struct {
+	link, child int
+}
+
+// sessState carries one session's runtime state: its multicast tree over
+// graph nodes, its receivers' protocol machines, and the subtree
+// subscription maxima used for pruning and fluid demand.
+type sessState struct {
+	idx    int
+	cfg    SessionConfig
+	scheme layering.Scheme
+	sender int
+	period []float64
+
+	childEdges [][]edge      // [node] outgoing tree edges
+	parent     []int         // [node] parent node on the tree, -1 off-tree/root
+	recvAt     map[int][]int // node -> receiver indices of this session
+
+	receivers []*protocol.Receiver
+	levels    []int // mirror; 0 while departed
+	active    []bool
+	// subMax[node] is the maximum subscription level among active
+	// receivers at or below the node (0 when none) — the pruning test
+	// and, via the layer scheme, the session's fluid demand below it.
+	subMax []int
+
+	received []int
+}
+
+func (s *sessState) bubble(nd int) {
+	for cur := nd; ; cur = s.parent[cur] {
+		m := 0
+		for _, k := range s.recvAt[cur] {
+			if s.levels[k] > m {
+				m = s.levels[k]
+			}
+		}
+		for _, ed := range s.childEdges[cur] {
+			if s.subMax[ed.child] > m {
+				m = s.subMax[ed.child]
+			}
+		}
+		if s.subMax[cur] == m && cur != nd {
+			return
+		}
+		s.subMax[cur] = m
+		if cur == s.sender {
+			return
+		}
+	}
+}
+
+// linkUser records that a session's tree crosses a link into child; the
+// session's fluid demand on the link is its scheme's cumulative rate at
+// subMax[child].
+type linkUser struct {
+	sess, child int
+}
+
+// --- engine ---
+
+type engine struct {
+	cfg   Config
+	net   *netmodel.Network
+	rng   *rand.Rand
+	links []*linkState
+	sess  []*sessState
+	// linkUsers[j] lists the sessions whose tree crosses link j.
+	linkUsers [][]linkUser
+	// crossed[j][i] counts session i's packets entering link j.
+	crossed [][]int
+
+	heap      eventHeap
+	seq       int64
+	signalIdx int
+	// signalPeriod is the resolved Coordinated signal period (the
+	// config's zero-means-1 default applied once).
+	signalPeriod float64
+	now          float64
+	sent         int
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	net := cfg.Network
+	e := &engine{
+		cfg:       cfg,
+		net:       net,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		links:     make([]*linkState, net.NumLinks()),
+		sess:      make([]*sessState, net.NumSessions()),
+		linkUsers: make([][]linkUser, net.NumLinks()),
+		crossed:   make([][]int, net.NumLinks()),
+	}
+	for j := range e.links {
+		spec := LinkSpec{}
+		if cfg.Links != nil {
+			spec = cfg.Links[j]
+		}
+		e.links[j] = newLinkState(spec, net.Capacity(j))
+		e.crossed[j] = make([]int, net.NumSessions())
+	}
+	g := net.Graph()
+	for i := range e.sess {
+		ns := net.Session(i)
+		sc := cfg.Sessions[i]
+		s := &sessState{
+			idx: i, cfg: sc,
+			scheme:     layering.Exponential(sc.Layers),
+			sender:     ns.Sender,
+			period:     make([]float64, sc.Layers),
+			childEdges: make([][]edge, g.NumNodes()),
+			parent:     make([]int, g.NumNodes()),
+			recvAt:     map[int][]int{},
+			receivers:  make([]*protocol.Receiver, ns.NumReceivers()),
+			levels:     make([]int, ns.NumReceivers()),
+			active:     make([]bool, ns.NumReceivers()),
+			subMax:     make([]int, g.NumNodes()),
+			received:   make([]int, ns.NumReceivers()),
+		}
+		for l := 0; l < sc.Layers; l++ {
+			s.period[l] = 1 / s.scheme.LayerRate(l)
+		}
+		for nd := range s.parent {
+			s.parent[nd] = -1
+		}
+		// Assemble the multicast tree from the receivers' data-paths.
+		for k := range ns.Receivers {
+			cur := ns.Sender
+			for _, j := range net.Path(i, k) {
+				nb := g.Other(j, cur)
+				if p := s.parent[nb]; p == -1 {
+					s.parent[nb] = cur
+					s.childEdges[cur] = append(s.childEdges[cur], edge{link: j, child: nb})
+					e.linkUsers[j] = append(e.linkUsers[j], linkUser{sess: i, child: nb})
+				} else if p != cur {
+					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached from %d and %d)", i, nb, p, cur)
+				}
+				cur = nb
+			}
+			s.recvAt[ns.Receivers[k]] = append(s.recvAt[ns.Receivers[k]], k)
+		}
+		for k := range s.receivers {
+			s.receivers[k] = protocol.NewReceiver(sc.Protocol, sc.Layers, e.rng)
+			s.levels[k] = 1
+			s.active[k] = true
+			s.bubble(ns.Receivers[k])
+		}
+		e.sess[i] = s
+	}
+
+	// Seed the clock: per-layer transmissions, the global signal, churn.
+	for _, s := range e.sess {
+		for l := 0; l < s.cfg.Layers; l++ {
+			e.push(event{time: s.period[l], kind: evTransmit, sess: s.idx, layer: l})
+		}
+	}
+	e.signalPeriod = cfg.SignalPeriod
+	if e.signalPeriod == 0 {
+		e.signalPeriod = 1
+	}
+	for _, s := range e.sess {
+		if s.cfg.Protocol == protocol.Coordinated && s.cfg.Layers > 1 {
+			e.push(event{time: e.signalPeriod, prio: 1, kind: evSignal})
+			break
+		}
+	}
+	for _, ev := range cfg.Churn {
+		e.push(event{time: ev.Time, kind: evChurn, churn: ev})
+	}
+	return e, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.heap.push(ev)
+}
+
+func (e *engine) syncReceiver(s *sessState, k int) {
+	nl := s.receivers[k].Level()
+	if nl == s.levels[k] {
+		return
+	}
+	s.levels[k] = nl
+	s.bubble(e.net.Session(s.idx).Receivers[k])
+}
+
+// linkDemand sums the fluid demand of every session crossing the link:
+// each contributes the cumulative rate of its maximum subscription level
+// below the link (pruning-aware, exactly capsim's sharedDemand).
+func (e *engine) linkDemand(j int) float64 {
+	d := 0.0
+	for _, u := range e.linkUsers[j] {
+		s := e.sess[u.sess]
+		d += s.scheme.CumulativeRate(s.subMax[u.child])
+	}
+	return d
+}
+
+// forward delivers a layer-l packet arriving at node at time t: hands it
+// to subscribed receivers hosted there, then pushes it into each child
+// link some subscribed receiver below still wants (idealized pruning).
+// Instant links recurse inline; queued links schedule the continuation.
+func (e *engine) forward(s *sessState, layer, node int, t float64) {
+	for _, k := range s.recvAt[node] {
+		if s.active[k] && s.levels[k] > layer {
+			s.received[k]++
+			s.receivers[k].OnReceive()
+			e.syncReceiver(s, k)
+		}
+	}
+	for _, ed := range s.childEdges[node] {
+		if s.subMax[ed.child] <= layer {
+			continue
+		}
+		e.crossed[ed.link][s.idx]++
+		ls := e.links[ed.link]
+		demand := 0.0
+		if ls.spec.Kind == Capacity {
+			demand = e.linkDemand(ed.link)
+		}
+		exit, dropped := ls.admit(t, demand, e.rng)
+		if dropped {
+			e.notifyLoss(s, layer, ed.child)
+			continue
+		}
+		if exit <= t {
+			e.forward(s, layer, ed.child, t)
+		} else {
+			e.push(event{time: exit, kind: evForward, sess: s.idx, layer: layer, node: ed.child})
+		}
+	}
+}
+
+// notifyLoss delivers a congestion observation to every subscribed
+// receiver below a dropping link, at the drop instant (the paper's
+// immediate-feedback idealization; links below a drop carry nothing).
+func (e *engine) notifyLoss(s *sessState, layer, node int) {
+	for _, k := range s.recvAt[node] {
+		if s.active[k] && s.levels[k] > layer {
+			s.receivers[k].OnCongestion()
+			e.syncReceiver(s, k)
+		}
+	}
+	for _, ed := range s.childEdges[node] {
+		if s.subMax[ed.child] > layer {
+			e.notifyLoss(s, layer, ed.child)
+		}
+	}
+}
+
+func (e *engine) applyChurn(ev ChurnEvent) {
+	s := e.sess[ev.Session]
+	k := ev.Receiver
+	node := e.net.Session(ev.Session).Receivers[k]
+	switch {
+	case ev.Join && !s.active[k]:
+		s.receivers[k] = protocol.NewReceiver(s.cfg.Protocol, s.cfg.Layers, e.rng)
+		s.active[k] = true
+		s.levels[k] = 1
+		s.bubble(node)
+	case !ev.Join && s.active[k]:
+		s.active[k] = false
+		s.levels[k] = 0
+		s.bubble(node)
+	}
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for e.sent < cfg.Packets {
+		if len(e.heap) == 0 {
+			return nil, fmt.Errorf("netsim: event queue drained before packet budget")
+		}
+		ev := e.heap.pop()
+		e.now = ev.time
+		switch ev.kind {
+		case evTransmit:
+			s := e.sess[ev.sess]
+			e.sent++
+			if s.subMax[s.sender] > ev.layer {
+				e.forward(s, ev.layer, s.sender, e.now)
+			}
+			e.push(event{time: e.now + s.period[ev.layer], kind: evTransmit, sess: ev.sess, layer: ev.layer})
+		case evForward:
+			e.forward(e.sess[ev.sess], ev.layer, ev.node, e.now)
+		case evChurn:
+			e.applyChurn(ev.churn)
+		case evSignal:
+			e.signalIdx++
+			for _, s := range e.sess {
+				if s.cfg.Protocol != protocol.Coordinated || s.cfg.Layers < 2 {
+					continue
+				}
+				lvl := sim.SignalLevel(e.signalIdx, s.cfg.Layers-1)
+				for k, r := range s.receivers {
+					if !s.active[k] {
+						continue
+					}
+					r.OnSignal(lvl)
+					e.syncReceiver(s, k)
+				}
+			}
+			e.push(event{time: e.now + e.signalPeriod, prio: 1, kind: evSignal})
+		}
+	}
+	return e.result(), nil
+}
+
+func (e *engine) result() *Result {
+	res := &Result{
+		ReceiverRates: make([][]float64, len(e.sess)),
+		PacketsSent:   e.sent,
+		Duration:      e.now,
+	}
+	for i, s := range e.sess {
+		res.ReceiverRates[i] = make([]float64, len(s.received))
+		if e.now <= 0 {
+			continue
+		}
+		for k, n := range s.received {
+			res.ReceiverRates[i][k] = float64(n) / e.now
+		}
+	}
+	for j := 0; j < e.net.NumLinks(); j++ {
+		for _, sr := range e.net.OnLink(j) {
+			ls := LinkStats{
+				Link: j, Session: sr.Session,
+				Crossed:             e.crossed[j][sr.Session],
+				DownstreamReceivers: len(sr.Receivers),
+			}
+			if e.now > 0 {
+				ls.Rate = float64(ls.Crossed) / e.now
+				best := 0.0
+				for _, k := range sr.Receivers {
+					if r := res.ReceiverRates[sr.Session][k]; r > best {
+						best = r
+					}
+				}
+				if best > 0 {
+					ls.Redundancy = ls.Rate / best
+				}
+			}
+			res.Links = append(res.Links, ls)
+		}
+	}
+	return res
+}
+
+// MaxReceiverRate returns the largest goodput in the result (a
+// convenience for Definition 3 style normalizations).
+func (r *Result) MaxReceiverRate() float64 {
+	best := math.Inf(-1)
+	for _, rs := range r.ReceiverRates {
+		for _, v := range rs {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0
+	}
+	return best
+}

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mlfair/internal/stats"
+)
+
+// ReplicationSeed derives the RNG seed of replication i from a base
+// seed with a splitmix64 finalizer, so replications are decorrelated
+// even for adjacent base seeds and the mapping is stable across runs
+// (the contract the parallel runner's determinism rests on).
+func ReplicationSeed(base uint64, i int) uint64 {
+	z := base + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Metric extracts one scalar from a run result, for aggregation across
+// replications.
+type Metric func(*Result) float64
+
+// RunReplications executes n independent replications of cfg — seeds
+// ReplicationSeed(cfg.Seed, 0..n-1) — on a pool of workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the per-replication
+// results in replication order. Because every replication is
+// deterministic in its seed and results are stored by index, the output
+// is bit-identical for any worker count, including workers == 1.
+func RunReplications(cfg Config, n, workers int) ([]*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: replications = %d", n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			c := cfg
+			c.Seed = ReplicationSeed(cfg.Seed, i)
+			results[i], errs[i] = Run(c)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					c := cfg
+					c.Seed = ReplicationSeed(cfg.Seed, i)
+					results[i], errs[i] = Run(c)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Summarize aggregates a metric over replication results in replication
+// order (so parallel and sequential runs summarize bit-identically).
+func Summarize(results []*Result, m Metric) stats.Summary {
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = m(r)
+	}
+	return stats.Summarize(xs)
+}
+
+// SessionRedundancyMetric measures a session's root-link redundancy.
+func SessionRedundancyMetric(session int) Metric {
+	return func(r *Result) float64 { return r.SessionRedundancy(session) }
+}
+
+// LinkRedundancyMetric measures one session's Definition 3 redundancy on
+// one link.
+func LinkRedundancyMetric(link, session int) Metric {
+	return func(r *Result) float64 { return r.LinkRedundancy(link, session) }
+}
+
+// ReceiverRateMetric measures one receiver's long-run goodput.
+func ReceiverRateMetric(session, receiver int) Metric {
+	return func(r *Result) float64 { return r.ReceiverRates[session][receiver] }
+}
+
+// MeanReceiverRateMetric averages goodput across all receivers of all
+// sessions.
+func MeanReceiverRateMetric() Metric {
+	return func(r *Result) float64 {
+		sum, n := 0.0, 0
+		for _, rs := range r.ReceiverRates {
+			for _, v := range rs {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+}

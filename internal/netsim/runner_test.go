@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+func runnerCfg(t *testing.T) Config {
+	t.Helper()
+	cfg, err := Star(10, 0.001, 0.03, SessionConfig{Protocol: protocol.Uncoordinated, Layers: 6}, 8000, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestParallelMatchesSequential: the worker pool returns bit-identical
+// results and aggregates for any worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := runnerCfg(t)
+	seq, err := RunReplications(cfg, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := RunReplications(cfg, 8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel results differ from sequential", workers)
+		}
+		a := Summarize(seq, LinkRedundancyMetric(0, 0))
+		b := Summarize(par, LinkRedundancyMetric(0, 0))
+		if a != b {
+			t.Fatalf("workers=%d: aggregate %v vs sequential %v", workers, b, a)
+		}
+	}
+}
+
+// TestRunnerDefaultsAndErrors covers the GOMAXPROCS default, worker
+// clamping, and bad inputs.
+func TestRunnerDefaultsAndErrors(t *testing.T) {
+	cfg := runnerCfg(t)
+	if _, err := RunReplications(cfg, 0, 1); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+	res, err := RunReplications(cfg, 2, 0) // default workers, clamped to n
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0] == nil || res[1] == nil {
+		t.Fatalf("bad result slice %v", res)
+	}
+	bad := cfg
+	bad.Packets = 0
+	if _, err := RunReplications(bad, 3, 2); err == nil {
+		t.Fatal("invalid config accepted by runner")
+	}
+}
+
+// TestReplicationSeed: the seed stream is deterministic, decorrelated
+// across replications, and distinct from the naive base+i stream.
+func TestReplicationSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := ReplicationSeed(9, i)
+		if seen[s] {
+			t.Fatalf("seed collision at replication %d", i)
+		}
+		seen[s] = true
+		if s == 9+uint64(i) {
+			t.Fatalf("replication %d seed equals naive stream", i)
+		}
+	}
+	if ReplicationSeed(9, 5) != ReplicationSeed(9, 5) {
+		t.Fatal("seed derivation is not stable")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	cfg := runnerCfg(t)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SessionRedundancyMetric(0)(res); got != res.SessionRedundancy(0) {
+		t.Errorf("SessionRedundancyMetric %v", got)
+	}
+	if got := ReceiverRateMetric(0, 3)(res); got != res.ReceiverRates[0][3] {
+		t.Errorf("ReceiverRateMetric %v", got)
+	}
+	mean := MeanReceiverRateMetric()(res)
+	sum := 0.0
+	for _, v := range res.ReceiverRates[0] {
+		sum += v
+	}
+	if want := sum / float64(len(res.ReceiverRates[0])); mean != want {
+		t.Errorf("MeanReceiverRateMetric %v, want %v", mean, want)
+	}
+	// The session's busiest link is the shared link on a star.
+	if res.SessionRedundancy(0) != res.LinkRedundancy(0, 0) {
+		t.Errorf("SessionRedundancy %v != shared-link redundancy %v",
+			res.SessionRedundancy(0), res.LinkRedundancy(0, 0))
+	}
+	if res.LinkRedundancy(0, 5) != 0 {
+		t.Errorf("redundancy for absent session should be 0")
+	}
+}

@@ -25,6 +25,11 @@
 // The measured output is the Definition 3 redundancy of the session on
 // the shared link: packets crossing the link per unit time, divided by
 // the largest per-receiver long-run receive rate.
+//
+// sim is the specialized (and fastest) engine for this one topology; the
+// netsim package runs the same protocols over arbitrary
+// netmodel.Network graphs and cross-checks against sim on the modified
+// star (netsim.FromSim lifts a Config onto the general engine).
 package sim
 
 import (

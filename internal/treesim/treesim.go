@@ -16,6 +16,12 @@
 // The headline observation (see the experiments driver): per-link
 // redundancy grows toward the root, where more receivers share the link
 // — the protocol-dynamics analogue of Figure 5's receiver-count effect.
+//
+// treesim is the specialized engine for single-session Bernoulli loss
+// trees; the netsim package runs the same model over arbitrary
+// netmodel.Network graphs (netsim.FromTree lifts a Tree onto the
+// general engine) and adds queueing, capacity coupling, churn, and
+// multiple sessions.
 package treesim
 
 import (
