@@ -10,6 +10,7 @@ package mlfair
 import (
 	"io"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"mlfair/internal/capsim"
@@ -306,21 +307,43 @@ func BenchmarkClosedLoopSimulation(b *testing.B) {
 
 // --- netsim: the general engine on its headline scenarios ---
 
+// benchNetsimRun drives one engine config through b.N runs and reports
+// the engine's throughput currency — events/sec (transmissions, event
+// pops, link admissions, receiver deliveries) — plus steady-state
+// allocs/event measured over the whole loop (engine construction
+// amortizes into it, so the target "~0 allocs per event" is visible
+// directly).
+func benchNetsimRun(b *testing.B, cfg netsim.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	var events int64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		res, err := netsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if events > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
+	}
+}
+
 func BenchmarkNetsimLargeStar(b *testing.B) {
 	cfg, err := netsim.Star(200, 0.0001, 0.04,
 		netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 50000, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i)
-		if _, err := netsim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.SetBytes(50000) // packets/sec as a MB/s-style rate
+	benchNetsimRun(b, cfg)
 }
 
 func BenchmarkNetsimDeepTree(b *testing.B) {
@@ -329,14 +352,7 @@ func BenchmarkNetsimDeepTree(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i)
-		if _, err := netsim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchNetsimRun(b, cfg)
 }
 
 func BenchmarkNetsimMultiSessionMesh(b *testing.B) {
@@ -345,14 +361,45 @@ func BenchmarkNetsimMultiSessionMesh(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = uint64(i)
-		if _, err := netsim.Run(cfg); err != nil {
-			b.Fatal(err)
-		}
+	benchNetsimRun(b, cfg)
+}
+
+// largeTopoBenchConfig builds the capacity-coupled mixed-protocol
+// config the large-topology scenarios run (see experiments.NetsimScaleFree).
+func largeTopoBenchConfig(b *testing.B, net *netmodel.Network, packets int) netsim.Config {
+	b.Helper()
+	cfg := netsim.Config{
+		Network:  net,
+		Links:    netsim.CapacityLinks(net.NumLinks()),
+		Sessions: make([]netsim.SessionConfig, net.NumSessions()),
+		Packets:  packets,
 	}
+	kinds := protocol.Kinds()
+	for i := range cfg.Sessions {
+		cfg.Sessions[i] = netsim.SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 8}
+	}
+	return cfg
+}
+
+// BenchmarkNetsimScaleFree exercises the engine at hundreds of links x
+// dozens of sessions on a power-law graph (150 nodes, ~300 links, 24
+// mixed-protocol sessions).
+func BenchmarkNetsimScaleFree(b *testing.B) {
+	net, err := topology.ScaleFree(rand.New(rand.NewPCG(5, 5)), topology.DefaultScaleFreeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
+}
+
+// BenchmarkNetsimFatTree exercises the engine on the k=6 fat-tree
+// fabric (54 hosts, 162 links, 24 mixed-protocol sessions).
+func BenchmarkNetsimFatTree(b *testing.B) {
+	net, err := topology.FatTree(rand.New(rand.NewPCG(5, 5)), topology.DefaultFatTreeOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
 }
 
 // BenchmarkNetsimParallelRunner measures replication-runner scaling:
@@ -365,11 +412,19 @@ func BenchmarkNetsimParallelRunner(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	var events int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := netsim.RunReplications(cfg, 8, 0); err != nil {
+		if err := netsim.StreamReplications(cfg, 8, 0, func(_ int, r *netsim.Result) error {
+			events += r.Events
+			return nil
+		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	}
 }
 

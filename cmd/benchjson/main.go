@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` text output on stdin
+// into a machine-readable JSON document on stdout, for CI artifacts
+// (BENCH_netsim.json) and regression dashboards.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkNetsim -benchmem . | go run ./cmd/benchjson > BENCH_netsim.json
+//
+// Every benchmark result line ("BenchmarkX-8  N  v1 unit1  v2 unit2 ...")
+// becomes an entry with its iteration count and a unit-keyed metric
+// map; goos/goarch/pkg/cpu header lines become the env map. Unknown
+// lines are ignored, so the tool is safe to feed full `go test` output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result.
+type Bench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Bench           `json:"benchmarks"`
+}
+
+func parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Env: map[string]string{}, Benchmarks: []Bench{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if k, v, ok := strings.Cut(line, ": "); ok && (k == "goos" || k == "goarch" || k == "pkg" || k == "cpu") {
+			doc.Env[k] = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

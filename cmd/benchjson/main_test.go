@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: mlfair
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNetsimLargeStar-8   286   3999265 ns/op   0.0000894 allocs/event   201378085 events/sec   152488 B/op   72 allocs/op
+BenchmarkNetsimParallelRunner   170   7114865 ns/op   191842994 events/sec
+PASS
+ok  	mlfair	9.192s
+some unrelated noise
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
+		t.Fatalf("env not captured: %v", doc.Env)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	star := doc.Benchmarks[0]
+	if star.Name != "BenchmarkNetsimLargeStar-8" || star.Iterations != 286 {
+		t.Fatalf("bad first benchmark: %+v", star)
+	}
+	if star.Metrics["events/sec"] != 201378085 {
+		t.Fatalf("events/sec = %v", star.Metrics["events/sec"])
+	}
+	if star.Metrics["allocs/event"] != 0.0000894 {
+		t.Fatalf("allocs/event = %v", star.Metrics["allocs/event"])
+	}
+	if doc.Benchmarks[1].Metrics["ns/op"] != 7114865 {
+		t.Fatalf("runner ns/op = %v", doc.Benchmarks[1].Metrics["ns/op"])
+	}
+}
+
+func TestParseEmptyAndMalformed(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkBroken-8 notanint 12 ns/op\nBenchmarkOdd-8 3 12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("malformed lines accepted: %+v", doc.Benchmarks)
+	}
+}

@@ -1,13 +1,16 @@
 // Command netsim drives the general-topology event-driven simulator
 // (internal/netsim) through its scenario suite: the paper's modified
 // star (cross-checked against the specialized sim package), binary loss
-// trees, multi-session capacity-coupled meshes, membership churn, and
-// droptail bottlenecks with background cross-traffic.
+// trees, multi-session capacity-coupled meshes, membership churn,
+// droptail bottlenecks with background cross-traffic, and the
+// large-topology scenarios — random scale-free graphs and k-ary
+// fat-tree fabrics at hundreds of links times dozens of sessions.
 //
 // Usage:
 //
 //	netsim -scenario all -quick
 //	netsim -scenario star -receivers 100 -packets 100000 -trials 30
+//	netsim -scenario scalefree,fattree -packets 200000 -trials 30
 //	netsim -scenario background -workers 4
 package main
 
@@ -23,7 +26,7 @@ import (
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "all", "star | tree | mesh | churn | background | all (comma-separated)")
+		scenario  = flag.String("scenario", "all", "star | tree | mesh | churn | background | scalefree | fattree | all (comma-separated)")
 		receivers = flag.Int("receivers", 50, "receivers per session")
 		packets   = flag.Int("packets", 50000, "sender packet budget per trial")
 		trials    = flag.Int("trials", 8, "independent replications (mean ± 95% CI reported)")
@@ -54,6 +57,8 @@ var scenarios = []struct {
 	{"mesh", experiments.NetsimMesh},
 	{"churn", experiments.NetsimChurn},
 	{"background", experiments.NetsimBackground},
+	{"scalefree", experiments.NetsimScaleFree},
+	{"fattree", experiments.NetsimFatTree},
 }
 
 func run(w io.Writer, names string, o experiments.NetsimOptions) error {
@@ -77,7 +82,7 @@ func run(w io.Writer, names string, o experiments.NetsimOptions) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("unknown scenario %q (have star, tree, mesh, churn, background, all)", n)
+			return fmt.Errorf("unknown scenario %q (have star, tree, mesh, churn, background, scalefree, fattree, all)", n)
 		}
 		want[n] = true
 	}

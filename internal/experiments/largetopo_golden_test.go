@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// largeTopoGoldenOptions pins the large-topology scenarios to a fixed,
+// CI-sized configuration. Everything downstream — topology generation,
+// replication seeds, the engine's event order — is a pure function of
+// these values, so the output is byte-stable across platforms (Go
+// float64 arithmetic and formatting are deterministic).
+func largeTopoGoldenOptions() NetsimOptions {
+	return NetsimOptions{Packets: 20000, Trials: 4, Workers: 3, Seed: 20260730}
+}
+
+// TestLargeTopologyGolden locks the scale-free and fat-tree scenario
+// outputs byte for byte, the netsim analogue of TestAnalyticGolden: it
+// pins the generated topologies, the engine's determinism contract
+// (including worker-count independence — Workers is deliberately a
+// divisor-unfriendly 3), and the streamed aggregation. Regenerate after
+// an intentional engine or scenario change with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/experiments -run TestLargeTopologyGolden
+func TestLargeTopologyGolden(t *testing.T) {
+	var b strings.Builder
+	o := largeTopoGoldenOptions()
+	if err := NetsimScaleFree(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := NetsimFatTree(&b, o); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "largetopo.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated (%d bytes)", len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("large-topology output drifted from golden file.\nFirst difference near byte %d.\nRun UPDATE_GOLDEN=1 go test ./internal/experiments -run TestLargeTopologyGolden if intentional.",
+			firstDiff(got, string(want)))
+	}
+}

@@ -3,11 +3,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand/v2"
 
+	"mlfair/internal/netmodel"
 	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
 	"mlfair/internal/sim"
 	"mlfair/internal/stats"
+	"mlfair/internal/topology"
 	"mlfair/internal/trace"
 	"mlfair/internal/treesim"
 )
@@ -49,11 +52,11 @@ func NetsimStar(w io.Writer, o NetsimOptions) error {
 		if err != nil {
 			return err
 		}
-		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers, netsim.LinkRedundancyMetric(0, 0))
 		if err != nil {
 			return err
 		}
-		netS := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		netS := sums[0]
 		t.AddRow(kind.String(), trace.Float(netS.Mean), trace.Float(netS.CI95),
 			trace.Float(simS.Mean), trace.Float(simS.CI95))
 	}
@@ -78,15 +81,17 @@ func NetsimTree(w io.Writer, o NetsimOptions) error {
 		if err != nil {
 			return err
 		}
-		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
-		if err != nil {
-			return err
-		}
+		// Stream the replications: per-depth accumulation happens in
+		// replication order without retaining any result.
 		byDepth := make([]stats.Accumulator, depth+1)
-		for _, res := range results {
+		err = netsim.StreamReplications(cfg, o.Trials, o.Workers, func(_ int, res *netsim.Result) error {
 			for _, ls := range res.Links {
 				byDepth[tr.Depth(netsim.NodeForLink(ls.Link))].Add(ls.Redundancy)
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		ys := make([]float64, depth)
 		for d := 1; d <= depth; d++ {
@@ -118,7 +123,20 @@ func NetsimMesh(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+	metrics := make([]netsim.Metric, 0, 2*sessions)
+	for i := 0; i < sessions; i++ {
+		i := i
+		metrics = append(metrics, func(r *netsim.Result) float64 {
+			m := 0.0
+			for _, v := range r.ReceiverRates[i] {
+				if v > m {
+					m = v
+				}
+			}
+			return m
+		}, netsim.LinkRedundancyMetric(bb, i))
+	}
+	sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers, metrics...)
 	if err != nil {
 		return err
 	}
@@ -127,16 +145,7 @@ func NetsimMesh(w io.Writer, o NetsimOptions) error {
 			sessions, perSession),
 		"session", "best receiver rate", "ci95", "backbone redundancy", "ci95")
 	for i := 0; i < sessions; i++ {
-		best := netsim.Summarize(results, func(r *netsim.Result) float64 {
-			m := 0.0
-			for _, v := range r.ReceiverRates[i] {
-				if v > m {
-					m = v
-				}
-			}
-			return m
-		})
-		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(bb, i))
+		best, red := sums[2*i], sums[2*i+1]
 		t.AddRow(fmt.Sprintf("S%d", i+1), trace.Float(best.Mean), trace.Float(best.CI95),
 			trace.Float(red.Mean), trace.Float(red.CI95))
 	}
@@ -165,12 +174,12 @@ func NetsimChurn(w io.Writer, o NetsimOptions) error {
 			horizon := float64(o.Packets) / 128 // approximate run duration
 			cfg.Churn = netsim.UniformChurn(cfg.Network, horizon/float64(2*o.Receivers), horizon/20, horizon)
 		}
-		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
+			netsim.MeanReceiverRateMetric(), netsim.LinkRedundancyMetric(0, 0))
 		if err != nil {
 			return err
 		}
-		rate := netsim.Summarize(results, netsim.MeanReceiverRateMetric())
-		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		rate, red := sums[0], sums[1]
 		t.AddRow(name, trace.Float(rate.Mean), trace.Float(rate.CI95),
 			trace.Float(red.Mean), trace.Float(red.CI95))
 	}
@@ -195,15 +204,92 @@ func NetsimBackground(w io.Writer, o NetsimOptions) error {
 			return err
 		}
 		cfg.Links[0] = netsim.LinkSpec{Kind: netsim.DropTail, Capacity: capacity, Buffer: 16, Delay: 0.01, Background: bg}
-		results, err := netsim.RunReplications(cfg, o.Trials, o.Workers)
+		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
+			func(r *netsim.Result) float64 { return r.MaxReceiverRate() },
+			netsim.LinkRedundancyMetric(0, 0))
 		if err != nil {
 			return err
 		}
-		best := netsim.Summarize(results, func(r *netsim.Result) float64 { return r.MaxReceiverRate() })
-		red := netsim.Summarize(results, netsim.LinkRedundancyMetric(0, 0))
+		best, red := sums[0], sums[1]
 		t.AddRow(trace.Float(bg), trace.Float(best.Mean), trace.Float(best.CI95),
 			trace.Float(red.Mean), trace.Float(red.CI95))
 	}
 	_, err := t.WriteTo(w)
 	return err
+}
+
+// largeTopoRows summarizes one large-topology scenario: streamed
+// replications, capacity-coupled links, and three aggregates — mean
+// receiver goodput, mean per-session root redundancy, and the maximum
+// Definition 3 redundancy over all (link, session) pairs.
+func largeTopoRows(w io.Writer, title string, net *netmodel.Network, o NetsimOptions) error {
+	cfg := netsim.Config{
+		Network:  net,
+		Links:    netsim.CapacityLinks(net.NumLinks()),
+		Sessions: make([]netsim.SessionConfig, net.NumSessions()),
+		Packets:  o.Packets,
+		Seed:     o.Seed,
+	}
+	// Alternate protocols across sessions so coordination disciplines
+	// compete on shared links.
+	kinds := protocol.Kinds()
+	for i := range cfg.Sessions {
+		cfg.Sessions[i] = netsim.SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 8}
+	}
+	sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
+		netsim.MeanReceiverRateMetric(),
+		func(r *netsim.Result) float64 {
+			sum := 0.0
+			for i := range r.ReceiverRates {
+				sum += r.SessionRedundancy(i)
+			}
+			return sum / float64(len(r.ReceiverRates))
+		},
+		func(r *netsim.Result) float64 {
+			m := 0.0
+			for _, ls := range r.Links {
+				if ls.Redundancy > m {
+					m = ls.Redundancy
+				}
+			}
+			return m
+		})
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(title, "metric", "mean", "ci95")
+	t.AddRow("receiver goodput", trace.Float(sums[0].Mean), trace.Float(sums[0].CI95))
+	t.AddRow("session root redundancy", trace.Float(sums[1].Mean), trace.Float(sums[1].CI95))
+	t.AddRow("max link redundancy", trace.Float(sums[2].Mean), trace.Float(sums[2].CI95))
+	_, err = t.WriteTo(w)
+	return err
+}
+
+// NetsimScaleFree runs dozens of mixed-protocol sessions over a random
+// power-law (preferential-attachment) graph with capacity-coupled
+// links — the heavy-tailed regime where hub links carry many competing
+// sessions at once. The topology itself is deterministic in the seed.
+func NetsimScaleFree(w io.Writer, o NetsimOptions) error {
+	topo := topology.DefaultScaleFreeOptions()
+	net, err := topology.ScaleFree(rand.New(rand.NewPCG(o.Seed, o.Seed^0xd1b54a32d192ed03)), topo)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("netsim scale-free: %d nodes, %d links, %d sessions (mixed protocols), %d packets, %d trials",
+		net.Graph().NumNodes(), net.NumLinks(), net.NumSessions(), o.Packets, o.Trials)
+	return largeTopoRows(w, title, net, o)
+}
+
+// NetsimFatTree runs dozens of mixed-protocol sessions across a k-ary
+// fat-tree fabric with a mildly oversubscribed core — the multipath
+// data-center scenario collapsed onto per-session BFS trees.
+func NetsimFatTree(w io.Writer, o NetsimOptions) error {
+	topo := topology.DefaultFatTreeOptions()
+	net, err := topology.FatTree(rand.New(rand.NewPCG(o.Seed, o.Seed^0x9e6c63d0876a9a47)), topo)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("netsim fat-tree: k=%d (%d hosts, %d links), %d sessions (mixed protocols), %d packets, %d trials",
+		topo.K, topo.K*topo.K*topo.K/4, net.NumLinks(), net.NumSessions(), o.Packets, o.Trials)
+	return largeTopoRows(w, title, net, o)
 }

@@ -60,3 +60,21 @@ func TestDefaultNetsimOptions(t *testing.T) {
 		t.Fatalf("bad defaults %+v", o)
 	}
 }
+
+func TestNetsimScaleFreeDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimScaleFree(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim scale-free", "receiver goodput", "max link redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimFatTreeDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimFatTree(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim fat-tree", "receiver goodput", "session root redundancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,7 +2,7 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand/v2"
+	"math"
 )
 
 // LinkKind selects the loss/queue discipline of one link.
@@ -66,26 +66,29 @@ type LinkSpec struct {
 }
 
 func (s LinkSpec) validate(j int, graphCap float64) error {
+	// Comparisons are written so NaN fails them: a NaN loss, capacity,
+	// delay, or background must be rejected, not silently admitted (the
+	// fuzz targets drive raw float bits through here).
 	switch s.Kind {
 	case Perfect:
 	case Bernoulli:
-		if s.Loss < 0 || s.Loss >= 1 {
+		if !(s.Loss >= 0 && s.Loss < 1) {
 			return fmt.Errorf("netsim: link %d loss %v outside [0,1)", j, s.Loss)
 		}
 	case Capacity, DropTail:
-		if s.effCapacity(graphCap) <= 0 {
-			return fmt.Errorf("netsim: link %d needs a positive capacity", j)
+		if c := s.effCapacity(graphCap); !(c > 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("netsim: link %d needs a positive finite capacity, has %v", j, c)
 		}
 		if s.Buffer < 0 {
 			return fmt.Errorf("netsim: link %d buffer %d", j, s.Buffer)
 		}
-		if s.Delay < 0 {
+		if !(s.Delay >= 0) || math.IsInf(s.Delay, 0) {
 			return fmt.Errorf("netsim: link %d delay %v", j, s.Delay)
 		}
 	default:
 		return fmt.Errorf("netsim: link %d has unknown kind %v", j, s.Kind)
 	}
-	if s.Background < 0 {
+	if !(s.Background >= 0) || math.IsInf(s.Background, 0) {
 		return fmt.Errorf("netsim: link %d background %v", j, s.Background)
 	}
 	return nil
@@ -108,7 +111,9 @@ func CapacityLinks(n int) []LinkSpec {
 	return specs
 }
 
-// linkState is one link's mutable run state.
+// linkState is one link's mutable run state. The engine keeps all links
+// in one flat value slice (only DropTail links hold an extra ring
+// allocation), so admission touches contiguous memory.
 type linkState struct {
 	spec LinkSpec
 	cap  float64 // resolved capacity (graph fallback applied)
@@ -122,56 +127,39 @@ type linkState struct {
 	head       int
 }
 
-// admit decides the fate of a packet entering the link at time now, with
-// the current fluid demand of all sessions on the link (Capacity kind
-// only). It returns the time the packet reaches the far end and whether
-// it was dropped. exit == now means instant traversal.
-func (l *linkState) admit(now, demand float64, rng *rand.Rand) (exit float64, dropped bool) {
-	switch l.spec.Kind {
-	case Perfect:
-		return now, false
-	case Bernoulli:
-		if l.spec.Loss > 0 && rng.Float64() < l.spec.Loss {
-			return now, true
-		}
-		return now, false
-	case Capacity:
-		d := demand + l.spec.Background
-		if d > l.cap {
-			if rng.Float64() < (d-l.cap)/d {
-				return now, true
-			}
-		}
-		return now, false
-	case DropTail:
-		// Expire departures that happened before this arrival.
-		for l.queued > 0 && l.departures[l.head] <= now {
-			l.head = (l.head + 1) % len(l.departures)
-			l.queued--
-		}
-		if l.queued > l.buf {
-			return now, true
-		}
-		rate := l.cap - l.spec.Background
-		if rate <= 0 {
-			// Background saturates the server: nothing gets through.
-			return now, true
-		}
-		depart := now + 1/rate
-		if l.lastDepart+1/rate > depart {
-			depart = l.lastDepart + 1/rate
-		}
-		l.lastDepart = depart
-		tail := (l.head + l.queued) % len(l.departures)
-		l.departures[tail] = depart
-		l.queued++
-		return depart + l.spec.Delay, false
+// admitQueue decides the fate of a packet entering a DropTail link at
+// time now: either it is dropped at a full buffer, or it departs one
+// service time after the previous departure (or its arrival) and
+// reaches the far end Delay later — fully deterministic, no randomness.
+// The instant link kinds (Perfect, Bernoulli, Capacity) are decided
+// inline on the engine's forwarding fast path and never reach here.
+func (l *linkState) admitQueue(now float64) (exit float64, dropped bool) {
+	// Expire departures that happened before this arrival.
+	for l.queued > 0 && l.departures[l.head] <= now {
+		l.head = (l.head + 1) % len(l.departures)
+		l.queued--
 	}
-	panic("netsim: unreachable link kind")
+	if l.queued > l.buf {
+		return now, true
+	}
+	rate := l.cap - l.spec.Background
+	if rate <= 0 {
+		// Background saturates the server: nothing gets through.
+		return now, true
+	}
+	depart := now + 1/rate
+	if l.lastDepart+1/rate > depart {
+		depart = l.lastDepart + 1/rate
+	}
+	l.lastDepart = depart
+	tail := (l.head + l.queued) % len(l.departures)
+	l.departures[tail] = depart
+	l.queued++
+	return depart + l.spec.Delay, false
 }
 
-func newLinkState(spec LinkSpec, graphCap float64) *linkState {
-	l := &linkState{spec: spec, cap: spec.effCapacity(graphCap)}
+func newLinkState(spec LinkSpec, graphCap float64) linkState {
+	l := linkState{spec: spec, cap: spec.effCapacity(graphCap)}
 	if spec.Kind == DropTail {
 		l.buf = spec.Buffer
 		if l.buf == 0 {

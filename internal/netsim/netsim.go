@@ -24,11 +24,66 @@
 // paper's Definition 3 redundancy per (link, session): the session's
 // packet rate across the link divided by the best goodput among its
 // receivers downstream of the link.
+//
+// # Engine internals
+//
+// The hot path is allocation-free at steady state and sized for
+// hundreds of links times dozens of sessions:
+//
+//   - Sender transmissions never touch the scheduler: the exponential
+//     scheme's periods are dyadic, so each session's due layers at a
+//     tick are the contiguous range given by the tick counter's
+//     trailing zeros — one integer op per packet instead of a heap
+//     round trip. The queue (32-byte events in a preallocated 4-ary
+//     heap whose backing array is the event pool) holds only delayed
+//     DropTail deliveries, churn, and the signal clock, with
+//     same-instant ties broken on a packed (priority, sequence) key.
+//   - Each session's multicast tree is renumbered in DFS pre-order and
+//     flattened to CSR arrays; every tree edge is one 64-byte record
+//     carrying its admission parameters, crossing counter, loss-gap
+//     counter, and the entered node's receiver and child blocks, so a
+//     packet hop reads one cache line instead of chasing parallel
+//     tables.
+//   - Packet delivery is batched: one transmission drains the whole
+//     multicast tree in a fused, iterative loop (reusable work stack,
+//     tail-descent into the first eligible child), delivering and
+//     deciding admission inline; sessions whose links are all
+//     Perfect/Bernoulli take a variant with the admission switch
+//     compiled out.
+//   - Bernoulli drops are realized by geometric inter-drop gap counters
+//     (one RNG draw per drop, not per crossing — the identical law),
+//     and the protocol state machines are flattened into parallel
+//     arrays with their transitions inlined (mirroring
+//     protocol.Receiver exactly; the cross-check tests against
+//     sim/treesim/capsim guard the equivalence).
+//   - The paper's "maximum joined layer below a link" is maintained
+//     incrementally: each node keeps per-level contribution counts in a
+//     power-of-two-stride row (single-contribution nodes skip even
+//     that), and a receiver level change updates only the O(depth) path
+//     to the root, stopping at the first node whose maximum stands.
+//     Wide nodes (fan-out > 16, the star-hub pattern) additionally keep
+//     their child edges counting-sorted by descending subtree level so
+//     forwarding enumerates exactly the children that still want the
+//     layer; narrow nodes scan a dense per-edge mirror instead.
+//   - Per-link fluid demand for Capacity links is maintained
+//     incrementally as subscriptions move (exact for the power-of-two
+//     exponential scheme), so admission is O(1); congestion
+//     notification uses precomputed per-edge downstream-receiver lists
+//     instead of re-walking the dropped subtree.
+//
+// Determinism contract: a Config's results are a pure function of its
+// fields including Seed. All randomness flows from one PCG stream whose
+// consumption order is fixed by the engine's total event order (heap
+// order, then transmissions session- and layer-ascending, then signals)
+// and the deterministic child order within a packet's tree walk, so
+// equal configs give bit-identical Results on any platform and any
+// replication-worker count.
 package netsim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand/v2"
 
 	"mlfair/internal/layering"
@@ -37,11 +92,23 @@ import (
 	"mlfair/internal/sim"
 )
 
+// MaxLayers bounds SessionConfig.Layers: the protocol package's join
+// thresholds 2^(2(M-1)) overflow int64 beyond 32 layers, and the
+// engine's dyadic transmit calendar needs the layer-period ratios to
+// fit a uint64 tick counter. The paper uses at most 10.
+const MaxLayers = 32
+
+// wideFanout is the child count above which a node's edge block is kept
+// counting-sorted for output-sensitive enumeration; at or below it, a
+// linear scan of the dense edgeSub mirror is cheaper than maintaining
+// the ordering.
+const wideFanout = 16
+
 // SessionConfig sets one session's protocol parameters.
 type SessionConfig struct {
 	// Protocol is the join-coordination discipline.
 	Protocol protocol.Kind
-	// Layers is M, the depth of the exponential layer scheme.
+	// Layers is M, the depth of the exponential layer scheme (1..MaxLayers).
 	Layers int
 }
 
@@ -105,6 +172,13 @@ type Result struct {
 	// ReceiverRates[i][k] is receiver r_{i,k}'s long-run goodput in
 	// packets per time unit.
 	ReceiverRates [][]float64
+	// ReceiverPackets[i][k] is the exact delivered-packet count behind
+	// ReceiverRates (the invariant-test currency: deliveries can never
+	// exceed the packets that crossed any link on the receiver's path).
+	ReceiverPackets [][]int
+	// FinalLevels[i][k] is r_{i,k}'s subscription level when the run
+	// ended: in [1, Layers] while joined, 0 after a churn departure.
+	FinalLevels [][]int
 	// Links holds per-(link, session) stats for every link crossed by at
 	// least one receiver of the session, in link-major order.
 	Links []LinkStats
@@ -112,6 +186,11 @@ type Result struct {
 	PacketsSent int
 	// Duration is the simulated time.
 	Duration float64
+	// Events counts engine events processed — sender transmissions,
+	// scheduled-event pops, per-link packet admissions, and receiver
+	// deliveries (the denominator of the benchmark suite's events/sec
+	// and allocs/event metrics).
+	Events int64
 }
 
 // LinkRedundancy returns the Definition 3 redundancy of a session on a
@@ -157,12 +236,15 @@ func (c *Config) validate() error {
 	if c.Packets < 1 {
 		return fmt.Errorf("netsim: Packets = %d", c.Packets)
 	}
-	if c.SignalPeriod < 0 {
+	if c.SignalPeriod < 0 || math.IsInf(c.SignalPeriod, 0) || math.IsNaN(c.SignalPeriod) {
 		return fmt.Errorf("netsim: SignalPeriod = %v", c.SignalPeriod)
 	}
 	for i, sc := range c.Sessions {
 		if sc.Layers < 1 {
 			return fmt.Errorf("netsim: session %d: Layers = %d", i, sc.Layers)
+		}
+		if sc.Layers > MaxLayers {
+			return fmt.Errorf("netsim: session %d: Layers = %d exceeds MaxLayers = %d", i, sc.Layers, MaxLayers)
 		}
 		s := c.Network.Session(i)
 		if s.Sender < 0 {
@@ -173,7 +255,7 @@ func (c *Config) validate() error {
 		}
 	}
 	for ci, ev := range c.Churn {
-		if ev.Time < 0 {
+		if ev.Time < 0 || math.IsInf(ev.Time, 0) || math.IsNaN(ev.Time) {
 			return fmt.Errorf("netsim: churn %d at negative time %v", ci, ev.Time)
 		}
 		if ev.Session < 0 || ev.Session >= c.Network.NumSessions() {
@@ -186,74 +268,91 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// --- event heap ---
+// --- pooled event queue ---
 
 type evKind int8
 
 const (
-	evTransmit evKind = iota
-	evForward
+	evForward evKind = iota
 	evChurn
 	evSignal
 )
 
+// event is a compact 32-byte value. Same-instant ties break on key,
+// which packs the priority class (packet events before signals,
+// reproducing sim's strict-inequality signal clock) above a monotone
+// push sequence number. Sender transmissions never enter the queue —
+// they live on the per-session calendar (see sessState.txNext) — so at
+// steady state the queue holds only delayed deliveries, churn, and the
+// signal clock.
 type event struct {
 	time float64
-	// prio breaks same-instant ties: packet events before signals,
-	// reproducing sim's strict-inequality signal clock.
-	prio int8
-	seq  int64
-	kind evKind
-
-	sess, layer, node int
-	churn             ChurnEvent
+	key  uint64
+	sess int32
+	// layer is the packet layer; node is the arrival node for evForward
+	// and the Config.Churn index for evChurn.
+	layer, node int32
+	kind        evKind
 }
 
-type eventHeap []event
+const prioSignal = uint64(1) << 56
 
-func (h eventHeap) less(a, b int) bool {
-	if h[a].time != h[b].time {
-		return h[a].time < h[b].time
-	}
-	if h[a].prio != h[b].prio {
-		return h[a].prio < h[b].prio
-	}
-	return h[a].seq < h[b].seq
+// eventQueue is an implicit 4-ary min-heap over a preallocated event
+// arena: push/pop move 32-byte values inside the backing array, which
+// doubles as the event pool — no node allocations, and no appends once
+// the high-water mark is reached. 4-ary beats binary here because the
+// shallower tree costs fewer value moves per operation on small
+// payloads.
+type eventQueue struct {
+	a []event
 }
 
-func (h *eventHeap) push(ev event) {
-	*h = append(*h, ev)
-	i := len(*h) - 1
+func evLess(x, y *event) bool {
+	if x.time != y.time {
+		return x.time < y.time
+	}
+	return x.key < y.key
+}
+
+func (q *eventQueue) push(ev event) {
+	q.a = append(q.a, ev)
+	i := len(q.a) - 1
 	for i > 0 {
-		p := (i - 1) / 2
-		if !h.less(i, p) {
+		p := (i - 1) >> 2
+		if !evLess(&q.a[i], &q.a[p]) {
 			break
 		}
-		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		q.a[i], q.a[p] = q.a[p], q.a[i]
 		i = p
 	}
 }
 
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
+func (q *eventQueue) pop() event {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	q.a = a[:n]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && h.less(l, m) {
-			m = l
-		}
-		if r < n && h.less(r, m) {
-			m = r
-		}
-		if m == i {
+		first := i<<2 + 1
+		if first >= n {
 			break
 		}
-		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if evLess(&a[c], &a[m]) {
+				m = c
+			}
+		}
+		if !evLess(&a[m], &a[i]) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
 		i = m
 	}
 	return top
@@ -261,271 +360,834 @@ func (h *eventHeap) pop() event {
 
 // --- per-session state ---
 
-type edge struct {
-	link, child int
+// treeEdge is one multicast-tree edge, fattened to 48 bytes so the
+// fused forwarding loop reads one DFS-sequential record per hop instead
+// of chasing five parallel arrays: the graph link it rides, the
+// (session-internal) node it enters, the link's immutable admission
+// parameters, the entered node's receiver and child-edge CSR blocks,
+// its bucket-boundary row offset, and the crossing counter.
+type treeEdge struct {
+	// invLog is 1/log(1-loss) for a lossy Bernoulli link: the constant
+	// factor of geometric inter-drop sampling, precomputed so a drop
+	// costs one log instead of two.
+	invLog float64
+	// lossGap is the crossings-until-next-drop counter (0 = draw on the
+	// next crossing). Per-edge rather than per-link: Bernoulli drops are
+	// i.i.d. per crossing, so thinning each session's crossing substream
+	// with its own geometric stream realizes exactly the same law as a
+	// shared per-link coin.
+	lossGap        int64
+	crossed        int64 // session packets that entered the link here
+	link, child    int32
+	recvLo, recvHi int32 // child's block in recvList
+	edgeLo, edgeHi int32 // child's own block in edges/order
+	gtOff          int32 // child << rowShift: child's row in gt
+	kind           int8  // admission class (ek*)
 }
 
-// sessState carries one session's runtime state: its multicast tree over
-// graph nodes, its receivers' protocol machines, and the subtree
-// subscription maxima used for pruning and fluid demand.
+// Admission classes, resolved from LinkKind at build time: lossless
+// Bernoulli links collapse into the always-admit class.
+const (
+	ekAlways    int8 = iota // Perfect, or Bernoulli with zero loss
+	ekBernoulli             // lossy Bernoulli: geometric gap thinning
+	ekCapacity
+	ekDropTail
+)
+
+// sessState carries one session's runtime state in flat, index-addressed
+// arrays: the multicast tree (CSR), receiver placement (CSR), the
+// receivers' protocol state (parallel arrays), and the per-node
+// subscription aggregation that drives pruning and fluid demand.
+//
+// Node ids here are session-internal: the tree's nodes are renumbered
+// in DFS pre-order (sender = 0) when the engine is built, so a packet's
+// traversal touches edgeStart/gt/recvStart/subMax rows in nearly
+// sequential memory order, and the arrays are sized by the session's
+// tree rather than the whole graph.
+//
+// Subscription aggregation: each node nd aggregates "contributions" —
+// the levels of the session's active receivers hosted at nd plus the
+// subtree maxima subMax[child] of its tree children. lvlCnt counts
+// contributions per level; subMax[nd], the highest populated level, is
+// nudged incrementally (up when a contribution overtakes it, down by a
+// same-row scan when its slot empties). A contribution change therefore
+// costs O(1) per node and propagates only while the node's maximum
+// actually moves.
+//
+// Child ordering (wide nodes): within a wide node's CSR edge block,
+// order[] keeps the children counting-sorted by descending subMax.
+// gt[nd][v] counts the node's children with subMax > v, so the children
+// wanting layer l are exactly order[start : start+gt[nd][l]] —
+// forwarding is output-sensitive. A child moving between adjacent
+// levels is one swap plus one boundary bump. Narrow nodes skip all of
+// this and scan edgeSub directly.
 type sessState struct {
 	idx    int
 	cfg    SessionConfig
 	scheme layering.Scheme
-	sender int
-	period []float64
+	m      int32     // layers (M); the sender is pre-order node 0
+	period []float64 // [layer] inter-packet time
+	cum    []float64 // [0..M] cumulative scheme rate
 
-	childEdges [][]edge      // [node] outgoing tree edges
-	parent     []int         // [node] parent node on the tree, -1 off-tree/root
-	recvAt     map[int][]int // node -> receiver indices of this session
+	// Transmit calendar. The exponential scheme's periods are dyadic:
+	// layer l >= 1 fires every 2^(M-1-l) ticks of the finest layer's
+	// clock and layer 0 shares layer 1's period, so the layers due at
+	// tick n are exactly the contiguous range [M-1-TrailingZeros(n),
+	// M-1] (clamped, and pulled down to 0 when it reaches 1). One
+	// counter and one TrailingZeros replace a heap round trip per
+	// packet; times are n*tickDt, exact in float64.
+	tick   uint64  // finest-layer ticks elapsed
+	tickDt float64 // period of layer M-1
+	txMin  float64 // next transmission instant, (tick+1)*tickDt
+	// nAtLevel[v] counts receivers currently at subscription level v,
+	// letting the signal clock skip sessions with no receiver at or
+	// below the signal level.
+	nAtLevel []int32
 
-	receivers []*protocol.Receiver
-	levels    []int // mirror; 0 while departed
-	active    []bool
-	// subMax[node] is the maximum subscription level among active
-	// receivers at or below the node (0 when none) — the pruning test
-	// and, via the layer scheme, the session's fluid demand below it.
-	subMax []int
+	// Tree topology, CSR over nodes. edges of node nd occupy
+	// edges[edgeStart[nd]:edgeStart[nd+1]]; edge ids index edges, order
+	// positions, pos, and edgeSub.
+	edgeStart  []int32
+	edges      []treeEdge
+	parent     []int32 // [node] tree parent, -1 off-tree/root
+	parentEdge []int32 // [node] edge id entering the node, -1 off-tree/root
+	// Child enumeration is hybrid by fan-out. Narrow nodes (fan-out <=
+	// wideFanout) scan edgeSub — a dense edge-indexed mirror of the
+	// child's subMax — linearly; that is a couple of cache lines and
+	// needs no order maintenance. Wide nodes (the star hub pattern)
+	// additionally keep their edge block counting-sorted by descending
+	// subMax (order/pos/gt), so forwarding touches exactly the eligible
+	// children instead of the full list.
+	wide    []bool  // [node] fan-out > wideFanout
+	edgeSub []int32 // [edge id] subMax of the edge's child
+	order   []int32 // per-node permutation of edge ids, desc by subMax
+	pos     []int32 // [edge id] position in order
+	gt      []int32 // [(node<<rowShift)+v] children with subMax > v
 
-	received []int
+	// Receiver placement CSR: receivers hosted at node nd are
+	// recvList[recvStart[nd]:recvStart[nd+1]].
+	recvStart []int32
+	recvList  []int32
+	recvNode  []int32 // [receiver] hosting node
+
+	// Receiver protocol state, flattened from protocol.Receiver into
+	// parallel arrays so the delivery loop touches two cache lines
+	// instead of one heap object per receiver. The transition logic
+	// mirrors protocol.Receiver exactly (the sim/treesim/capsim
+	// cross-check tests guard the equivalence): levels[k] is the joined
+	// layer count (0 while departed), countdown[k] the packets left
+	// until the next Deterministic/Uncoordinated join, clean[k] the
+	// Coordinated no-congestion-since-last-opportunity window.
+	levels    []int32
+	countdown []int64
+	clean     []bool
+	received  []int
+
+	subMax []int32 // [node] max contribution level in the subtree
+	// lvlCnt[(node<<rowShift)+v] counts contributions at level v
+	// (v >= 1). Rows are power-of-two int32 strides so a node's whole
+	// count row sits in one or two cache lines and the row offset is a
+	// shift; the maximum is recovered by scanning the row downward (at
+	// most M slots, same line) instead of keeping a separate bitmask.
+	lvlCnt   []int32
+	rowShift uint8
+	// solo[nd] marks nodes with exactly one contribution (one hosted
+	// receiver and no children, or one child and no receivers — leaves
+	// and chain nodes): their maximum IS that contribution, so level
+	// propagation skips the counting machinery there.
+	solo []bool
+	// lossOnly marks trees carrying only instant loss links, routed to
+	// the specialized forwardLossOnly walk.
+	lossOnly bool
+
+	// downRecv CSR: downRecv[downStart[eid]:downStart[eid+1]] lists the
+	// receivers downstream of edge eid in DFS order — the congestion
+	// notification set of a drop on that edge, scanned directly instead
+	// of re-walking the subtree.
+	downStart []int32
+	downRecv  []int32
 }
 
-func (s *sessState) bubble(nd int) {
-	for cur := nd; ; cur = s.parent[cur] {
-		m := 0
-		for _, k := range s.recvAt[cur] {
-			if s.levels[k] > m {
-				m = s.levels[k]
-			}
-		}
-		for _, ed := range s.childEdges[cur] {
-			if s.subMax[ed.child] > m {
-				m = s.subMax[ed.child]
-			}
-		}
-		if s.subMax[cur] == m && cur != nd {
-			return
-		}
-		s.subMax[cur] = m
-		if cur == s.sender {
-			return
-		}
+// reorder moves edge eid within its (wide) parent node p's
+// counting-sorted block from bucket om to bucket nm, one
+// adjacent-bucket swap at a time.
+func (s *sessState) reorder(eid, p, om, nm int32) {
+	base := s.edgeStart[p]
+	row := p << s.rowShift
+	for v := om; v < nm; v++ {
+		// First slot of bucket v becomes the last slot of bucket v+1.
+		tgt := base + s.gt[row+v]
+		s.swapOrder(s.pos[eid], tgt)
+		s.gt[row+v]++
+	}
+	for v := om; v > nm; v-- {
+		// Last slot of bucket v becomes the first slot of bucket v-1.
+		tgt := base + s.gt[row+v-1] - 1
+		s.swapOrder(s.pos[eid], tgt)
+		s.gt[row+v-1]--
 	}
 }
 
-// linkUser records that a session's tree crosses a link into child; the
-// session's fluid demand on the link is its scheme's cumulative rate at
-// subMax[child].
-type linkUser struct {
-	sess, child int
+func (s *sessState) swapOrder(i, j int32) {
+	if i == j {
+		return
+	}
+	s.order[i], s.order[j] = s.order[j], s.order[i]
+	s.pos[s.order[i]] = i
+	s.pos[s.order[j]] = j
 }
 
 // --- engine ---
 
 type engine struct {
-	cfg   Config
-	net   *netmodel.Network
-	rng   *rand.Rand
-	links []*linkState
-	sess  []*sessState
-	// linkUsers[j] lists the sessions whose tree crosses link j.
-	linkUsers [][]linkUser
-	// crossed[j][i] counts session i's packets entering link j.
-	crossed [][]int
+	cfg     Config
+	net     *netmodel.Network
+	rng     *rand.Rand
+	links   []linkState
+	sess    []sessState
+	numSess int
+	// demand[j] is the current fluid demand of all sessions on link j:
+	// sum over sessions crossing j of cum[subMax[child]], maintained
+	// incrementally as subscriptions move. Exact for the power-of-two
+	// exponential scheme (every partial sum is an integer below 2^53).
+	// Maintenance is skipped entirely (trackDemand false) when no link
+	// is capacity-coupled, since nothing would read it.
+	demand      []float64
+	trackDemand bool
+	// Dense resolved Capacity parameters, split out of linkState so the
+	// admission fast path touches 8-byte rows.
+	linkCap []float64
+	linkBg  []float64
 
-	heap      eventHeap
-	seq       int64
+	q   eventQueue
+	seq uint64
+	// fwdStack is forward's reusable DFS work stack of edge ids.
+	fwdStack []int32
+
 	signalIdx int
 	// signalPeriod is the resolved Coordinated signal period (the
 	// config's zero-means-1 default applied once).
 	signalPeriod float64
 	now          float64
 	sent         int
+	pops         int64
 }
 
 func newEngine(cfg Config) (*engine, error) {
 	net := cfg.Network
+	g := net.Graph()
 	e := &engine{
-		cfg:       cfg,
-		net:       net,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		links:     make([]*linkState, net.NumLinks()),
-		sess:      make([]*sessState, net.NumSessions()),
-		linkUsers: make([][]linkUser, net.NumLinks()),
-		crossed:   make([][]int, net.NumLinks()),
+		cfg:     cfg,
+		net:     net,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		links:   make([]linkState, net.NumLinks()),
+		sess:    make([]sessState, net.NumSessions()),
+		numSess: net.NumSessions(),
+		demand:  make([]float64, net.NumLinks()),
 	}
+	e.linkCap = make([]float64, net.NumLinks())
+	e.linkBg = make([]float64, net.NumLinks())
 	for j := range e.links {
 		spec := LinkSpec{}
 		if cfg.Links != nil {
 			spec = cfg.Links[j]
 		}
 		e.links[j] = newLinkState(spec, net.Capacity(j))
-		e.crossed[j] = make([]int, net.NumSessions())
+		e.linkCap[j] = e.links[j].cap
+		e.linkBg[j] = spec.Background
+		if spec.Kind == Capacity {
+			e.trackDemand = true
+		}
 	}
-	g := net.Graph()
+	nn := g.NumNodes()
+	// Scratch for tree discovery on global node ids, reused per session.
+	gParent := make([]int32, nn)
+	gParentLink := make([]int32, nn)
+	gChildren := make([][]treeEdge, nn)
+	intern := make([]int32, nn) // global node id -> session-internal id
 	for i := range e.sess {
 		ns := net.Session(i)
 		sc := cfg.Sessions[i]
-		s := &sessState{
+		m := int32(sc.Layers)
+		s := &e.sess[i]
+		*s = sessState{
 			idx: i, cfg: sc,
-			scheme:     layering.Exponential(sc.Layers),
-			sender:     ns.Sender,
-			period:     make([]float64, sc.Layers),
-			childEdges: make([][]edge, g.NumNodes()),
-			parent:     make([]int, g.NumNodes()),
-			recvAt:     map[int][]int{},
-			receivers:  make([]*protocol.Receiver, ns.NumReceivers()),
-			levels:     make([]int, ns.NumReceivers()),
-			active:     make([]bool, ns.NumReceivers()),
-			subMax:     make([]int, g.NumNodes()),
-			received:   make([]int, ns.NumReceivers()),
+			scheme:    layering.Exponential(sc.Layers),
+			m:         m,
+			period:    make([]float64, sc.Layers),
+			cum:       make([]float64, sc.Layers+1),
+			recvNode:  make([]int32, ns.NumReceivers()),
+			levels:    make([]int32, ns.NumReceivers()),
+			countdown: make([]int64, ns.NumReceivers()),
+			clean:     make([]bool, ns.NumReceivers()),
+			received:  make([]int, ns.NumReceivers()),
 		}
 		for l := 0; l < sc.Layers; l++ {
 			s.period[l] = 1 / s.scheme.LayerRate(l)
 		}
-		for nd := range s.parent {
-			s.parent[nd] = -1
+		s.tickDt = s.period[sc.Layers-1]
+		s.txMin = s.tickDt
+		s.nAtLevel = make([]int32, sc.Layers+1)
+		s.nAtLevel[0] = int32(ns.NumReceivers()) // all pre-join
+		for v := 0; v <= sc.Layers; v++ {
+			s.cum[v] = s.scheme.CumulativeRate(v)
 		}
-		// Assemble the multicast tree from the receivers' data-paths.
+		// Discover the multicast tree on global node ids from the
+		// receivers' data-paths. The sender's parent slot is claimed up
+		// front: a walk that re-enters the root would otherwise hang a
+		// cycle off the "tree" (hand-built paths can do this; routed
+		// ones cannot) and must be rejected below.
+		for nd := 0; nd < nn; nd++ {
+			gParent[nd] = -1
+			gParentLink[nd] = -1
+			gChildren[nd] = gChildren[nd][:0]
+		}
+		gParent[ns.Sender] = int32(ns.Sender)
+		nEdges := 0
 		for k := range ns.Receivers {
 			cur := ns.Sender
 			for _, j := range net.Path(i, k) {
 				nb := g.Other(j, cur)
-				if p := s.parent[nb]; p == -1 {
-					s.parent[nb] = cur
-					s.childEdges[cur] = append(s.childEdges[cur], edge{link: j, child: nb})
-					e.linkUsers[j] = append(e.linkUsers[j], linkUser{sess: i, child: nb})
-				} else if p != cur {
+				if p := gParent[nb]; p == -1 {
+					gParent[nb] = int32(cur)
+					gParentLink[nb] = int32(j)
+					spec := LinkSpec{}
+					if cfg.Links != nil {
+						spec = cfg.Links[j]
+					}
+					ek := ekAlways
+					invLog := 0.0
+					switch spec.Kind {
+					case Bernoulli:
+						if spec.Loss > 0 {
+							ek = ekBernoulli
+							invLog = 1 / math.Log(1-spec.Loss)
+						}
+					case Capacity:
+						ek = ekCapacity
+					case DropTail:
+						ek = ekDropTail
+					}
+					gChildren[cur] = append(gChildren[cur], treeEdge{
+						link: int32(j), child: int32(nb), kind: ek, invLog: invLog,
+					})
+					nEdges++
+				} else if p != int32(cur) {
 					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached from %d and %d)", i, nb, p, cur)
+				} else if gParentLink[nb] != int32(j) {
+					// Same parent node over a parallel link: still two
+					// distinct physical trees.
+					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached via links %d and %d)", i, nb, gParentLink[nb], j)
 				}
 				cur = nb
 			}
-			s.recvAt[ns.Receivers[k]] = append(s.recvAt[ns.Receivers[k]], k)
 		}
-		for k := range s.receivers {
-			s.receivers[k] = protocol.NewReceiver(sc.Protocol, sc.Layers, e.rng)
-			s.levels[k] = 1
-			s.active[k] = true
-			s.bubble(ns.Receivers[k])
+		// Renumber the tree's nodes in DFS pre-order (children in
+		// data-path discovery order, which is deterministic) so the
+		// per-node arrays below are visited near-sequentially by the
+		// forwarding DFS, and size everything by the tree, not the graph.
+		treeN := 1 + nEdges
+		s.parent = make([]int32, treeN)
+		s.parentEdge = make([]int32, treeN)
+		s.edgeStart = make([]int32, treeN+1)
+		s.edges = make([]treeEdge, 0, nEdges)
+		s.order = make([]int32, nEdges)
+		s.pos = make([]int32, nEdges)
+		s.subMax = make([]int32, treeN)
+		for s.rowShift = 1; 1<<s.rowShift < int(m)+1; s.rowShift++ {
 		}
-		e.sess[i] = s
+		s.lvlCnt = make([]int32, treeN<<s.rowShift)
+		s.gt = make([]int32, treeN<<s.rowShift)
+		s.wide = make([]bool, treeN)
+		s.edgeSub = make([]int32, nEdges)
+		s.parent[0] = -1
+		s.parentEdge[0] = -1
+		// Pass 1: pre-order numbering (children in data-path discovery
+		// order, so the permutation is deterministic).
+		globalOf := make([]int32, 0, treeN)
+		dfs := make([]int32, 0, treeN)
+		dfs = append(dfs, int32(ns.Sender))
+		for len(dfs) > 0 {
+			gnd := dfs[len(dfs)-1]
+			dfs = dfs[:len(dfs)-1]
+			intern[gnd] = int32(len(globalOf))
+			globalOf = append(globalOf, gnd)
+			// Push in reverse so pop order follows discovery order.
+			for c := len(gChildren[gnd]) - 1; c >= 0; c-- {
+				dfs = append(dfs, gChildren[gnd][c].child)
+			}
+		}
+		// Receiver placement CSR first (counting sort by hosting node),
+		// so pass 2 can embed each child's receiver block in its edge.
+		for k := range ns.Receivers {
+			s.recvNode[k] = intern[ns.Receivers[k]]
+		}
+		s.recvStart = make([]int32, treeN+1)
+		for k := range s.recvNode {
+			s.recvStart[s.recvNode[k]+1]++
+		}
+		for nd := 0; nd < treeN; nd++ {
+			s.recvStart[nd+1] += s.recvStart[nd]
+		}
+		s.recvList = make([]int32, len(s.recvNode))
+		fill := append([]int32(nil), s.recvStart[:treeN]...)
+		for k := range s.recvNode {
+			nd := s.recvNode[k]
+			s.recvList[fill[nd]] = int32(k)
+			fill[nd]++
+		}
+		// Pass 2: CSR blocks in internal id order; with pre-order ids a
+		// packet's DFS touches the rows near-sequentially.
+		for ind := int32(0); ind < int32(treeN); ind++ {
+			s.edgeStart[ind] = int32(len(s.edges))
+			for _, ed := range gChildren[globalOf[ind]] {
+				eid := int32(len(s.edges))
+				ied := ed
+				ied.child = intern[ed.child]
+				ied.recvLo = s.recvStart[ied.child]
+				ied.recvHi = s.recvStart[ied.child+1]
+				ied.gtOff = ied.child << s.rowShift
+				s.edges = append(s.edges, ied)
+				s.parent[ied.child] = ind
+				s.parentEdge[ied.child] = eid
+				// Identity permutation: every edge starts in bucket 0
+				// (all subMax are 0 before receivers join), which is
+				// trivially counting-sorted.
+				s.order[eid] = eid
+				s.pos[eid] = eid
+			}
+		}
+		s.edgeStart[treeN] = int32(len(s.edges))
+		// Each child's own edge block is known only now.
+		for eid := range s.edges {
+			s.edges[eid].edgeLo = s.edgeStart[s.edges[eid].child]
+			s.edges[eid].edgeHi = s.edgeStart[s.edges[eid].child+1]
+		}
+		s.lossOnly = true
+		for eid := range s.edges {
+			if k := s.edges[eid].kind; k != ekAlways && k != ekBernoulli {
+				s.lossOnly = false
+				break
+			}
+		}
+		s.solo = make([]bool, treeN)
+		for nd := 0; nd < treeN; nd++ {
+			s.wide[nd] = s.edgeStart[nd+1]-s.edgeStart[nd] > wideFanout
+			s.solo[nd] = (s.edgeStart[nd+1]-s.edgeStart[nd])+(s.recvStart[nd+1]-s.recvStart[nd]) == 1
+		}
+		// Downstream-receiver CSR per edge: a receiver at internal node
+		// nd sits below every edge on nd's root path, i.e. below
+		// parentEdge of each ancestor. Receivers are grouped per edge in
+		// DFS (pre-order) receiver order.
+		s.downStart = make([]int32, nEdges+1)
+		for k := range s.recvNode {
+			for nd := s.recvNode[k]; nd != 0; nd = s.parent[nd] {
+				s.downStart[s.parentEdge[nd]+1]++
+			}
+		}
+		for eid := 0; eid < nEdges; eid++ {
+			s.downStart[eid+1] += s.downStart[eid]
+		}
+		s.downRecv = make([]int32, s.downStart[nEdges])
+		dfill := append([]int32(nil), s.downStart[:nEdges]...)
+		// recvList is already in pre-order node order; walking it keeps
+		// each edge's block in DFS order, matching the old subtree walk.
+		for _, k := range s.recvList {
+			for nd := s.recvNode[k]; nd != 0; nd = s.parent[nd] {
+				eid := s.parentEdge[nd]
+				s.downRecv[dfill[eid]] = k
+				dfill[eid]++
+			}
+		}
+		// Bring every receiver online through the same incremental
+		// machinery the run uses (joins bubble up, order buckets and
+		// link demand update as a side effect).
+		for k := range s.levels {
+			e.applyLevelChange(s, k, 1)
+			e.armReceiver(s, k, 1)
+		}
 	}
 
-	// Seed the clock: per-layer transmissions, the global signal, churn.
-	for _, s := range e.sess {
-		for l := 0; l < s.cfg.Layers; l++ {
-			e.push(event{time: s.period[l], kind: evTransmit, sess: s.idx, layer: l})
-		}
-	}
+	// Seed the clock: the global signal and churn (transmissions live on
+	// the per-session calendars). Preallocate the arena at its expected
+	// high-water mark so steady state never appends.
+	e.q.a = make([]event, 0, len(cfg.Churn)+1+64)
 	e.signalPeriod = cfg.SignalPeriod
 	if e.signalPeriod == 0 {
 		e.signalPeriod = 1
 	}
-	for _, s := range e.sess {
-		if s.cfg.Protocol == protocol.Coordinated && s.cfg.Layers > 1 {
-			e.push(event{time: e.signalPeriod, prio: 1, kind: evSignal})
+	for i := range e.sess {
+		if e.sess[i].cfg.Protocol == protocol.Coordinated && e.sess[i].cfg.Layers > 1 {
+			e.push(event{time: e.signalPeriod, key: prioSignal, kind: evSignal})
 			break
 		}
 	}
-	for _, ev := range cfg.Churn {
-		e.push(event{time: ev.Time, kind: evChurn, churn: ev})
+	for ci, ev := range cfg.Churn {
+		e.push(event{time: ev.Time, kind: evChurn, node: int32(ci)})
 	}
 	return e, nil
 }
 
 func (e *engine) push(ev event) {
-	ev.seq = e.seq
+	ev.key |= e.seq
 	e.seq++
-	e.heap.push(ev)
+	e.q.push(ev)
 }
 
-func (e *engine) syncReceiver(s *sessState, k int) {
-	nl := s.receivers[k].Level()
-	if nl == s.levels[k] {
+// applyLevelChange records receiver k's new subscription level and
+// propagates the contribution change up the session tree: per ancestor
+// it is one counting-bucket bump; propagation stops at the first node
+// whose maximum does not move. Nodes whose maximum does move are
+// re-bucketed in their parent's child ordering and their parent link's
+// fluid demand is adjusted by the cumulative-rate delta.
+func (e *engine) applyLevelChange(s *sessState, k int, nl int32) {
+	a := s.levels[k]
+	if nl == a {
 		return
 	}
 	s.levels[k] = nl
-	s.bubble(e.net.Session(s.idx).Receivers[k])
-}
-
-// linkDemand sums the fluid demand of every session crossing the link:
-// each contributes the cumulative rate of its maximum subscription level
-// below the link (pruning-aware, exactly capsim's sharedDemand).
-func (e *engine) linkDemand(j int) float64 {
-	d := 0.0
-	for _, u := range e.linkUsers[j] {
-		s := e.sess[u.sess]
-		d += s.scheme.CumulativeRate(s.subMax[u.child])
-	}
-	return d
-}
-
-// forward delivers a layer-l packet arriving at node at time t: hands it
-// to subscribed receivers hosted there, then pushes it into each child
-// link some subscribed receiver below still wants (idealized pruning).
-// Instant links recurse inline; queued links schedule the continuation.
-func (e *engine) forward(s *sessState, layer, node int, t float64) {
-	for _, k := range s.recvAt[node] {
-		if s.active[k] && s.levels[k] > layer {
-			s.received[k]++
-			s.receivers[k].OnReceive()
-			e.syncReceiver(s, k)
-		}
-	}
-	for _, ed := range s.childEdges[node] {
-		if s.subMax[ed.child] <= layer {
-			continue
-		}
-		e.crossed[ed.link][s.idx]++
-		ls := e.links[ed.link]
-		demand := 0.0
-		if ls.spec.Kind == Capacity {
-			demand = e.linkDemand(ed.link)
-		}
-		exit, dropped := ls.admit(t, demand, e.rng)
-		if dropped {
-			e.notifyLoss(s, layer, ed.child)
-			continue
-		}
-		if exit <= t {
-			e.forward(s, layer, ed.child, t)
+	s.nAtLevel[a]--
+	s.nAtLevel[nl]++
+	nd := s.recvNode[k]
+	b := nl
+	for {
+		om := s.subMax[nd]
+		var nm int32
+		if s.solo[nd] {
+			// Single-contribution node: its maximum is the contribution.
+			nm = b
 		} else {
-			e.push(event{time: exit, kind: evForward, sess: s.idx, layer: layer, node: ed.child})
+			// Move one contribution at nd from level a to level b (level
+			// 0 contributions are identity — they can never become the
+			// maximum), then recover the new maximum from the count row:
+			// it only moves up when b overtakes it, and only moves down
+			// when the old maximum's slot empties.
+			row := nd << s.rowShift
+			if a > 0 {
+				s.lvlCnt[row+a]--
+			}
+			if b > 0 {
+				s.lvlCnt[row+b]++
+			}
+			nm = om
+			if b > om {
+				nm = b
+			} else if a == om && s.lvlCnt[row+om] == 0 {
+				for nm--; nm > 0 && s.lvlCnt[row+nm] == 0; nm-- {
+				}
+			}
+		}
+		if nm == om {
+			return
+		}
+		s.subMax[nd] = nm
+		eid := s.parentEdge[nd]
+		if eid < 0 {
+			return // reached the session root
+		}
+		s.edgeSub[eid] = nm
+		if e.trackDemand {
+			e.demand[s.edges[eid].link] += s.cum[nm] - s.cum[om]
+		}
+		p := s.parent[nd]
+		if s.wide[p] {
+			s.reorder(eid, p, om, nm)
+		}
+		a, b = om, nm
+		nd = p
+	}
+}
+
+// armReceiver re-arms receiver k's join logic at level lv — the engine
+// inlining of protocol.Receiver.resetEventState.
+func (e *engine) armReceiver(s *sessState, k int, lv int32) {
+	switch s.cfg.Protocol {
+	case protocol.Deterministic:
+		s.countdown[k] = int64(protocol.JoinThreshold(int(lv)))
+	case protocol.Uncoordinated:
+		s.countdown[k] = int64(protocol.SampleGeometric(e.rng, 1/float64(protocol.JoinThreshold(int(lv)))))
+	case protocol.Coordinated:
+		s.clean[k] = true
+	}
+}
+
+// joinReceiver adds one layer to receiver k (bounded by M) and re-arms
+// its join state — protocol.Receiver.join.
+func (e *engine) joinReceiver(s *sessState, k int) {
+	lv := s.levels[k]
+	if lv < s.m {
+		lv++
+		e.applyLevelChange(s, k, lv)
+	}
+	e.armReceiver(s, k, lv)
+}
+
+// congestReceiver applies a congestion observation to receiver k: leave
+// the top joined layer (unless only the base layer is joined) and
+// re-arm — protocol.Receiver.OnCongestion.
+func (e *engine) congestReceiver(s *sessState, k int) {
+	lv := s.levels[k]
+	if lv > 1 {
+		lv--
+		e.applyLevelChange(s, k, lv)
+	}
+	s.clean[k] = false // a Coordinated receiver must wait for a clean window
+	switch s.cfg.Protocol {
+	case protocol.Deterministic:
+		s.countdown[k] = int64(protocol.JoinThreshold(int(lv)))
+	case protocol.Uncoordinated:
+		s.countdown[k] = int64(protocol.SampleGeometric(e.rng, 1/float64(protocol.JoinThreshold(int(lv)))))
+	}
+}
+
+// forward drains one packet through the session tree from node at time
+// t: one fused, allocation-free loop over a reusable work stack of edge
+// ids. Per hop it reads the 48-byte edge record (admission parameters,
+// the entered node's receiver and child blocks), decides admission
+// inline (Perfect/Bernoulli/Capacity; DropTail goes through the queue
+// model and schedules a continuation event at its exit time), delivers
+// to the subscribed receivers, then tail-descends into the first
+// eligible child, pushing only the remaining siblings.
+//
+// Eligibility snapshots before descent: sibling subtrees are disjoint,
+// so processing one cannot change another's subtree maximum, and level
+// changes triggered by a delivery only re-bucket nodes on the path to
+// the root — never the entered node's own children.
+func (e *engine) forward(s *sessState, layer, node int32, t float64) {
+	countJoins := s.cfg.Protocol != protocol.Coordinated
+	// Entry node: deliver to its receivers, then seed the walk with its
+	// eligible children (in bucket order: first directly, rest pushed in
+	// reverse).
+	for x := s.recvStart[node]; x < s.recvStart[node+1]; x++ {
+		k := s.recvList[x]
+		if s.levels[k] > layer { // departed receivers sit at level 0
+			s.received[k]++
+			if countJoins {
+				s.countdown[k]--
+				if s.countdown[k] <= 0 {
+					e.joinReceiver(s, int(k))
+				}
+			}
 		}
 	}
+	if s.lossOnly {
+		e.forwardLossOnly(s, layer, node, countJoins)
+		return
+	}
+	st := e.fwdStack[:0]
+	if s.wide[node] {
+		base := s.edgeStart[node]
+		for p := s.gt[(node<<s.rowShift)+layer] - 1; p >= 0; p-- {
+			st = append(st, s.order[base+p])
+		}
+	} else {
+		for ceid := s.edgeStart[node+1] - 1; ceid >= s.edgeStart[node]; ceid-- {
+			if s.edgeSub[ceid] > layer {
+				st = append(st, ceid)
+			}
+		}
+	}
+	for len(st) > 0 {
+		eid := st[len(st)-1]
+		st = st[:len(st)-1]
+	descend:
+		ed := &s.edges[eid]
+		ed.crossed++
+		dropped := false
+		switch ed.kind {
+		case ekAlways:
+		case ekBernoulli:
+			// The i.i.d. Bernoulli drop process is realized by sampling
+			// inter-drop gaps geometrically — exactly the same law as a
+			// per-crossing coin flip, one RNG draw per drop instead of
+			// one per crossing (protocol.SampleGeometric with the
+			// constant log factor precomputed in ed.invLog).
+			gap := ed.lossGap
+			if gap == 0 {
+				u := e.rng.Float64()
+				if u <= 0 {
+					u = math.SmallestNonzeroFloat64
+				}
+				gap = int64(math.Log(u)*ed.invLog) + 1
+				if gap < 1 {
+					gap = 1
+				}
+			}
+			gap--
+			ed.lossGap = gap
+			dropped = gap == 0
+		case ekCapacity:
+			// Drop with probability (d-c)/d; comparing r*d < d-c avoids
+			// the division on the admission fast path.
+			d := e.demand[ed.link] + e.linkBg[ed.link]
+			c := e.linkCap[ed.link]
+			dropped = d > c && e.rng.Float64()*d < d-c
+		default: // ekDropTail
+			exit, drop := e.links[ed.link].admitQueue(t)
+			if drop {
+				dropped = true
+				break
+			}
+			if exit > t {
+				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.child})
+				continue
+			}
+		}
+		if dropped {
+			e.notifyLoss(s, layer, eid)
+			continue
+		}
+		// Deliver to the entered node's receivers.
+		for x := ed.recvLo; x < ed.recvHi; x++ {
+			k := s.recvList[x]
+			if s.levels[k] > layer {
+				s.received[k]++
+				if countJoins {
+					s.countdown[k]--
+					if s.countdown[k] <= 0 {
+						e.joinReceiver(s, int(k))
+					}
+				}
+			}
+		}
+		// Expand the entered node's eligible children and tail-descend
+		// into the first one (in the same order the stack would yield).
+		if s.wide[ed.child] {
+			if cn := s.gt[ed.gtOff+layer]; cn > 0 {
+				cb := ed.edgeLo
+				for p := cn - 1; p >= 1; p-- {
+					st = append(st, s.order[cb+p])
+				}
+				eid = s.order[cb]
+				goto descend
+			}
+		} else {
+			first := int32(-1)
+			for ceid := ed.edgeHi - 1; ceid >= ed.edgeLo; ceid-- {
+				if s.edgeSub[ceid] > layer {
+					if first >= 0 {
+						st = append(st, first)
+					}
+					first = ceid
+				}
+			}
+			if first >= 0 {
+				eid = first
+				goto descend
+			}
+		}
+	}
+	e.fwdStack = st[:0]
+}
+
+// forwardLossOnly is forward's walk for sessions whose tree carries
+// only instant loss links (Perfect / Bernoulli) — the paper's Section 4
+// setting and the common large-topology scenario — with the admission
+// switch compiled out: an edge either always admits (invLog 0) or runs
+// the geometric gap counter. Behavior is identical to the generic walk.
+func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins bool) {
+	st := e.fwdStack[:0]
+	if s.wide[node] {
+		base := s.edgeStart[node]
+		for p := s.gt[(node<<s.rowShift)+layer] - 1; p >= 0; p-- {
+			st = append(st, s.order[base+p])
+		}
+	} else {
+		for ceid := s.edgeStart[node+1] - 1; ceid >= s.edgeStart[node]; ceid-- {
+			if s.edgeSub[ceid] > layer {
+				st = append(st, ceid)
+			}
+		}
+	}
+	for len(st) > 0 {
+		eid := st[len(st)-1]
+		st = st[:len(st)-1]
+	descend:
+		ed := &s.edges[eid]
+		ed.crossed++
+		if ed.invLog != 0 {
+			gap := ed.lossGap
+			if gap == 0 {
+				u := e.rng.Float64()
+				if u <= 0 {
+					u = math.SmallestNonzeroFloat64
+				}
+				gap = int64(math.Log(u)*ed.invLog) + 1
+				if gap < 1 {
+					gap = 1
+				}
+			}
+			gap--
+			ed.lossGap = gap
+			if gap == 0 {
+				e.notifyLoss(s, layer, eid)
+				continue
+			}
+		}
+		for x := ed.recvLo; x < ed.recvHi; x++ {
+			k := s.recvList[x]
+			if s.levels[k] > layer {
+				s.received[k]++
+				if countJoins {
+					s.countdown[k]--
+					if s.countdown[k] <= 0 {
+						e.joinReceiver(s, int(k))
+					}
+				}
+			}
+		}
+		if s.wide[ed.child] {
+			if cn := s.gt[ed.gtOff+layer]; cn > 0 {
+				cb := ed.edgeLo
+				for p := cn - 1; p >= 1; p-- {
+					st = append(st, s.order[cb+p])
+				}
+				eid = s.order[cb]
+				goto descend
+			}
+		} else {
+			first := int32(-1)
+			for ceid := ed.edgeHi - 1; ceid >= ed.edgeLo; ceid-- {
+				if s.edgeSub[ceid] > layer {
+					if first >= 0 {
+						st = append(st, first)
+					}
+					first = ceid
+				}
+			}
+			if first >= 0 {
+				eid = first
+				goto descend
+			}
+		}
+	}
+	e.fwdStack = st[:0]
 }
 
 // notifyLoss delivers a congestion observation to every subscribed
-// receiver below a dropping link, at the drop instant (the paper's
+// receiver below the dropping edge, at the drop instant (the paper's
 // immediate-feedback idealization; links below a drop carry nothing).
-func (e *engine) notifyLoss(s *sessState, layer, node int) {
-	for _, k := range s.recvAt[node] {
-		if s.active[k] && s.levels[k] > layer {
-			s.receivers[k].OnCongestion()
-			e.syncReceiver(s, k)
-		}
-	}
-	for _, ed := range s.childEdges[node] {
-		if s.subMax[ed.child] > layer {
-			e.notifyLoss(s, layer, ed.child)
+// The downstream receiver set of an edge is static topology, so it is a
+// precomputed list scanned in the same DFS order the subtree walk would
+// visit — subscribed receivers are exactly those above the layer.
+func (e *engine) notifyLoss(s *sessState, layer, eid int32) {
+	for _, k := range s.downRecv[s.downStart[eid]:s.downStart[eid+1]] {
+		if s.levels[k] > layer {
+			e.congestReceiver(s, int(k))
 		}
 	}
 }
 
 func (e *engine) applyChurn(ev ChurnEvent) {
-	s := e.sess[ev.Session]
+	s := &e.sess[ev.Session]
 	k := ev.Receiver
-	node := e.net.Session(ev.Session).Receivers[k]
 	switch {
-	case ev.Join && !s.active[k]:
-		s.receivers[k] = protocol.NewReceiver(s.cfg.Protocol, s.cfg.Layers, e.rng)
-		s.active[k] = true
-		s.levels[k] = 1
-		s.bubble(node)
-	case !ev.Join && s.active[k]:
-		s.active[k] = false
-		s.levels[k] = 0
-		s.bubble(node)
+	case ev.Join && s.levels[k] == 0:
+		// A rejoining receiver starts fresh at the base layer.
+		e.applyLevelChange(s, k, 1)
+		e.armReceiver(s, k, 1)
+	case !ev.Join && s.levels[k] > 0:
+		e.applyLevelChange(s, k, 0)
 	}
 }
 
@@ -539,64 +1201,147 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	for e.sent < cfg.Packets {
-		if len(e.heap) == 0 {
+		// Next sender transmission: the lowest-index session holding the
+		// earliest calendar entry.
+		ts := math.Inf(1)
+		si := -1
+		for i := range e.sess {
+			if e.sess[i].txMin < ts {
+				ts = e.sess[i].txMin
+				si = i
+			}
+		}
+		if si < 0 {
+			// No sessions can ever transmit (zero-session network).
 			return nil, fmt.Errorf("netsim: event queue drained before packet budget")
 		}
-		ev := e.heap.pop()
-		e.now = ev.time
-		switch ev.kind {
-		case evTransmit:
-			s := e.sess[ev.sess]
-			e.sent++
-			if s.subMax[s.sender] > ev.layer {
-				e.forward(s, ev.layer, s.sender, e.now)
+		// Scheduled events run first: anything strictly earlier than the
+		// next transmission, plus same-instant packet events (delayed
+		// deliveries, churn). Signals yield to same-instant packets,
+		// reproducing sim's strict-inequality signal clock.
+		for len(e.q.a) > 0 {
+			top := &e.q.a[0]
+			if top.time > ts || (top.time == ts && top.key >= prioSignal) {
+				break
 			}
-			e.push(event{time: e.now + s.period[ev.layer], kind: evTransmit, sess: ev.sess, layer: ev.layer})
-		case evForward:
-			e.forward(e.sess[ev.sess], ev.layer, ev.node, e.now)
-		case evChurn:
-			e.applyChurn(ev.churn)
-		case evSignal:
-			e.signalIdx++
-			for _, s := range e.sess {
-				if s.cfg.Protocol != protocol.Coordinated || s.cfg.Layers < 2 {
-					continue
-				}
-				lvl := sim.SignalLevel(e.signalIdx, s.cfg.Layers-1)
-				for k, r := range s.receivers {
-					if !s.active[k] {
-						continue
-					}
-					r.OnSignal(lvl)
-					e.syncReceiver(s, k)
-				}
+			ev := e.q.pop()
+			e.now = ev.time
+			e.pops++
+			switch ev.kind {
+			case evForward:
+				e.forward(&e.sess[ev.sess], ev.layer, ev.node, e.now)
+			case evChurn:
+				e.applyChurn(cfg.Churn[ev.node])
+			case evSignal:
+				e.signal()
 			}
-			e.push(event{time: e.now + e.signalPeriod, prio: 1, kind: evSignal})
 		}
+		// Fire every layer due at this tick — the contiguous range given
+		// by the tick's trailing zeros — layer-ascending, stopping
+		// exactly at the packet budget.
+		e.now = ts
+		s := &e.sess[si]
+		n := s.tick + 1
+		lo := s.m - 1 - int32(bits.TrailingZeros64(n))
+		if lo <= 1 {
+			lo = 0 // layer 0 shares layer 1's period
+		}
+		for l := lo; l < s.m && e.sent < cfg.Packets; l++ {
+			e.sent++
+			if s.subMax[0] > l {
+				e.forward(s, l, 0, ts)
+			}
+		}
+		s.tick = n
+		s.txMin = float64(n+1) * s.tickDt
 	}
 	return e.result(), nil
 }
 
-func (e *engine) result() *Result {
-	res := &Result{
-		ReceiverRates: make([][]float64, len(e.sess)),
-		PacketsSent:   e.sent,
-		Duration:      e.now,
-	}
-	for i, s := range e.sess {
-		res.ReceiverRates[i] = make([]float64, len(s.received))
-		if e.now <= 0 {
+// signal drives the global Coordinated join clock: one nested signal
+// level per tick, delivered to every active Coordinated receiver.
+func (e *engine) signal() {
+	e.signalIdx++
+	for i := range e.sess {
+		s := &e.sess[i]
+		if s.cfg.Protocol != protocol.Coordinated || s.cfg.Layers < 2 {
 			continue
 		}
-		for k, n := range s.received {
-			res.ReceiverRates[i][k] = float64(n) / e.now
+		lvl := int32(sim.SignalLevel(e.signalIdx, s.cfg.Layers-1))
+		eligible := false
+		for v := int32(1); v <= lvl; v++ {
+			if s.nAtLevel[v] > 0 {
+				eligible = true
+				break
+			}
+		}
+		if !eligible {
+			continue // nobody at or below the signal level: exact no-op
+		}
+		for k, lv := range s.levels {
+			// protocol.Receiver.OnSignal, inlined. Departed receivers
+			// (level 0) and receivers above the signal level are exact
+			// no-ops, skipped without touching their join state.
+			if lv < 1 || lv > lvl {
+				continue
+			}
+			if s.clean[k] {
+				e.joinReceiver(s, k)
+			} else {
+				// Missed opportunity; the next window starts now.
+				s.clean[k] = true
+			}
 		}
 	}
+	e.push(event{time: e.now + e.signalPeriod, key: prioSignal, kind: evSignal})
+}
+
+func (e *engine) result() *Result {
+	res := &Result{
+		ReceiverRates:   make([][]float64, len(e.sess)),
+		ReceiverPackets: make([][]int, len(e.sess)),
+		FinalLevels:     make([][]int, len(e.sess)),
+		PacketsSent:     e.sent,
+		Duration:        e.now,
+		Events:          int64(e.sent) + e.pops,
+	}
+	for i := range e.sess {
+		s := &e.sess[i]
+		for eid := range s.edges {
+			res.Events += s.edges[eid].crossed
+		}
+		res.ReceiverRates[i] = make([]float64, len(s.received))
+		res.ReceiverPackets[i] = make([]int, len(s.received))
+		res.FinalLevels[i] = make([]int, len(s.received))
+		for k, n := range s.received {
+			res.ReceiverPackets[i][k] = n
+			res.FinalLevels[i][k] = int(s.levels[k])
+			res.Events += int64(n)
+			if e.now > 0 {
+				res.ReceiverRates[i][k] = float64(n) / e.now
+			}
+		}
+	}
+	// Fold edge-indexed crossing counts back to (session, link): each
+	// session's tree crosses a link through at most one edge.
+	linkCrossed := make([][]int, len(e.sess))
+	for i := range e.sess {
+		s := &e.sess[i]
+		linkCrossed[i] = make([]int, e.net.NumLinks())
+		for eid := range s.edges {
+			linkCrossed[i][s.edges[eid].link] = int(s.edges[eid].crossed)
+		}
+	}
+	total := 0
+	for j := 0; j < e.net.NumLinks(); j++ {
+		total += len(e.net.OnLink(j))
+	}
+	res.Links = make([]LinkStats, 0, total)
 	for j := 0; j < e.net.NumLinks(); j++ {
 		for _, sr := range e.net.OnLink(j) {
 			ls := LinkStats{
 				Link: j, Session: sr.Session,
-				Crossed:             e.crossed[j][sr.Session],
+				Crossed:             linkCrossed[sr.Session][j],
 				DownstreamReceivers: len(sr.Receivers),
 			}
 			if e.now > 0 {

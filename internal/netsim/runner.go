@@ -23,15 +23,22 @@ func ReplicationSeed(base uint64, i int) uint64 {
 // replications.
 type Metric func(*Result) float64
 
-// RunReplications executes n independent replications of cfg — seeds
-// ReplicationSeed(cfg.Seed, 0..n-1) — on a pool of workers goroutines
-// (workers <= 0 means GOMAXPROCS) and returns the per-replication
-// results in replication order. Because every replication is
-// deterministic in its seed and results are stored by index, the output
-// is bit-identical for any worker count, including workers == 1.
-func RunReplications(cfg Config, n, workers int) ([]*Result, error) {
+// StreamReplications executes n independent replications of cfg —
+// seeds ReplicationSeed(cfg.Seed, 0..n-1) — on a pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS) and hands each result to
+// consume exactly once, in replication order, on the calling
+// goroutine. Because every replication is deterministic in its seed
+// and consume sees the identical sequence regardless of scheduling,
+// any aggregate computed in consume is bit-identical for every worker
+// count, including workers == 1.
+//
+// Unlike collecting []*Result, at most ~2x workers results are
+// retained at any moment (finished results waiting for their turn),
+// so replication counts can grow without the runner's memory growing
+// with them. A consume error stops dispatch and drains the pool.
+func StreamReplications(cfg Config, n, workers int, consume func(i int, r *Result) error) error {
 	if n < 1 {
-		return nil, fmt.Errorf("netsim: replications = %d", n)
+		return fmt.Errorf("netsim: replications = %d", n)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -39,40 +46,145 @@ func RunReplications(cfg Config, n, workers int) ([]*Result, error) {
 	if workers > n {
 		workers = n
 	}
-	results := make([]*Result, n)
-	errs := make([]error, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			c := cfg
 			c.Seed = ReplicationSeed(cfg.Seed, i)
-			results[i], errs[i] = Run(c)
+			r, err := Run(c)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, r); err != nil {
+				return err
+			}
 		}
-	} else {
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					c := cfg
-					c.Seed = ReplicationSeed(cfg.Seed, i)
-					results[i], errs[i] = Run(c)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
+		return nil
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+
+	type item struct {
+		i   int
+		r   *Result
+		err error
+	}
+	// The dispatch window bounds outstanding (unconsumed) replications:
+	// a slot is taken before an index is dispatched and released once
+	// its result has been consumed.
+	window := 2 * workers
+	slots := make(chan struct{}, window)
+	idx := make(chan int)
+	out := make(chan item, window)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				c := cfg
+				c.Seed = ReplicationSeed(cfg.Seed, i)
+				r, err := Run(c)
+				out <- item{i: i, r: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			select {
+			case slots <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case idx <- i:
+			case <-stop:
+				return
+			}
 		}
+	}()
+
+	pending := make(map[int]*Result, window)
+	var firstErr error
+	next := 0
+	consumed := 0
+	for consumed < n && firstErr == nil {
+		it := <-out
+		if it.err != nil {
+			firstErr = it.err
+			break
+		}
+		pending[it.i] = it.r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			<-slots
+			if err := consume(next, r); err != nil {
+				firstErr = err
+				break
+			}
+			next++
+			consumed++
+		}
+	}
+	// Shut down: stop dispatching, then drain whatever the workers
+	// still produce so none block on out.
+	close(stop)
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-out:
+		case <-done:
+			return firstErr
+		}
+	}
+}
+
+// RunReplications executes n replications (see StreamReplications) and
+// returns the per-replication results in replication order. Prefer
+// StreamReplications or SummarizeReplications when only aggregates are
+// needed — they do not retain all n results.
+func RunReplications(cfg Config, n, workers int) ([]*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: replications = %d", n)
+	}
+	results := make([]*Result, n)
+	err := StreamReplications(cfg, n, workers, func(i int, r *Result) error {
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
+}
+
+// SummarizeReplications streams n replications through the given
+// metrics and returns one Summary per metric, accumulated in
+// replication order — bit-identical for any worker count, with O(1)
+// memory per metric instead of retaining every result.
+func SummarizeReplications(cfg Config, n, workers int, metrics ...Metric) ([]stats.Summary, error) {
+	accs := make([]stats.Accumulator, len(metrics))
+	err := StreamReplications(cfg, n, workers, func(_ int, r *Result) error {
+		for mi, m := range metrics {
+			accs[mi].Add(m(r))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sums := make([]stats.Summary, len(metrics))
+	for mi := range accs {
+		sums[mi] = stats.Summary{Mean: accs[mi].Mean(), CI95: accs[mi].CI95(), N: accs[mi].N(), StdEv: accs[mi].StdDev()}
+	}
+	return sums, nil
 }
 
 // Summarize aggregates a metric over replication results in replication

@@ -47,6 +47,9 @@ func TestRunnerDefaultsAndErrors(t *testing.T) {
 	if _, err := RunReplications(cfg, 0, 1); err == nil {
 		t.Fatal("zero replications accepted")
 	}
+	if _, err := RunReplications(cfg, -1, 1); err == nil {
+		t.Fatal("negative replications accepted")
+	}
 	res, err := RunReplications(cfg, 2, 0) // default workers, clamped to n
 	if err != nil {
 		t.Fatal(err)

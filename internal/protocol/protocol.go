@@ -121,10 +121,19 @@ func (r *Receiver) resetEventState() {
 
 // sampleGeometric draws from Geometric(p) on {1, 2, ...} by inversion.
 func (r *Receiver) sampleGeometric(p float64) int {
+	return SampleGeometric(r.rng, p)
+}
+
+// SampleGeometric draws from Geometric(p) on {1, 2, ...} by inversion —
+// the number of independent p-trials up to and including the first
+// success. It backs the Uncoordinated protocol's join sampling and is
+// exported so simulators can thin Bernoulli processes (e.g. per-link
+// loss) to one draw per success with exactly this distribution.
+func SampleGeometric(rng *rand.Rand, p float64) int {
 	if p >= 1 {
 		return 1
 	}
-	u := r.rng.Float64()
+	u := rng.Float64()
 	// Guard against u == 0 (log(0) = -Inf).
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64

@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/routing"
+)
+
+// FuzzScaleFree drives raw options through the scale-free generator:
+// arbitrary inputs must either be rejected with an error or produce a
+// well-formed network — correct node count, positive finite capacities,
+// sessions with distinct on-graph members, and tree-forming routes.
+//
+// Explore beyond the stored corpus with:
+//
+//	go test -fuzz FuzzScaleFree ./internal/topology
+func FuzzScaleFree(f *testing.F) {
+	f.Add(uint16(150), uint8(2), uint8(24), uint8(8), 4.0, 64.0, uint64(5))
+	f.Add(uint16(2), uint8(1), uint8(1), uint8(1), 1.0, 1.0, uint64(0))
+	f.Add(uint16(0), uint8(0), uint8(0), uint8(0), 0.0, 0.0, uint64(1))
+	f.Add(uint16(40), uint8(39), uint8(3), uint8(40), math.NaN(), math.Inf(1), uint64(9))
+	f.Fuzz(func(t *testing.T, nodes uint16, attach, sessions, maxRecv uint8, capMin, capMax float64, seed uint64) {
+		o := ScaleFreeOptions{
+			Nodes: int(nodes), Attach: int(attach), Sessions: int(sessions),
+			MaxReceivers: int(maxRecv), CapMin: capMin, CapMax: capMax,
+		}
+		rng := rand.New(rand.NewPCG(seed, seed))
+		net, err := ScaleFree(rng, o)
+		if err != nil {
+			return
+		}
+		g := net.Graph()
+		if g.NumNodes() != o.Nodes {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), o.Nodes)
+		}
+		for j := 0; j < g.NumLinks(); j++ {
+			c := g.Capacity(j)
+			if !(c > 0) || math.IsInf(c, 0) {
+				t.Fatalf("link %d capacity %v", j, c)
+			}
+		}
+		for i := 0; i < net.NumSessions(); i++ {
+			if err := routing.TreeCheck(net, i); err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			s := net.Session(i)
+			seen := map[int]bool{s.Sender: true}
+			for _, r := range s.Receivers {
+				if r < 0 || r >= g.NumNodes() || seen[r] {
+					t.Fatalf("session %d bad receiver node %d", i, r)
+				}
+				seen[r] = true
+			}
+		}
+	})
+}
+
+// FuzzFatTree is FuzzScaleFree's analogue for the fat-tree generator,
+// additionally checking the fabric's closed-form node count.
+func FuzzFatTree(f *testing.F) {
+	f.Add(uint8(4), uint8(5), uint8(3), 8.0, 8.0, 8.0, uint64(1))
+	f.Add(uint8(6), uint8(24), uint8(8), 16.0, 16.0, 12.0, uint64(2))
+	f.Add(uint8(0), uint8(0), uint8(0), 0.0, -1.0, math.NaN(), uint64(3))
+	f.Add(uint8(255), uint8(1), uint8(1), 1.0, 1.0, 1.0, uint64(4))
+	f.Fuzz(func(t *testing.T, k, sessions, maxRecv uint8, hostCap, eaCap, acCap float64, seed uint64) {
+		o := FatTreeOptions{
+			K: int(k), Sessions: int(sessions), MaxReceivers: int(maxRecv),
+			HostCap: hostCap, EdgeAggCap: eaCap, AggCoreCap: acCap,
+		}
+		rng := rand.New(rand.NewPCG(seed, seed^1))
+		net, err := FatTree(rng, o)
+		if err != nil {
+			return
+		}
+		g := net.Graph()
+		h := o.K / 2
+		if want := h*h + 2*o.K*h + o.K*h*h; g.NumNodes() != want {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), want)
+		}
+		for i := 0; i < net.NumSessions(); i++ {
+			if err := routing.TreeCheck(net, i); err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/routing"
+)
+
+// This file holds the large-topology generators used to exercise the
+// simulators beyond the paper's stars and trees: random power-law
+// (scale-free) graphs in the spirit of Barabási–Albert preferential
+// attachment, and k-ary fat-trees (the standard data-center fabric).
+// Both return errors instead of panicking so they can be driven by
+// fuzzers on arbitrary inputs; both route sessions with
+// routing.BuildNetwork, whose per-sender BFS trees guarantee every
+// session's data-paths form a multicast tree (the netsim contract).
+
+// ScaleFreeOptions parameterizes ScaleFree.
+type ScaleFreeOptions struct {
+	// Nodes is the graph size (>= 2).
+	Nodes int
+	// Attach is the number of links each newly arriving node creates to
+	// existing nodes, chosen preferentially by degree (1 <= Attach <
+	// Nodes). Attach = 1 grows a tree; higher values add chords.
+	Attach int
+	// Sessions is the session count (>= 1); each session gets a random
+	// sender and 1..MaxReceivers distinct receiver nodes.
+	Sessions int
+	// MaxReceivers bounds receivers per session (>= 1).
+	MaxReceivers int
+	// CapMin, CapMax bound the uniform link capacities (0 < CapMin <=
+	// CapMax).
+	CapMin, CapMax float64
+}
+
+// DefaultScaleFreeOptions sizes a scenario at hundreds of links times
+// dozens of sessions: 150 nodes with 2 preferential links each
+// (~300 links), 24 sessions of up to 8 receivers.
+func DefaultScaleFreeOptions() ScaleFreeOptions {
+	return ScaleFreeOptions{
+		Nodes: 150, Attach: 2, Sessions: 24, MaxReceivers: 8,
+		CapMin: 4, CapMax: 64,
+	}
+}
+
+func (o ScaleFreeOptions) validate() error {
+	if o.Nodes < 2 {
+		return fmt.Errorf("topology: scale-free needs >= 2 nodes, have %d", o.Nodes)
+	}
+	if o.Attach < 1 || o.Attach >= o.Nodes {
+		return fmt.Errorf("topology: scale-free attach %d outside [1, %d)", o.Attach, o.Nodes)
+	}
+	if o.Sessions < 1 || o.MaxReceivers < 1 {
+		return fmt.Errorf("topology: scale-free needs sessions and receivers")
+	}
+	if !(o.CapMin > 0) || o.CapMax < o.CapMin {
+		return fmt.Errorf("topology: scale-free capacities [%v, %v] invalid", o.CapMin, o.CapMax)
+	}
+	return nil
+}
+
+// ScaleFree generates a connected power-law graph by preferential
+// attachment — node t attaches to Attach distinct earlier nodes with
+// probability proportional to their current degree — and populates it
+// with randomly placed sessions routed by shortest path. Hubs emerge
+// naturally, concentrating many sessions on few links, the regime
+// where scale-free studies (Sreenivasan et al.) found fairness
+// conclusions diverge from regular topologies. Determinism follows the
+// rng seed.
+func ScaleFree(rng *rand.Rand, o ScaleFreeOptions) (*netmodel.Network, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g := netmodel.NewGraph(o.Nodes)
+	capf := func() float64 { return o.CapMin + (o.CapMax-o.CapMin)*rng.Float64() }
+	// endpoints repeats each node once per incident link; sampling it
+	// uniformly is degree-preferential attachment.
+	endpoints := make([]int, 0, 2*o.Nodes*o.Attach)
+	g.AddLink(0, 1, capf())
+	endpoints = append(endpoints, 0, 1)
+	for t := 2; t < o.Nodes; t++ {
+		m := o.Attach
+		if m > t {
+			m = t
+		}
+		chosen := map[int]bool{}
+		for len(chosen) < m {
+			tgt := endpoints[rng.IntN(len(endpoints))]
+			if tgt != t && !chosen[tgt] { // t's own stubs are already in endpoints
+				chosen[tgt] = true
+				g.AddLink(t, tgt, capf())
+				endpoints = append(endpoints, t, tgt)
+			}
+		}
+	}
+	sessions := make([]*netmodel.Session, o.Sessions)
+	for i := range sessions {
+		sender := rng.IntN(o.Nodes)
+		nr := 1 + rng.IntN(o.MaxReceivers)
+		// Distinct receiver nodes, none equal to the sender (the τ
+		// restriction: no two members of one session share a node).
+		nodes := rng.Perm(o.Nodes)
+		receivers := make([]int, 0, nr)
+		for _, nd := range nodes {
+			if nd == sender {
+				continue
+			}
+			receivers = append(receivers, nd)
+			if len(receivers) == nr {
+				break
+			}
+		}
+		sessions[i] = &netmodel.Session{
+			Sender: sender, Receivers: receivers,
+			Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap,
+		}
+	}
+	return routing.BuildNetwork(g, sessions)
+}
+
+// FatTreeOptions parameterizes FatTree.
+type FatTreeOptions struct {
+	// K is the fat-tree arity: K pods, each with K/2 edge and K/2
+	// aggregation switches, (K/2)^2 core switches, and K^2/4 hosts per
+	// pod. K must be even and >= 2. K = 4 gives 16 hosts and 48 links;
+	// K = 6 gives 54 hosts and 162 links.
+	K int
+	// Sessions is the session count (>= 1); senders and receivers are
+	// placed on distinct hosts.
+	Sessions int
+	// MaxReceivers bounds receivers per session (>= 1, < total hosts).
+	MaxReceivers int
+	// HostCap, EdgeAggCap, AggCoreCap are the capacities of
+	// host-to-edge, edge-to-aggregation, and aggregation-to-core links
+	// (all > 0). The classic fat-tree is non-blocking when they are
+	// equal.
+	HostCap, EdgeAggCap, AggCoreCap float64
+}
+
+// DefaultFatTreeOptions returns a k=6 fabric (54 hosts, 45 switches,
+// 162 links) with a mildly oversubscribed core and 24 sessions.
+func DefaultFatTreeOptions() FatTreeOptions {
+	return FatTreeOptions{
+		K: 6, Sessions: 24, MaxReceivers: 8,
+		HostCap: 16, EdgeAggCap: 16, AggCoreCap: 12,
+	}
+}
+
+func (o FatTreeOptions) validate() error {
+	if o.K < 2 || o.K%2 != 0 {
+		return fmt.Errorf("topology: fat-tree arity %d must be even and >= 2", o.K)
+	}
+	if o.K > 40 {
+		return fmt.Errorf("topology: fat-tree arity %d unreasonably large", o.K)
+	}
+	if o.Sessions < 1 || o.MaxReceivers < 1 {
+		return fmt.Errorf("topology: fat-tree needs sessions and receivers")
+	}
+	hosts := o.K * o.K * o.K / 4
+	if o.MaxReceivers >= hosts {
+		return fmt.Errorf("topology: fat-tree with %d hosts cannot place %d receivers", hosts, o.MaxReceivers)
+	}
+	if !(o.HostCap > 0) || !(o.EdgeAggCap > 0) || !(o.AggCoreCap > 0) {
+		return fmt.Errorf("topology: fat-tree capacities must be positive")
+	}
+	return nil
+}
+
+// FatTree builds the standard k-ary fat-tree fabric: (K/2)^2 core
+// switches; K pods of K/2 aggregation and K/2 edge switches connected
+// as a full bipartite graph within the pod; aggregation switch j of
+// every pod connecting to core group j; and K/2 hosts per edge switch.
+// Sessions are placed on distinct random hosts and routed by shortest
+// path (BFS with deterministic tie-breaking collapses the fabric's
+// multipath into per-session trees). Determinism follows the rng seed.
+func FatTree(rng *rand.Rand, o FatTreeOptions) (*netmodel.Network, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	h := o.K / 2
+	numCore := h * h
+	numAgg := o.K * h
+	numEdge := o.K * h
+	numHosts := o.K * h * h
+	core := func(c int) int { return c }
+	agg := func(pod, j int) int { return numCore + pod*h + j }
+	edge := func(pod, j int) int { return numCore + numAgg + pod*h + j }
+	host := func(pod, j, x int) int { return numCore + numAgg + numEdge + (pod*h+j)*h + x }
+	g := netmodel.NewGraph(numCore + numAgg + numEdge + numHosts)
+	for pod := 0; pod < o.K; pod++ {
+		for j := 0; j < h; j++ {
+			// Aggregation j serves core group j: cores j*h .. j*h+h-1.
+			for x := 0; x < h; x++ {
+				g.AddLink(agg(pod, j), core(j*h+x), o.AggCoreCap)
+			}
+			// Pod-internal bipartite aggregation-edge mesh.
+			for x := 0; x < h; x++ {
+				g.AddLink(agg(pod, j), edge(pod, x), o.EdgeAggCap)
+			}
+			// Hosts under edge switch j.
+			for x := 0; x < h; x++ {
+				g.AddLink(edge(pod, j), host(pod, j, x), o.HostCap)
+			}
+		}
+	}
+	hostIDs := make([]int, 0, numHosts)
+	for pod := 0; pod < o.K; pod++ {
+		for j := 0; j < h; j++ {
+			for x := 0; x < h; x++ {
+				hostIDs = append(hostIDs, host(pod, j, x))
+			}
+		}
+	}
+	sessions := make([]*netmodel.Session, o.Sessions)
+	for i := range sessions {
+		perm := rng.Perm(numHosts)
+		nr := 1 + rng.IntN(o.MaxReceivers)
+		sender := hostIDs[perm[0]]
+		receivers := make([]int, nr)
+		for x := 0; x < nr; x++ {
+			receivers[x] = hostIDs[perm[1+x]]
+		}
+		sessions[i] = &netmodel.Session{
+			Sender: sender, Receivers: receivers,
+			Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap,
+		}
+	}
+	return routing.BuildNetwork(g, sessions)
+}

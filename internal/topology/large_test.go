@@ -1,0 +1,202 @@
+package topology
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/routing"
+)
+
+// TestScaleFreeStructure: the generator yields a connected graph of the
+// requested size with Attach links per arriving node, valid sessions,
+// and per-session multicast trees (routing's BFS contract).
+func TestScaleFreeStructure(t *testing.T) {
+	o := DefaultScaleFreeOptions()
+	net, err := ScaleFree(rand.New(rand.NewPCG(5, 5)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	if g.NumNodes() != o.Nodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), o.Nodes)
+	}
+	// 1 seed link + Attach per node beyond the first two (clamped only
+	// when t < Attach, impossible here since Attach = 2).
+	wantLinks := 1 + (o.Nodes-2)*o.Attach
+	if g.NumLinks() != wantLinks {
+		t.Fatalf("links = %d, want %d", g.NumLinks(), wantLinks)
+	}
+	if net.NumSessions() != o.Sessions {
+		t.Fatalf("sessions = %d, want %d", net.NumSessions(), o.Sessions)
+	}
+	for i := 0; i < net.NumSessions(); i++ {
+		if err := routing.TreeCheck(net, i); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	for j := 0; j < g.NumLinks(); j++ {
+		if c := g.Capacity(j); c < o.CapMin || c > o.CapMax {
+			t.Fatalf("link %d capacity %v outside [%v, %v]", j, c, o.CapMin, o.CapMax)
+		}
+	}
+}
+
+// TestScaleFreeHubs: preferential attachment must actually produce a
+// heavy tail — the maximum degree should far exceed the mean.
+func TestScaleFreeHubs(t *testing.T) {
+	o := DefaultScaleFreeOptions()
+	net, err := ScaleFree(rand.New(rand.NewPCG(7, 7)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	maxDeg := 0
+	for nd := 0; nd < g.NumNodes(); nd++ {
+		if d := len(g.Incident(nd)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	meanDeg := 2 * float64(g.NumLinks()) / float64(g.NumNodes())
+	if float64(maxDeg) < 3*meanDeg {
+		t.Fatalf("max degree %d not a hub (mean %.1f)", maxDeg, meanDeg)
+	}
+}
+
+// TestFatTreeStructure: node and link counts match the closed forms of
+// the k-ary fat-tree, every session routes as a tree, and every host
+// hangs off exactly one edge switch.
+func TestFatTreeStructure(t *testing.T) {
+	o := DefaultFatTreeOptions()
+	net, err := FatTree(rand.New(rand.NewPCG(9, 9)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := net.Graph()
+	k := o.K
+	h := k / 2
+	wantNodes := h*h + k*h + k*h + k*h*h
+	if g.NumNodes() != wantNodes {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), wantNodes)
+	}
+	// Per pod: h agg switches x h core links + h x h bipartite + h x h
+	// host links.
+	wantLinks := k * (h*h + h*h + h*h)
+	if g.NumLinks() != wantLinks {
+		t.Fatalf("links = %d, want %d", g.NumLinks(), wantLinks)
+	}
+	for i := 0; i < net.NumSessions(); i++ {
+		if err := routing.TreeCheck(net, i); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		s := net.Session(i)
+		seen := map[int]bool{s.Sender: true}
+		for _, r := range s.Receivers {
+			if seen[r] {
+				t.Fatalf("session %d reuses node %d", i, r)
+			}
+			seen[r] = true
+		}
+	}
+	// Hosts are the last k*h*h nodes and must have degree 1.
+	for nd := wantNodes - k*h*h; nd < wantNodes; nd++ {
+		if d := len(g.Incident(nd)); d != 1 {
+			t.Fatalf("host %d degree %d, want 1", nd, d)
+		}
+	}
+}
+
+// TestGeneratorsDeterministic: equal seeds reproduce identical
+// networks; different seeds differ.
+func TestGeneratorsDeterministic(t *testing.T) {
+	o := ScaleFreeOptions{Nodes: 40, Attach: 2, Sessions: 6, MaxReceivers: 4, CapMin: 1, CapMax: 8}
+	a, err := ScaleFree(rand.New(rand.NewPCG(1, 2)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleFree(rand.New(rand.NewPCG(1, 2)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Graph().Capacities(), b.Graph().Capacities()) {
+		t.Fatal("equal seeds produced different scale-free graphs")
+	}
+	c, err := ScaleFree(rand.New(rand.NewPCG(3, 4)), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Graph().Capacities(), c.Graph().Capacities()) {
+		t.Fatal("different seeds produced identical scale-free graphs")
+	}
+
+	fo := FatTreeOptions{K: 4, Sessions: 5, MaxReceivers: 3, HostCap: 8, EdgeAggCap: 8, AggCoreCap: 8}
+	fa, err := FatTree(rand.New(rand.NewPCG(1, 2)), fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := FatTree(rand.New(rand.NewPCG(1, 2)), fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fa.NumSessions(); i++ {
+		if !reflect.DeepEqual(fa.Session(i).Receivers, fb.Session(i).Receivers) {
+			t.Fatalf("equal seeds placed session %d differently", i)
+		}
+	}
+}
+
+// TestGeneratorOptionValidation: malformed options return errors, never
+// panic.
+func TestGeneratorOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	sfBad := []ScaleFreeOptions{
+		{},
+		{Nodes: 1, Attach: 1, Sessions: 1, MaxReceivers: 1, CapMin: 1, CapMax: 1},
+		{Nodes: 5, Attach: 0, Sessions: 1, MaxReceivers: 1, CapMin: 1, CapMax: 1},
+		{Nodes: 5, Attach: 5, Sessions: 1, MaxReceivers: 1, CapMin: 1, CapMax: 1},
+		{Nodes: 5, Attach: 1, Sessions: 0, MaxReceivers: 1, CapMin: 1, CapMax: 1},
+		{Nodes: 5, Attach: 1, Sessions: 1, MaxReceivers: 1, CapMin: 0, CapMax: 1},
+		{Nodes: 5, Attach: 1, Sessions: 1, MaxReceivers: 1, CapMin: 2, CapMax: 1},
+	}
+	for i, o := range sfBad {
+		if _, err := ScaleFree(rng, o); err == nil {
+			t.Errorf("scale-free case %d: invalid options accepted", i)
+		}
+	}
+	ftBad := []FatTreeOptions{
+		{},
+		{K: 3, Sessions: 1, MaxReceivers: 1, HostCap: 1, EdgeAggCap: 1, AggCoreCap: 1},
+		{K: 42, Sessions: 1, MaxReceivers: 1, HostCap: 1, EdgeAggCap: 1, AggCoreCap: 1},
+		{K: 4, Sessions: 0, MaxReceivers: 1, HostCap: 1, EdgeAggCap: 1, AggCoreCap: 1},
+		{K: 4, Sessions: 1, MaxReceivers: 16, HostCap: 1, EdgeAggCap: 1, AggCoreCap: 1},
+		{K: 4, Sessions: 1, MaxReceivers: 1, HostCap: 0, EdgeAggCap: 1, AggCoreCap: 1},
+	}
+	for i, o := range ftBad {
+		if _, err := FatTree(rng, o); err == nil {
+			t.Errorf("fat-tree case %d: invalid options accepted", i)
+		}
+	}
+}
+
+// TestLargeTopologiesSimulable: generated networks satisfy the netsim
+// preconditions end to end (concrete senders, tree-forming paths) — a
+// cheap structural stand-in asserted here so topology failures surface
+// near their source rather than inside the engine.
+func TestLargeTopologiesSimulable(t *testing.T) {
+	net, err := ScaleFree(rand.New(rand.NewPCG(11, 11)), DefaultScaleFreeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range net.Sessions() {
+		if s.Sender < 0 {
+			t.Fatalf("session %d abstract", i)
+		}
+		for k := range s.Receivers {
+			if len(net.Path(i, k)) == 0 && s.Receivers[k] != s.Sender {
+				t.Fatalf("session %d receiver %d unrouted", i, k)
+			}
+		}
+	}
+	_ = netmodel.NoRateCap
+}
