@@ -347,8 +347,10 @@ func BenchmarkNetsimLargeStar(b *testing.B) {
 }
 
 func BenchmarkNetsimDeepTree(b *testing.B) {
-	cfg, err := netsim.FromTree(treesim.Binary(7, 0.02),
-		netsim.SessionConfig{Protocol: protocol.Coordinated, Layers: 8}, 50000, 1)
+	cfg, err := treesim.NetsimConfig(treesim.Config{
+		Tree: treesim.Binary(7, 0.02), Layers: 8,
+		Protocol: protocol.Coordinated, Packets: 50000, Seed: 1,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -8,6 +8,9 @@
 //	experiments -fig 1,2,3,4,s3     # the analytic examples
 //
 // Figures: 1 2 3 4 s3 5 6 markov 8a 8b all
+//
+// With -spec, runs a declarative scenario.Spec JSON file through the
+// scenario layer instead (see docs/SCENARIOS.md).
 package main
 
 import (
@@ -18,13 +21,22 @@ import (
 	"strings"
 
 	"mlfair/internal/experiments"
+	"mlfair/internal/scenario"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 1 2 3 4 s3 5 6 markov 8a 8b all ext-latency ext-priority ext-weighted ext-converge ext-tree ext-churn ext")
 	quick := flag.Bool("quick", false, "reduced simulation sizes for Figure 8 (40 receivers, 20k packets, 5 trials)")
+	spec := flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of the figure drivers")
 	flag.Parse()
 
+	if *spec != "" {
+		if err := scenario.RunFile(os.Stdout, *spec); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *fig, *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -1,17 +1,19 @@
 // Command netsim drives the general-topology event-driven simulator
-// (internal/netsim) through its scenario suite: the paper's modified
-// star (cross-checked against the specialized sim package), binary loss
-// trees, multi-session capacity-coupled meshes, membership churn,
-// droptail bottlenecks with background cross-traffic, and the
-// large-topology scenarios — random scale-free graphs and k-ary
-// fat-tree fabrics at hundreds of links times dozens of sessions.
+// (internal/netsim) through its scenario suite — the paper's modified
+// star, binary loss trees, multi-session capacity-coupled meshes,
+// membership churn, droptail bottlenecks with background cross-traffic,
+// the end-to-end max-min fairness audit, and the large-topology
+// scenarios (random scale-free graphs and k-ary fat-tree fabrics) —
+// or through a declarative scenario.Spec JSON file (-spec; format
+// reference in docs/SCENARIOS.md).
 //
 // Usage:
 //
 //	netsim -scenario all -quick
 //	netsim -scenario star -receivers 100 -packets 100000 -trials 30
 //	netsim -scenario scalefree,fattree -packets 200000 -trials 30
-//	netsim -scenario background -workers 4
+//	netsim -scenario audit
+//	netsim -spec testdata/scalefree.json
 package main
 
 import (
@@ -22,11 +24,13 @@ import (
 	"strings"
 
 	"mlfair/internal/experiments"
+	scen "mlfair/internal/scenario"
 )
 
 func main() {
 	var (
-		scenario  = flag.String("scenario", "all", "star | tree | mesh | churn | background | scalefree | fattree | all (comma-separated)")
+		scenario  = flag.String("scenario", "all", "star | tree | mesh | churn | background | audit | scalefree | fattree | all (comma-separated)")
+		spec      = flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of a named scenario")
 		receivers = flag.Int("receivers", 50, "receivers per session")
 		packets   = flag.Int("packets", 50000, "sender packet budget per trial")
 		trials    = flag.Int("trials", 8, "independent replications (mean ± 95% CI reported)")
@@ -35,6 +39,13 @@ func main() {
 		quick     = flag.Bool("quick", false, "reduced sizes (10 receivers, 10k packets, 3 trials)")
 	)
 	flag.Parse()
+	if *spec != "" {
+		if err := scen.RunFile(os.Stdout, *spec); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	o := experiments.NetsimOptions{
 		Receivers: *receivers, Packets: *packets, Trials: *trials,
 		Workers: *workers, Seed: *seed,
@@ -57,6 +68,7 @@ var scenarios = []struct {
 	{"mesh", experiments.NetsimMesh},
 	{"churn", experiments.NetsimChurn},
 	{"background", experiments.NetsimBackground},
+	{"audit", experiments.NetsimAudit},
 	{"scalefree", experiments.NetsimScaleFree},
 	{"fattree", experiments.NetsimFatTree},
 }
@@ -82,7 +94,7 @@ func run(w io.Writer, names string, o experiments.NetsimOptions) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("unknown scenario %q (have star, tree, mesh, churn, background, scalefree, fattree, all)", n)
+			return fmt.Errorf("unknown scenario %q (have star, tree, mesh, churn, background, audit, scalefree, fattree, all)", n)
 		}
 		want[n] = true
 	}

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"mlfair/internal/experiments"
+	scen "mlfair/internal/scenario"
 )
 
 func tinyOpts() experiments.NetsimOptions {
@@ -18,7 +21,8 @@ func TestRunAllScenarios(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"netsim vs sim", "tree depth", "netsim mesh", "netsim churn", "background traffic",
+		"netsim star", "tree depth", "netsim mesh", "netsim churn", "background traffic",
+		"netsim audit",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in -scenario all output", want)
@@ -32,7 +36,7 @@ func TestRunScenarioSubset(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "netsim vs sim") || !strings.Contains(out, "netsim churn") {
+	if !strings.Contains(out, "netsim star") || !strings.Contains(out, "netsim churn") {
 		t.Errorf("subset missing requested scenarios:\n%s", out)
 	}
 	if strings.Contains(out, "netsim mesh") {
@@ -47,5 +51,49 @@ func TestRunRejectsUnknownScenario(t *testing.T) {
 	}
 	if err := run(&b, " ", tinyOpts()); err == nil {
 		t.Fatal("empty scenario list accepted")
+	}
+}
+
+// TestSpecReproducesLargeTopoGolden: the committed scenario.Spec JSON
+// files drive the exact pipeline the experiment drivers run, so
+// `netsim -spec testdata/scalefree.json` + `-spec testdata/fattree.json`
+// must reproduce internal/experiments/testdata/largetopo.golden byte
+// for byte — the declarative layer and the driver layer are one.
+func TestSpecReproducesLargeTopoGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication-heavy golden in -short mode")
+	}
+	var b strings.Builder
+	for _, f := range []string{"scalefree.json", "fattree.json"} {
+		if err := scen.RunFile(&b, filepath.Join("testdata", f)); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "internal", "experiments", "testdata", "largetopo.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("spec-driven output drifted from largetopo.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			b.String(), want)
+	}
+}
+
+// TestSpecAuditEndToEnd: acceptance for the one-call pipeline — a
+// single Spec JSON emits simulated rates next to the max-min benchmark
+// and the four fairness-property verdicts.
+func TestSpecAuditEndToEnd(t *testing.T) {
+	var b strings.Builder
+	if err := scen.RunFile(&b, filepath.Join("testdata", "audit.json")); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"max-min fair rate", "achieved mean", "fairness gap",
+		"max-min benchmark properties", "simulated-rate properties",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit spec output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	protosim -protocol coordinated -receivers 100 -shared 0.0001 -ind 0.04
 //	protosim -protocol all -trials 30 -packets 100000   # paper fidelity
+//	protosim -spec scenario.json                        # declarative spec run
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"mlfair/internal/protocol"
+	"mlfair/internal/scenario"
 	"mlfair/internal/sim"
 	"mlfair/internal/stats"
 	"mlfair/internal/trace"
@@ -22,6 +24,7 @@ import (
 
 func main() {
 	var (
+		spec      = flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of the star sweep")
 		proto     = flag.String("protocol", "all", "coordinated | uncoordinated | deterministic | all")
 		receivers = flag.Int("receivers", 100, "receivers in the session")
 		layers    = flag.Int("layers", 8, "number of layers")
@@ -34,6 +37,13 @@ func main() {
 		drop      = flag.String("drop", "uniform", "drop policy: uniform | priority (Section 5 extension)")
 	)
 	flag.Parse()
+	if *spec != "" {
+		if err := scenario.RunFile(os.Stdout, *spec); err != nil {
+			fmt.Fprintln(os.Stderr, "protosim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, options{
 		proto: *proto, receivers: *receivers, layers: *layers,
 		shared: *shared, ind: *ind, packets: *packets, trials: *trials,

@@ -4,9 +4,10 @@
 // max-min fair under the paper's min-unfavorable ordering, while more of
 // the four fairness properties hold.
 //
-// The network is a randomly generated 12-node topology with four
-// sessions, initially all single-rate. Each step upgrades one session to
-// multi-rate and re-audits.
+// The network comes from the scenario layer's "random" topology
+// generator (12 nodes, four sessions, initially all single-rate); each
+// step upgrades one session to multi-rate and re-audits with the same
+// fairness checkers the scenario Runner's "fairness" stage uses.
 //
 // Run with: go run ./examples/fairnessaudit
 package main
@@ -14,30 +15,38 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand/v2"
 
-	"mlfair/internal/core"
 	"mlfair/internal/fairness"
 	"mlfair/internal/maxmin"
 	"mlfair/internal/netmodel"
-	"mlfair/internal/topology"
+	"mlfair/internal/scenario"
 	"mlfair/internal/vecorder"
 )
 
 func main() {
-	rng := rand.New(rand.NewPCG(2024, 9))
-	opts := topology.DefaultRandomOptions()
-	opts.SingleRateProb = 1 // start fully single-rate
-	net := topology.RandomNetwork(rng, opts)
+	spec := &scenario.Spec{
+		Topology: scenario.TopologySpec{
+			Kind: "random", Nodes: 12, Sessions: 4, MaxReceivers: 4,
+			ExtraLinks: 4, SingleRateProb: 1, // start fully single-rate
+		},
+		Sessions: []scenario.SessionSpec{{Type: "single"}},
+		Seed:     2024,
+		Metrics:  []string{scenario.MetricMaxMin, scenario.MetricFairness},
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := c.Benchmark
 
 	var prev []float64
 	types := make([]netmodel.SessionType, net.NumSessions())
 	for step := 0; step <= net.NumSessions(); step++ {
 		for i := range types {
 			if i < step {
-				types[i] = core.MultiRate
+				types[i] = netmodel.MultiRate
 			} else {
-				types[i] = core.SingleRate
+				types[i] = netmodel.SingleRate
 			}
 		}
 		n, err := net.WithSessionTypes(types)

@@ -5,8 +5,10 @@
 // after collecting fileSize packets at whatever rate its own path
 // sustains.
 //
-// The example distributes one "file" to a mixed audience and reports,
-// per protocol:
+// The distribution network is a scenario.Spec: the paper's modified
+// star with a third of the receivers on clean paths, a third average,
+// a third lossy (per-link overrides on the fanout links). For each
+// protocol the example reports
 //
 //   - each receiver's completion time (fileSize / achieved rate),
 //   - the total bandwidth consumed on the shared link, and
@@ -24,8 +26,8 @@ import (
 	"log"
 	"sort"
 
-	"mlfair/internal/core"
 	"mlfair/internal/protocol"
+	"mlfair/internal/scenario"
 )
 
 const (
@@ -33,44 +35,60 @@ const (
 	receivers       = 30
 )
 
-func main() {
-	// A third of the receivers on clean paths, a third average, a third
-	// lossy.
-	losses := make([]float64, receivers)
-	for i := range losses {
+func spec(kind protocol.Kind) *scenario.Spec {
+	s := &scenario.Spec{
+		Topology:    scenario.TopologySpec{Kind: "star", Receivers: receivers},
+		Sessions:    []scenario.SessionSpec{{Protocol: kind.String(), Layers: 8}},
+		DefaultLink: &scenario.LinkSpec{Kind: "bernoulli", Loss: 0.02}, // the average class
+		Links: []scenario.LinkOverride{
+			{Link: 0, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: 0.001}},
+		},
+		Packets:      400000,
+		Seed:         77,
+		Replications: scenario.ReplicationSpec{N: 1},
+		Metrics:      []string{scenario.MetricRates, scenario.MetricRedundancy},
+	}
+	// A third of the receivers on clean paths, a third lossy (fanout
+	// link k+1 belongs to receiver k).
+	for i := 0; i < receivers; i++ {
 		switch i % 3 {
 		case 0:
-			losses[i] = 0.005
-		case 1:
-			losses[i] = 0.02
+			s.Links = append(s.Links, scenario.LinkOverride{
+				Link: 1 + i, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: 0.005}})
 		case 2:
-			losses[i] = 0.06
+			s.Links = append(s.Links, scenario.LinkOverride{
+				Link: 1 + i, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: 0.06}})
 		}
 	}
+	return s
+}
 
+func main() {
 	fmt.Printf("Distributing a %d-packet file to %d receivers (8 layers, shared loss 0.001)\n\n",
 		fileSizePackets, receivers)
 	for _, kind := range protocol.Kinds() {
-		res, err := core.Simulate(core.SimConfig{
-			Layers: 8, Receivers: receivers, SharedLoss: 0.001,
-			IndependentLosses: losses, Protocol: kind,
-			Packets: 400000, Seed: 77,
-		})
+		res, err := scenario.Run(spec(kind))
 		if err != nil {
 			log.Fatal(err)
 		}
-		times := make([]float64, len(res.ReceiverRates))
-		for i, r := range res.ReceiverRates {
-			if r > 0 {
-				times[i] = fileSizePackets / r
+		times := make([]float64, 0, receivers)
+		best := 0.0
+		for _, s := range res.Rates[0] {
+			if s.Mean > best {
+				best = s.Mean
+			}
+			if s.Mean > 0 {
+				times = append(times, fileSizePackets/s.Mean)
 			}
 		}
 		sort.Float64s(times)
-		sharedBytes := res.LinkRate * times[len(times)-1] // usage until the last finisher
+		redundancy := res.RootRedundancy.Mean
+		linkRate := redundancy * best // Definition 3 inverted: usage = v * best rate
+		sharedBytes := linkRate * times[len(times)-1]
 		fmt.Printf("%-14s first done %8.0f  median %8.0f  last %8.0f  (time units)\n",
 			kind, times[0], times[len(times)/2], times[len(times)-1])
 		fmt.Printf("%14s shared-link redundancy %.2f -> %.2gM packet-units on the bottleneck\n",
-			"", res.Redundancy, sharedBytes/1e6)
+			"", redundancy, sharedBytes/1e6)
 	}
 	fmt.Println()
 	fmt.Println("All protocols finish in similar time (completion is set by each")

@@ -1,7 +1,9 @@
-// Quickstart: build the paper's Figure 2 network with the core API,
-// compute its max-min fair allocation both ways Γ can type session S1,
-// and audit the four fairness properties — reproducing the Section 2.3
-// observation that layering (multi-rate sessions) repairs three of them.
+// Quickstart: declare the paper's Figure 2 network as a scenario.Spec,
+// run the analytic pipeline both ways Γ can type session S1, and audit
+// the four fairness properties — reproducing the Section 2.3
+// observation that layering (multi-rate sessions) repairs three of
+// them. The same Spec, saved as JSON, runs from any binary's -spec
+// flag (see docs/SCENARIOS.md).
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -9,45 +11,39 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"mlfair/internal/core"
+	"mlfair/internal/scenario"
 )
 
 func main() {
 	// Links: l0 and l3 form the shared path to receivers r1,1 and r2,1;
 	// l1 (capacity 2) and l2 (capacity 3) are private tails for r1,2 and
-	// r1,3.
-	build := func(single bool) *core.Network {
-		nb := core.NewNetworkBuilder().Links(5, 2, 3, 6)
-		paths := [][]int{core.Path(0, 3), core.Path(1), core.Path(2)}
-		if single {
-			nb.SingleRateSession(100, paths...)
-		} else {
-			nb.MultiRateSession(100, paths...)
+	// r1,3. S2 is a unicast peer sharing r1,1's path.
+	build := func(s1Type string) *scenario.Spec {
+		return &scenario.Spec{
+			Name: fmt.Sprintf("Figure 2 with S1 %s-rate", s1Type),
+			Topology: scenario.TopologySpec{
+				Kind:           "paths",
+				LinkCapacities: []float64{5, 2, 3, 6},
+			},
+			Sessions: []scenario.SessionSpec{
+				{Type: s1Type, MaxRate: 100, Paths: [][]int{{0, 3}, {1}, {2}}},
+				{Type: "multi", MaxRate: 100, Paths: [][]int{{0, 3}}},
+			},
+			Metrics: []string{scenario.MetricMaxMin, scenario.MetricFairness},
 		}
-		return nb.
-			MultiRateSession(100, core.Path(0, 3)). // unicast S2 sharing r1,1's path
-			MustBuild()
 	}
 
-	for _, single := range []bool{true, false} {
-		kind := "multi-rate"
-		if single {
-			kind = "single-rate"
-		}
-		net := build(single)
-		res, err := core.MaxMinFair(net)
+	for _, s1Type := range []string{"single", "multi"} {
+		res, err := scenario.Run(build(s1Type))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("S1 %s:\n", kind)
-		fmt.Printf("  allocation: %s\n", res.Alloc)
-		for _, id := range net.ReceiverIDs() {
-			cause := res.Causes[id]
-			fmt.Printf("  %s = %.3g (%s)\n", id, res.Alloc.RateOf(id), cause.Kind)
+		if err := res.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
 		}
-		rep := core.CheckFairness(res.Alloc)
-		fmt.Printf("  %s\n\n", rep.Summary())
+		fmt.Println()
 	}
 	fmt.Println("Layering lets each receiver run at its own bottleneck without")
 	fmt.Println("dragging down session peers — and the max-min fair allocation")

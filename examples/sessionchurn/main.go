@@ -4,10 +4,11 @@
 // Section 2.5 surprise that even *removing* a receiver can lower another
 // receiver's rate.
 //
-// The example replays the Figure 3(a) network as a timeline: sessions
-// arrive one by one, then receiver r3,2 leaves. The removal frees
-// capacity, yet receiver r3,1's fair rate drops from 8 to 6 while
-// r1,1's rises from 3 to 5.
+// The Figure 3(a) network is declared as a scenario.Spec (the same
+// abstract form -spec files use); the compiled network then feeds the
+// dynamics package's timeline replay: sessions arrive one by one, then
+// receiver r3,2 leaves. The removal frees capacity, yet receiver
+// r3,1's fair rate drops from 8 to 6 while r1,1's rises from 3 to 5.
 //
 // Run with: go run ./examples/sessionchurn
 package main
@@ -15,14 +16,39 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"mlfair/internal/dynamics"
-	"mlfair/internal/topology"
+	"mlfair/internal/scenario"
 )
 
 func main() {
+	// Figure 3(a) in declarative form: lA(4):{r2,1 r3,2},
+	// lB(10):{r2,1 r3,1}, lD(5):{r1,1 r3,2}.
+	spec := &scenario.Spec{
+		Name: "Figure 3(a): receiver removal hurts a surviving peer",
+		Topology: scenario.TopologySpec{
+			Kind:           "paths",
+			LinkCapacities: []float64{4, 10, 5},
+		},
+		Sessions: []scenario.SessionSpec{
+			{Paths: [][]int{{2}}},
+			{Paths: [][]int{{0, 1}}},
+			{Paths: [][]int{{1}, {0, 2}}},
+		},
+		Metrics: []string{scenario.MetricMaxMin, scenario.MetricFairness},
+	}
+	res, err := scenario.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
 	tl := &dynamics.Timeline{
-		Population: topology.Figure3a().Network,
+		Population: res.Compiled.Net,
 		Events: []dynamics.Event{
 			{Kind: dynamics.SessionArrival, Session: 0},
 			{Kind: dynamics.SessionArrival, Session: 1},
@@ -35,7 +61,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("Replaying the Figure 3(a) network:")
+	fmt.Println("Replaying the network as a membership timeline:")
 	fmt.Printf("%-28s %8s %8s %8s %8s %10s\n",
 		"event", "active", "min", "total", "win/lose", "max swing")
 	for _, r := range reps {

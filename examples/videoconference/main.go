@@ -2,17 +2,16 @@
 // multicast (McCanne et al.) — one live video source, a heterogeneous
 // audience (modem, ISDN, DSL, LAN receivers), and a layered encoding.
 //
-// The example does three things:
+// The example does three things, all through the scenario layer:
 //
 //  1. Computes the multi-rate max-min fair rate for every receiver on a
-//     heterogeneous distribution tree and maps it to a layer
-//     subscription (the operating point a perfect RLM would find).
+//     heterogeneous capacity star (the "maxmin" stage) and maps it to a
+//     layer subscription (the operating point a perfect RLM would find).
 //  2. Contrasts it with the single-rate alternative, where the slowest
 //     modem receiver caps the whole session.
-//  3. Runs the packet-level protocol simulator with per-receiver loss
-//     rates shaped like the same audience, comparing the sender-
-//     coordinated protocol against uncoordinated joins on shared-link
-//     redundancy (the Section 4 result).
+//  3. Simulates the protocols with per-receiver loss rates shaped like
+//     the same audience, comparing sender-coordinated against
+//     uncoordinated joins on shared-link redundancy (Section 4).
 //
 // Run with: go run ./examples/videoconference
 package main
@@ -21,81 +20,61 @@ import (
 	"fmt"
 	"log"
 
-	"mlfair/internal/core"
 	"mlfair/internal/layering"
-	"mlfair/internal/netmodel"
 	"mlfair/internal/protocol"
-	"mlfair/internal/routing"
+	"mlfair/internal/scenario"
 )
-
-func main() {
-	fairShare()
-	protocolRun()
-}
 
 // audience describes the access-link capacity of each receiver class,
 // in layer-1 units (a layer-1 stream is "audio only").
 var audience = []struct {
 	name     string
 	capacity float64
+	loss     float64
 	count    int
 }{
-	{"modem", 1, 3},
-	{"isdn", 4, 3},
-	{"dsl", 16, 2},
-	{"lan", 128, 2},
+	{"modem", 1, 0.08, 3},
+	{"isdn", 4, 0.04, 3},
+	{"dsl", 16, 0.01, 2},
+	{"lan", 128, 0.001, 2},
+}
+
+// fairSpec is the capacity-domain audience star: backbone provisioned
+// for the fastest class, one fanout link per receiver.
+func fairSpec(sessionType string) *scenario.Spec {
+	var fan []float64
+	for _, class := range audience {
+		for i := 0; i < class.count; i++ {
+			fan = append(fan, class.capacity)
+		}
+	}
+	return &scenario.Spec{
+		Topology: scenario.TopologySpec{
+			Kind: "star", SharedCapacity: 128, FanoutCapacities: fan,
+		},
+		Sessions: []scenario.SessionSpec{{Type: sessionType}},
+		Metrics:  []string{scenario.MetricMaxMin},
+	}
 }
 
 func fairShare() {
-	// Distribution tree: source -> backbone link -> per-class subtrees.
-	// The backbone is provisioned for the fastest class.
-	nodes := 2 // source, backbone hub
-	for _, c := range audience {
-		nodes += c.count
-	}
-	g := netmodel.NewGraph(nodes)
-	g.AddLink(0, 1, 128) // backbone
-	receivers := []int{}
-	node := 2
-	for _, class := range audience {
-		for i := 0; i < class.count; i++ {
-			g.AddLink(1, node, class.capacity)
-			receivers = append(receivers, node)
-			node++
-		}
-	}
-
-	session := func(t core.SessionType) *core.Network {
-		s := &netmodel.Session{Sender: 0, Receivers: receivers, Type: t, MaxRate: netmodel.NoRateCap}
-		net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	rates := map[string][]float64{}
+	for _, t := range []string{"multi", "single"} {
+		res, err := scenario.Run(fairSpec(t))
 		if err != nil {
 			log.Fatal(err)
 		}
-		return net
+		rates[t] = res.FairRates[0]
 	}
-
-	multi, err := core.MaxMinFair(session(core.MultiRate))
-	if err != nil {
-		log.Fatal(err)
-	}
-	single, err := core.MaxMinFair(session(core.SingleRate))
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	scheme := layering.Exponential(8)
 	fmt.Println("Max-min fair rates and layer subscriptions (8 exponential layers):")
 	fmt.Printf("%8s  %12s  %14s  %12s\n", "class", "multi-rate", "layers joined", "single-rate")
 	k := 0
 	for _, class := range audience {
-		for i := 0; i < class.count; i++ {
-			m := multi.Alloc.Rate(0, k)
-			s := single.Alloc.Rate(0, k)
-			if i == 0 {
-				fmt.Printf("%8s  %12.3g  %14d  %12.3g\n", class.name, m, scheme.LevelFor(m), s)
-			}
-			k++
-		}
+		m := rates["multi"][k]
+		s := rates["single"][k]
+		fmt.Printf("%8s  %12.3g  %14d  %12.3g\n", class.name, m, scheme.LevelFor(m), s)
+		k += class.count
 	}
 	fmt.Println()
 	fmt.Println("Single-rate delivery drags every receiver to the modem rate;")
@@ -103,40 +82,55 @@ func fairShare() {
 	fmt.Println()
 }
 
-func protocolRun() {
-	// Loss-domain version of the same audience on the Figure 7(b) star:
-	// better access links lose less.
-	var losses []float64
-	lossByClass := map[string]float64{"modem": 0.08, "isdn": 0.04, "dsl": 0.01, "lan": 0.001}
+// protocolSpec is the loss-domain version of the same audience on the
+// Figure 7(b) star: better access links lose less.
+func protocolSpec(kind protocol.Kind) *scenario.Spec {
+	s := &scenario.Spec{
+		Topology: scenario.TopologySpec{Kind: "star"},
+		Sessions: []scenario.SessionSpec{{Protocol: kind.String(), Layers: 8}},
+		Links: []scenario.LinkOverride{
+			{Link: 0, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: 0.001}},
+		},
+		Packets:      200000,
+		Seed:         2026,
+		Replications: scenario.ReplicationSpec{N: 1},
+		Metrics:      []string{scenario.MetricRates, scenario.MetricRedundancy},
+	}
+	k := 0
 	for _, class := range audience {
 		for i := 0; i < class.count; i++ {
-			losses = append(losses, lossByClass[class.name])
+			s.Links = append(s.Links, scenario.LinkOverride{
+				Link: 1 + k, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: class.loss}})
+			k++
 		}
 	}
+	s.Topology.Receivers = k
+	return s
+}
+
+func protocolRun() {
 	fmt.Println("Protocol simulation (8 layers, shared loss 0.001, heterogeneous fanout loss):")
-	for _, kind := range []protocol.Kind{core.Coordinated, core.Uncoordinated} {
-		cfg := core.SimConfig{
-			Layers: 8, Receivers: len(losses), SharedLoss: 0.001,
-			IndependentLosses: losses, Protocol: kind, Packets: 200000, Seed: 2026,
-		}
-		res, err := core.Simulate(cfg)
+	for _, kind := range []protocol.Kind{protocol.Coordinated, protocol.Uncoordinated} {
+		res, err := scenario.Run(protocolSpec(kind))
 		if err != nil {
 			log.Fatal(err)
 		}
+		best := 0.0
+		for _, s := range res.Rates[0] {
+			if s.Mean > best {
+				best = s.Mean
+			}
+		}
+		red := res.RootRedundancy.Mean
 		fmt.Printf("  %-14s redundancy %.2f, shared-link rate %.1f pkt/u, fastest receiver %.1f pkt/u\n",
-			cfg.Protocol, res.Redundancy, res.LinkRate, maxOf(res.ReceiverRates))
+			kind, red, red*best, best)
 	}
 	fmt.Println()
 	fmt.Println("Sender-coordinated joins keep redundant bandwidth on the shared")
 	fmt.Println("backbone low even with a heterogeneous audience (Section 4).")
 }
 
-func maxOf(xs []float64) float64 {
-	m := 0.0
-	for _, x := range xs {
-		if x > m {
-			m = x
-		}
-	}
-	return m
+func main() {
+	fairShare()
+	protocolRun()
 }

@@ -21,20 +21,24 @@
 // is the cumulative rate of its maximum subscribed level, since
 // subscriptions are layer prefixes).
 //
-// capsim is the specialized engine for the capacity-coupled star; the
-// netsim package applies the same fluid drop law per link of an
-// arbitrary netmodel.Network graph (netsim.FromCapsim lifts a Config
-// onto the general engine).
+// capsim is a facade over the general engine: NetsimConfig compiles the
+// star onto a netmodel graph whose links all run netsim's Capacity
+// (fluid droptail-limit) law, and Run re-maps the general result —
+// receiver goodputs, the shared link's per-session fluid usage
+// (netsim.LinkStats.FluidRate) and its drop accounting — onto the
+// star-shaped Result. It owns no event loop; FairRates (the analytic
+// fluid reference) is pure progressive filling. The facade regression
+// tests pin the translation against direct netsim runs.
 package capsim
 
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
-	"mlfair/internal/layering"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
-	"mlfair/internal/sim"
+	"mlfair/internal/routing"
 )
 
 // SessionConfig describes one layered session in the star.
@@ -103,204 +107,89 @@ type Result struct {
 	Duration float64
 }
 
-// session carries one session's runtime state.
-type session struct {
-	cfg       SessionConfig
-	scheme    layering.Scheme
-	receivers []*protocol.Receiver
-	levels    []int
-	maxLev    int
-	cnt       []int
-
-	nextTx []float64
-	period []float64
-
-	received []int
-	crossed  int // packets that entered the shared link
-}
-
-func (s *session) syncReceiver(k int) {
-	nl := s.receivers[k].Level()
-	ol := s.levels[k]
-	if nl == ol {
-		return
+// NetsimConfig compiles the closed-loop star onto the general netsim
+// engine: every session's sender sits behind one shared capacity-coupled
+// link; each receiver has its own capacity-coupled fanout link. Link 0
+// is the shared link.
+func NetsimConfig(c Config) (netsim.Config, error) {
+	if err := c.validate(); err != nil {
+		return netsim.Config{}, err
 	}
-	s.cnt[ol]--
-	s.cnt[nl]++
-	s.levels[k] = nl
-	if nl > s.maxLev {
-		s.maxLev = nl
+	nr := 0
+	for _, sc := range c.Sessions {
+		nr += len(sc.FanoutCapacities)
 	}
-}
-
-func (s *session) maxLevel() int {
-	for s.maxLev > 1 && s.cnt[s.maxLev] == 0 {
-		s.maxLev--
+	g := netmodel.NewGraph(2 + nr)
+	const sender, hub = 0, 1
+	g.AddLink(sender, hub, c.SharedCapacity)
+	sessions := make([]*netmodel.Session, len(c.Sessions))
+	sessCfgs := make([]netsim.SessionConfig, len(c.Sessions))
+	node := 2
+	for i, sc := range c.Sessions {
+		receivers := make([]int, len(sc.FanoutCapacities))
+		for k, fc := range sc.FanoutCapacities {
+			g.AddLink(hub, node, fc)
+			receivers[k] = node
+			node++
+		}
+		sessions[i] = &netmodel.Session{Sender: sender, Receivers: receivers, Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
+		sessCfgs[i] = netsim.SessionConfig{Protocol: sc.Protocol, Layers: sc.Layers}
 	}
-	return s.maxLev
+	net, err := routing.BuildNetwork(g, sessions)
+	if err != nil {
+		return netsim.Config{}, err
+	}
+	return netsim.Config{
+		Network:      net,
+		Links:        netsim.CapacityLinks(net.NumLinks()),
+		Sessions:     sessCfgs,
+		Packets:      c.Packets,
+		SignalPeriod: c.SignalPeriod,
+		Seed:         c.Seed,
+	}, nil
 }
 
-// sharedDemand is the session's instantaneous shared-link demand: the
-// cumulative rate of its maximum subscribed level.
-func (s *session) sharedDemand() float64 {
-	return s.scheme.CumulativeRate(s.maxLevel())
+// FromNetsim maps a general-engine result of a NetsimConfig run back
+// onto the closed-loop star Result (exported for the facade regression
+// tests): SessionLinkRates are the shared link's per-session fluid usage
+// rates, SharedLossRate its drop fraction.
+func FromNetsim(c Config, r *netsim.Result) *Result {
+	res := &Result{
+		ReceiverRates:    r.ReceiverRates,
+		SessionLinkRates: make([]float64, len(c.Sessions)),
+		Duration:         r.Duration,
+	}
+	totalUsage := 0.0
+	crossed, dropped := 0, 0
+	for _, ls := range r.Links {
+		if ls.Link != 0 {
+			continue
+		}
+		res.SessionLinkRates[ls.Session] = ls.FluidRate
+		totalUsage += ls.FluidRate
+		crossed += ls.Crossed
+		dropped += ls.Dropped
+	}
+	if r.Duration > 0 {
+		res.SharedUtilization = totalUsage / c.SharedCapacity
+	}
+	if crossed > 0 {
+		res.SharedLossRate = float64(dropped) / float64(crossed)
+	}
+	return res
 }
 
-// Run executes one closed-loop simulation.
+// Run executes one closed-loop simulation on the general engine.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
-	sessions := make([]*session, len(cfg.Sessions))
-	for i, sc := range cfg.Sessions {
-		s := &session{
-			cfg:       sc,
-			scheme:    layering.Exponential(sc.Layers),
-			receivers: make([]*protocol.Receiver, len(sc.FanoutCapacities)),
-			levels:    make([]int, len(sc.FanoutCapacities)),
-			cnt:       make([]int, sc.Layers+1),
-			nextTx:    make([]float64, sc.Layers),
-			period:    make([]float64, sc.Layers),
-			received:  make([]int, len(sc.FanoutCapacities)),
-		}
-		for k := range s.receivers {
-			s.receivers[k] = protocol.NewReceiver(sc.Protocol, sc.Layers, rng)
-			s.levels[k] = 1
-		}
-		s.cnt[1] = len(sc.FanoutCapacities)
-		s.maxLev = 1
-		for l := 0; l < sc.Layers; l++ {
-			s.period[l] = 1 / s.scheme.LayerRate(l)
-			s.nextTx[l] = s.period[l]
-		}
-		sessions[i] = s
+	r, err := netsim.Run(nc)
+	if err != nil {
+		return nil, err
 	}
-	signalPeriod := cfg.SignalPeriod
-	if signalPeriod == 0 {
-		signalPeriod = 1
-	}
-	nextSignal := math.Inf(1)
-	signalIdx := 0
-	for _, s := range sessions {
-		if s.cfg.Protocol == protocol.Coordinated && s.cfg.Layers > 1 {
-			nextSignal = signalPeriod
-			break
-		}
-	}
-
-	// usageIntegral[i] accumulates session i's shared demand over time.
-	usageIntegral := make([]float64, len(sessions))
-	lastT := 0.0
-	now := 0.0
-	sent, sharedDropped, sharedEntered := 0, 0, 0
-
-	for sent < cfg.Packets {
-		// Earliest event across sessions' layers and the signal clock.
-		minSess, minLayer := -1, -1
-		minT := math.Inf(1)
-		for si, s := range sessions {
-			for l := 0; l < s.cfg.Layers; l++ {
-				if s.nextTx[l] < minT {
-					minT, minSess, minLayer = s.nextTx[l], si, l
-				}
-			}
-		}
-		isSignal := nextSignal < minT
-		if isSignal {
-			minT = nextSignal
-		}
-		for si, s := range sessions {
-			usageIntegral[si] += s.sharedDemand() * (minT - lastT)
-		}
-		lastT = minT
-		now = minT
-
-		if isSignal {
-			signalIdx++
-			for _, s := range sessions {
-				if s.cfg.Protocol != protocol.Coordinated {
-					continue
-				}
-				lvl := sim.SignalLevel(signalIdx, s.cfg.Layers-1)
-				for k, r := range s.receivers {
-					r.OnSignal(lvl)
-					s.syncReceiver(k)
-				}
-			}
-			nextSignal += signalPeriod
-			continue
-		}
-
-		s := sessions[minSess]
-		l := minLayer
-		s.nextTx[l] += s.period[l]
-		sent++
-		if s.maxLevel() <= l {
-			continue
-		}
-		sharedEntered++
-		s.crossed++
-		// Shared-link drop probability from total instantaneous demand.
-		demand := 0.0
-		for _, ss := range sessions {
-			demand += ss.sharedDemand()
-		}
-		pShared := 0.0
-		if demand > cfg.SharedCapacity {
-			pShared = (demand - cfg.SharedCapacity) / demand
-		}
-		sharedLost := pShared > 0 && rng.Float64() < pShared
-		if sharedLost {
-			sharedDropped++
-		}
-		for k, r := range s.receivers {
-			if s.levels[k] <= l {
-				continue
-			}
-			if sharedLost {
-				r.OnCongestion()
-				s.syncReceiver(k)
-				continue
-			}
-			// Fanout drop probability from the receiver's own demand.
-			rate := s.scheme.CumulativeRate(s.levels[k])
-			pInd := 0.0
-			if c := s.cfg.FanoutCapacities[k]; rate > c {
-				pInd = (rate - c) / rate
-			}
-			if pInd > 0 && rng.Float64() < pInd {
-				r.OnCongestion()
-				s.syncReceiver(k)
-				continue
-			}
-			s.received[k]++
-			r.OnReceive()
-			s.syncReceiver(k)
-		}
-	}
-
-	res := &Result{
-		ReceiverRates:    make([][]float64, len(sessions)),
-		SessionLinkRates: make([]float64, len(sessions)),
-		Duration:         now,
-	}
-	if now > 0 {
-		totalUsage := 0.0
-		for si, s := range sessions {
-			res.ReceiverRates[si] = make([]float64, len(s.received))
-			for k, n := range s.received {
-				res.ReceiverRates[si][k] = float64(n) / now
-			}
-			res.SessionLinkRates[si] = usageIntegral[si] / now
-			totalUsage += res.SessionLinkRates[si]
-		}
-		res.SharedUtilization = totalUsage / cfg.SharedCapacity
-		if sharedEntered > 0 {
-			res.SharedLossRate = float64(sharedDropped) / float64(sharedEntered)
-		}
-	}
-	return res, nil
+	return FromNetsim(cfg, r), nil
 }
 
 // FairRates computes the multi-rate max-min fair rates of the same star

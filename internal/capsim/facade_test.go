@@ -1,0 +1,81 @@
+package capsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mlfair/internal/netsim"
+	"mlfair/internal/protocol"
+)
+
+// Facade regression suite (folds the former netsim capacity cross-check
+// into this package): capsim.Run is netsim.Run of NetsimConfig plus the
+// FromNetsim re-mapping, so fixed seeds must agree exactly.
+
+func facadeEqual(t *testing.T, cfg Config) {
+	t.Helper()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("facade run: %v", err)
+	}
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
+		t.Fatalf("NetsimConfig: %v", err)
+	}
+	nr, err := netsim.Run(nc)
+	if err != nil {
+		t.Fatalf("direct netsim run: %v", err)
+	}
+	want := FromNetsim(cfg, nr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("facade diverged from direct netsim run:\nfacade %+v\nnetsim %+v", got, want)
+	}
+}
+
+func TestFacadeMatchesNetsimExactly(t *testing.T) {
+	for _, kind := range protocol.Kinds() {
+		facadeEqual(t, Config{
+			SharedCapacity: 24, Packets: 30000, Seed: 41,
+			Sessions: []SessionConfig{
+				{Protocol: kind, Layers: 8, FanoutCapacities: []float64{2, 8, 64}},
+				{Protocol: kind, Layers: 8, FanoutCapacities: []float64{64}},
+			},
+		})
+	}
+}
+
+// TestFacadeUsageConsistency pins the fluid-usage mapping: per-session
+// shared-link usage rates are the engine's FluidRate on link 0, their
+// sum over capacity is the reported utilization, and each session's
+// usage is bounded by its full-stack cumulative rate.
+func TestFacadeUsageConsistency(t *testing.T) {
+	cfg := Config{
+		SharedCapacity: 16, Packets: 100000, Seed: 43,
+		Sessions: []SessionConfig{
+			{Protocol: protocol.Deterministic, Layers: 8, FanoutCapacities: []float64{100, 100}},
+			{Protocol: protocol.Deterministic, Layers: 6, FanoutCapacities: []float64{100}},
+		},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, u := range res.SessionLinkRates {
+		if u <= 0 {
+			t.Fatalf("session %d usage %v", i, u)
+		}
+		top := math.Pow(2, float64(cfg.Sessions[i].Layers-1))
+		if u > top {
+			t.Fatalf("session %d usage %v above full-stack rate %v", i, u, top)
+		}
+		sum += u
+	}
+	if got := sum / cfg.SharedCapacity; math.Abs(got-res.SharedUtilization) > 1e-12 {
+		t.Fatalf("utilization %v inconsistent with usage sum %v", res.SharedUtilization, got)
+	}
+	if res.SharedLossRate <= 0 || res.SharedLossRate >= 1 {
+		t.Fatalf("implausible shared loss rate %v for an oversubscribed link", res.SharedLossRate)
+	}
+}

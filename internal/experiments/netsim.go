@@ -3,17 +3,19 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand/v2"
 
-	"mlfair/internal/netmodel"
 	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
-	"mlfair/internal/sim"
+	"mlfair/internal/scenario"
 	"mlfair/internal/stats"
-	"mlfair/internal/topology"
 	"mlfair/internal/trace"
-	"mlfair/internal/treesim"
 )
+
+// Every driver in this file is declarative: it builds a scenario.Spec,
+// compiles it through the scenario layer, and either runs the built-in
+// metric stages (scenario.RunCompiled) or streams the compiled netsim
+// config through driver-specific aggregation. The same specs, written
+// as JSON, drive `cmd/netsim -spec` — see docs/SCENARIOS.md.
 
 // NetsimOptions sizes the general-engine scenario drivers.
 type NetsimOptions struct {
@@ -30,63 +32,92 @@ func DefaultNetsimOptions() NetsimOptions {
 	return NetsimOptions{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777}
 }
 
-// NetsimStar runs the paper's modified star on the general engine next
-// to the specialized sim package — the special-case cross-check as a
-// readable artifact: both columns must agree within confidence bounds.
+// mixedSessions is the session slot list that cycles the three
+// protocols across a generated topology's sessions in the paper's
+// plotting order.
+func mixedSessions() []scenario.SessionSpec {
+	kinds := protocol.Kinds()
+	out := make([]scenario.SessionSpec, len(kinds))
+	for i, k := range kinds {
+		out[i] = scenario.SessionSpec{Protocol: k.String(), Layers: 8}
+	}
+	return out
+}
+
+// starSpec declares the paper's modified star (Figure 7b) in the loss
+// domain: shared Bernoulli link 0, fanout links 1..n.
+func starSpec(o NetsimOptions, kind protocol.Kind, sharedLoss, fanoutLoss float64) *scenario.Spec {
+	return &scenario.Spec{
+		Topology:     scenario.TopologySpec{Kind: "star", Receivers: o.Receivers},
+		Sessions:     []scenario.SessionSpec{{Protocol: kind.String(), Layers: 8}},
+		DefaultLink:  &scenario.LinkSpec{Kind: "bernoulli", Loss: fanoutLoss},
+		Links:        []scenario.LinkOverride{{Link: 0, LinkSpec: scenario.LinkSpec{Kind: "bernoulli", Loss: sharedLoss}}},
+		Packets:      o.Packets,
+		Seed:         o.Seed,
+		Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+	}
+}
+
+// NetsimStar runs the paper's modified star through the scenario layer
+// for each protocol: shared-link redundancy (= the star's root
+// redundancy) and mean receiver goodput, replication-aggregated.
 func NetsimStar(w io.Writer, o NetsimOptions) error {
 	t := trace.NewTable(
-		fmt.Sprintf("netsim vs sim on the modified star: %d receivers, shared loss 1e-4, independent loss 0.04, %d packets, %d trials",
+		fmt.Sprintf("netsim star: %d receivers, shared loss 1e-4, independent loss 0.04, %d packets, %d trials",
 			o.Receivers, o.Packets, o.Trials),
-		"protocol", "netsim redundancy", "ci95", "sim redundancy", "ci95")
+		"protocol", "shared redundancy", "ci95", "receiver goodput", "ci95")
 	for _, kind := range protocol.Kinds() {
-		simCfg := sim.Config{
-			Layers: 8, Receivers: o.Receivers, SharedLoss: 0.0001, IndependentLoss: 0.04,
-			Protocol: kind, Packets: o.Packets, Seed: o.Seed,
-		}
-		reds, err := sim.RunReplicated(simCfg, o.Trials)
+		res, err := scenario.Run(starSpec(o, kind, 0.0001, 0.04))
 		if err != nil {
 			return err
 		}
-		simS := stats.Summarize(reds)
-		cfg, err := netsim.FromSim(simCfg)
-		if err != nil {
-			return err
-		}
-		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers, netsim.LinkRedundancyMetric(0, 0))
-		if err != nil {
-			return err
-		}
-		netS := sums[0]
-		t.AddRow(kind.String(), trace.Float(netS.Mean), trace.Float(netS.CI95),
-			trace.Float(simS.Mean), trace.Float(simS.CI95))
+		t.AddRow(kind.String(),
+			trace.Float(res.RootRedundancy.Mean), trace.Float(res.RootRedundancy.CI95),
+			trace.Float(res.Goodput.Mean), trace.Float(res.Goodput.CI95))
 	}
 	_, err := t.WriteTo(w)
 	return err
 }
 
 // NetsimTree measures per-depth Definition 3 redundancy on a binary
-// loss tree with the general engine (treesim's scenario).
+// loss tree: the scenario layer compiles the topology, the driver
+// streams the replications and buckets link redundancy by depth.
 func NetsimTree(w io.Writer, o NetsimOptions) error {
 	const depth = 4
 	const linkLoss = 0.02
-	tr := treesim.Binary(depth, linkLoss)
 	kinds := protocol.Kinds()
 	xs := make([]float64, depth)
 	for d := 0; d < depth; d++ {
 		xs[d] = float64(d + 1)
 	}
+	// Link i leads into node i+1; depth via the binary-heap parent walk.
+	depthOf := func(link int) int {
+		d := 0
+		for nd := link + 1; nd != 0; nd = (nd - 1) / 2 {
+			d++
+		}
+		return d
+	}
 	series := make([]trace.Series, len(kinds))
 	for ki, k := range kinds {
-		cfg, err := netsim.FromTree(tr, netsim.SessionConfig{Protocol: k, Layers: 8}, o.Packets, o.Seed)
+		spec := &scenario.Spec{
+			Topology:     scenario.TopologySpec{Kind: "binarytree", Depth: depth},
+			Sessions:     []scenario.SessionSpec{{Protocol: k.String(), Layers: 8}},
+			DefaultLink:  &scenario.LinkSpec{Kind: "bernoulli", Loss: linkLoss},
+			Packets:      o.Packets,
+			Seed:         o.Seed,
+			Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+		}
+		c, err := scenario.Compile(spec)
 		if err != nil {
 			return err
 		}
 		// Stream the replications: per-depth accumulation happens in
 		// replication order without retaining any result.
 		byDepth := make([]stats.Accumulator, depth+1)
-		err = netsim.StreamReplications(cfg, o.Trials, o.Workers, func(_ int, res *netsim.Result) error {
+		err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, res *netsim.Result) error {
 			for _, ls := range res.Links {
-				byDepth[tr.Depth(netsim.NodeForLink(ls.Link))].Add(ls.Redundancy)
+				byDepth[depthOf(ls.Link)].Add(ls.Redundancy)
 			}
 			return nil
 		})
@@ -111,32 +142,47 @@ func NetsimTree(w io.Writer, o NetsimOptions) error {
 }
 
 // NetsimMesh runs several sessions through one capacity-coupled
-// backbone — the multi-session scenario none of the specialized
-// simulators covers: sessions generate each other's congestion and the
-// engine reports how the backbone's bandwidth splits.
+// backbone — the multi-session scenario: sessions generate each other's
+// congestion and the driver reports how the backbone's bandwidth
+// splits.
 func NetsimMesh(w io.Writer, o NetsimOptions) error {
 	const sessions, perSession = 3, 4
-	cfg, bb, err := netsim.Mesh(sessions, perSession,
-		netsim.LinkSpec{Kind: netsim.Capacity, Capacity: 24}, 0.01,
-		netsim.SessionConfig{Protocol: protocol.Coordinated, Layers: 8},
-		o.Packets*2, o.Seed)
+	spec := &scenario.Spec{
+		Topology: scenario.TopologySpec{Kind: "mesh", Sessions: sessions, Receivers: perSession},
+		Sessions: []scenario.SessionSpec{{Protocol: "Coordinated", Layers: 8}},
+		// Lossless sender access links, a capacity-24 backbone, and
+		// Bernoulli receiver access links.
+		DefaultLink: &scenario.LinkSpec{Kind: "bernoulli", Loss: 0.01},
+		Links: []scenario.LinkOverride{
+			{Link: 0, LinkSpec: scenario.LinkSpec{Kind: "perfect"}},
+			{Link: 1, LinkSpec: scenario.LinkSpec{Kind: "perfect"}},
+			{Link: 2, LinkSpec: scenario.LinkSpec{Kind: "perfect"}},
+			{Link: sessions, LinkSpec: scenario.LinkSpec{Kind: "capacity", Capacity: 24}},
+		},
+		Packets:      o.Packets * 2,
+		Seed:         o.Seed,
+		Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+	}
+	c, err := scenario.Compile(spec)
 	if err != nil {
 		return err
 	}
-	metrics := make([]netsim.Metric, 0, 2*sessions)
-	for i := 0; i < sessions; i++ {
-		i := i
-		metrics = append(metrics, func(r *netsim.Result) float64 {
+	const bb = sessions // backbone link index in the mesh layout
+	accBest := make([]stats.Accumulator, sessions)
+	accRed := make([]stats.Accumulator, sessions)
+	err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, r *netsim.Result) error {
+		for i := 0; i < sessions; i++ {
 			m := 0.0
 			for _, v := range r.ReceiverRates[i] {
 				if v > m {
 					m = v
 				}
 			}
-			return m
-		}, netsim.LinkRedundancyMetric(bb, i))
-	}
-	sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers, metrics...)
+			accBest[i].Add(m)
+			accRed[i].Add(r.LinkRedundancy(bb, i))
+		}
+		return nil
+	})
 	if err != nil {
 		return err
 	}
@@ -145,9 +191,9 @@ func NetsimMesh(w io.Writer, o NetsimOptions) error {
 			sessions, perSession),
 		"session", "best receiver rate", "ci95", "backbone redundancy", "ci95")
 	for i := 0; i < sessions; i++ {
-		best, red := sums[2*i], sums[2*i+1]
-		t.AddRow(fmt.Sprintf("S%d", i+1), trace.Float(best.Mean), trace.Float(best.CI95),
-			trace.Float(red.Mean), trace.Float(red.CI95))
+		t.AddRow(fmt.Sprintf("S%d", i+1),
+			trace.Float(accBest[i].Mean()), trace.Float(accBest[i].CI95()),
+			trace.Float(accRed[i].Mean()), trace.Float(accRed[i].CI95()))
 	}
 	_, err = t.WriteTo(w)
 	return err
@@ -163,25 +209,23 @@ func NetsimChurn(w io.Writer, o NetsimOptions) error {
 			o.Receivers, o.Trials),
 		"scenario", "mean receiver rate", "ci95", "shared redundancy", "ci95")
 	for _, churny := range []bool{false, true} {
-		cfg, err := netsim.Star(o.Receivers, 0.0001, 0.04,
-			netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, o.Packets, o.Seed)
-		if err != nil {
-			return err
-		}
+		spec := starSpec(o, protocol.Deterministic, 0.0001, 0.04)
 		name := "stable"
 		if churny {
 			name = "churning"
 			horizon := float64(o.Packets) / 128 // approximate run duration
-			cfg.Churn = netsim.UniformChurn(cfg.Network, horizon/float64(2*o.Receivers), horizon/20, horizon)
+			spec.Churn = &scenario.ChurnSpec{
+				Interval: horizon / float64(2*o.Receivers),
+				Downtime: horizon / 20,
+				Horizon:  horizon,
+			}
 		}
-		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
-			netsim.MeanReceiverRateMetric(), netsim.LinkRedundancyMetric(0, 0))
+		res, err := scenario.Run(spec)
 		if err != nil {
 			return err
 		}
-		rate, red := sums[0], sums[1]
-		t.AddRow(name, trace.Float(rate.Mean), trace.Float(rate.CI95),
-			trace.Float(red.Mean), trace.Float(red.CI95))
+		t.AddRow(name, trace.Float(res.Goodput.Mean), trace.Float(res.Goodput.CI95),
+			trace.Float(res.RootRedundancy.Mean), trace.Float(res.RootRedundancy.CI95))
 	}
 	_, err := t.WriteTo(w)
 	return err
@@ -198,71 +242,83 @@ func NetsimBackground(w io.Writer, o NetsimOptions) error {
 			capacity, o.Receivers),
 		"background load", "best receiver rate", "ci95", "shared redundancy", "ci95")
 	for _, bg := range []float64{0, 8, 16, 24, 28} {
-		cfg, err := netsim.Star(o.Receivers, 0, 0.02,
-			netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, o.Packets, o.Seed)
+		spec := starSpec(o, protocol.Deterministic, 0, 0.02)
+		spec.Links = []scenario.LinkOverride{{Link: 0, LinkSpec: scenario.LinkSpec{
+			Kind: "droptail", Capacity: capacity, Buffer: 16, Delay: 0.01, Background: bg,
+		}}}
+		c, err := scenario.Compile(spec)
 		if err != nil {
 			return err
 		}
-		cfg.Links[0] = netsim.LinkSpec{Kind: netsim.DropTail, Capacity: capacity, Buffer: 16, Delay: 0.01, Background: bg}
-		sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
-			func(r *netsim.Result) float64 { return r.MaxReceiverRate() },
-			netsim.LinkRedundancyMetric(0, 0))
+		var accBest, accRed stats.Accumulator
+		err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, r *netsim.Result) error {
+			accBest.Add(r.MaxReceiverRate())
+			accRed.Add(r.LinkRedundancy(0, 0))
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		best, red := sums[0], sums[1]
-		t.AddRow(trace.Float(bg), trace.Float(best.Mean), trace.Float(best.CI95),
-			trace.Float(red.Mean), trace.Float(red.CI95))
+		t.AddRow(trace.Float(bg), trace.Float(accBest.Mean()), trace.Float(accBest.CI95()),
+			trace.Float(accRed.Mean()), trace.Float(accRed.CI95()))
 	}
 	_, err := t.WriteTo(w)
 	return err
 }
 
-// largeTopoRows summarizes one large-topology scenario: streamed
-// replications, capacity-coupled links, and three aggregates — mean
-// receiver goodput, mean per-session root redundancy, and the maximum
-// Definition 3 redundancy over all (link, session) pairs.
-func largeTopoRows(w io.Writer, title string, net *netmodel.Network, o NetsimOptions) error {
-	cfg := netsim.Config{
-		Network:  net,
-		Links:    netsim.CapacityLinks(net.NumLinks()),
-		Sessions: make([]netsim.SessionConfig, net.NumSessions()),
-		Packets:  o.Packets,
-		Seed:     o.Seed,
-	}
-	// Alternate protocols across sessions so coordination disciplines
-	// compete on shared links.
-	kinds := protocol.Kinds()
-	for i := range cfg.Sessions {
-		cfg.Sessions[i] = netsim.SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 8}
-	}
-	sums, err := netsim.SummarizeReplications(cfg, o.Trials, o.Workers,
-		netsim.MeanReceiverRateMetric(),
-		func(r *netsim.Result) float64 {
-			sum := 0.0
-			for i := range r.ReceiverRates {
-				sum += r.SessionRedundancy(i)
-			}
-			return sum / float64(len(r.ReceiverRates))
-		},
-		func(r *netsim.Result) float64 {
-			m := 0.0
-			for _, ls := range r.Links {
-				if ls.Redundancy > m {
-					m = ls.Redundancy
-				}
-			}
-			return m
-		})
+// NetsimAudit is the end-to-end "simulate, then audit against the
+// paper's fair allocation" pipeline on a capacity-coupled star with
+// heterogeneous receivers: one spec selects the rates, max-min
+// benchmark, fairness-property and gap stages, and the report shows the
+// achieved rates tracking their analytic max-min fair counterparts.
+func NetsimAudit(w io.Writer, o NetsimOptions) error {
+	res, err := scenario.Run(AuditSpec(o))
 	if err != nil {
 		return err
 	}
-	t := trace.NewTable(title, "metric", "mean", "ci95")
-	t.AddRow("receiver goodput", trace.Float(sums[0].Mean), trace.Float(sums[0].CI95))
-	t.AddRow("session root redundancy", trace.Float(sums[1].Mean), trace.Float(sums[1].CI95))
-	t.AddRow("max link redundancy", trace.Float(sums[2].Mean), trace.Float(sums[2].CI95))
-	_, err = t.WriteTo(w)
-	return err
+	if err := res.WriteReport(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "gap = achieved/fair; the layered sawtooth keeps protocols below but")
+	fmt.Fprintln(w, "tracking their max-min fair rates (the paper's closing claim, audited)")
+	return nil
+}
+
+// AuditSpec is NetsimAudit's declarative input (exported so the test
+// suite can pin its JSON round-trip alongside cmd/netsim -spec).
+func AuditSpec(o NetsimOptions) *scenario.Spec {
+	return &scenario.Spec{
+		Name: fmt.Sprintf("netsim audit: capacity star, fanouts 2/8/32 + a 64-wide peer, %d packets, %d trials",
+			o.Packets, o.Trials),
+		Topology: scenario.TopologySpec{
+			Kind:             "star",
+			SharedCapacity:   24,
+			FanoutCapacities: []float64{2, 8, 32, 64},
+		},
+		Sessions:     []scenario.SessionSpec{{Protocol: "Coordinated", Layers: 8}},
+		DefaultLink:  &scenario.LinkSpec{Kind: "capacity"},
+		Packets:      o.Packets * 2,
+		Seed:         o.Seed,
+		Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+		Metrics: []string{
+			scenario.MetricRates, scenario.MetricMaxMin,
+			scenario.MetricFairness, scenario.MetricGap,
+		},
+	}
+}
+
+// largeTopoSpec assembles the shared shape of the two large-topology
+// scenarios: capacity-coupled links, mixed protocols cycled across
+// sessions, and the goodput + redundancy stages.
+func largeTopoSpec(o NetsimOptions, topo scenario.TopologySpec) *scenario.Spec {
+	return &scenario.Spec{
+		Topology:     topo,
+		Sessions:     mixedSessions(),
+		DefaultLink:  &scenario.LinkSpec{Kind: "capacity"},
+		Packets:      o.Packets,
+		Seed:         o.Seed,
+		Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+	}
 }
 
 // NetsimScaleFree runs dozens of mixed-protocol sessions over a random
@@ -270,26 +326,33 @@ func largeTopoRows(w io.Writer, title string, net *netmodel.Network, o NetsimOpt
 // links — the heavy-tailed regime where hub links carry many competing
 // sessions at once. The topology itself is deterministic in the seed.
 func NetsimScaleFree(w io.Writer, o NetsimOptions) error {
-	topo := topology.DefaultScaleFreeOptions()
-	net, err := topology.ScaleFree(rand.New(rand.NewPCG(o.Seed, o.Seed^0xd1b54a32d192ed03)), topo)
+	c, err := scenario.Compile(largeTopoSpec(o, scenario.TopologySpec{Kind: "scalefree"}))
 	if err != nil {
 		return err
 	}
-	title := fmt.Sprintf("netsim scale-free: %d nodes, %d links, %d sessions (mixed protocols), %d packets, %d trials",
-		net.Graph().NumNodes(), net.NumLinks(), net.NumSessions(), o.Packets, o.Trials)
-	return largeTopoRows(w, title, net, o)
+	c.Spec.Name = fmt.Sprintf("netsim scale-free: %d nodes, %d links, %d sessions (mixed protocols), %d packets, %d trials",
+		c.Net.Graph().NumNodes(), c.Net.NumLinks(), c.Net.NumSessions(), o.Packets, o.Trials)
+	res, err := scenario.RunCompiled(c)
+	if err != nil {
+		return err
+	}
+	return res.WriteReport(w)
 }
 
 // NetsimFatTree runs dozens of mixed-protocol sessions across a k-ary
 // fat-tree fabric with a mildly oversubscribed core — the multipath
 // data-center scenario collapsed onto per-session BFS trees.
 func NetsimFatTree(w io.Writer, o NetsimOptions) error {
-	topo := topology.DefaultFatTreeOptions()
-	net, err := topology.FatTree(rand.New(rand.NewPCG(o.Seed, o.Seed^0x9e6c63d0876a9a47)), topo)
+	const k = 6
+	c, err := scenario.Compile(largeTopoSpec(o, scenario.TopologySpec{Kind: "fattree", K: k}))
 	if err != nil {
 		return err
 	}
-	title := fmt.Sprintf("netsim fat-tree: k=%d (%d hosts, %d links), %d sessions (mixed protocols), %d packets, %d trials",
-		topo.K, topo.K*topo.K*topo.K/4, net.NumLinks(), net.NumSessions(), o.Packets, o.Trials)
-	return largeTopoRows(w, title, net, o)
+	c.Spec.Name = fmt.Sprintf("netsim fat-tree: k=%d (%d hosts, %d links), %d sessions (mixed protocols), %d packets, %d trials",
+		k, k*k*k/4, c.Net.NumLinks(), c.Net.NumSessions(), o.Packets, o.Trials)
+	res, err := scenario.RunCompiled(c)
+	if err != nil {
+		return err
+	}
+	return res.WriteReport(w)
 }

@@ -11,10 +11,27 @@ func tinyNetsimOptions() NetsimOptions {
 
 func TestNetsimStarDriver(t *testing.T) {
 	out := capture(t, func(w *strings.Builder) error { return NetsimStar(w, tinyNetsimOptions()) })
-	for _, want := range []string{"netsim vs sim", "Coordinated", "Deterministic", "sim redundancy"} {
+	for _, want := range []string{"netsim star", "Coordinated", "Deterministic", "shared redundancy"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestNetsimAuditDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimAudit(w, tinyNetsimOptions()) })
+	for _, want := range []string{
+		"netsim audit", "max-min fair rate", "fairness gap",
+		"max-min benchmark properties", "simulated-rate properties",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Theorem 1 sanity: the analytic benchmark of an all-multi-rate
+	// network must satisfy all four properties.
+	if !strings.Contains(out, "max-min benchmark properties: fully-utilized-receiver: holds") {
+		t.Errorf("benchmark audit should hold all properties:\n%s", out)
 	}
 }
 

@@ -34,16 +34,17 @@ type Witness struct {
 	Link int
 }
 
-// PairViolation reports a same-path-receiver-fairness failure.
+// PairViolation reports a same-path-receiver-fairness failure: two
+// receivers whose data-paths traverse the same link set (the property's
+// hypothesis — every pair reported here shares one) ended with
+// different rates, neither excused by a κ pin.
 type PairViolation struct {
-	A, B           netmodel.ReceiverID
-	RateA, RateB   float64
-	SharedLinkSets bool // always true; kept for report formatting
+	A, B         netmodel.ReceiverID
+	RateA, RateB float64
 }
 
 func (v PairViolation) String() string {
-	return fmt.Sprintf("%v (rate %.4g) and %v (rate %.4g) share a data-path but differ",
-		v.A, v.RateA, v.B, v.RateB)
+	return fmt.Sprintf("same-path pair %v/%v: rates %.4g vs %.4g differ", v.A, v.B, v.RateA, v.RateB)
 }
 
 // ReceiverFullyUtilizedFair checks Fairness Property 1 for one receiver:
@@ -230,7 +231,6 @@ func Check(a *netmodel.Allocation) *Report {
 				rep.SamePathViolations = append(rep.SamePathViolations, PairViolation{
 					A: ids[x], B: ids[y],
 					RateA: a.RateOf(ids[x]), RateB: a.RateOf(ids[y]),
-					SharedLinkSets: true,
 				})
 			}
 		}

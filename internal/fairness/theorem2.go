@@ -71,7 +71,7 @@ func CheckTheorem2(a *netmodel.Allocation) *MixedReport {
 			switch {
 			case isMulti(rx) && isMulti(ry):
 				if !SamePathPairFair(a, rx, ry) {
-					m.D = append(m.D, PairViolation{A: rx, B: ry, RateA: a.RateOf(rx), RateB: a.RateOf(ry), SharedLinkSets: true})
+					m.D = append(m.D, PairViolation{A: rx, B: ry, RateA: a.RateOf(rx), RateB: a.RateOf(ry)})
 				}
 			case isMulti(rx) != isMulti(ry):
 				// Orient so mr is the multi-rate one.
@@ -82,7 +82,7 @@ func CheckTheorem2(a *netmodel.Allocation) *MixedReport {
 				// Clause (e): a_mr = κ or a_mr >= a_sr.
 				if !netmodel.Geq(a.RateOf(mr), net.Session(mr.Session).MaxRate) &&
 					netmodel.Less(a.RateOf(mr), a.RateOf(sr)) {
-					m.E = append(m.E, PairViolation{A: mr, B: sr, RateA: a.RateOf(mr), RateB: a.RateOf(sr), SharedLinkSets: true})
+					m.E = append(m.E, PairViolation{A: mr, B: sr, RateA: a.RateOf(mr), RateB: a.RateOf(sr)})
 				}
 			}
 		}

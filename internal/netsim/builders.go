@@ -3,17 +3,15 @@ package netsim
 import (
 	"fmt"
 
-	"mlfair/internal/capsim"
 	"mlfair/internal/netmodel"
 	"mlfair/internal/routing"
-	"mlfair/internal/sim"
-	"mlfair/internal/treesim"
 )
 
 // Star builds the paper's Figure 7(b) modified star as a netsim Config:
 // a sender behind one shared Bernoulli link feeding n receivers through
-// independent Bernoulli fanout links — sim's exact topology on the
-// general engine. The shared link is link 0; fanout link k is link k+1.
+// independent Bernoulli fanout links — the sim facade's exact topology
+// on the general engine. The shared link is link 0; fanout link k is
+// link k+1.
 func Star(n int, sharedLoss, fanoutLoss float64, sc SessionConfig, packets int, seed uint64) (Config, error) {
 	if n < 1 {
 		return Config{}, fmt.Errorf("netsim: star needs at least one receiver")
@@ -42,112 +40,6 @@ func Star(n int, sharedLoss, fanoutLoss float64, sc SessionConfig, packets int, 
 		Sessions: []SessionConfig{sc},
 		Packets:  packets,
 		Seed:     seed,
-	}, nil
-}
-
-// FromSim lifts a sim.Config onto the general engine (heterogeneous
-// fanout losses included). LeaveLatency and PriorityDrop are sim-only
-// extensions and are rejected.
-func FromSim(c sim.Config) (Config, error) {
-	if c.LeaveLatency != 0 || c.Drop != sim.UniformDrop {
-		return Config{}, fmt.Errorf("netsim: sim leave-latency / drop-policy extensions are not modeled")
-	}
-	cfg, err := Star(c.Receivers, c.SharedLoss, c.IndependentLoss,
-		SessionConfig{Protocol: c.Protocol, Layers: c.Layers}, c.Packets, c.Seed)
-	if err != nil {
-		return Config{}, err
-	}
-	if c.IndependentLosses != nil {
-		if len(c.IndependentLosses) != c.Receivers {
-			return Config{}, fmt.Errorf("netsim: %d losses for %d receivers", len(c.IndependentLosses), c.Receivers)
-		}
-		for k, p := range c.IndependentLosses {
-			cfg.Links[1+k].Loss = p
-		}
-	}
-	cfg.SignalPeriod = c.SignalPeriod
-	return cfg, nil
-}
-
-// FromTree lifts a treesim.Tree onto the general engine with per-link
-// Bernoulli loss. Graph node i mirrors tree node i; tree node i's parent
-// link becomes graph link i-1, so treesim's per-link stats line up with
-// Result.Links via NodeForLink.
-func FromTree(t *treesim.Tree, sc SessionConfig, packets int, seed uint64) (Config, error) {
-	if err := t.Validate(); err != nil {
-		return Config{}, err
-	}
-	n := len(t.Parent)
-	g := netmodel.NewGraph(n)
-	for i := 1; i < n; i++ {
-		g.AddLink(t.Parent[i], i, 1)
-	}
-	s := &netmodel.Session{
-		Sender:    0,
-		Receivers: append([]int{}, t.Receivers...),
-		Type:      netmodel.MultiRate,
-		MaxRate:   netmodel.NoRateCap,
-	}
-	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
-	if err != nil {
-		return Config{}, err
-	}
-	specs := make([]LinkSpec, net.NumLinks())
-	for i := 1; i < n; i++ {
-		specs[i-1] = LinkSpec{Kind: Bernoulli, Loss: t.Loss[i]}
-	}
-	return Config{
-		Network:  net,
-		Links:    specs,
-		Sessions: []SessionConfig{sc},
-		Packets:  packets,
-		Seed:     seed,
-	}, nil
-}
-
-// NodeForLink maps a FromTree graph link index back to the treesim node
-// whose parent link it mirrors.
-func NodeForLink(link int) int { return link + 1 }
-
-// FromCapsim lifts a capsim.Config onto the general engine: every
-// session's sender sits behind one shared capacity-coupled link; each
-// receiver has its own capacity-coupled fanout link. Link 0 is the
-// shared link.
-func FromCapsim(c capsim.Config) (Config, error) {
-	nr := 0
-	for _, sc := range c.Sessions {
-		nr += len(sc.FanoutCapacities)
-	}
-	if nr == 0 {
-		return Config{}, fmt.Errorf("netsim: capsim config has no receivers")
-	}
-	g := netmodel.NewGraph(2 + nr)
-	const sender, hub = 0, 1
-	g.AddLink(sender, hub, c.SharedCapacity)
-	sessions := make([]*netmodel.Session, len(c.Sessions))
-	sessCfgs := make([]SessionConfig, len(c.Sessions))
-	node := 2
-	for i, sc := range c.Sessions {
-		receivers := make([]int, len(sc.FanoutCapacities))
-		for k, fc := range sc.FanoutCapacities {
-			g.AddLink(hub, node, fc)
-			receivers[k] = node
-			node++
-		}
-		sessions[i] = &netmodel.Session{Sender: sender, Receivers: receivers, Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
-		sessCfgs[i] = SessionConfig{Protocol: sc.Protocol, Layers: sc.Layers}
-	}
-	net, err := routing.BuildNetwork(g, sessions)
-	if err != nil {
-		return Config{}, err
-	}
-	return Config{
-		Network:      net,
-		Links:        CapacityLinks(net.NumLinks()),
-		Sessions:     sessCfgs,
-		Packets:      c.Packets,
-		SignalPeriod: c.SignalPeriod,
-		Seed:         c.Seed,
 	}, nil
 }
 

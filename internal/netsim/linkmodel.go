@@ -48,6 +48,13 @@ type LinkSpec struct {
 	Kind LinkKind
 	// Loss is the Bernoulli drop probability (Bernoulli only).
 	Loss float64
+	// LayerLoss, when non-nil, gives layer-dependent Bernoulli drop
+	// probabilities (Bernoulli only; overrides Loss): a layer-l packet is
+	// dropped with probability LayerLoss[l], clamped to the last entry
+	// for deeper layers. This is the priority-dropping lever (Bajaj/
+	// Breslau/Shenker): rising tables sacrifice enhancement layers to
+	// protect the base layer.
+	LayerLoss []float64
 	// Capacity is the service/fluid rate in packets per time unit
 	// (Capacity and DropTail). Zero means "use the graph's link
 	// capacity".
@@ -75,6 +82,11 @@ func (s LinkSpec) validate(j int, graphCap float64) error {
 		if !(s.Loss >= 0 && s.Loss < 1) {
 			return fmt.Errorf("netsim: link %d loss %v outside [0,1)", j, s.Loss)
 		}
+		for l, p := range s.LayerLoss {
+			if !(p >= 0 && p < 1) {
+				return fmt.Errorf("netsim: link %d layer-%d loss %v outside [0,1)", j, l, p)
+			}
+		}
 	case Capacity, DropTail:
 		if c := s.effCapacity(graphCap); !(c > 0) || math.IsInf(c, 0) {
 			return fmt.Errorf("netsim: link %d needs a positive finite capacity, has %v", j, c)
@@ -87,6 +99,12 @@ func (s LinkSpec) validate(j int, graphCap float64) error {
 		}
 	default:
 		return fmt.Errorf("netsim: link %d has unknown kind %v", j, s.Kind)
+	}
+	if s.LayerLoss != nil && s.Kind != Bernoulli {
+		return fmt.Errorf("netsim: link %d sets LayerLoss on a %v link (Bernoulli only)", j, s.Kind)
+	}
+	if s.LayerLoss != nil && len(s.LayerLoss) == 0 {
+		return fmt.Errorf("netsim: link %d has an empty LayerLoss table", j)
 	}
 	if !(s.Background >= 0) || math.IsInf(s.Background, 0) {
 		return fmt.Errorf("netsim: link %d background %v", j, s.Background)

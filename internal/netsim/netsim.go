@@ -1,8 +1,9 @@
-// Package netsim is a discrete-event, packet-level simulator for layered
-// multicast congestion control over arbitrary netmodel.Network graphs —
-// the general engine of which sim (modified star, exogenous loss),
-// treesim (loss trees) and capsim (capacity-coupled star) are thin
-// special cases.
+// Package netsim is THE discrete-event, packet-level simulator for
+// layered multicast congestion control over arbitrary netmodel.Network
+// graphs: sim (modified star, exogenous loss), treesim (loss trees) and
+// capsim (capacity-coupled star) are facades that compile their configs
+// onto this engine and re-map its results, owning no event loop of
+// their own.
 //
 // The engine runs the paper's general network model N = (G, {S_i}, τ, Γ)
 // forward in time: every session transmits the Section 4 exponential
@@ -51,11 +52,12 @@
 //     Perfect/Bernoulli take a variant with the admission switch
 //     compiled out.
 //   - Bernoulli drops are realized by geometric inter-drop gap counters
-//     (one RNG draw per drop, not per crossing — the identical law),
-//     and the protocol state machines are flattened into parallel
-//     arrays with their transitions inlined (mirroring
-//     protocol.Receiver exactly; the cross-check tests against
-//     sim/treesim/capsim guard the equivalence).
+//     (one RNG draw per drop, not per crossing — the identical law;
+//     links with layer-dependent loss tables fall back to a direct draw
+//     per crossing), and the protocol state machines are flattened into
+//     parallel arrays with their transitions inlined (mirroring
+//     protocol.Receiver exactly; the protocol package's unit tests and
+//     the facades' behavioral suites guard the equivalence).
 //   - The paper's "maximum joined layer below a link" is maintained
 //     incrementally: each node keeps per-level contribution counts in a
 //     power-of-two-stride row (single-contribution nodes skip even
@@ -89,7 +91,6 @@ import (
 	"mlfair/internal/layering"
 	"mlfair/internal/netmodel"
 	"mlfair/internal/protocol"
-	"mlfair/internal/sim"
 )
 
 // MaxLayers bounds SessionConfig.Layers: the protocol package's join
@@ -145,6 +146,15 @@ type Config struct {
 	SignalPeriod float64
 	// Churn lists membership changes, in any order.
 	Churn []ChurnEvent
+	// LeaveLatency models slow IGMP-style leave processing (the paper's
+	// Section 5 concern): after the highest subscription below a link
+	// drops, the link keeps carrying the abandoned layers for this many
+	// time units. Lingering crossings consume link bandwidth (they count
+	// in LinkStats.Crossed) but deliver nothing, observe no losses, and
+	// draw no randomness — so receiver dynamics at equal seeds are
+	// identical across latencies, exactly the sim package's historical
+	// contract.
+	LeaveLatency float64
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed uint64
 }
@@ -165,6 +175,16 @@ type LinkStats struct {
 	// DownstreamReceivers is |R_{i,j}|, the session's receiver count on
 	// the link.
 	DownstreamReceivers int
+	// Dropped counts the session's packets this link itself dropped
+	// (Crossed includes them: a dropped packet still consumed the link).
+	Dropped int
+	// FluidRate is the session's time-average fluid demand on the link:
+	// the integral of the cumulative scheme rate of the highest
+	// subscription level below the link, over the run duration. This is
+	// the u_{i,j} the paper's fluid analysis assigns to the session, the
+	// quantity the capacity-coupled drop law meters, and what the capsim
+	// facade reports as SessionLinkRates.
+	FluidRate float64
 }
 
 // Result summarizes one run.
@@ -179,6 +199,11 @@ type Result struct {
 	// FinalLevels[i][k] is r_{i,k}'s subscription level when the run
 	// ended: in [1, Layers] while joined, 0 after a churn departure.
 	FinalLevels [][]int
+	// MeanLevels[i] is session i's time-average subscription level,
+	// averaged across its receivers (receivers departed by churn count
+	// level 0 while away) — the sim package's MeanLevel diagnostic on
+	// the general engine.
+	MeanLevels []float64
 	// Links holds per-(link, session) stats for every link crossed by at
 	// least one receiver of the session, in link-major order.
 	Links []LinkStats
@@ -238,6 +263,9 @@ func (c *Config) validate() error {
 	}
 	if c.SignalPeriod < 0 || math.IsInf(c.SignalPeriod, 0) || math.IsNaN(c.SignalPeriod) {
 		return fmt.Errorf("netsim: SignalPeriod = %v", c.SignalPeriod)
+	}
+	if !(c.LeaveLatency >= 0) || math.IsInf(c.LeaveLatency, 0) {
+		return fmt.Errorf("netsim: LeaveLatency = %v", c.LeaveLatency)
 	}
 	for i, sc := range c.Sessions {
 		if sc.Layers < 1 {
@@ -360,12 +388,12 @@ func (q *eventQueue) pop() event {
 
 // --- per-session state ---
 
-// treeEdge is one multicast-tree edge, fattened to 48 bytes so the
-// fused forwarding loop reads one DFS-sequential record per hop instead
-// of chasing five parallel arrays: the graph link it rides, the
-// (session-internal) node it enters, the link's immutable admission
-// parameters, the entered node's receiver and child-edge CSR blocks,
-// its bucket-boundary row offset, and the crossing counter.
+// treeEdge is one multicast-tree edge, fattened so the fused forwarding
+// loop reads one DFS-sequential record per hop instead of chasing
+// parallel arrays: the graph link it rides, the (session-internal) node
+// it enters, the link's immutable admission parameters, the entered
+// node's receiver and child-edge CSR blocks, its bucket-boundary row
+// offset, and the crossing/drop counters.
 type treeEdge struct {
 	// invLog is 1/log(1-loss) for a lossy Bernoulli link: the constant
 	// factor of geometric inter-drop sampling, precomputed so a drop
@@ -378,6 +406,7 @@ type treeEdge struct {
 	// shared per-link coin.
 	lossGap        int64
 	crossed        int64 // session packets that entered the link here
+	drops          int64 // session packets this link dropped
 	link, child    int32
 	recvLo, recvHi int32 // child's block in recvList
 	edgeLo, edgeHi int32 // child's own block in edges/order
@@ -390,6 +419,7 @@ type treeEdge struct {
 const (
 	ekAlways    int8 = iota // Perfect, or Bernoulli with zero loss
 	ekBernoulli             // lossy Bernoulli: geometric gap thinning
+	ekLayerLoss             // Bernoulli with per-layer loss: direct draw per crossing
 	ekCapacity
 	ekDropTail
 )
@@ -483,6 +513,27 @@ type sessState struct {
 	clean     []bool
 	received  []int
 
+	// Per-edge fluid-usage accounting: fluidInt[eid] integrates the
+	// cumulative scheme rate of the edge's subtree maximum over time
+	// (advanced lazily at each subMax move, flushed at the end of the
+	// run), fluidT[eid] the instant it was last advanced. Pure
+	// accounting: no randomness, no effect on event order.
+	fluidInt []float64
+	fluidT   []float64
+
+	// Mean-level accounting: sumLevel is the current sum of all receiver
+	// levels, levelInt its time integral (advanced lazily like fluidInt).
+	sumLevel int64
+	levelInt float64
+	levelT   float64
+
+	// linger[(eid<<rowShift)+l] is the instant until which edge eid
+	// keeps carrying layer l after its subtree abandoned it (nil unless
+	// Config.LeaveLatency > 0). Sessions with linger enabled route
+	// through forwardLinger, which checks these rows for unsubscribed
+	// edges.
+	linger []float64
+
 	subMax []int32 // [node] max contribution level in the subtree
 	// lvlCnt[(node<<rowShift)+v] counts contributions at level v
 	// (v >= 1). Rows are power-of-two int32 strides so a node's whole
@@ -558,6 +609,11 @@ type engine struct {
 	// admission fast path touches 8-byte rows.
 	linkCap []float64
 	linkBg  []float64
+	// linkLayerLoss[j] is link j's per-layer Bernoulli loss table (nil
+	// unless the spec sets LayerLoss); indexed by packet layer, clamped
+	// to the last entry.
+	linkLayerLoss [][]float64
+	leaveLatency  float64
 
 	q   eventQueue
 	seq uint64
@@ -587,6 +643,8 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	e.linkCap = make([]float64, net.NumLinks())
 	e.linkBg = make([]float64, net.NumLinks())
+	e.linkLayerLoss = make([][]float64, net.NumLinks())
+	e.leaveLatency = cfg.LeaveLatency
 	for j := range e.links {
 		spec := LinkSpec{}
 		if cfg.Links != nil {
@@ -595,6 +653,7 @@ func newEngine(cfg Config) (*engine, error) {
 		e.links[j] = newLinkState(spec, net.Capacity(j))
 		e.linkCap[j] = e.links[j].cap
 		e.linkBg[j] = spec.Background
+		e.linkLayerLoss[j] = spec.LayerLoss
 		if spec.Kind == Capacity {
 			e.trackDemand = true
 		}
@@ -659,7 +718,9 @@ func newEngine(cfg Config) (*engine, error) {
 					invLog := 0.0
 					switch spec.Kind {
 					case Bernoulli:
-						if spec.Loss > 0 {
+						if spec.LayerLoss != nil {
+							ek = ekLayerLoss
+						} else if spec.Loss > 0 {
 							ek = ekBernoulli
 							invLog = 1 / math.Log(1-spec.Loss)
 						}
@@ -763,6 +824,11 @@ func newEngine(cfg Config) (*engine, error) {
 			s.edges[eid].edgeLo = s.edgeStart[s.edges[eid].child]
 			s.edges[eid].edgeHi = s.edgeStart[s.edges[eid].child+1]
 		}
+		s.fluidInt = make([]float64, nEdges)
+		s.fluidT = make([]float64, nEdges)
+		if cfg.LeaveLatency > 0 {
+			s.linger = make([]float64, nEdges<<s.rowShift)
+		}
 		s.lossOnly = true
 		for eid := range s.edges {
 			if k := s.edges[eid].kind; k != ekAlways && k != ekBernoulli {
@@ -845,6 +911,9 @@ func (e *engine) applyLevelChange(s *sessState, k int, nl int32) {
 	if nl == a {
 		return
 	}
+	s.levelInt += float64(s.sumLevel) * (e.now - s.levelT)
+	s.levelT = e.now
+	s.sumLevel += int64(nl - a)
 	s.levels[k] = nl
 	s.nAtLevel[a]--
 	s.nAtLevel[nl]++
@@ -885,9 +954,20 @@ func (e *engine) applyLevelChange(s *sessState, k int, nl int32) {
 		if eid < 0 {
 			return // reached the session root
 		}
+		s.fluidInt[eid] += s.cum[om] * (e.now - s.fluidT[eid])
+		s.fluidT[eid] = e.now
 		s.edgeSub[eid] = nm
 		if e.trackDemand {
 			e.demand[s.edges[eid].link] += s.cum[nm] - s.cum[om]
+		}
+		if s.linger != nil && nm < om {
+			// Layers nm..om-1 just lost their last subscriber below this
+			// edge; the link keeps carrying them until now + latency.
+			until := e.now + e.leaveLatency
+			row := eid << s.rowShift
+			for v := nm; v < om; v++ {
+				s.linger[row+v] = until
+			}
 		}
 		p := s.parent[nd]
 		if s.wide[p] {
@@ -1016,6 +1096,16 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 			gap--
 			ed.lossGap = gap
 			dropped = gap == 0
+		case ekLayerLoss:
+			// Layer-dependent loss breaks the geometric-gap trick (the
+			// per-crossing probability is no longer constant), so draw
+			// directly per crossing.
+			ll := e.linkLayerLoss[ed.link]
+			p := ll[len(ll)-1]
+			if int(layer) < len(ll) {
+				p = ll[layer]
+			}
+			dropped = p > 0 && e.rng.Float64() < p
 		case ekCapacity:
 			// Drop with probability (d-c)/d; comparing r*d < d-c avoids
 			// the division on the admission fast path.
@@ -1034,6 +1124,7 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 			}
 		}
 		if dropped {
+			ed.drops++
 			e.notifyLoss(s, layer, eid)
 			continue
 		}
@@ -1120,6 +1211,7 @@ func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins boo
 			gap--
 			ed.lossGap = gap
 			if gap == 0 {
+				ed.drops++
 				e.notifyLoss(s, layer, eid)
 				continue
 			}
@@ -1160,6 +1252,136 @@ func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins boo
 				goto descend
 			}
 		}
+	}
+	e.fwdStack = st[:0]
+}
+
+// dispatch routes one packet into the session tree, picking the walk
+// variant: sessions under a leave-latency regime take forwardLinger
+// (which must also run when nothing is subscribed, to meter lingering
+// crossings); everything else takes the optimized forward.
+func (e *engine) dispatch(s *sessState, layer, node int32, t float64) {
+	if s.linger != nil {
+		e.forwardLinger(s, layer, node, t)
+		return
+	}
+	e.forward(s, layer, node, t)
+}
+
+// pushEligibleLinger seeds/extends the linger walk at node nd: it
+// pushes nd's subscribed children in reverse of the exact enumeration
+// order forward uses (wide nodes: the counting-sorted bucket prefix;
+// narrow nodes: dense ceid order), so the DFS order of subscribed-edge
+// crossings — and hence every RNG draw — is identical to the plain
+// walk's. Unsubscribed children inside an open linger window count a
+// crossing inline: they deliver nothing and draw no randomness, so
+// their position in the iteration is immaterial.
+func (s *sessState) pushEligibleLinger(st []int32, nd, layer int32, t float64) []int32 {
+	lo, hi := s.edgeStart[nd], s.edgeStart[nd+1]
+	if s.wide[nd] {
+		for p := s.gt[(nd<<s.rowShift)+layer] - 1; p >= 0; p-- {
+			st = append(st, s.order[lo+p])
+		}
+	} else {
+		for ceid := hi - 1; ceid >= lo; ceid-- {
+			if s.edgeSub[ceid] > layer {
+				st = append(st, ceid)
+			}
+		}
+	}
+	for ceid := lo; ceid < hi; ceid++ {
+		if s.edgeSub[ceid] <= layer && s.linger[(ceid<<s.rowShift)+layer] > t {
+			s.edges[ceid].crossed++ // a leave still being processed wastes the link
+		}
+	}
+	return st
+}
+
+// forwardLinger is the walk for sessions with LeaveLatency > 0: besides
+// the normal descent into subscribed subtrees, an edge whose subtree
+// has abandoned the layer still counts a crossing while its linger
+// window is open — consuming bandwidth, delivering nothing, observing
+// no losses, and drawing no randomness. Subscribed edges are visited in
+// forward's exact DFS order (see pushEligibleLinger), so receiver
+// dynamics are identical to the latency-0 run at equal seed.
+func (e *engine) forwardLinger(s *sessState, layer, node int32, t float64) {
+	countJoins := s.cfg.Protocol != protocol.Coordinated
+	for x := s.recvStart[node]; x < s.recvStart[node+1]; x++ {
+		k := s.recvList[x]
+		if s.levels[k] > layer {
+			s.received[k]++
+			if countJoins {
+				s.countdown[k]--
+				if s.countdown[k] <= 0 {
+					e.joinReceiver(s, int(k))
+				}
+			}
+		}
+	}
+	st := s.pushEligibleLinger(e.fwdStack[:0], node, layer, t)
+	for len(st) > 0 {
+		eid := st[len(st)-1]
+		st = st[:len(st)-1]
+		ed := &s.edges[eid]
+		ed.crossed++
+		dropped := false
+		switch ed.kind {
+		case ekAlways:
+		case ekBernoulli:
+			gap := ed.lossGap
+			if gap == 0 {
+				u := e.rng.Float64()
+				if u <= 0 {
+					u = math.SmallestNonzeroFloat64
+				}
+				gap = int64(math.Log(u)*ed.invLog) + 1
+				if gap < 1 {
+					gap = 1
+				}
+			}
+			gap--
+			ed.lossGap = gap
+			dropped = gap == 0
+		case ekLayerLoss:
+			ll := e.linkLayerLoss[ed.link]
+			p := ll[len(ll)-1]
+			if int(layer) < len(ll) {
+				p = ll[layer]
+			}
+			dropped = p > 0 && e.rng.Float64() < p
+		case ekCapacity:
+			d := e.demand[ed.link] + e.linkBg[ed.link]
+			c := e.linkCap[ed.link]
+			dropped = d > c && e.rng.Float64()*d < d-c
+		default: // ekDropTail
+			exit, drop := e.links[ed.link].admitQueue(t)
+			if drop {
+				dropped = true
+				break
+			}
+			if exit > t {
+				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.child})
+				continue
+			}
+		}
+		if dropped {
+			ed.drops++
+			e.notifyLoss(s, layer, eid)
+			continue
+		}
+		for x := ed.recvLo; x < ed.recvHi; x++ {
+			k := s.recvList[x]
+			if s.levels[k] > layer {
+				s.received[k]++
+				if countJoins {
+					s.countdown[k]--
+					if s.countdown[k] <= 0 {
+						e.joinReceiver(s, int(k))
+					}
+				}
+			}
+		}
+		st = s.pushEligibleLinger(st, ed.child, layer, t)
 	}
 	e.fwdStack = st[:0]
 }
@@ -1229,7 +1451,7 @@ func Run(cfg Config) (*Result, error) {
 			e.pops++
 			switch ev.kind {
 			case evForward:
-				e.forward(&e.sess[ev.sess], ev.layer, ev.node, e.now)
+				e.dispatch(&e.sess[ev.sess], ev.layer, ev.node, e.now)
 			case evChurn:
 				e.applyChurn(cfg.Churn[ev.node])
 			case evSignal:
@@ -1248,7 +1470,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		for l := lo; l < s.m && e.sent < cfg.Packets; l++ {
 			e.sent++
-			if s.subMax[0] > l {
+			if s.linger != nil {
+				// Linger sessions walk even when nothing subscribes: a
+				// pending leave still meters crossings on the root edges.
+				e.forwardLinger(s, l, 0, ts)
+			} else if s.subMax[0] > l {
 				e.forward(s, l, 0, ts)
 			}
 		}
@@ -1267,7 +1493,7 @@ func (e *engine) signal() {
 		if s.cfg.Protocol != protocol.Coordinated || s.cfg.Layers < 2 {
 			continue
 		}
-		lvl := int32(sim.SignalLevel(e.signalIdx, s.cfg.Layers-1))
+		lvl := int32(protocol.SignalLevel(e.signalIdx, s.cfg.Layers-1))
 		eligible := false
 		for v := int32(1); v <= lvl; v++ {
 			if s.nAtLevel[v] > 0 {
@@ -1301,6 +1527,7 @@ func (e *engine) result() *Result {
 		ReceiverRates:   make([][]float64, len(e.sess)),
 		ReceiverPackets: make([][]int, len(e.sess)),
 		FinalLevels:     make([][]int, len(e.sess)),
+		MeanLevels:      make([]float64, len(e.sess)),
 		PacketsSent:     e.sent,
 		Duration:        e.now,
 		Events:          int64(e.sent) + e.pops,
@@ -1309,6 +1536,10 @@ func (e *engine) result() *Result {
 		s := &e.sess[i]
 		for eid := range s.edges {
 			res.Events += s.edges[eid].crossed
+		}
+		if e.now > 0 && len(s.received) > 0 {
+			levelInt := s.levelInt + float64(s.sumLevel)*(e.now-s.levelT)
+			res.MeanLevels[i] = levelInt / e.now / float64(len(s.received))
 		}
 		res.ReceiverRates[i] = make([]float64, len(s.received))
 		res.ReceiverPackets[i] = make([]int, len(s.received))
@@ -1322,14 +1553,24 @@ func (e *engine) result() *Result {
 			}
 		}
 	}
-	// Fold edge-indexed crossing counts back to (session, link): each
-	// session's tree crosses a link through at most one edge.
+	// Fold edge-indexed counters back to (session, link): each session's
+	// tree crosses a link through at most one edge.
 	linkCrossed := make([][]int, len(e.sess))
+	linkDropped := make([][]int, len(e.sess))
+	linkFluid := make([][]float64, len(e.sess))
 	for i := range e.sess {
 		s := &e.sess[i]
 		linkCrossed[i] = make([]int, e.net.NumLinks())
+		linkDropped[i] = make([]int, e.net.NumLinks())
+		linkFluid[i] = make([]float64, e.net.NumLinks())
 		for eid := range s.edges {
-			linkCrossed[i][s.edges[eid].link] = int(s.edges[eid].crossed)
+			j := s.edges[eid].link
+			linkCrossed[i][j] = int(s.edges[eid].crossed)
+			linkDropped[i][j] = int(s.edges[eid].drops)
+			if e.now > 0 {
+				fluid := s.fluidInt[eid] + s.cum[s.edgeSub[eid]]*(e.now-s.fluidT[eid])
+				linkFluid[i][j] = fluid / e.now
+			}
 		}
 	}
 	total := 0
@@ -1342,6 +1583,8 @@ func (e *engine) result() *Result {
 			ls := LinkStats{
 				Link: j, Session: sr.Session,
 				Crossed:             linkCrossed[sr.Session][j],
+				Dropped:             linkDropped[sr.Session][j],
+				FluidRate:           linkFluid[sr.Session][j],
 				DownstreamReceivers: len(sr.Receivers),
 			}
 			if e.now > 0 {

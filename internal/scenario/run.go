@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"mlfair/internal/fairness"
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/netsim"
+	"mlfair/internal/stats"
+	"mlfair/internal/trace"
+)
+
+// Result is one scenario run: replication-aggregated simulation metrics
+// (when Replications.N > 0) next to the analytic max-min benchmark and
+// the fairness-property audits of both sides.
+type Result struct {
+	Spec     *Spec
+	Compiled *Compiled
+	// Simulated reports whether the simulation stages ran.
+	Simulated bool
+	// Goodput is the mean receiver goodput across all receivers
+	// ("goodput" stage).
+	Goodput stats.Summary
+	// RootRedundancy / MaxLinkRedundancy are the "redundancy" stage:
+	// mean per-session root redundancy and the maximum Definition 3
+	// redundancy over all (link, session) pairs.
+	RootRedundancy    stats.Summary
+	MaxLinkRedundancy stats.Summary
+	// Rates[i][k] summarizes receiver r_{i,k}'s goodput across
+	// replications; MeanRates is the means alone (the simulated
+	// allocation the audits run on).
+	Rates     [][]stats.Summary
+	MeanRates [][]float64
+	// FairRates[i][k] is the max-min benchmark ("maxmin" stage),
+	// computed on the Compiled.Benchmark network.
+	FairRates [][]float64
+	// Gap[i][k] = achieved mean / fair rate ("gap" stage; 0 when the
+	// fair rate is 0).
+	Gap [][]float64
+	// BenchmarkFairness audits the four Section 2.1 properties on the
+	// benchmark allocation (a sanity check: the paper's Theorem 1 says
+	// all four hold when every session is multi-rate).
+	BenchmarkFairness *fairness.Report
+	// SimulatedFairness audits the same four properties on the
+	// simulated mean-rate allocation — the paper's "do the protocols
+	// come close to max-min fairness" question as a verdict.
+	SimulatedFairness *fairness.Report
+}
+
+// Run compiles and executes a Spec.
+func Run(spec *Spec) (*Result, error) {
+	c, err := Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(c)
+}
+
+// RunCompiled executes an already-compiled scenario: a streaming
+// replication pass (bounded memory, replication-order determinism —
+// aggregates are bit-identical for any worker count) followed by the
+// analytic stages.
+func RunCompiled(c *Compiled) (*Result, error) {
+	s := c.Spec
+	sel := s.metricSet()
+	res := &Result{Spec: s, Compiled: c}
+	needRates := sel[MetricRates] || sel[MetricGap] || sel[MetricFairness]
+
+	if s.Replications.N > 0 {
+		if !c.Simulable {
+			return nil, fmt.Errorf("scenario: topology %q is not simulable", s.Topology.Kind)
+		}
+		res.Simulated = true
+		net := c.Net
+		var goodAcc, rootAcc, maxAcc stats.Accumulator
+		rateAccs := make([][]stats.Accumulator, net.NumSessions())
+		for i := range rateAccs {
+			rateAccs[i] = make([]stats.Accumulator, net.Session(i).NumReceivers())
+		}
+		goodput := netsim.MeanReceiverRateMetric()
+		err := netsim.StreamReplications(c.Cfg, s.Replications.N, s.Replications.Workers,
+			func(_ int, r *netsim.Result) error {
+				if sel[MetricGoodput] {
+					goodAcc.Add(goodput(r))
+				}
+				if sel[MetricRedundancy] {
+					sum := 0.0
+					for i := range r.ReceiverRates {
+						sum += r.SessionRedundancy(i)
+					}
+					rootAcc.Add(sum / float64(len(r.ReceiverRates)))
+					m := 0.0
+					for _, ls := range r.Links {
+						if ls.Redundancy > m {
+							m = ls.Redundancy
+						}
+					}
+					maxAcc.Add(m)
+				}
+				if needRates {
+					for i := range r.ReceiverRates {
+						for k, v := range r.ReceiverRates[i] {
+							rateAccs[i][k].Add(v)
+						}
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sum := func(a *stats.Accumulator) stats.Summary {
+			return stats.Summary{Mean: a.Mean(), CI95: a.CI95(), N: a.N(), StdEv: a.StdDev()}
+		}
+		res.Goodput = sum(&goodAcc)
+		res.RootRedundancy = sum(&rootAcc)
+		res.MaxLinkRedundancy = sum(&maxAcc)
+		if needRates {
+			res.Rates = make([][]stats.Summary, len(rateAccs))
+			res.MeanRates = make([][]float64, len(rateAccs))
+			for i := range rateAccs {
+				res.Rates[i] = make([]stats.Summary, len(rateAccs[i]))
+				res.MeanRates[i] = make([]float64, len(rateAccs[i]))
+				for k := range rateAccs[i] {
+					res.Rates[i][k] = sum(&rateAccs[i][k])
+					res.MeanRates[i][k] = rateAccs[i][k].Mean()
+				}
+			}
+		}
+	}
+
+	if sel[MetricMaxMin] || sel[MetricGap] || sel[MetricFairness] {
+		fair, err := maxmin.Allocate(c.Benchmark)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: max-min benchmark: %w", err)
+		}
+		res.FairRates = make([][]float64, c.Benchmark.NumSessions())
+		for i := range res.FairRates {
+			res.FairRates[i] = append([]float64(nil), fair.Alloc.SessionRates(i)...)
+		}
+		if sel[MetricFairness] {
+			res.BenchmarkFairness = fairness.Check(fair.Alloc)
+		}
+	}
+	if res.Simulated && res.MeanRates != nil {
+		if sel[MetricFairness] {
+			simAlloc, err := netmodel.AllocationFromRates(c.Benchmark, res.MeanRates)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: simulated allocation: %w", err)
+			}
+			res.SimulatedFairness = fairness.Check(simAlloc)
+		}
+		if sel[MetricGap] && res.FairRates != nil {
+			res.Gap = make([][]float64, len(res.MeanRates))
+			for i := range res.MeanRates {
+				res.Gap[i] = make([]float64, len(res.MeanRates[i]))
+				for k := range res.MeanRates[i] {
+					if f := res.FairRates[i][k]; f > 0 {
+						res.Gap[i][k] = res.MeanRates[i][k] / f
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Title resolves the report title: the Spec's Name, or one synthesized
+// from the compiled topology.
+func (r *Result) Title() string {
+	if r.Spec.Name != "" {
+		return r.Spec.Name
+	}
+	net := r.Compiled.Net
+	return fmt.Sprintf("scenario %s: %d nodes, %d links, %d sessions, %d receivers",
+		r.Spec.Topology.Kind, net.Graph().NumNodes(), net.NumLinks(),
+		net.NumSessions(), net.NumReceivers())
+}
+
+// WriteReport renders the selected stages as trace tables and verdict
+// lines. With the default "goodput"+"redundancy" selection the output
+// is exactly one summary table (the byte format the large-topology
+// golden pins).
+func (r *Result) WriteReport(w io.Writer) error {
+	sel := r.Spec.metricSet()
+	titled := false
+	if r.Simulated && (sel[MetricGoodput] || sel[MetricRedundancy]) {
+		t := trace.NewTable(r.Title(), "metric", "mean", "ci95")
+		titled = true
+		if sel[MetricGoodput] {
+			t.AddRow("receiver goodput", trace.Float(r.Goodput.Mean), trace.Float(r.Goodput.CI95))
+		}
+		if sel[MetricRedundancy] {
+			t.AddRow("session root redundancy", trace.Float(r.RootRedundancy.Mean), trace.Float(r.RootRedundancy.CI95))
+			t.AddRow("max link redundancy", trace.Float(r.MaxLinkRedundancy.Mean), trace.Float(r.MaxLinkRedundancy.CI95))
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if !titled {
+		if _, err := fmt.Fprintf(w, "## %s\n", r.Title()); err != nil {
+			return err
+		}
+	}
+	if r.Simulated && sel[MetricRates] {
+		t := trace.NewTable("", "receiver", "mean rate", "ci95")
+		for i := range r.Rates {
+			for k := range r.Rates[i] {
+				t.AddRow(fmt.Sprintf("r%d,%d", i+1, k+1),
+					trace.Float(r.Rates[i][k].Mean), trace.Float(r.Rates[i][k].CI95))
+			}
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if r.FairRates != nil && (sel[MetricMaxMin] || sel[MetricGap]) {
+		headers := []string{"receiver", "max-min fair rate"}
+		if r.Simulated {
+			headers = append(headers, "achieved mean", "fairness gap")
+		}
+		t := trace.NewTable("", headers...)
+		for i := range r.FairRates {
+			for k := range r.FairRates[i] {
+				row := []string{fmt.Sprintf("r%d,%d", i+1, k+1), trace.Float(r.FairRates[i][k])}
+				if r.Simulated {
+					achieved, gap := "-", "-"
+					if r.MeanRates != nil {
+						achieved = trace.Float(r.MeanRates[i][k])
+					}
+					if r.Gap != nil {
+						gap = trace.Float(r.Gap[i][k])
+					}
+					row = append(row, achieved, gap)
+				}
+				t.AddRow(row...)
+			}
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if sel[MetricFairness] {
+		if r.BenchmarkFairness != nil {
+			if _, err := fmt.Fprintf(w, "max-min benchmark properties: %s\n", r.BenchmarkFairness.Summary()); err != nil {
+				return err
+			}
+		}
+		if r.SimulatedFairness != nil {
+			if _, err := fmt.Fprintf(w, "simulated-rate properties:    %s\n", r.SimulatedFairness.Summary()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunFile loads a Spec from a JSON file, runs it, and writes the report
+// — the shared implementation behind every cmd binary's -spec flag.
+func RunFile(w io.Writer, path string) error {
+	spec, err := LoadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := Run(spec)
+	if err != nil {
+		return err
+	}
+	return res.WriteReport(w)
+}

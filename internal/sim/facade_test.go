@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mlfair/internal/layering"
+	"mlfair/internal/netsim"
+	"mlfair/internal/protocol"
+)
+
+// This file is the facade regression suite, folding the former
+// netsim/crosscheck_test.go into this package: sim.Run is defined to be
+// netsim.Run of NetsimConfig plus the FromNetsim re-mapping, so for
+// fixed seeds the two must agree exactly (the documented cross-check
+// tolerance is now zero). If a future change reintroduces a divergence
+// between the facade and a direct netsim run, these tests catch it
+// field by field.
+
+// facadeEqual runs cfg both through the facade and directly through
+// netsim and requires bit-identical results.
+func facadeEqual(t *testing.T, cfg Config) {
+	t.Helper()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("facade run: %v", err)
+	}
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
+		t.Fatalf("NetsimConfig: %v", err)
+	}
+	nr, err := netsim.Run(nc)
+	if err != nil {
+		t.Fatalf("direct netsim run: %v", err)
+	}
+	want := FromNetsim(nr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("facade diverged from direct netsim run:\nfacade %+v\nnetsim %+v", got, want)
+	}
+}
+
+func TestFacadeMatchesNetsimExactly(t *testing.T) {
+	for _, kind := range protocol.Kinds() {
+		facadeEqual(t, Config{
+			Layers: 8, Receivers: 23, SharedLoss: 0.001, IndependentLoss: 0.04,
+			Protocol: kind, Packets: 20000, Seed: 7,
+		})
+	}
+}
+
+func TestFacadeHeterogeneousAndExtensions(t *testing.T) {
+	losses := []float64{0.001, 0.02, 0.1, 0, 0.05}
+	for _, cfg := range []Config{
+		{Layers: 6, Receivers: 5, SharedLoss: 0.01, IndependentLosses: losses,
+			Protocol: protocol.Deterministic, Packets: 15000, Seed: 21},
+		{Layers: 8, Receivers: 10, IndependentLoss: 0.05, LeaveLatency: 4,
+			Protocol: protocol.Coordinated, Packets: 15000, Seed: 22},
+		{Layers: 8, Receivers: 10, SharedLoss: 0.0001, IndependentLoss: 0.06,
+			Drop: PriorityDrop, Protocol: protocol.Uncoordinated, Packets: 15000, Seed: 23},
+	} {
+		facadeEqual(t, cfg)
+	}
+}
+
+// TestLeaveLatencyDynamicsInvariant pins the engine's linger contract:
+// latency changes only link-usage accounting, so receiver dynamics
+// (rates, mean level) at equal seed are bit-identical across latencies
+// — including fanouts above the engine's wide-node threshold (16),
+// where the walk switches to the counting-sorted child enumeration.
+func TestLeaveLatencyDynamicsInvariant(t *testing.T) {
+	for _, n := range []int{10, 40} { // narrow and wide hub fan-out
+		base := Config{Layers: 8, Receivers: n, IndependentLoss: 0.05,
+			Protocol: protocol.Deterministic, Packets: 30000, Seed: 9}
+		a, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := base
+		lat.LeaveLatency = 1e-300 // open linger windows of measure ~zero
+		b, err := Run(lat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeanLevel != b.MeanLevel {
+			t.Fatalf("n=%d: latency changed mean level: %v vs %v", n, a.MeanLevel, b.MeanLevel)
+		}
+		for k := range a.ReceiverRates {
+			if a.ReceiverRates[k] != b.ReceiverRates[k] {
+				t.Fatalf("n=%d: latency changed receiver %d dynamics: %v vs %v",
+					n, k, a.ReceiverRates[k], b.ReceiverRates[k])
+			}
+		}
+		if b.PacketsCrossed < a.PacketsCrossed {
+			t.Fatalf("n=%d: crossings decreased under latency", n)
+		}
+	}
+}
+
+// TestFacadeStarShape pins the NetsimConfig translation itself: link 0
+// is the shared link, links 1..n the fanouts with per-receiver losses,
+// and the engine extensions map onto the intended netsim knobs.
+func TestFacadeStarShape(t *testing.T) {
+	cfg := Config{
+		Layers: 4, Receivers: 3, SharedLoss: 0.01,
+		IndependentLosses: []float64{0.1, 0.2, 0.3},
+		Protocol:          protocol.Deterministic, Packets: 100,
+		LeaveLatency: 2.5, Drop: PriorityDrop, Seed: 9,
+	}
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.Network.NumLinks() != 4 || nc.Network.NumSessions() != 1 {
+		t.Fatalf("star shape wrong: %d links, %d sessions", nc.Network.NumLinks(), nc.Network.NumSessions())
+	}
+	if nc.LeaveLatency != 2.5 {
+		t.Fatalf("leave latency not forwarded: %v", nc.LeaveLatency)
+	}
+	if nc.Links[0].Loss != 0.01 || nc.Links[2].Loss != 0.2 {
+		t.Fatalf("losses not forwarded: %+v", nc.Links)
+	}
+	scheme := nc.Links[0].LayerLoss
+	if len(scheme) != cfg.Layers {
+		t.Fatalf("priority drop table missing: %v", scheme)
+	}
+	for l := 1; l < len(scheme); l++ {
+		if scheme[l] <= scheme[l-1] {
+			t.Fatalf("priority drop table not increasing: %v", scheme)
+		}
+	}
+	if math.Abs(scheme[0]-0.01*priorityFactor(layering.Exponential(cfg.Layers), 0)) > 1e-12 {
+		t.Fatalf("base-layer loss %v inconsistent with priority factor", scheme[0])
+	}
+}

@@ -1,7 +1,7 @@
-// Package sim is a discrete-event, packet-level simulator for layered
-// multicast congestion control over the paper's modified-star topologies
-// (Figure 7): a sender behind one shared link feeding any number of
-// receivers through independent fanout links.
+// Package sim is the layered multicast congestion-control simulator for
+// the paper's modified-star topologies (Figure 7): a sender behind one
+// shared link feeding any number of receivers through independent
+// fanout links.
 //
 // The model is exactly the paper's Section 4 idealization:
 //
@@ -26,19 +26,21 @@
 // the shared link: packets crossing the link per unit time, divided by
 // the largest per-receiver long-run receive rate.
 //
-// sim is the specialized (and fastest) engine for this one topology; the
-// netsim package runs the same protocols over arbitrary
-// netmodel.Network graphs and cross-checks against sim on the modified
-// star (netsim.FromSim lifts a Config onto the general engine).
+// sim is a facade: it compiles the star Config onto the general netsim
+// engine (NetsimConfig) and re-maps the general Result onto the
+// star-shaped one. It owns no event loop — the Section 5 extensions it
+// historically carried (leave latency, priority dropping, the
+// time-average subscription level) are first-class netsim features
+// (Config.LeaveLatency, LinkSpec.LayerLoss, Result.MeanLevels). The
+// facade regression tests in this package pin the translation against
+// direct netsim runs, seed for seed.
 package sim
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
-	"math/rand/v2"
 
 	"mlfair/internal/layering"
+	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
 )
 
@@ -187,78 +189,53 @@ type Result struct {
 
 // SignalLevel returns the Coordinated protocol's nested signal level for
 // the n-th signal (n >= 1), capped at maxLevel: 1 + trailing zeros of n.
-// Signals inviting a join from level v then occur every 2^(v-1) base
-// periods, so a receiver at level v (receiving 2^(v-1) packets per time
-// unit) sees an expected 2^(2(v-1)) packets between its join
-// opportunities — the paper's parameter.
+// It delegates to protocol.SignalLevel, the schedule the engine runs.
 func SignalLevel(n int, maxLevel int) int {
 	if n < 1 {
 		panic("sim: signal index starts at 1")
 	}
-	l := 1 + bits.TrailingZeros(uint(n))
-	if l > maxLevel {
-		return maxLevel
-	}
-	return l
+	return protocol.SignalLevel(n, maxLevel)
 }
 
-// engine carries the mutable run state, tracking receiver levels
-// incrementally so per-packet work is O(subscribers), and packets on
-// layers above the maximum subscribed level skip receiver processing
-// entirely.
-type engine struct {
-	cfg       Config
-	rng       *rand.Rand
-	receivers []*protocol.Receiver
-	indLoss   []float64
-	lossIn    []int // deliveries until next independent loss (0 = never)
-
-	levels   []int // mirror of receiver levels
-	cnt      []int // cnt[v] = receivers at level v
-	sumLevel int
-	maxLev   int
-
-	// linger[l] is the time until which layer l still occupies the
-	// shared link after its last subscriber left (LeaveLatency > 0).
-	linger []float64
-	// Per-layer loss multipliers under PriorityDrop (nil for uniform).
-	prioFactor []float64
-}
-
-func newEngine(cfg Config) *engine {
-	e := &engine{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		indLoss:   cfg.lossSlice(),
-		receivers: make([]*protocol.Receiver, cfg.Receivers),
-		levels:    make([]int, cfg.Receivers),
-		cnt:       make([]int, cfg.Layers+1),
-		lossIn:    make([]int, cfg.Receivers),
+// NetsimConfig compiles a star Config onto the general netsim engine:
+// shared link 0 and fanout links 1..Receivers, heterogeneous losses
+// honored, PriorityDrop expressed as per-layer loss tables, and
+// LeaveLatency as the engine's linger accounting. Run is exactly
+// netsim.Run of this config plus the Result re-mapping.
+func NetsimConfig(c Config) (netsim.Config, error) {
+	if err := c.validate(); err != nil {
+		return netsim.Config{}, err
 	}
-	for i := range e.receivers {
-		e.receivers[i] = protocol.NewReceiver(cfg.Protocol, cfg.Layers, e.rng)
-		e.levels[i] = 1
+	cfg, err := netsim.Star(c.Receivers, c.SharedLoss, c.IndependentLoss,
+		netsim.SessionConfig{Protocol: c.Protocol, Layers: c.Layers}, c.Packets, c.Seed)
+	if err != nil {
+		return netsim.Config{}, err
 	}
-	e.cnt[1] = cfg.Receivers
-	e.sumLevel = cfg.Receivers
-	e.maxLev = 1
-	if cfg.LeaveLatency > 0 {
-		e.linger = make([]float64, cfg.Layers)
+	losses := c.lossSlice()
+	for k, p := range losses {
+		cfg.Links[1+k].Loss = p
 	}
-	if cfg.Drop == PriorityDrop {
-		scheme := layering.Exponential(cfg.Layers)
-		e.prioFactor = make([]float64, cfg.Layers)
-		for l := range e.prioFactor {
-			e.prioFactor[l] = priorityFactor(scheme, l)
+	if c.Drop == PriorityDrop {
+		scheme := layering.Exponential(c.Layers)
+		factor := make([]float64, c.Layers)
+		for l := range factor {
+			factor[l] = priorityFactor(scheme, l)
 		}
-	} else {
-		// Geometric countdowns are only valid when the per-delivery loss
-		// probability is layer-independent.
-		for i := range e.lossIn {
-			e.drawLoss(i)
+		table := func(p float64) []float64 {
+			t := make([]float64, c.Layers)
+			for l := range t {
+				t[l] = layerLoss(p * factor[l])
+			}
+			return t
+		}
+		cfg.Links[0].LayerLoss = table(c.SharedLoss)
+		for k, p := range losses {
+			cfg.Links[1+k].LayerLoss = table(p)
 		}
 	}
-	return e
+	cfg.SignalPeriod = c.SignalPeriod
+	cfg.LeaveLatency = c.LeaveLatency
+	return cfg, nil
 }
 
 // layerLoss caps a probability at just under 1.
@@ -269,189 +246,38 @@ func layerLoss(p float64) float64 {
 	return p
 }
 
-// drawLoss samples the geometric countdown to receiver i's next
-// independent loss.
-func (e *engine) drawLoss(i int) {
-	p := e.indLoss[i]
-	if p <= 0 {
-		e.lossIn[i] = 0
-		return
+// FromNetsim maps a general-engine result of a NetsimConfig run back
+// onto the star-shaped Result (the facade's other half, exported so the
+// regression tests can pin the translation).
+func FromNetsim(r *netsim.Result) *Result {
+	res := &Result{
+		ReceiverRates: r.ReceiverRates[0],
+		MeanLevel:     r.MeanLevels[0],
+		PacketsSent:   r.PacketsSent,
+		Duration:      r.Duration,
 	}
-	u := e.rng.Float64()
-	if u <= 0 {
-		u = math.SmallestNonzeroFloat64
-	}
-	n := int(math.Log(u)/math.Log(1-p)) + 1
-	if n < 1 {
-		n = 1
-	}
-	e.lossIn[i] = n
-}
-
-// sync reconciles the level mirror after a protocol callback on
-// receiver i at simulated time now, recording layer linger on leaves.
-func (e *engine) sync(i int, now float64) {
-	nl := e.receivers[i].Level()
-	ol := e.levels[i]
-	if nl == ol {
-		return
-	}
-	e.cnt[ol]--
-	e.cnt[nl]++
-	e.sumLevel += nl - ol
-	e.levels[i] = nl
-	if nl > e.maxLev {
-		e.maxLev = nl
-	}
-	if nl < ol && e.linger != nil {
-		until := now + e.cfg.LeaveLatency
-		for lay := nl; lay < ol; lay++ {
-			if e.linger[lay] < until {
-				e.linger[lay] = until
-			}
+	for _, ls := range r.Links {
+		if ls.Link == 0 && ls.Session == 0 {
+			res.PacketsCrossed = ls.Crossed
+			res.LinkRate = ls.Rate
+			res.Redundancy = ls.Redundancy
+			break
 		}
 	}
+	return res
 }
 
-// maxLevel returns the highest subscribed level, fixing up lazily after
-// leaves.
-func (e *engine) maxLevel() int {
-	for e.maxLev > 1 && e.cnt[e.maxLev] == 0 {
-		e.maxLev--
-	}
-	return e.maxLev
-}
-
-// Run executes one simulation.
+// Run executes one simulation on the general engine.
 func Run(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-	scheme := layering.Exponential(cfg.Layers)
-	e := newEngine(cfg)
-
-	// Next transmission time per layer; linear scan (M is tiny).
-	nextTx := make([]float64, cfg.Layers)
-	period := make([]float64, cfg.Layers)
-	for l := 0; l < cfg.Layers; l++ {
-		period[l] = 1 / scheme.LayerRate(l)
-		nextTx[l] = period[l]
+	r, err := netsim.Run(nc)
+	if err != nil {
+		return nil, err
 	}
-	signalPeriod := cfg.SignalPeriod
-	if signalPeriod == 0 {
-		signalPeriod = 1
-	}
-	nextSignal := math.Inf(1)
-	signalIdx := 0
-	if cfg.Protocol == protocol.Coordinated && cfg.Layers > 1 {
-		nextSignal = signalPeriod
-	}
-
-	received := make([]int, cfg.Receivers)
-	levelTime := 0.0 // integral of sum-of-levels dt
-	lastT := 0.0
-	sent, crossed := 0, 0
-	now := 0.0
-
-	for sent < cfg.Packets {
-		minLayer := 0
-		minT := nextTx[0]
-		for l := 1; l < cfg.Layers; l++ {
-			if nextTx[l] < minT {
-				minT, minLayer = nextTx[l], l
-			}
-		}
-		isSignal := nextSignal < minT
-		if isSignal {
-			minT = nextSignal
-		}
-		levelTime += float64(e.sumLevel) * (minT - lastT)
-		lastT = minT
-		now = minT
-
-		if isSignal {
-			signalIdx++
-			lvl := SignalLevel(signalIdx, cfg.Layers-1)
-			for i, r := range e.receivers {
-				r.OnSignal(lvl)
-				e.sync(i, now)
-			}
-			nextSignal += signalPeriod
-			continue
-		}
-
-		l := minLayer
-		nextTx[l] += period[l]
-		sent++
-		// Packets on layers nobody subscribes to never enter the shared
-		// link (idealized pruning) — unless a slow leave is still being
-		// processed, in which case the packet wastes shared-link
-		// bandwidth but reaches no receiver.
-		if e.maxLevel() <= l {
-			if e.linger != nil && e.linger[l] > now {
-				crossed++
-			}
-			continue
-		}
-		crossed++
-		pShared := cfg.SharedLoss
-		if e.prioFactor != nil {
-			pShared = layerLoss(pShared * e.prioFactor[l])
-		}
-		sharedLost := pShared > 0 && e.rng.Float64() < pShared
-		for i, r := range e.receivers {
-			if e.levels[i] <= l {
-				continue
-			}
-			if sharedLost {
-				r.OnCongestion()
-				e.sync(i, now)
-				continue
-			}
-			if e.prioFactor != nil {
-				// Layer-dependent loss: direct Bernoulli draw.
-				pInd := layerLoss(e.indLoss[i] * e.prioFactor[l])
-				if pInd > 0 && e.rng.Float64() < pInd {
-					r.OnCongestion()
-					e.sync(i, now)
-					continue
-				}
-			} else if e.lossIn[i] > 0 {
-				e.lossIn[i]--
-				if e.lossIn[i] == 0 {
-					r.OnCongestion()
-					e.sync(i, now)
-					e.drawLoss(i)
-					continue
-				}
-			}
-			received[i]++
-			r.OnReceive()
-			e.sync(i, now)
-		}
-	}
-
-	res := &Result{
-		ReceiverRates:  make([]float64, cfg.Receivers),
-		PacketsSent:    sent,
-		PacketsCrossed: crossed,
-		Duration:       now,
-	}
-	if now > 0 {
-		res.LinkRate = float64(crossed) / now
-		maxRate := 0.0
-		for i, n := range received {
-			res.ReceiverRates[i] = float64(n) / now
-			if res.ReceiverRates[i] > maxRate {
-				maxRate = res.ReceiverRates[i]
-			}
-		}
-		if maxRate > 0 {
-			res.Redundancy = res.LinkRate / maxRate
-		}
-		res.MeanLevel = levelTime / now / float64(cfg.Receivers)
-	}
-	return res, nil
+	return FromNetsim(r), nil
 }
 
 // RunReplicated executes n runs with seeds seed, seed+1, ... and returns

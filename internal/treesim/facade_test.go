@@ -1,0 +1,81 @@
+package treesim
+
+import (
+	"reflect"
+	"testing"
+
+	"mlfair/internal/netsim"
+	"mlfair/internal/protocol"
+)
+
+// Facade regression suite (folds the former netsim tree cross-check
+// into this package): treesim.Run is netsim.Run of NetsimConfig plus
+// the FromNetsim re-mapping, so fixed seeds must agree exactly.
+
+func facadeEqual(t *testing.T, cfg Config) {
+	t.Helper()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("facade run: %v", err)
+	}
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
+		t.Fatalf("NetsimConfig: %v", err)
+	}
+	nr, err := netsim.Run(nc)
+	if err != nil {
+		t.Fatalf("direct netsim run: %v", err)
+	}
+	want := FromNetsim(cfg.Tree, nr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("facade diverged from direct netsim run:\nfacade %+v\nnetsim %+v", got, want)
+	}
+}
+
+func TestFacadeMatchesNetsimExactly(t *testing.T) {
+	for _, kind := range protocol.Kinds() {
+		facadeEqual(t, Config{Tree: Binary(4, 0.02), Layers: 8,
+			Protocol: kind, Packets: 20000, Seed: 31})
+	}
+	// Interior receivers and a star, the historical crosscheck shapes.
+	facadeEqual(t, Config{
+		Tree: &Tree{
+			Parent:    []int{0, 0, 1, 2},
+			Loss:      []float64{0, 0.01, 0.02, 0.03},
+			Receivers: []int{1, 3},
+		},
+		Layers: 6, Protocol: protocol.Coordinated, Packets: 10000, Seed: 33,
+	})
+	facadeEqual(t, Config{Tree: Star(12, 0.001, 0.05), Layers: 8,
+		Protocol: protocol.Deterministic, Packets: 20000, Seed: 35})
+}
+
+// TestFacadeLinkMapping pins the Tree->graph translation: node i's
+// parent link is graph link i-1 and per-link stats line up through
+// NodeForLink, including the downstream receiver counts.
+func TestFacadeLinkMapping(t *testing.T) {
+	tr := Binary(3, 0.01)
+	res, err := Run(Config{Tree: tr, Layers: 4, Protocol: protocol.Deterministic,
+		Packets: 5000, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{} // node -> receivers below
+	for _, nd := range tr.Receivers {
+		for cur := nd; cur != 0; cur = tr.Parent[cur] {
+			want[cur]++
+		}
+	}
+	if len(res.Links) != len(want) {
+		t.Fatalf("got %d link stats, want %d", len(res.Links), len(want))
+	}
+	for _, ls := range res.Links {
+		if ls.DownstreamReceivers != want[ls.Node] {
+			t.Fatalf("node %d: %d downstream receivers, want %d",
+				ls.Node, ls.DownstreamReceivers, want[ls.Node])
+		}
+		if ls.Depth != tr.Depth(ls.Node) {
+			t.Fatalf("node %d: depth %d, want %d", ls.Node, ls.Depth, tr.Depth(ls.Node))
+		}
+	}
+}

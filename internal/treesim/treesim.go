@@ -17,21 +17,20 @@
 // redundancy grows toward the root, where more receivers share the link
 // — the protocol-dynamics analogue of Figure 5's receiver-count effect.
 //
-// treesim is the specialized engine for single-session Bernoulli loss
-// trees; the netsim package runs the same model over arbitrary
-// netmodel.Network graphs (netsim.FromTree lifts a Tree onto the
-// general engine) and adds queueing, capacity coupling, churn, and
-// multiple sessions.
+// treesim is a facade: NetsimConfig compiles a Tree onto the general
+// netsim engine (tree node i becomes graph node i; node i's parent link
+// becomes graph link i-1, see NodeForLink) and Run re-maps the general
+// result onto per-tree-link stats. It owns no event loop; the facade
+// regression tests pin the translation against direct netsim runs.
 package treesim
 
 import (
 	"fmt"
-	"math"
-	"math/rand/v2"
 
-	"mlfair/internal/layering"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
-	"mlfair/internal/sim"
+	"mlfair/internal/routing"
 )
 
 // Tree is a rooted multicast distribution tree. Node 0 is the root
@@ -165,213 +164,81 @@ type Result struct {
 	Duration float64
 }
 
-// engine state.
-type eng struct {
-	cfg       Config
-	t         *Tree
-	rng       *rand.Rand
-	children  [][]int
-	recvAt    map[int]int // node -> receiver index
-	receivers []*protocol.Receiver
-	levels    []int
-	// subMax[node] = max subscription level among receivers at or below
-	// the node (0 when none).
-	subMax []int
-	// downCount[node] = receivers at or below node.
-	downCount []int
+// NodeForLink maps a NetsimConfig graph link index back to the tree node
+// whose parent link it mirrors.
+func NodeForLink(link int) int { return link + 1 }
 
-	crossed  []int // per node (parent link)
-	received []int
-	// goodBelow[node][k-index...] too heavy; instead per receiver we
-	// track goodput and compute per-link max downstream afterwards.
+// NetsimConfig compiles a tree Config onto the general netsim engine
+// with per-link Bernoulli loss. Graph node i mirrors tree node i; tree
+// node i's parent link becomes graph link i-1, so per-link stats line up
+// with netsim.Result.Links via NodeForLink.
+func NetsimConfig(c Config) (netsim.Config, error) {
+	if c.Tree == nil {
+		return netsim.Config{}, fmt.Errorf("treesim: nil tree")
+	}
+	if err := c.Tree.Validate(); err != nil {
+		return netsim.Config{}, err
+	}
+	if c.Layers < 1 || c.Packets < 1 {
+		return netsim.Config{}, fmt.Errorf("treesim: Layers=%d Packets=%d", c.Layers, c.Packets)
+	}
+	t := c.Tree
+	n := len(t.Parent)
+	g := netmodel.NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddLink(t.Parent[i], i, 1)
+	}
+	s := &netmodel.Session{
+		Sender:    0,
+		Receivers: append([]int{}, t.Receivers...),
+		Type:      netmodel.MultiRate,
+		MaxRate:   netmodel.NoRateCap,
+	}
+	net, err := routing.BuildNetwork(g, []*netmodel.Session{s})
+	if err != nil {
+		return netsim.Config{}, err
+	}
+	specs := make([]netsim.LinkSpec, net.NumLinks())
+	for i := 1; i < n; i++ {
+		specs[i-1] = netsim.LinkSpec{Kind: netsim.Bernoulli, Loss: t.Loss[i]}
+	}
+	return netsim.Config{
+		Network:      net,
+		Links:        specs,
+		Sessions:     []netsim.SessionConfig{{Protocol: c.Protocol, Layers: c.Layers}},
+		Packets:      c.Packets,
+		SignalPeriod: c.SignalPeriod,
+		Seed:         c.Seed,
+	}, nil
 }
 
-// Run executes one tree simulation.
-func Run(cfg Config) (*Result, error) {
-	if cfg.Tree == nil {
-		return nil, fmt.Errorf("treesim: nil tree")
+// FromNetsim maps a general-engine result of a NetsimConfig run back
+// onto tree-shaped stats (exported for the facade regression tests).
+func FromNetsim(t *Tree, r *netsim.Result) *Result {
+	res := &Result{
+		ReceiverRates: r.ReceiverRates[0],
+		Duration:      r.Duration,
 	}
-	if err := cfg.Tree.Validate(); err != nil {
+	for _, ls := range r.Links {
+		nd := NodeForLink(ls.Link)
+		res.Links = append(res.Links, LinkStats{
+			Node: nd, Depth: t.Depth(nd), Crossed: ls.Crossed,
+			Redundancy:          ls.Redundancy,
+			DownstreamReceivers: ls.DownstreamReceivers,
+		})
+	}
+	return res
+}
+
+// Run executes one tree simulation on the general engine.
+func Run(cfg Config) (*Result, error) {
+	nc, err := NetsimConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.Layers < 1 || cfg.Packets < 1 {
-		return nil, fmt.Errorf("treesim: Layers=%d Packets=%d", cfg.Layers, cfg.Packets)
+	r, err := netsim.Run(nc)
+	if err != nil {
+		return nil, err
 	}
-	t := cfg.Tree
-	n := len(t.Parent)
-	e := &eng{
-		cfg: cfg, t: t,
-		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		children:  make([][]int, n),
-		recvAt:    map[int]int{},
-		subMax:    make([]int, n),
-		downCount: make([]int, n),
-		crossed:   make([]int, n),
-		received:  make([]int, len(t.Receivers)),
-	}
-	for i := 1; i < n; i++ {
-		e.children[t.Parent[i]] = append(e.children[t.Parent[i]], i)
-	}
-	e.receivers = make([]*protocol.Receiver, len(t.Receivers))
-	e.levels = make([]int, len(t.Receivers))
-	for k, nd := range t.Receivers {
-		e.receivers[k] = protocol.NewReceiver(cfg.Protocol, cfg.Layers, e.rng)
-		e.levels[k] = 1
-		e.recvAt[nd] = k
-		for cur := nd; ; cur = t.Parent[cur] {
-			e.downCount[cur]++
-			if cur == 0 {
-				break
-			}
-		}
-	}
-	for k := range e.receivers {
-		e.bubble(t.Receivers[k])
-	}
-
-	scheme := layering.Exponential(cfg.Layers)
-	nextTx := make([]float64, cfg.Layers)
-	period := make([]float64, cfg.Layers)
-	for l := 0; l < cfg.Layers; l++ {
-		period[l] = 1 / scheme.LayerRate(l)
-		nextTx[l] = period[l]
-	}
-	signalPeriod := cfg.SignalPeriod
-	if signalPeriod == 0 {
-		signalPeriod = 1
-	}
-	nextSignal := math.Inf(1)
-	signalIdx := 0
-	if cfg.Protocol == protocol.Coordinated && cfg.Layers > 1 {
-		nextSignal = signalPeriod
-	}
-
-	sent := 0
-	now := 0.0
-	for sent < cfg.Packets {
-		minLayer, minT := 0, nextTx[0]
-		for l := 1; l < cfg.Layers; l++ {
-			if nextTx[l] < minT {
-				minT, minLayer = nextTx[l], l
-			}
-		}
-		if nextSignal < minT {
-			now = nextSignal
-			signalIdx++
-			lvl := sim.SignalLevel(signalIdx, cfg.Layers-1)
-			for k, r := range e.receivers {
-				r.OnSignal(lvl)
-				e.syncReceiver(k)
-			}
-			nextSignal += signalPeriod
-			continue
-		}
-		now = minT
-		l := minLayer
-		nextTx[l] += period[l]
-		sent++
-		if e.subMax[0] <= l {
-			continue
-		}
-		e.forward(0, l, false)
-	}
-
-	res := &Result{ReceiverRates: make([]float64, len(t.Receivers)), Duration: now}
-	if now > 0 {
-		for k, c := range e.received {
-			res.ReceiverRates[k] = float64(c) / now
-		}
-	}
-	// Per-link stats: best downstream goodput per node via post-order.
-	bestDown := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		if k, ok := e.recvAt[i]; ok {
-			bestDown[i] = res.ReceiverRates[k]
-		}
-		for _, c := range e.children[i] {
-			if bestDown[c] > bestDown[i] {
-				bestDown[i] = bestDown[c]
-			}
-		}
-	}
-	for i := 1; i < n; i++ {
-		if e.downCount[i] == 0 {
-			continue
-		}
-		ls := LinkStats{
-			Node: i, Depth: t.Depth(i), Crossed: e.crossed[i],
-			DownstreamReceivers: e.downCount[i],
-		}
-		if now > 0 && bestDown[i] > 0 {
-			ls.Redundancy = float64(e.crossed[i]) / now / bestDown[i]
-		}
-		res.Links = append(res.Links, ls)
-	}
-	return res, nil
-}
-
-// forward recursively pushes a layer-l packet down from node nd.
-// lostAbove reports whether some ancestor link already dropped it (the
-// packet still consumed those upstream links, and subscribed receivers
-// below observe the loss).
-func (e *eng) forward(nd, l int, lostAbove bool) {
-	if k, ok := e.recvAt[nd]; ok && e.levels[k] > l {
-		if lostAbove {
-			e.receivers[k].OnCongestion()
-		} else {
-			e.received[k]++
-			e.receivers[k].OnReceive()
-		}
-		e.syncReceiver(k)
-	}
-	for _, c := range e.children[nd] {
-		if e.subMax[c] <= l {
-			continue
-		}
-		lost := lostAbove
-		if !lostAbove {
-			// The packet actually reaches this link and consumes its
-			// bandwidth (even if the link itself then drops it); links
-			// below a drop carry nothing, but subscribed receivers
-			// beneath still observe the sequence gap.
-			e.crossed[c]++
-			if e.t.Loss[c] > 0 && e.rng.Float64() < e.t.Loss[c] {
-				lost = true
-			}
-		}
-		e.forward(c, l, lost)
-	}
-}
-
-// syncReceiver refreshes the level mirror and subtree maxima after a
-// protocol callback.
-func (e *eng) syncReceiver(k int) {
-	nl := e.receivers[k].Level()
-	if nl == e.levels[k] {
-		return
-	}
-	e.levels[k] = nl
-	e.bubble(e.t.Receivers[k])
-}
-
-// bubble recomputes subMax from node nd up to the root.
-func (e *eng) bubble(nd int) {
-	for cur := nd; ; cur = e.t.Parent[cur] {
-		m := 0
-		if k, ok := e.recvAt[cur]; ok {
-			m = e.levels[k]
-		}
-		for _, c := range e.children[cur] {
-			if e.subMax[c] > m {
-				m = e.subMax[c]
-			}
-		}
-		if e.subMax[cur] == m && cur != nd {
-			return // no change propagates further
-		}
-		e.subMax[cur] = m
-		if cur == 0 {
-			return
-		}
-	}
+	return FromNetsim(cfg.Tree, r), nil
 }
