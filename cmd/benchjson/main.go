@@ -5,16 +5,25 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkNetsim -benchmem . | go run ./cmd/benchjson > BENCH_netsim.json
+//	go test -run '^$' -bench BenchmarkNetsim -benchmem . | go run ./cmd/benchjson -check BENCH_netsim.json
 //
 // Every benchmark result line ("BenchmarkX-8  N  v1 unit1  v2 unit2 ...")
 // becomes an entry with its iteration count and a unit-keyed metric
 // map; goos/goarch/pkg/cpu header lines become the env map. Unknown
 // lines are ignored, so the tool is safe to feed full `go test` output.
+//
+// With -check, the parsed run is additionally compared against a
+// committed baseline document: the gate fails (exit 1) when any
+// baseline benchmark's events/sec throughput regresses by more than
+// -max-regress (default 0.25), or disappears from the run entirely.
+// Benchmark names are compared with the -GOMAXPROCS suffix stripped,
+// so a baseline travels across machines with different core counts.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -73,7 +82,60 @@ func parse(r io.Reader) (*Doc, error) {
 	return doc, sc.Err()
 }
 
+// normalizeName strips the trailing -GOMAXPROCS suffix from a
+// benchmark name ("BenchmarkNetsimLargeStar-8" →
+// "BenchmarkNetsimLargeStar").
+func normalizeName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// checkRegression compares the current run's events/sec throughput
+// against the baseline and returns a per-benchmark report plus whether
+// the gate fails: a benchmark regresses when its throughput drops
+// below (1 - maxRegress) of the baseline, and a baseline benchmark
+// missing from the run is a failure too (a silently deleted benchmark
+// must not pass the gate).
+func checkRegression(baseline, current *Doc, maxRegress float64) (string, bool) {
+	cur := map[string]float64{}
+	for _, b := range current.Benchmarks {
+		if v, ok := b.Metrics["events/sec"]; ok {
+			cur[normalizeName(b.Name)] = v
+		}
+	}
+	var rep strings.Builder
+	failed := false
+	for _, base := range baseline.Benchmarks {
+		want, ok := base.Metrics["events/sec"]
+		if !ok || want <= 0 {
+			continue
+		}
+		name := normalizeName(base.Name)
+		got, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(&rep, "MISSING    %s: in baseline, absent from this run\n", name)
+			failed = true
+			continue
+		}
+		status := "ok"
+		if got < want*(1-maxRegress) {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(&rep, "%-10s %s: %.4g -> %.4g events/sec (%+.1f%%)\n",
+			status, name, want, got, (got/want-1)*100)
+	}
+	return rep.String(), failed
+}
+
 func main() {
+	check := flag.String("check", "", "baseline JSON document to gate events/sec regressions against")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
+	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -83,6 +145,25 @@ func main() {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *check == "" {
+		return
+	}
+	raw, err := os.ReadFile(*check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var baseline Doc
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *check, err)
+		os.Exit(1)
+	}
+	report, failed := checkRegression(&baseline, doc, *maxRegress)
+	fmt.Fprint(os.Stderr, report)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: events/sec regression gate failed (max tolerated %.0f%%)\n", *maxRegress*100)
 		os.Exit(1)
 	}
 }

@@ -50,3 +50,52 @@ func TestParseEmptyAndMalformed(t *testing.T) {
 		t.Fatalf("malformed lines accepted: %+v", doc.Benchmarks)
 	}
 }
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkNetsimLargeStar-8": "BenchmarkNetsimLargeStar",
+		"BenchmarkNetsimLargeStar-2": "BenchmarkNetsimLargeStar",
+		"BenchmarkNetsimLargeStar":   "BenchmarkNetsimLargeStar",
+		"BenchmarkFoo-bar":           "BenchmarkFoo-bar",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func benchDoc(pairs map[string]float64) *Doc {
+	d := &Doc{Env: map[string]string{}}
+	for name, v := range pairs {
+		d.Benchmarks = append(d.Benchmarks, Bench{
+			Name: name, Iterations: 1,
+			Metrics: map[string]float64{"events/sec": v},
+		})
+	}
+	return d
+}
+
+func TestCheckRegression(t *testing.T) {
+	baseline := benchDoc(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 200})
+
+	// Within tolerance (and across core-count suffixes): passes.
+	rep, failed := checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-4": 80, "BenchmarkB-2": 210}), 0.25)
+	if failed {
+		t.Fatalf("within-tolerance run failed:\n%s", rep)
+	}
+	// A >25% drop fails.
+	rep, failed = checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-8": 74, "BenchmarkB-8": 210}), 0.25)
+	if !failed || !strings.Contains(rep, "REGRESSION BenchmarkA") {
+		t.Fatalf("regression not flagged:\n%s", rep)
+	}
+	// A baseline benchmark missing from the run fails.
+	rep, failed = checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-8": 100}), 0.25)
+	if !failed || !strings.Contains(rep, "MISSING    BenchmarkB") {
+		t.Fatalf("missing benchmark not flagged:\n%s", rep)
+	}
+	// Benchmarks without events/sec in the baseline are ignored.
+	noEv := &Doc{Benchmarks: []Bench{{Name: "BenchmarkC-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
+	if rep, failed := checkRegression(noEv, benchDoc(nil), 0.25); failed {
+		t.Fatalf("baseline without events/sec failed:\n%s", rep)
+	}
+}

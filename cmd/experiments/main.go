@@ -10,7 +10,9 @@
 // Figures: 1 2 3 4 s3 5 6 markov 8a 8b all
 //
 // With -spec, runs a declarative scenario.Spec JSON file through the
-// scenario layer instead (see docs/SCENARIOS.md).
+// scenario layer instead (see docs/SCENARIOS.md); with -sweep, runs a
+// declarative scenario.Sweep parameter study and emits its CSV/JSON
+// result table (see docs/SWEEPS.md).
 package main
 
 import (
@@ -20,18 +22,18 @@ import (
 	"os"
 	"strings"
 
+	"mlfair/internal/cliutil"
 	"mlfair/internal/experiments"
-	"mlfair/internal/scenario"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 1 2 3 4 s3 5 6 markov 8a 8b all ext-latency ext-priority ext-weighted ext-converge ext-tree ext-churn ext")
 	quick := flag.Bool("quick", false, "reduced simulation sizes for Figure 8 (40 receivers, 20k packets, 5 trials)")
-	spec := flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of the figure drivers")
+	d := cliutil.RegisterDeclarative(flag.CommandLine)
 	flag.Parse()
 
-	if *spec != "" {
-		if err := scenario.RunFile(os.Stdout, *spec); err != nil {
+	if ran, err := d.Run(os.Stdout); ran {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

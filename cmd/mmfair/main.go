@@ -7,6 +7,7 @@
 //	mmfair network.json
 //	mmfair -example > network.json   # print a starter file (Figure 2)
 //	cat network.json | mmfair -
+//	mmfair -spec scenario.json       # audit a scenario.Spec's benchmark network
 //
 // JSON schema:
 //
@@ -32,6 +33,7 @@ import (
 	"mlfair/internal/maxmin"
 	"mlfair/internal/netmodel"
 	"mlfair/internal/redundancy"
+	"mlfair/internal/scenario"
 	"mlfair/internal/trace"
 )
 
@@ -64,19 +66,50 @@ const exampleJSON = `{
 func main() {
 	example := flag.Bool("example", false, "print an example network file (the paper's Figure 2) and exit")
 	dot := flag.Bool("dot", false, "emit the network (with allocation annotations) as Graphviz DOT instead of tables")
+	spec := flag.String("spec", "", "report on the analytic benchmark network compiled from a scenario.Spec JSON file (docs/SCENARIOS.md)")
 	flag.Parse()
 	if *example {
 		fmt.Print(exampleJSON)
 		return
 	}
+	if *spec != "" {
+		if err := runSpec(os.Stdout, *spec, *dot); err != nil {
+			fmt.Fprintln(os.Stderr, "mmfair:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mmfair [-dot] <network.json | ->")
+		fmt.Fprintln(os.Stderr, "usage: mmfair [-dot] <network.json | -> | mmfair -spec scenario.json")
 		os.Exit(2)
 	}
 	if err := run(os.Stdout, flag.Arg(0), *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "mmfair:", err)
 		os.Exit(1)
 	}
+}
+
+// runSpec compiles a declarative scenario.Spec and reports on its
+// analytic benchmark network — the same network the scenario layer's
+// "maxmin", "fairness" and "gap" stages audit against, so mmfair's
+// bottleneck-cause and utilization tables apply to any scenario file.
+func runSpec(w io.Writer, path string, dot bool) error {
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		return err
+	}
+	if dot {
+		res, err := maxmin.Allocate(c.Benchmark)
+		if err != nil {
+			return err
+		}
+		return netmodel.WriteDOT(w, c.Benchmark, res.Alloc)
+	}
+	return Report(w, c.Benchmark)
 }
 
 func run(w io.Writer, path string, dot bool) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -131,5 +132,31 @@ func TestReportWeighted(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "3") || !strings.Contains(out, "9") {
 		t.Fatalf("weighted rates 3 and 9 missing:\n%s", out)
+	}
+}
+
+// TestRunSpec: -spec compiles a scenario.Spec and reports on its
+// analytic benchmark network (here the scenario corpus' analytic tree).
+func TestRunSpec(t *testing.T) {
+	var b strings.Builder
+	path := filepath.Join("..", "..", "internal", "scenario", "testdata", "paths-analytic.json")
+	if err := runSpec(&b, path, false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Max-min fair receiver rates", "Link utilization", "fairness:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec report missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := runSpec(&b, path, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "graph mlfair") {
+		t.Errorf("spec DOT output missing graph:\n%s", b.String())
+	}
+	if err := runSpec(&b, filepath.Join("testdata", "no-such-file.json"), false); err == nil {
+		t.Error("missing spec file accepted")
 	}
 }

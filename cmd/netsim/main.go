@@ -2,10 +2,12 @@
 // (internal/netsim) through its scenario suite — the paper's modified
 // star, binary loss trees, multi-session capacity-coupled meshes,
 // membership churn, droptail bottlenecks with background cross-traffic,
-// the end-to-end max-min fairness audit, and the large-topology
-// scenarios (random scale-free graphs and k-ary fat-tree fabrics) —
-// or through a declarative scenario.Spec JSON file (-spec; format
-// reference in docs/SCENARIOS.md).
+// the end-to-end max-min fairness audit, the Figure-8 and leave-latency
+// sweeps, and the large-topology scenarios (random scale-free graphs
+// and k-ary fat-tree fabrics) — or through declarative files: a
+// scenario.Spec (-spec; docs/SCENARIOS.md) or a scenario.Sweep
+// parameter study emitting a CSV/JSON result table (-sweep;
+// docs/SWEEPS.md).
 //
 // Usage:
 //
@@ -14,6 +16,8 @@
 //	netsim -scenario scalefree,fattree -packets 200000 -trials 30
 //	netsim -scenario audit
 //	netsim -spec testdata/scalefree.json
+//	netsim -sweep testdata/sweeps/fig8.json
+//	netsim -sweep testdata/sweeps/background.json -format json
 package main
 
 import (
@@ -23,37 +27,30 @@ import (
 	"os"
 	"strings"
 
+	"mlfair/internal/cliutil"
 	"mlfair/internal/experiments"
-	scen "mlfair/internal/scenario"
 )
 
 func main() {
-	var (
-		scenario  = flag.String("scenario", "all", "star | tree | mesh | churn | background | audit | scalefree | fattree | all (comma-separated)")
-		spec      = flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of a named scenario")
-		receivers = flag.Int("receivers", 50, "receivers per session")
-		packets   = flag.Int("packets", 50000, "sender packet budget per trial")
-		trials    = flag.Int("trials", 8, "independent replications (mean ± 95% CI reported)")
-		workers   = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
-		seed      = flag.Uint64("seed", 777, "base RNG seed (replication seeds derived deterministically)")
-		quick     = flag.Bool("quick", false, "reduced sizes (10 receivers, 10k packets, 3 trials)")
-	)
+	scenarioFlag := flag.String("scenario", "all",
+		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | scalefree | fattree | all (comma-separated)")
+	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
+		Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true,
+	})
 	flag.Parse()
-	if *spec != "" {
-		if err := scen.RunFile(os.Stdout, *spec); err != nil {
+	if ran, err := f.Run(os.Stdout); ran {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	f.ApplyQuick(10, 10000, 3)
 	o := experiments.NetsimOptions{
-		Receivers: *receivers, Packets: *packets, Trials: *trials,
-		Workers: *workers, Seed: *seed,
+		Receivers: f.Receivers, Packets: f.Packets, Trials: f.Trials,
+		Workers: f.Workers, Seed: f.Seed,
 	}
-	if *quick {
-		o.Receivers, o.Packets, o.Trials = 10, 10000, 3
-	}
-	if err := run(os.Stdout, *scenario, o); err != nil {
+	if err := run(os.Stdout, *scenarioFlag, o); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
 	}
@@ -64,10 +61,12 @@ var scenarios = []struct {
 	driver func(io.Writer, experiments.NetsimOptions) error
 }{
 	{"star", experiments.NetsimStar},
+	{"fig8", experiments.NetsimFigure8},
 	{"tree", experiments.NetsimTree},
 	{"mesh", experiments.NetsimMesh},
 	{"churn", experiments.NetsimChurn},
 	{"background", experiments.NetsimBackground},
+	{"leavelatency", experiments.NetsimLeaveLatency},
 	{"audit", experiments.NetsimAudit},
 	{"scalefree", experiments.NetsimScaleFree},
 	{"fattree", experiments.NetsimFatTree},
@@ -94,7 +93,11 @@ func run(w io.Writer, names string, o experiments.NetsimOptions) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("unknown scenario %q (have star, tree, mesh, churn, background, audit, scalefree, fattree, all)", n)
+			known := make([]string, len(scenarios))
+			for i, s := range scenarios {
+				known[i] = s.name
+			}
+			return fmt.Errorf("unknown scenario %q (have %s, all)", n, strings.Join(known, ", "))
 		}
 		want[n] = true
 	}

@@ -21,8 +21,8 @@ func TestRunAllScenarios(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"netsim star", "tree depth", "netsim mesh", "netsim churn", "background traffic",
-		"netsim audit",
+		"netsim star", "netsim figure 8", "tree depth", "netsim mesh", "netsim churn",
+		"background traffic", "netsim leave latency", "netsim audit",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in -scenario all output", want)
@@ -95,5 +95,129 @@ func TestSpecAuditEndToEnd(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("audit spec output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// sweepCases maps each committed sweep file to the experiment builder
+// it re-expresses: the Figure-8 redundancy sweep, the background
+// cross-traffic sweep, and the leave-latency sweep, all at the
+// drivers' default sizing.
+func sweepCases() []struct {
+	name  string
+	build func() (*scen.Sweep, error)
+} {
+	o := experiments.DefaultNetsimOptions()
+	return []struct {
+		name  string
+		build func() (*scen.Sweep, error)
+	}{
+		{"fig8", func() (*scen.Sweep, error) { return experiments.Figure8Sweep(o, 0.0001) }},
+		{"background", func() (*scen.Sweep, error) { return experiments.BackgroundSweep(o) }},
+		{"leavelatency", func() (*scen.Sweep, error) { return experiments.LeaveLatencySweep(o) }},
+	}
+}
+
+// TestSweepSpecsMatchBuilders: the committed sweep files ARE the
+// experiment drivers' sweeps — builder output and file agree byte for
+// byte, and the files decode→encode stably.
+func TestSweepSpecsMatchBuilders(t *testing.T) {
+	for _, c := range sweepCases() {
+		path := filepath.Join("testdata", "sweeps", c.name+".json")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := c.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := sw.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != string(want) {
+			t.Errorf("%s: builder sweep drifted from committed file:\n--- builder ---\n%s\n--- file ---\n%s",
+				path, b.String(), want)
+		}
+		loaded, err := scen.LoadSweepFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b2 strings.Builder
+		if err := loaded.Encode(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if b2.String() != string(want) {
+			t.Errorf("%s: decode→encode not stable", path)
+		}
+	}
+}
+
+// TestSweepCSVGolden: `netsim -sweep` on each committed sweep file
+// reproduces its golden CSV byte for byte — the sweep layer's
+// end-to-end determinism acceptance. Regenerate after an intentional
+// change with:
+//
+//	UPDATE_GOLDEN=1 go test ./cmd/netsim -run TestSweepCSVGolden
+func TestSweepCSVGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication-heavy goldens in -short mode")
+	}
+	for _, c := range sweepCases() {
+		var b strings.Builder
+		if err := scen.RunSweepFile(&b, filepath.Join("testdata", "sweeps", c.name+".json"), "csv"); err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", "sweeps", c.name+".golden.csv")
+		if os.Getenv("UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s updated (%d bytes)", golden, b.Len())
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != string(want) {
+			t.Errorf("%s drifted from golden (run with UPDATE_GOLDEN=1 if intentional):\n--- got ---\n%s\n--- want ---\n%s",
+				c.name, b.String(), want)
+		}
+	}
+}
+
+// TestSweepJSONFormat: the -format json path emits the simulated store
+// with its quantile sketches.
+func TestSweepJSONFormat(t *testing.T) {
+	sw, err := experiments.BackgroundSweep(experiments.NetsimOptions{
+		Receivers: 4, Packets: 2000, Trials: 2, Workers: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := scen.RunSweepFile(&b, path, "json"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"simulated"`, `"sketch"`, `"best_rate"`, `"shared_redundancy"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("json sweep output missing %s:\n%s", want, b.String())
+		}
+	}
+	if err := scen.RunSweepFile(&b, path, "yaml"); err == nil {
+		t.Error("unknown sweep format accepted")
 	}
 }

@@ -7,6 +7,7 @@
 //	protosim -protocol coordinated -receivers 100 -shared 0.0001 -ind 0.04
 //	protosim -protocol all -trials 30 -packets 100000   # paper fidelity
 //	protosim -spec scenario.json                        # declarative spec run
+//	protosim -sweep sweep.json                          # declarative sweep run
 package main
 
 import (
@@ -15,8 +16,8 @@ import (
 	"io"
 	"os"
 
+	"mlfair/internal/cliutil"
 	"mlfair/internal/protocol"
-	"mlfair/internal/scenario"
 	"mlfair/internal/sim"
 	"mlfair/internal/stats"
 	"mlfair/internal/trace"
@@ -24,30 +25,28 @@ import (
 
 func main() {
 	var (
-		spec      = flag.String("spec", "", "run a declarative scenario.Spec JSON file instead of the star sweep")
-		proto     = flag.String("protocol", "all", "coordinated | uncoordinated | deterministic | all")
-		receivers = flag.Int("receivers", 100, "receivers in the session")
-		layers    = flag.Int("layers", 8, "number of layers")
-		shared    = flag.Float64("shared", 0.0001, "shared-link Bernoulli loss rate")
-		ind       = flag.Float64("ind", 0.04, "independent (fanout) loss rate")
-		packets   = flag.Int("packets", 100000, "packets transmitted by the sender per trial")
-		trials    = flag.Int("trials", 30, "independent trials (mean ± 95% CI reported)")
-		seed      = flag.Uint64("seed", 1999, "base RNG seed")
-		latency   = flag.Float64("leave-latency", 0, "leave-processing latency in time units (Section 5 extension)")
-		drop      = flag.String("drop", "uniform", "drop policy: uniform | priority (Section 5 extension)")
+		proto   = flag.String("protocol", "all", "coordinated | uncoordinated | deterministic | all")
+		layers  = flag.Int("layers", 8, "number of layers")
+		shared  = flag.Float64("shared", 0.0001, "shared-link Bernoulli loss rate")
+		ind     = flag.Float64("ind", 0.04, "independent (fanout) loss rate")
+		latency = flag.Float64("leave-latency", 0, "leave-processing latency in time units (Section 5 extension)")
+		drop    = flag.String("drop", "uniform", "drop policy: uniform | priority (Section 5 extension)")
 	)
+	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
+		Receivers: 100, Packets: 100000, Trials: 30, Seed: 1999,
+	})
 	flag.Parse()
-	if *spec != "" {
-		if err := scenario.RunFile(os.Stdout, *spec); err != nil {
+	if ran, err := f.Run(os.Stdout); ran {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "protosim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := run(os.Stdout, options{
-		proto: *proto, receivers: *receivers, layers: *layers,
-		shared: *shared, ind: *ind, packets: *packets, trials: *trials,
-		seed: *seed, latency: *latency, drop: *drop,
+		proto: *proto, receivers: f.Receivers, layers: *layers,
+		shared: *shared, ind: *ind, packets: f.Packets, trials: f.Trials,
+		seed: f.Seed, latency: *latency, drop: *drop,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "protosim:", err)
 		os.Exit(1)

@@ -1,0 +1,97 @@
+// Package cliutil deduplicates the flag plumbing the simulator
+// binaries used to copy from each other: the declarative
+// -spec/-sweep/-format trio (every binary runs the same scenario and
+// sweep files the same way) and the replication sizing flags
+// (-receivers, -packets, -trials, -workers, -seed, -quick) with
+// per-binary defaults.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"mlfair/internal/scenario"
+)
+
+// Declarative is the -spec/-sweep/-format flag trio.
+type Declarative struct {
+	Spec   string
+	Sweep  string
+	Format string
+}
+
+// RegisterDeclarative registers -spec, -sweep and -format on fs.
+func RegisterDeclarative(fs *flag.FlagSet) *Declarative {
+	d := &Declarative{}
+	fs.StringVar(&d.Spec, "spec", "", "run a declarative scenario.Spec JSON file (docs/SCENARIOS.md)")
+	fs.StringVar(&d.Sweep, "sweep", "", "run a declarative scenario.Sweep JSON file and emit its result table (docs/SWEEPS.md)")
+	fs.StringVar(&d.Format, "format", "csv", "-sweep output format: csv | json")
+	return d
+}
+
+// Run executes the selected declarative input, if any, and reports
+// whether one ran (the caller returns afterwards instead of running
+// its own drivers). Errors are the caller's to report.
+func (d *Declarative) Run(w io.Writer) (bool, error) {
+	if d.Spec != "" && d.Sweep != "" {
+		return true, fmt.Errorf("-spec and -sweep are mutually exclusive")
+	}
+	switch {
+	case d.Spec != "":
+		if d.Format != "" && d.Format != "csv" {
+			return true, fmt.Errorf("-format applies to -sweep only (a -spec run emits its text report)")
+		}
+		return true, scenario.RunFile(w, d.Spec)
+	case d.Sweep != "":
+		return true, scenario.RunSweepFile(w, d.Sweep, d.Format)
+	}
+	return false, nil
+}
+
+// SimDefaults parameterizes RegisterSim per binary: sizing defaults,
+// and whether the binary exposes -workers and -quick at all.
+type SimDefaults struct {
+	Receivers int
+	Packets   int
+	Trials    int
+	Seed      uint64
+	Workers   bool
+	Quick     bool
+}
+
+// SimFlags carries the shared simulator flags after parsing.
+type SimFlags struct {
+	*Declarative
+	Receivers int
+	Packets   int
+	Trials    int
+	Workers   int
+	Seed      uint64
+	Quick     bool
+}
+
+// RegisterSim registers the declarative trio plus the shared
+// replication sizing flags on fs.
+func RegisterSim(fs *flag.FlagSet, def SimDefaults) *SimFlags {
+	f := &SimFlags{Declarative: RegisterDeclarative(fs)}
+	fs.IntVar(&f.Receivers, "receivers", def.Receivers, "receivers per session")
+	fs.IntVar(&f.Packets, "packets", def.Packets, "sender packet budget per trial")
+	fs.IntVar(&f.Trials, "trials", def.Trials, "independent replications (mean ± 95% CI reported)")
+	if def.Workers {
+		fs.IntVar(&f.Workers, "workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
+	}
+	fs.Uint64Var(&f.Seed, "seed", def.Seed, "base RNG seed (replication seeds derived deterministically)")
+	if def.Quick {
+		fs.BoolVar(&f.Quick, "quick", false, "reduced sizes for smoke runs")
+	}
+	return f
+}
+
+// ApplyQuick shrinks the sizing to the given smoke-run values when
+// -quick was set.
+func (f *SimFlags) ApplyQuick(receivers, packets, trials int) {
+	if f.Quick {
+		f.Receivers, f.Packets, f.Trials = receivers, packets, trials
+	}
+}

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRegisterSimDefaultsAndQuick(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterSim(fs, SimDefaults{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true})
+	if err := fs.Parse([]string{"-trials", "4", "-workers", "2", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Receivers != 50 || f.Packets != 50000 || f.Trials != 4 || f.Workers != 2 || f.Seed != 777 {
+		t.Fatalf("parsed flags %+v", f)
+	}
+	f.ApplyQuick(10, 10000, 3)
+	if f.Receivers != 10 || f.Packets != 10000 || f.Trials != 3 {
+		t.Fatalf("quick sizes not applied: %+v", f)
+	}
+	// Without -quick, ApplyQuick leaves the sizing alone.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := RegisterSim(fs2, SimDefaults{Receivers: 100, Packets: 100000, Trials: 30, Seed: 1999})
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	f2.ApplyQuick(10, 10000, 3)
+	if f2.Receivers != 100 || f2.Packets != 100000 || f2.Trials != 30 {
+		t.Fatalf("sizing changed without -quick: %+v", f2)
+	}
+	// -workers and -quick are only registered when asked for.
+	if fs2.Lookup("workers") != nil || fs2.Lookup("quick") != nil {
+		t.Fatal("workers/quick registered without being requested")
+	}
+}
+
+const testSpec = `{
+  "topology": {"kind": "star", "receivers": 3},
+  "defaultLink": {"kind": "bernoulli", "loss": 0.05},
+  "packets": 1500,
+  "replications": {"n": 2, "workers": 2},
+  "seed": 11
+}
+`
+
+const testSweep = `{
+  "base": {
+    "topology": {"kind": "star", "receivers": 3},
+    "defaultLink": {"kind": "bernoulli", "loss": 0.05},
+    "packets": 1500,
+    "replications": {"n": 2, "workers": 2},
+    "seed": 11
+  },
+  "axes": [{"field": "defaultLink.loss", "values": [0.01, 0.05]}]
+}
+`
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeclarativeRun(t *testing.T) {
+	specPath := writeFile(t, "spec.json", testSpec)
+	sweepPath := writeFile(t, "sweep.json", testSweep)
+
+	var b strings.Builder
+	d := &Declarative{}
+	if ran, err := d.Run(&b); ran || err != nil {
+		t.Fatalf("empty flags ran: %v %v", ran, err)
+	}
+
+	d = &Declarative{Spec: specPath}
+	ran, err := d.Run(&b)
+	if !ran || err != nil {
+		t.Fatalf("spec run: ran=%v err=%v", ran, err)
+	}
+	if !strings.Contains(b.String(), "receiver goodput") {
+		t.Errorf("spec output missing report:\n%s", b.String())
+	}
+
+	b.Reset()
+	d = &Declarative{Sweep: sweepPath, Format: "csv"}
+	ran, err = d.Run(&b)
+	if !ran || err != nil {
+		t.Fatalf("sweep run: ran=%v err=%v", ran, err)
+	}
+	if !strings.HasPrefix(b.String(), "defaultLink.loss,goodput_mean") {
+		t.Errorf("sweep CSV missing header:\n%s", b.String())
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Errorf("sweep CSV has %d lines, want 3:\n%s", got, b.String())
+	}
+
+	// Mutually exclusive flags are an error that counts as handled.
+	d = &Declarative{Spec: specPath, Sweep: sweepPath}
+	if ran, err := d.Run(&b); !ran || err == nil {
+		t.Fatalf("spec+sweep: ran=%v err=%v", ran, err)
+	}
+	// Errors propagate.
+	d = &Declarative{Sweep: specPath} // a Spec file is not a Sweep
+	if ran, err := d.Run(&b); !ran || err == nil {
+		t.Fatalf("bad sweep file: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestDeclarativeSpecRejectsFormat(t *testing.T) {
+	specPath := writeFile(t, "spec.json", testSpec)
+	var b strings.Builder
+	d := &Declarative{Spec: specPath, Format: "json"}
+	if ran, err := d.Run(&b); !ran || err == nil {
+		t.Fatalf("-spec with -format json: ran=%v err=%v", ran, err)
+	}
+	// The registered default ("csv") stays accepted.
+	d = &Declarative{Spec: specPath, Format: "csv"}
+	if ran, err := d.Run(&b); !ran || err != nil {
+		t.Fatalf("-spec with default format: ran=%v err=%v", ran, err)
+	}
+}

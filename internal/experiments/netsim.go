@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
@@ -11,11 +12,14 @@ import (
 	"mlfair/internal/trace"
 )
 
-// Every driver in this file is declarative: it builds a scenario.Spec,
-// compiles it through the scenario layer, and either runs the built-in
-// metric stages (scenario.RunCompiled) or streams the compiled netsim
-// config through driver-specific aggregation. The same specs, written
-// as JSON, drive `cmd/netsim -spec` — see docs/SCENARIOS.md.
+// Every driver in this file is declarative: it builds a scenario.Spec
+// or scenario.Sweep, compiles it through the scenario layer, and
+// either runs the built-in stages (scenario.RunCompiled /
+// scenario.RunSweep) or streams the compiled netsim config through
+// driver-specific aggregation. The same specs and sweeps, written as
+// JSON, drive `cmd/netsim -spec` and `cmd/netsim -sweep` — see
+// docs/SCENARIOS.md and docs/SWEEPS.md; the committed sweep files
+// under cmd/netsim/testdata/sweeps are pinned to the builders here.
 
 // NetsimOptions sizes the general-engine scenario drivers.
 type NetsimOptions struct {
@@ -30,6 +34,73 @@ type NetsimOptions struct {
 // DefaultNetsimOptions resolves the scenario effects in a few seconds.
 func DefaultNetsimOptions() NetsimOptions {
 	return NetsimOptions{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777}
+}
+
+// Validate rejects degenerate sizing up front, so the sweep builders
+// return errors instead of letting invalid point or replication counts
+// panic somewhere inside the pipeline (the same contract as the
+// error-returning topology generators).
+func (o NetsimOptions) Validate() error {
+	if o.Receivers < 1 || o.Packets < 1 || o.Trials < 1 {
+		return fmt.Errorf("experiments: invalid netsim options: receivers %d, packets %d, trials %d (all must be >= 1)",
+			o.Receivers, o.Packets, o.Trials)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: invalid netsim options: workers %d", o.Workers)
+	}
+	return nil
+}
+
+// protocolValues is the protocol axis of the sweeps, in the paper's
+// plotting order.
+func protocolValues() []any {
+	kinds := protocol.Kinds()
+	out := make([]any, len(kinds))
+	for i, k := range kinds {
+		out[i] = k.String()
+	}
+	return out
+}
+
+// writeSweepSeries renders a two-axis sweep — series axis first (e.g.
+// protocol), numeric x axis second — as a trace series table of one
+// output metric's per-point mean.
+func writeSweepSeries(w io.Writer, res *scenario.SweepResult, title, xLabel, metric string) error {
+	pts := res.Points
+	if len(pts) == 0 || len(pts[0].Coords) < 2 {
+		return fmt.Errorf("experiments: series rendering needs a two-axis sweep (have %d axes)", len(res.Sweep.Axes))
+	}
+	nx := 0
+	for _, p := range pts {
+		if p.Coords[0] != pts[0].Coords[0] {
+			break
+		}
+		nx++
+	}
+	if nx == 0 || len(pts)%nx != 0 {
+		return fmt.Errorf("experiments: sweep is not a series grid (%d points, first block %d)", len(pts), nx)
+	}
+	xs := make([]float64, nx)
+	for i := 0; i < nx; i++ {
+		x, err := strconv.ParseFloat(pts[i].Coords[1], 64)
+		if err != nil {
+			return fmt.Errorf("experiments: non-numeric x coordinate %q", pts[i].Coords[1])
+		}
+		xs[i] = x
+	}
+	series := make([]trace.Series, len(pts)/nx)
+	for s := range series {
+		ys := make([]float64, nx)
+		for i := range ys {
+			cell, err := res.Cell(pts[s*nx+i].ID, metric)
+			if err != nil {
+				return err
+			}
+			ys[i] = cell.Mean
+		}
+		series[s] = trace.Series{Name: pts[s*nx].Coords[0], Y: ys}
+	}
+	return trace.WriteSeries(w, title, xLabel, xs, series)
 }
 
 // mixedSessions is the session slot list that cycles the three
@@ -58,25 +129,119 @@ func starSpec(o NetsimOptions, kind protocol.Kind, sharedLoss, fanoutLoss float6
 	}
 }
 
-// NetsimStar runs the paper's modified star through the scenario layer
-// for each protocol: shared-link redundancy (= the star's root
-// redundancy) and mean receiver goodput, replication-aggregated.
-func NetsimStar(w io.Writer, o NetsimOptions) error {
-	t := trace.NewTable(
-		fmt.Sprintf("netsim star: %d receivers, shared loss 1e-4, independent loss 0.04, %d packets, %d trials",
+// StarProtocolSweep declares the paper's modified star comparison as a
+// sweep: one axis cycling the three protocols over the loss-domain
+// star (Figure 7b).
+func StarProtocolSweep(o NetsimOptions) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim star: %d receivers, shared loss 1e-4, independent loss 0.04, %d packets, %d trials",
 			o.Receivers, o.Packets, o.Trials),
-		"protocol", "shared redundancy", "ci95", "receiver goodput", "ci95")
-	for _, kind := range protocol.Kinds() {
-		res, err := scenario.Run(starSpec(o, kind, 0.0001, 0.04))
+		Base:    *starSpec(o, protocol.Deterministic, 0.0001, 0.04),
+		Axes:    []scenario.Axis{{Field: "sessions.protocol", Values: protocolValues()}},
+		Outputs: []string{"root_redundancy", "goodput"},
+	}, nil
+}
+
+// NetsimStar runs StarProtocolSweep and tabulates shared-link
+// redundancy (= the star's root redundancy) and mean receiver goodput
+// per protocol, replication-aggregated.
+func NetsimStar(w io.Writer, o NetsimOptions) error {
+	sw, err := StarProtocolSweep(o)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(sw.Name, "protocol", "shared redundancy", "ci95", "receiver goodput", "ci95")
+	for _, p := range res.Points {
+		red, err := res.Cell(p.ID, "root_redundancy")
 		if err != nil {
 			return err
 		}
-		t.AddRow(kind.String(),
-			trace.Float(res.RootRedundancy.Mean), trace.Float(res.RootRedundancy.CI95),
-			trace.Float(res.Goodput.Mean), trace.Float(res.Goodput.CI95))
+		good, err := res.Cell(p.ID, "goodput")
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.Coords[0],
+			trace.Float(red.Mean), trace.Float(red.CI95()),
+			trace.Float(good.Mean), trace.Float(good.CI95()))
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
+}
+
+// Figure8Sweep re-expresses the paper's Figure 8 panel as a netsim
+// sweep: protocol × independent (fanout) loss at a fixed shared-link
+// loss, reporting shared-link redundancy per point.
+func Figure8Sweep(o NetsimOptions, sharedLoss float64) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if sharedLoss < 0 || sharedLoss >= 1 {
+		return nil, fmt.Errorf("experiments: shared loss %v outside [0, 1)", sharedLoss)
+	}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim figure 8 (shared loss %g): redundancy vs independent loss — %d receivers, 8 layers, %d packets × %d trials",
+			sharedLoss, o.Receivers, o.Packets, o.Trials),
+		Base: *starSpec(o, protocol.Deterministic, sharedLoss, 0),
+		Axes: []scenario.Axis{
+			{Field: "sessions.protocol", Values: protocolValues()},
+			{Field: "defaultLink.loss", Values: []any{0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.1}},
+		},
+		Outputs: []string{"root_redundancy"},
+	}, nil
+}
+
+// NetsimFigure8 runs the Figure 8 sweep at the paper's low shared-loss
+// operating point and renders the per-protocol redundancy curves.
+func NetsimFigure8(w io.Writer, o NetsimOptions) error {
+	sw, err := Figure8Sweep(o, 0.0001)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	return writeSweepSeries(w, res, sw.Name, "ind. loss", "root_redundancy")
+}
+
+// LeaveLatencySweep declares the Section 5 leave-latency extension as
+// a netsim sweep: protocol × IGMP-style slow-leave latency on the
+// modified star, reporting shared-link redundancy inflation.
+func LeaveLatencySweep(o NetsimOptions) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim leave latency: redundancy vs leave latency (ind. loss 0.04, %d receivers, %d packets × %d trials)",
+			o.Receivers, o.Packets, o.Trials),
+		Base: *starSpec(o, protocol.Deterministic, 0.0001, 0.04),
+		Axes: []scenario.Axis{
+			{Field: "sessions.protocol", Values: protocolValues()},
+			{Field: "leaveLatency", Values: []any{0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}},
+		},
+		Outputs: []string{"root_redundancy"},
+	}, nil
+}
+
+// NetsimLeaveLatency runs the leave-latency sweep and renders the
+// per-protocol redundancy-vs-latency curves.
+func NetsimLeaveLatency(w io.Writer, o NetsimOptions) error {
+	sw, err := LeaveLatencySweep(o)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	return writeSweepSeries(w, res, sw.Name, "latency", "root_redundancy")
 }
 
 // NetsimTree measures per-depth Definition 3 redundancy on a binary
@@ -199,70 +364,110 @@ func NetsimMesh(w io.Writer, o NetsimOptions) error {
 	return err
 }
 
-// NetsimChurn compares a stable star session against one under periodic
-// membership churn: departures prune layers off the shared link, and
-// fresh joins restart at the base layer, dragging goodput down while
-// redundancy stays put.
-func NetsimChurn(w io.Writer, o NetsimOptions) error {
-	t := trace.NewTable(
-		fmt.Sprintf("netsim churn: modified star, %d receivers, leave/rejoin round-robin, %d trials",
+// ChurnSweep declares the stable-versus-churning comparison as a sweep
+// over the churn interval: interval 0 disables the round-robin
+// leave/rejoin schedule entirely (the stable point), the second point
+// churns every receiver twice over the run's horizon.
+func ChurnSweep(o NetsimOptions) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	base := starSpec(o, protocol.Deterministic, 0.0001, 0.04)
+	horizon := float64(o.Packets) / 128 // approximate run duration
+	base.Churn = &scenario.ChurnSpec{Downtime: horizon / 20, Horizon: horizon}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim churn: modified star, %d receivers, leave/rejoin round-robin, %d trials",
 			o.Receivers, o.Trials),
-		"scenario", "mean receiver rate", "ci95", "shared redundancy", "ci95")
-	for _, churny := range []bool{false, true} {
-		spec := starSpec(o, protocol.Deterministic, 0.0001, 0.04)
-		name := "stable"
-		if churny {
-			name = "churning"
-			horizon := float64(o.Packets) / 128 // approximate run duration
-			spec.Churn = &scenario.ChurnSpec{
-				Interval: horizon / float64(2*o.Receivers),
-				Downtime: horizon / 20,
-				Horizon:  horizon,
-			}
+		Base:    *base,
+		Axes:    []scenario.Axis{{Field: "churn.interval", Values: []any{0.0, horizon / float64(2*o.Receivers)}}},
+		Outputs: []string{"goodput", "root_redundancy"},
+	}, nil
+}
+
+// NetsimChurn runs ChurnSweep: departures prune layers off the shared
+// link, and fresh joins restart at the base layer, dragging goodput
+// down while redundancy stays put.
+func NetsimChurn(w io.Writer, o NetsimOptions) error {
+	sw, err := ChurnSweep(o)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(sw.Name, "scenario", "mean receiver rate", "ci95", "shared redundancy", "ci95")
+	for _, p := range res.Points {
+		name := "churning"
+		if p.Coords[0] == "0" {
+			name = "stable"
 		}
-		res, err := scenario.Run(spec)
+		good, err := res.Cell(p.ID, "goodput")
 		if err != nil {
 			return err
 		}
-		t.AddRow(name, trace.Float(res.Goodput.Mean), trace.Float(res.Goodput.CI95),
-			trace.Float(res.RootRedundancy.Mean), trace.Float(res.RootRedundancy.CI95))
+		red, err := res.Cell(p.ID, "root_redundancy")
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, trace.Float(good.Mean), trace.Float(good.CI95()),
+			trace.Float(red.Mean), trace.Float(red.CI95()))
 	}
-	_, err := t.WriteTo(w)
+	_, err = t.WriteTo(w)
 	return err
 }
 
-// NetsimBackground sweeps constant cross-traffic on a droptail
-// bottleneck shared with the layered session — the TCP-over-ABR/UBR
-// competition scenario: as background load eats the queue's service
-// rate, the session's achievable rate collapses along with it.
-func NetsimBackground(w io.Writer, o NetsimOptions) error {
-	const capacity = 32.0
-	t := trace.NewTable(
-		fmt.Sprintf("netsim background traffic: droptail bottleneck capacity %g, buffer 16, %d receivers",
-			capacity, o.Receivers),
-		"background load", "best receiver rate", "ci95", "shared redundancy", "ci95")
-	for _, bg := range []float64{0, 8, 16, 24, 28} {
-		spec := starSpec(o, protocol.Deterministic, 0, 0.02)
-		spec.Links = []scenario.LinkOverride{{Link: 0, LinkSpec: scenario.LinkSpec{
-			Kind: "droptail", Capacity: capacity, Buffer: 16, Delay: 0.01, Background: bg,
-		}}}
-		c, err := scenario.Compile(spec)
-		if err != nil {
-			return err
-		}
-		var accBest, accRed stats.Accumulator
-		err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, r *netsim.Result) error {
-			accBest.Add(r.MaxReceiverRate())
-			accRed.Add(r.LinkRedundancy(0, 0))
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		t.AddRow(trace.Float(bg), trace.Float(accBest.Mean()), trace.Float(accBest.CI95()),
-			trace.Float(accRed.Mean()), trace.Float(accRed.CI95()))
+// BackgroundSweep declares the TCP-over-ABR/UBR-style cross-traffic
+// competition as a sweep over the droptail bottleneck's constant
+// background load.
+func BackgroundSweep(o NetsimOptions) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
 	}
-	_, err := t.WriteTo(w)
+	const capacity = 32.0
+	base := starSpec(o, protocol.Deterministic, 0, 0.02)
+	base.Links = []scenario.LinkOverride{{Link: 0, LinkSpec: scenario.LinkSpec{
+		Kind: "droptail", Capacity: capacity, Buffer: 16, Delay: 0.01,
+	}}}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim background traffic: droptail bottleneck capacity %g, buffer 16, %d receivers",
+			capacity, o.Receivers),
+		Base:    *base,
+		Axes:    []scenario.Axis{{Field: "links[0].background", Values: []any{0.0, 8.0, 16.0, 24.0, 28.0}}},
+		Outputs: []string{"best_rate", "shared_redundancy"},
+	}, nil
+}
+
+// NetsimBackground runs BackgroundSweep: as background load eats the
+// queue's service rate, the session's achievable rate collapses along
+// with it.
+func NetsimBackground(w io.Writer, o NetsimOptions) error {
+	sw, err := BackgroundSweep(o)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(sw.Name, "background load", "best receiver rate", "ci95", "shared redundancy", "ci95")
+	for _, p := range res.Points {
+		best, err := res.Cell(p.ID, "best_rate")
+		if err != nil {
+			return err
+		}
+		red, err := res.Cell(p.ID, "shared_redundancy")
+		if err != nil {
+			return err
+		}
+		bg, err := strconv.ParseFloat(p.Coords[0], 64)
+		if err != nil {
+			return err
+		}
+		t.AddRow(trace.Float(bg), trace.Float(best.Mean), trace.Float(best.CI95()),
+			trace.Float(red.Mean), trace.Float(red.CI95()))
+	}
+	_, err = t.WriteTo(w)
 	return err
 }
 

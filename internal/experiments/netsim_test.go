@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"mlfair/internal/scenario"
 )
 
 func tinyNetsimOptions() NetsimOptions {
@@ -93,5 +95,74 @@ func TestNetsimFatTreeDriver(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestNetsimFigure8Driver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimFigure8(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim figure 8", "ind. loss", "Coordinated", "Deterministic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNetsimLeaveLatencyDriver(t *testing.T) {
+	out := capture(t, func(w *strings.Builder) error { return NetsimLeaveLatency(w, tinyNetsimOptions()) })
+	for _, want := range []string{"netsim leave latency", "latency", "Uncoordinated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepBuildersRejectInvalidCounts: the sweep builders return
+// errors — never panic — on degenerate point or replication counts.
+func TestSweepBuildersRejectInvalidCounts(t *testing.T) {
+	bad := []NetsimOptions{
+		{Receivers: 0, Packets: 1000, Trials: 2},
+		{Receivers: 5, Packets: 0, Trials: 2},
+		{Receivers: 5, Packets: 1000, Trials: 0},
+		{Receivers: 5, Packets: 1000, Trials: 2, Workers: -1},
+	}
+	for _, o := range bad {
+		if _, err := StarProtocolSweep(o); err == nil {
+			t.Errorf("StarProtocolSweep accepted %+v", o)
+		}
+		if _, err := Figure8Sweep(o, 0.0001); err == nil {
+			t.Errorf("Figure8Sweep accepted %+v", o)
+		}
+		if _, err := BackgroundSweep(o); err == nil {
+			t.Errorf("BackgroundSweep accepted %+v", o)
+		}
+		if _, err := LeaveLatencySweep(o); err == nil {
+			t.Errorf("LeaveLatencySweep accepted %+v", o)
+		}
+		if _, err := ChurnSweep(o); err == nil {
+			t.Errorf("ChurnSweep accepted %+v", o)
+		}
+	}
+	if _, err := Figure8Sweep(DefaultNetsimOptions(), 1.5); err == nil {
+		t.Error("Figure8Sweep accepted shared loss 1.5")
+	}
+	if _, err := Figure8Sweep(DefaultNetsimOptions(), -0.1); err == nil {
+		t.Error("Figure8Sweep accepted negative shared loss")
+	}
+}
+
+// TestWriteSweepSeriesNeedsTwoAxes: the series renderer errors — not
+// panics — on a one-axis sweep.
+func TestWriteSweepSeriesNeedsTwoAxes(t *testing.T) {
+	sw, err := BackgroundSweep(tinyNetsimOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := writeSweepSeries(&b, res, "t", "x", "best_rate"); err == nil {
+		t.Fatal("one-axis sweep accepted by series renderer")
 	}
 }

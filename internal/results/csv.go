@@ -1,0 +1,182 @@
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+)
+
+// statColumns are the per-metric statistics a CSV row carries, in
+// order. p50 is the sketch's median probe; the full sketch is in the
+// JSON form.
+var statColumns = []string{"mean", "ci95", "min", "max", "p50"}
+
+func cellStats(c Cell) []float64 {
+	return []float64{c.Mean, c.CI95(), c.Min, c.Max, c.Quantile(0.5)}
+}
+
+// fmtFloat renders a value with the shortest representation that
+// round-trips exactly — the formatting the CSV goldens pin.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the store as a deterministic CSV table: one row per
+// point in canonical id order, coordinate columns first, then
+// mean/ci95/min/max/p50 per metric. Bytes depend only on the store's
+// logical observation set, never on merge or worker order.
+func (s *Store) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, a := range s.axes {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(a)
+	}
+	for _, m := range s.metrics {
+		for _, st := range statColumns {
+			fmt.Fprintf(bw, ",%s_%s", m, st)
+		}
+	}
+	bw.WriteByte('\n')
+	for _, id := range s.ids {
+		p := s.points[id]
+		for i, c := range p.coords {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(c)
+		}
+		for _, m := range s.metrics {
+			c, err := s.Cell(id, m)
+			if err != nil {
+				return err
+			}
+			for _, v := range cellStats(c) {
+				bw.WriteByte(',')
+				bw.WriteString(fmtFloat(v))
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// jsonCell is a cell's JSON form.
+type jsonCell struct {
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	CI95   float64 `json:"ci95"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Sketch Sketch  `json:"sketch"`
+}
+
+type jsonPoint struct {
+	ID     int        `json:"id"`
+	Coords []string   `json:"coords"`
+	Reps   int        `json:"reps"`
+	Cells  []jsonCell `json:"cells"`
+}
+
+type jsonDoc struct {
+	Axes    []string    `json:"axes"`
+	Metrics []string    `json:"metrics"`
+	Points  []jsonPoint `json:"points"`
+}
+
+// WriteJSON renders the store as one JSON document (two-space
+// indented, trailing newline), points in canonical id order and cells
+// in schema order.
+func (s *Store) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{Axes: s.Axes(), Metrics: s.Metrics()}
+	for _, id := range s.ids {
+		p := s.points[id]
+		jp := jsonPoint{ID: id, Coords: append([]string(nil), p.coords...), Reps: p.reps}
+		for _, m := range s.metrics {
+			c, err := s.Cell(id, m)
+			if err != nil {
+				return err
+			}
+			jp.Cells = append(jp.Cells, jsonCell{
+				Metric: m, N: c.N, Mean: c.Mean, CI95: c.CI95(), StdDev: c.StdDev(),
+				Min: c.Min, Max: c.Max, Sketch: c.Sketch(),
+			})
+		}
+		doc.Points = append(doc.Points, jp)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteJoinedCSV joins two result sets over the same sweep points —
+// typically a replicated simulation store and a per-point analytic
+// benchmark store — and writes one CSV: coordinates, then the full
+// statistics of every sim metric, then the benchmark columns as plain
+// values (their per-point means). The stores must share axes and have
+// identical point sets with identical coordinates; this is the
+// "compare" stage's output format.
+func WriteJoinedCSV(w io.Writer, sim, bench *Store) error {
+	if !slices.Equal(sim.axes, bench.axes) {
+		return fmt.Errorf("results: join across different axes %v vs %v", sim.axes, bench.axes)
+	}
+	if !slices.Equal(sim.ids, bench.ids) {
+		return fmt.Errorf("results: join across different point sets (%d vs %d points)", len(sim.ids), len(bench.ids))
+	}
+	bw := bufio.NewWriter(w)
+	for i, a := range sim.axes {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(a)
+	}
+	for _, m := range sim.metrics {
+		for _, st := range statColumns {
+			fmt.Fprintf(bw, ",%s_%s", m, st)
+		}
+	}
+	for _, m := range bench.metrics {
+		fmt.Fprintf(bw, ",%s", m)
+	}
+	bw.WriteByte('\n')
+	for _, id := range sim.ids {
+		p, bp := sim.points[id], bench.points[id]
+		if !slices.Equal(p.coords, bp.coords) {
+			return fmt.Errorf("results: join point %d coordinates %v vs %v", id, p.coords, bp.coords)
+		}
+		for i, c := range p.coords {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(c)
+		}
+		for _, m := range sim.metrics {
+			c, err := sim.Cell(id, m)
+			if err != nil {
+				return err
+			}
+			for _, v := range cellStats(c) {
+				bw.WriteByte(',')
+				bw.WriteString(fmtFloat(v))
+			}
+		}
+		for _, m := range bench.metrics {
+			c, err := bench.Cell(id, m)
+			if err != nil {
+				return err
+			}
+			bw.WriteByte(',')
+			bw.WriteString(fmtFloat(c.Mean))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

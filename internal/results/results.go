@@ -1,0 +1,297 @@
+// Package results is the columnar result store behind the sweep layer:
+// a fixed schema of float metric columns, keyed by sweep-point
+// coordinates, filled by one observation per (point, replication) and
+// summarized as mean/variance (Welford, in replication order), min/max
+// and a deterministic quantile sketch.
+//
+// The store is mergeable, and merging is bit-identical under any merge
+// order: a store's logical state is the *set* of observations indexed
+// by (point id, replication index), so shards produced by concurrent
+// point workers can be merged as they finish — in whatever order the
+// scheduler completes them — and every summary statistic still comes
+// out byte-for-byte equal to a sequential single-worker run. This
+// extends the netsim runner's worker-count invariance one level up, to
+// whole parameter sweeps.
+package results
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+)
+
+// Store is a columnar, mergeable result table: points (rows, keyed by
+// coordinates) × metrics (columns), each cell holding one float per
+// replication.
+type Store struct {
+	axes    []string
+	metrics []string
+	points  map[int]*point
+	ids     []int // ascending; the canonical row order
+}
+
+type point struct {
+	coords []string
+	reps   int
+	// cols[m][r] is metric m's observation in replication r; seen[r]
+	// records whether replication r has been observed yet.
+	cols [][]float64
+	seen []bool
+}
+
+// New creates an empty store with the given coordinate axes and metric
+// columns.
+func New(axes, metrics []string) (*Store, error) {
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("results: no metric columns")
+	}
+	names := map[string]bool{}
+	for _, lists := range [][]string{axes, metrics} {
+		for _, n := range lists {
+			if err := checkName(n); err != nil {
+				return nil, err
+			}
+			if names[n] {
+				return nil, fmt.Errorf("results: duplicate column %q", n)
+			}
+			names[n] = true
+		}
+	}
+	return &Store{
+		axes:    slices.Clone(axes),
+		metrics: slices.Clone(metrics),
+		points:  map[int]*point{},
+	}, nil
+}
+
+func checkName(n string) error {
+	if n == "" || strings.ContainsAny(n, ",\"\n\r") {
+		return fmt.Errorf("results: bad column name %q", n)
+	}
+	return nil
+}
+
+// Axes returns the coordinate column names.
+func (s *Store) Axes() []string { return slices.Clone(s.axes) }
+
+// Metrics returns the metric column names.
+func (s *Store) Metrics() []string { return slices.Clone(s.metrics) }
+
+// AddPoint defines a sweep point: its row id (the canonical output
+// order is ascending id, so ids carry the sweep's expansion order
+// through any merge), its coordinate values, and its replication
+// capacity.
+func (s *Store) AddPoint(id int, coords []string, reps int) error {
+	if id < 0 {
+		return fmt.Errorf("results: point id %d", id)
+	}
+	if _, ok := s.points[id]; ok {
+		return fmt.Errorf("results: point %d already defined", id)
+	}
+	if len(coords) != len(s.axes) {
+		return fmt.Errorf("results: point %d has %d coordinates for %d axes", id, len(coords), len(s.axes))
+	}
+	for _, c := range coords {
+		if strings.ContainsAny(c, ",\"\n\r") {
+			return fmt.Errorf("results: point %d coordinate %q contains CSV metacharacters", id, c)
+		}
+	}
+	if reps < 1 {
+		return fmt.Errorf("results: point %d replication capacity %d", id, reps)
+	}
+	p := &point{coords: slices.Clone(coords), reps: reps, seen: make([]bool, reps)}
+	p.cols = make([][]float64, len(s.metrics))
+	for m := range p.cols {
+		p.cols[m] = make([]float64, reps)
+	}
+	s.points[id] = p
+	i, _ := slices.BinarySearch(s.ids, id)
+	s.ids = slices.Insert(s.ids, i, id)
+	return nil
+}
+
+// Observe records replication rep of point id: one value per metric
+// column, in schema order. Each (point, replication) slot may be filled
+// exactly once, and values must be finite — the two invariants that
+// make merged stores a well-defined observation set.
+func (s *Store) Observe(id, rep int, values ...float64) error {
+	p, ok := s.points[id]
+	if !ok {
+		return fmt.Errorf("results: observe on undefined point %d", id)
+	}
+	if rep < 0 || rep >= p.reps {
+		return fmt.Errorf("results: point %d replication %d out of range [0,%d)", id, rep, p.reps)
+	}
+	if p.seen[rep] {
+		return fmt.Errorf("results: point %d replication %d observed twice", id, rep)
+	}
+	if len(values) != len(s.metrics) {
+		return fmt.Errorf("results: point %d: %d values for %d metrics", id, len(values), len(s.metrics))
+	}
+	for m, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("results: point %d metric %q = %v", id, s.metrics[m], v)
+		}
+		p.cols[m][rep] = v
+	}
+	p.seen[rep] = true
+	return nil
+}
+
+// Merge folds o into s. Schemas must match exactly; points present in
+// both must agree on coordinates and capacity and must not overlap in
+// observed replications. Because the merged state is the union of the
+// two observation sets (and row order is the id order), any sequence of
+// merges over the same shards yields a bit-identical store.
+func (s *Store) Merge(o *Store) error {
+	if !slices.Equal(s.axes, o.axes) || !slices.Equal(s.metrics, o.metrics) {
+		return fmt.Errorf("results: merging mismatched schemas %v/%v vs %v/%v", s.axes, s.metrics, o.axes, o.metrics)
+	}
+	for _, id := range o.ids {
+		op := o.points[id]
+		p, ok := s.points[id]
+		if !ok {
+			if err := s.AddPoint(id, op.coords, op.reps); err != nil {
+				return err
+			}
+			p = s.points[id]
+		} else {
+			if !slices.Equal(p.coords, op.coords) {
+				return fmt.Errorf("results: point %d coordinates %v vs %v", id, p.coords, op.coords)
+			}
+			if p.reps != op.reps {
+				return fmt.Errorf("results: point %d capacity %d vs %d", id, p.reps, op.reps)
+			}
+		}
+		for r, seen := range op.seen {
+			if !seen {
+				continue
+			}
+			if p.seen[r] {
+				return fmt.Errorf("results: merge observes point %d replication %d twice", id, r)
+			}
+			for m := range p.cols {
+				p.cols[m][r] = op.cols[m][r]
+			}
+			p.seen[r] = true
+		}
+	}
+	return nil
+}
+
+// Points returns the defined point ids in canonical (ascending) order.
+func (s *Store) Points() []int { return slices.Clone(s.ids) }
+
+// Coords returns point id's coordinate values.
+func (s *Store) Coords(id int) ([]string, error) {
+	p, ok := s.points[id]
+	if !ok {
+		return nil, fmt.Errorf("results: undefined point %d", id)
+	}
+	return slices.Clone(p.coords), nil
+}
+
+// Cell summarizes one (point, metric) column over the replications
+// observed so far. All statistics are deterministic functions of the
+// observation set: Welford runs in replication-index order and the
+// sketch is built from exact order statistics, so a merged store
+// summarizes bit-identically to a sequential one.
+func (s *Store) Cell(id int, metric string) (Cell, error) {
+	p, ok := s.points[id]
+	if !ok {
+		return Cell{}, fmt.Errorf("results: undefined point %d", id)
+	}
+	m := slices.Index(s.metrics, metric)
+	if m < 0 {
+		return Cell{}, fmt.Errorf("results: unknown metric %q", metric)
+	}
+	var c Cell
+	for r := 0; r < p.reps; r++ {
+		if !p.seen[r] {
+			continue
+		}
+		v := p.cols[m][r]
+		c.observe(v)
+		c.sorted = append(c.sorted, v)
+	}
+	slices.Sort(c.sorted)
+	return c, nil
+}
+
+// Cell is the finalized summary of one (point, metric) column.
+type Cell struct {
+	N        int
+	Mean     float64
+	m2       float64
+	Min, Max float64
+	sorted   []float64
+}
+
+func (c *Cell) observe(v float64) {
+	if c.N == 0 {
+		c.Min, c.Max = v, v
+	} else {
+		c.Min = math.Min(c.Min, v)
+		c.Max = math.Max(c.Max, v)
+	}
+	c.N++
+	d := v - c.Mean
+	c.Mean += d / float64(c.N)
+	c.m2 += d * (v - c.Mean)
+}
+
+// Variance is the unbiased sample variance (0 below two observations).
+func (c Cell) Variance() float64 {
+	if c.N < 2 {
+		return 0
+	}
+	return c.m2 / float64(c.N-1)
+}
+
+// StdDev is the sample standard deviation.
+func (c Cell) StdDev() float64 { return math.Sqrt(c.Variance()) }
+
+// CI95 is the 95% normal-approximation confidence half-width of the
+// mean. The operation order matches stats.Accumulator.CI95 bit for bit
+// (1.96 times the standard error), so sweep cells reproduce the
+// single-scenario runner's numbers exactly.
+func (c Cell) CI95() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return 1.96 * (c.StdDev() / math.Sqrt(float64(c.N)))
+}
+
+// Quantile returns the nearest-rank order statistic at q in [0, 1]
+// (0 with no observations).
+func (c Cell) Quantile(q float64) float64 {
+	if c.N == 0 {
+		return 0
+	}
+	q = math.Min(math.Max(q, 0), 1)
+	i := int(math.Ceil(q*float64(c.N))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.sorted[i]
+}
+
+// SketchProbes is the fixed probe grid of the quantile sketch.
+var SketchProbes = []float64{0.05, 0.25, 0.5, 0.75, 0.95}
+
+// Sketch is a small deterministic quantile sketch: the nearest-rank
+// order statistics at the fixed probe grid.
+type Sketch struct {
+	Probes []float64 `json:"probes"`
+	Values []float64 `json:"values"`
+}
+
+// Sketch summarizes the cell's distribution at SketchProbes.
+func (c Cell) Sketch() Sketch {
+	sk := Sketch{Probes: slices.Clone(SketchProbes), Values: make([]float64, len(SketchProbes))}
+	for i, q := range sk.Probes {
+		sk.Values[i] = c.Quantile(q)
+	}
+	return sk
+}

@@ -1,0 +1,302 @@
+package results
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New([]string{"loss", "protocol"}, []string{"goodput", "redundancy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := newStore(t)
+	if err := s.AddPoint(0, []string{"0.01", "Coordinated"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	for rep, v := range []float64{2, 4, 6} {
+		if err := s.Observe(0, rep, v, 10*v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := s.Cell(0, "goodput")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 3 || c.Mean != 4 || c.Min != 2 || c.Max != 6 {
+		t.Fatalf("cell %+v", c)
+	}
+	if v := c.Variance(); math.Abs(v-4) > 1e-12 {
+		t.Fatalf("variance %v, want 4", v)
+	}
+	if q := c.Quantile(0.5); q != 4 {
+		t.Fatalf("median %v", q)
+	}
+	sk := c.Sketch()
+	if len(sk.Values) != len(SketchProbes) || sk.Values[0] != 2 || sk.Values[len(sk.Values)-1] != 6 {
+		t.Fatalf("sketch %+v", sk)
+	}
+	r, err := s.Cell(0, "redundancy")
+	if err != nil || r.Mean != 40 {
+		t.Fatalf("redundancy cell %+v err %v", r, err)
+	}
+}
+
+func TestStoreRejects(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := New([]string{"x"}, []string{"x"}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := New(nil, []string{"a,b"}); err == nil {
+		t.Error("comma in column name accepted")
+	}
+	s := newStore(t)
+	if err := s.AddPoint(0, []string{"only-one"}, 2); err == nil {
+		t.Error("coordinate arity mismatch accepted")
+	}
+	if err := s.AddPoint(0, []string{"a", "b"}, 0); err == nil {
+		t.Error("zero replication capacity accepted")
+	}
+	if err := s.AddPoint(0, []string{"a,b", "c"}, 1); err == nil {
+		t.Error("comma in coordinate accepted")
+	}
+	if err := s.AddPoint(0, []string{"a", "b"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddPoint(0, []string{"a", "b"}, 2); err == nil {
+		t.Error("duplicate point accepted")
+	}
+	if err := s.Observe(1, 0, 1, 2); err == nil {
+		t.Error("observe on undefined point accepted")
+	}
+	if err := s.Observe(0, 2, 1, 2); err == nil {
+		t.Error("out-of-range replication accepted")
+	}
+	if err := s.Observe(0, 0, 1); err == nil {
+		t.Error("value arity mismatch accepted")
+	}
+	if err := s.Observe(0, 0, math.NaN(), 2); err == nil {
+		t.Error("NaN observation accepted")
+	}
+	if err := s.Observe(0, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Observe(0, 0, 1, 2); err == nil {
+		t.Error("double observation accepted")
+	}
+}
+
+// buildReference builds a deterministic observation set: numPoints
+// points × reps replications of two metrics, filled sequentially.
+func buildReference(t *testing.T, numPoints, reps int) *Store {
+	t.Helper()
+	ref := newStore(t)
+	for id := 0; id < numPoints; id++ {
+		if err := ref.AddPoint(id, coordsOf(id), reps); err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < reps; rep++ {
+			v1, v2 := valuesOf(id, rep)
+			if err := ref.Observe(id, rep, v1, v2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ref
+}
+
+func coordsOf(id int) []string {
+	return []string{fmtFloat(0.01 * float64(id+1)), []string{"C", "U", "D"}[id%3]}
+}
+
+func valuesOf(id, rep int) (float64, float64) {
+	// Irrational-ish values exercise the bit-identity claim harder than
+	// small integers would.
+	v := math.Sin(float64(id*31+rep*7)) * math.Exp(float64(rep%5))
+	return v, v * math.Pi
+}
+
+func render(t *testing.T, s *Store) string {
+	t.Helper()
+	var csv, js bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String() + js.String()
+}
+
+// TestMergeOrderInvariance is the store's central property test:
+// splitting the observation set into shards — by point, by
+// replication range, or one shard per observation — and merging them
+// in any shuffled order reproduces the sequential store bit for bit
+// (CSV and JSON output compared byte-wise).
+func TestMergeOrderInvariance(t *testing.T) {
+	const numPoints, reps = 7, 9
+	ref := buildReference(t, numPoints, reps)
+	want := render(t, ref)
+
+	rng := rand.New(rand.NewPCG(42, 99))
+	for round := 0; round < 20; round++ {
+		// Random sharding: each point's replication range is cut into
+		// 1–3 contiguous chunks, each chunk becoming its own shard.
+		var shards []*Store
+		for id := 0; id < numPoints; id++ {
+			cuts := []int{0, reps}
+			for n := rng.IntN(3); n > 0; n-- {
+				cuts = append(cuts, 1+rng.IntN(reps-1))
+			}
+			// Deduplicate and sort the cut set.
+			seen := map[int]bool{}
+			var uniq []int
+			for _, c := range cuts {
+				if !seen[c] {
+					seen[c] = true
+					uniq = append(uniq, c)
+				}
+			}
+			for i := 0; i < len(uniq); i++ {
+				for j := i + 1; j < len(uniq); j++ {
+					if uniq[j] < uniq[i] {
+						uniq[i], uniq[j] = uniq[j], uniq[i]
+					}
+				}
+			}
+			for ci := 0; ci+1 < len(uniq); ci++ {
+				lo, hi := uniq[ci], uniq[ci+1]
+				sh := newStore(t)
+				if err := sh.AddPoint(id, coordsOf(id), reps); err != nil {
+					t.Fatal(err)
+				}
+				for rep := lo; rep < hi; rep++ {
+					v1, v2 := valuesOf(id, rep)
+					if err := sh.Observe(id, rep, v1, v2); err != nil {
+						t.Fatal(err)
+					}
+				}
+				shards = append(shards, sh)
+			}
+		}
+		rng.Shuffle(len(shards), func(i, j int) { shards[i], shards[j] = shards[j], shards[i] })
+
+		merged := newStore(t)
+		for _, sh := range shards {
+			if err := merged.Merge(sh); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := render(t, merged); got != want {
+			t.Fatalf("round %d: merged output differs from sequential reference\n--- got ---\n%s\n--- want ---\n%s",
+				round, got, want)
+		}
+	}
+}
+
+func TestMergeRejects(t *testing.T) {
+	a := newStore(t)
+	b, err := New([]string{"loss"}, []string{"goodput"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("schema mismatch merge accepted")
+	}
+	c := newStore(t)
+	if err := a.AddPoint(0, []string{"x", "y"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddPoint(0, []string{"x", "z"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("coordinate mismatch merge accepted")
+	}
+	d := newStore(t)
+	if err := d.AddPoint(0, []string{"x", "y"}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(d); err == nil {
+		t.Error("capacity mismatch merge accepted")
+	}
+	e := newStore(t)
+	if err := e.AddPoint(0, []string{"x", "y"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(0, 1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Observe(0, 1, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(e); err == nil {
+		t.Error("overlapping observation merge accepted")
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	s := buildReference(t, 2, 2)
+	var b bytes.Buffer
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), b.String())
+	}
+	wantHeader := "loss,protocol,goodput_mean,goodput_ci95,goodput_min,goodput_max,goodput_p50,redundancy_mean,redundancy_ci95,redundancy_min,redundancy_max,redundancy_p50"
+	if lines[0] != wantHeader {
+		t.Fatalf("header\n got %s\nwant %s", lines[0], wantHeader)
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(wantHeader, ",") {
+			t.Fatalf("row arity %d vs header %d: %s", got, strings.Count(wantHeader, ","), line)
+		}
+	}
+}
+
+func TestWriteJoinedCSV(t *testing.T) {
+	sim := buildReference(t, 3, 2)
+	bench, err := New([]string{"loss", "protocol"}, []string{"fair_rate", "gap_mean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if err := bench.AddPoint(id, coordsOf(id), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := bench.Observe(id, 0, float64(id+1), 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b bytes.Buffer
+	if err := WriteJoinedCSV(&b, sim, bench); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows:\n%s", b.String())
+	}
+	if !strings.HasSuffix(lines[0], ",fair_rate,gap_mean") {
+		t.Fatalf("joined header missing benchmark columns: %s", lines[0])
+	}
+	if !strings.HasSuffix(lines[2], ",2,0.5") {
+		t.Fatalf("joined row 2 missing benchmark values: %s", lines[2])
+	}
+	// Mismatched point sets rejected.
+	extra := buildReference(t, 4, 2)
+	if err := WriteJoinedCSV(&b, extra, bench); err == nil {
+		t.Error("joined CSV across different point sets accepted")
+	}
+}

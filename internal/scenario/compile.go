@@ -321,6 +321,15 @@ func Compile(s *Spec) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	return compileBuilt(s, net, simulable)
+}
+
+// compileBuilt finishes compilation against an already-built topology —
+// the seam the sweep compiler uses to share one generated network
+// across every point whose topology inputs agree (the network is
+// read-only to the engine, so sharing is safe across parallel points).
+func compileBuilt(s *Spec, net *netmodel.Network, simulable bool) (*Compiled, error) {
+	var err error
 	c := &Compiled{Spec: s, Net: net, Simulable: simulable}
 	for _, ov := range s.Links {
 		if ov.Link < 0 || ov.Link >= net.NumLinks() {

@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netmodel"
+	"mlfair/internal/netsim"
+	"mlfair/internal/results"
+	"mlfair/internal/stats"
+)
+
+// BenchmarkColumns are the per-point analytic columns the Benchmark
+// stage produces: the mean and minimum max-min fair receiver rate of
+// the point's benchmark network, and the mean and minimum per-receiver
+// fairness-gap index (simulated mean rate / fair rate, over receivers
+// with a positive fair rate).
+var BenchmarkColumns = []string{"fair_rate", "fair_min", "gap_mean", "gap_min"}
+
+// SweepResult is one executed sweep: the expanded points, their
+// compiled scenarios, the replication-level simulated store, and the
+// per-point analytic benchmark store (nil unless Sweep.Benchmark).
+type SweepResult struct {
+	Sweep    *Sweep
+	Points   []Point
+	Compiled []*Compiled
+	// Sim holds one row per (point, replication) of the selected output
+	// metrics; summaries are bit-identical for any worker count and any
+	// point completion order.
+	Sim *results.Store
+	// Bench holds one row per point of BenchmarkColumns.
+	Bench *results.Store
+}
+
+// topoCacheKey captures exactly the inputs buildTopology consumes, so
+// sweep points that vary only non-topology fields (loss rates, packet
+// budgets, protocols, churn...) share one generated network.
+func topoCacheKey(s *Spec) (string, error) {
+	type sessKey struct {
+		Type       string
+		MaxRate    float64
+		Redundancy float64
+		Paths      [][]int
+	}
+	key := struct {
+		Topology TopologySpec
+		Seed     uint64
+		Sessions []sessKey
+	}{Topology: s.Topology, Seed: s.topologySeed()}
+	for _, ss := range s.Sessions {
+		key.Sessions = append(key.Sessions, sessKey{ss.Type, ss.MaxRate, ss.Redundancy, ss.Paths})
+	}
+	b, err := json.Marshal(key)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// CompilePoints expands the sweep and compiles every point, building
+// each distinct topology exactly once (shared-topology caching).
+func (sw *Sweep) CompilePoints() ([]Point, []*Compiled, error) {
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	type topo struct {
+		net       *netmodel.Network
+		simulable bool
+	}
+	cache := map[string]topo{}
+	compiled := make([]*Compiled, len(pts))
+	for i := range pts {
+		p := &pts[i]
+		key, err := topoCacheKey(p.Spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		ent, ok := cache[key]
+		if !ok {
+			net, simulable, err := p.Spec.buildTopology()
+			if err != nil {
+				return nil, nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+			}
+			ent = topo{net: net, simulable: simulable}
+			cache[key] = ent
+		}
+		c, err := compileBuilt(p.Spec, ent.net, ent.simulable)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+		}
+		if !c.Simulable {
+			return nil, nil, fmt.Errorf("scenario: sweep point %d: topology %q is not simulable", p.ID, p.Spec.Topology.Kind)
+		}
+		compiled[i] = c
+	}
+	return pts, compiled, nil
+}
+
+// RunSweep expands, compiles and executes a sweep on a parallel
+// point×replication scheduler: points are dispatched to a worker pool,
+// each point streams its replications through netsim.StreamReplications
+// (which parallelizes the inner level), and every finished point's
+// result shard merges into the shared columnar store. Because the
+// store is merge-order invariant and each replication row is a pure
+// function of its point spec and replication index, the returned
+// stores are bit-identical for any worker split and any point
+// completion order.
+func RunSweep(sw *Sweep) (*SweepResult, error) {
+	pts, compiled, err := sw.CompilePoints()
+	if err != nil {
+		return nil, err
+	}
+	axes := make([]string, len(sw.Axes))
+	for i, a := range sw.Axes {
+		axes[i] = a.Field
+	}
+	outputs := sw.outputSet()
+	fns := make([]func(*netsim.Result) float64, len(outputs))
+	for i, o := range outputs {
+		fns[i] = sweepMetrics[o]
+	}
+	sim, err := results.New(axes, outputs)
+	if err != nil {
+		return nil, err
+	}
+	var bench *results.Store
+	if sw.Benchmark {
+		if bench, err = results.New(axes, BenchmarkColumns); err != nil {
+			return nil, err
+		}
+	}
+	for i := range pts {
+		if err := sim.AddPoint(pts[i].ID, pts[i].Coords, pts[i].Spec.Replications.N); err != nil {
+			return nil, err
+		}
+		if bench != nil {
+			if err := bench.AddPoint(pts[i].ID, pts[i].Coords, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Worker budget: point-level parallelism times the replication
+	// workers each point hands to StreamReplications.
+	budget := sw.Base.Replications.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	pointWorkers := budget
+	if pointWorkers > len(pts) {
+		pointWorkers = len(pts)
+	}
+	inner := budget / pointWorkers
+	if inner < 1 {
+		inner = 1
+	}
+
+	var mu sync.Mutex // guards sim/bench merges and errs
+	errs := make([]error, len(pts))
+	failed := false
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pointWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, fns, bench != nil, sim, bench, &mu)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range pts {
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs { // first error in point order, deterministically
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SweepResult{Sweep: sw, Points: pts, Compiled: compiled, Sim: sim, Bench: bench}, nil
+}
+
+// runSweepPoint executes one point: replications stream into a
+// single-point shard, the analytic benchmark runs once, and both merge
+// into the shared stores under the lock.
+func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
+	fns []func(*netsim.Result) float64, wantBench bool,
+	sim, bench *results.Store, mu *sync.Mutex) error {
+	n := p.Spec.Replications.N
+	shard, err := results.New(axes, outputs)
+	if err != nil {
+		return err
+	}
+	if err := shard.AddPoint(p.ID, p.Coords, n); err != nil {
+		return err
+	}
+	var rateAccs [][]stats.Accumulator
+	if wantBench {
+		rateAccs = make([][]stats.Accumulator, c.Net.NumSessions())
+		for i := range rateAccs {
+			rateAccs[i] = make([]stats.Accumulator, c.Net.Session(i).NumReceivers())
+		}
+	}
+	row := make([]float64, len(fns))
+	err = netsim.StreamReplications(c.Cfg, n, inner, func(rep int, r *netsim.Result) error {
+		for m, fn := range fns {
+			row[m] = fn(r)
+		}
+		if err := shard.Observe(p.ID, rep, row...); err != nil {
+			return err
+		}
+		if rateAccs != nil {
+			for i := range r.ReceiverRates {
+				for k, v := range r.ReceiverRates[i] {
+					rateAccs[i][k].Add(v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+	}
+
+	var benchRow []float64
+	if wantBench {
+		fair, err := maxmin.Allocate(c.Benchmark)
+		if err != nil {
+			return fmt.Errorf("scenario: sweep point %d: max-min benchmark: %w", p.ID, err)
+		}
+		var fairAcc stats.Accumulator
+		fairMin := math.Inf(1)
+		gapMin := math.Inf(1)
+		var gapAcc stats.Accumulator
+		for i := 0; i < c.Benchmark.NumSessions(); i++ {
+			rates := fair.Alloc.SessionRates(i)
+			for k, f := range rates {
+				fairAcc.Add(f)
+				if f < fairMin {
+					fairMin = f
+				}
+				if f > 0 {
+					gap := rateAccs[i][k].Mean() / f
+					gapAcc.Add(gap)
+					if gap < gapMin {
+						gapMin = gap
+					}
+				}
+			}
+		}
+		if math.IsInf(fairMin, 1) {
+			fairMin = 0
+		}
+		if math.IsInf(gapMin, 1) {
+			gapMin = 0
+		}
+		benchRow = []float64{fairAcc.Mean(), fairMin, gapAcc.Mean(), gapMin}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if err := sim.Merge(shard); err != nil {
+		return err
+	}
+	if wantBench {
+		if err := bench.Observe(p.ID, 0, benchRow...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell returns the simulated summary of one (point, output metric)
+// cell — the accessor the table-rendering drivers read.
+func (r *SweepResult) Cell(id int, metric string) (results.Cell, error) {
+	return r.Sim.Cell(id, metric)
+}
+
+// WriteCSV renders the sweep as one deterministic CSV table: the
+// simulated statistics per point, joined with the benchmark columns
+// when the Benchmark stage ran (the compare output).
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	if r.Bench != nil {
+		return results.WriteJoinedCSV(w, r.Sim, r.Bench)
+	}
+	return r.Sim.WriteCSV(w)
+}
+
+// WriteJSON renders the sweep as one JSON document embedding the
+// simulated store and, when present, the benchmark store.
+func (r *SweepResult) WriteJSON(w io.Writer) error {
+	var simBuf, benchBuf bytes.Buffer
+	if err := r.Sim.WriteJSON(&simBuf); err != nil {
+		return err
+	}
+	doc := struct {
+		Name      string          `json:"name"`
+		Simulated json.RawMessage `json:"simulated"`
+		Benchmark json.RawMessage `json:"benchmark,omitempty"`
+	}{Name: r.Sweep.Title(), Simulated: bytes.TrimRight(simBuf.Bytes(), "\n")}
+	if r.Bench != nil {
+		if err := r.Bench.WriteJSON(&benchBuf); err != nil {
+			return err
+		}
+		doc.Benchmark = bytes.TrimRight(benchBuf.Bytes(), "\n")
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// RunSweepFile loads a Sweep from a JSON file, runs it, and writes the
+// result table — the shared implementation behind every cmd binary's
+// -sweep flag. format selects "csv" (default) or "json".
+func RunSweepFile(w io.Writer, path, format string) error {
+	switch format {
+	case "", "csv", "json":
+	default:
+		return fmt.Errorf("scenario: unknown sweep output format %q (want csv or json)", format)
+	}
+	sw, err := LoadSweepFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	if format == "json" {
+		return res.WriteJSON(w)
+	}
+	return res.WriteCSV(w)
+}
