@@ -346,6 +346,21 @@ func BenchmarkNetsimLargeStar(b *testing.B) {
 	benchNetsimRun(b, cfg)
 }
 
+// BenchmarkNetsimLargeStarProbed is BenchmarkNetsimLargeStar with the
+// streaming probe on (256-packet windows over 200 receivers): the
+// probe's per-event cost — and that allocs/event stays ~0 with it
+// enabled — reads as the delta against the unprobed benchmark, and the
+// benchjson -check allocs/event gate pins it.
+func BenchmarkNetsimLargeStarProbed(b *testing.B) {
+	cfg, err := netsim.Star(200, 0.0001, 0.04,
+		netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Probe = &netsim.ProbeConfig{PacketWindow: 256}
+	benchNetsimRun(b, cfg)
+}
+
 func BenchmarkNetsimDeepTree(b *testing.B) {
 	cfg, err := treesim.NetsimConfig(treesim.Config{
 		Tree: treesim.Binary(7, 0.02), Layers: 8,

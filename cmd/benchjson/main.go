@@ -15,9 +15,13 @@
 // With -check, the parsed run is additionally compared against a
 // committed baseline document: the gate fails (exit 1) when any
 // baseline benchmark's events/sec throughput regresses by more than
-// -max-regress (default 0.25), or disappears from the run entirely.
-// Benchmark names are compared with the -GOMAXPROCS suffix stripped,
-// so a baseline travels across machines with different core counts.
+// -max-regress (default 0.25), when any benchmark reporting
+// allocs/event exceeds the absolute -max-allocs-per-event budget
+// (default 0.02 — the hot path must stay allocation-free even as
+// probe hooks and other instrumentation land), or when a baseline
+// benchmark disappears from the run entirely. Benchmark names are
+// compared with the -GOMAXPROCS suffix stripped, so a baseline
+// travels across machines with different core counts.
 package main
 
 import (
@@ -132,9 +136,34 @@ func checkRegression(baseline, current *Doc, maxRegress float64) (string, bool) 
 	return rep.String(), failed
 }
 
+// checkAllocs gates allocs/event absolutely: every benchmark in the
+// current run that reports the metric must stay at or below the
+// budget. The gate reads the current run (not just the baseline) on
+// purpose — a freshly added benchmark that leaks per-event allocations
+// must fail before it ever becomes a baseline.
+func checkAllocs(current *Doc, maxAllocs float64) (string, bool) {
+	var rep strings.Builder
+	failed := false
+	for _, b := range current.Benchmarks {
+		got, ok := b.Metrics["allocs/event"]
+		if !ok {
+			continue
+		}
+		status := "ok"
+		if got > maxAllocs {
+			status = "ALLOCS"
+			failed = true
+		}
+		fmt.Fprintf(&rep, "%-10s %s: %.4g allocs/event (budget %.4g)\n",
+			status, normalizeName(b.Name), got, maxAllocs)
+	}
+	return rep.String(), failed
+}
+
 func main() {
 	check := flag.String("check", "", "baseline JSON document to gate events/sec regressions against")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
+	maxAllocs := flag.Float64("max-allocs-per-event", 0.02, "absolute allocs/event budget for every benchmark reporting the metric (with -check)")
 	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
@@ -162,8 +191,15 @@ func main() {
 	}
 	report, failed := checkRegression(&baseline, doc, *maxRegress)
 	fmt.Fprint(os.Stderr, report)
+	allocReport, allocFailed := checkAllocs(doc, *maxAllocs)
+	fmt.Fprint(os.Stderr, allocReport)
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchjson: events/sec regression gate failed (max tolerated %.0f%%)\n", *maxRegress*100)
+	}
+	if allocFailed {
+		fmt.Fprintf(os.Stderr, "benchjson: allocs/event gate failed (budget %g)\n", *maxAllocs)
+	}
+	if failed || allocFailed {
 		os.Exit(1)
 	}
 }

@@ -99,3 +99,33 @@ func TestCheckRegression(t *testing.T) {
 		t.Fatalf("baseline without events/sec failed:\n%s", rep)
 	}
 }
+
+func allocDoc(pairs map[string]float64) *Doc {
+	d := &Doc{Env: map[string]string{}}
+	for name, v := range pairs {
+		d.Benchmarks = append(d.Benchmarks, Bench{
+			Name: name, Iterations: 1,
+			Metrics: map[string]float64{"allocs/event": v},
+		})
+	}
+	return d
+}
+
+func TestCheckAllocs(t *testing.T) {
+	// Under budget: passes.
+	rep, failed := checkAllocs(allocDoc(map[string]float64{"BenchmarkA-8": 0.001, "BenchmarkB-8": 0.019}), 0.02)
+	if failed {
+		t.Fatalf("under-budget run failed:\n%s", rep)
+	}
+	// Over budget fails — including for benchmarks absent from any
+	// baseline (new benchmarks must not leak per-event allocations).
+	rep, failed = checkAllocs(allocDoc(map[string]float64{"BenchmarkA-8": 0.001, "BenchmarkNew-8": 0.5}), 0.02)
+	if !failed || !strings.Contains(rep, "ALLOCS") || !strings.Contains(rep, "BenchmarkNew") {
+		t.Fatalf("alloc overage not flagged:\n%s", rep)
+	}
+	// Benchmarks without the metric are ignored.
+	noMetric := &Doc{Benchmarks: []Bench{{Name: "BenchmarkC-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
+	if rep, failed := checkAllocs(noMetric, 0.02); failed {
+		t.Fatalf("metric-less benchmark failed the alloc gate:\n%s", rep)
+	}
+}

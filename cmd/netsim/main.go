@@ -15,8 +15,11 @@
 //	netsim -scenario star -receivers 100 -packets 100000 -trials 30
 //	netsim -scenario scalefree,fattree -packets 200000 -trials 30
 //	netsim -scenario audit
+//	netsim -scenario convergence
 //	netsim -spec testdata/scalefree.json
+//	netsim -spec testdata/timeseries.json -timeseries
 //	netsim -sweep testdata/sweeps/fig8.json
+//	netsim -sweep testdata/sweeps/convergence.json
 //	netsim -sweep testdata/sweeps/background.json -format json
 package main
 
@@ -25,19 +28,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strings"
 
 	"mlfair/internal/cliutil"
 	"mlfair/internal/experiments"
+	scen "mlfair/internal/scenario"
 )
 
 func main() {
 	scenarioFlag := flag.String("scenario", "all",
-		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | scalefree | fattree | all (comma-separated)")
+		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | convergence | scalefree | fattree | all (comma-separated)")
+	timeseries := flag.Bool("timeseries", false,
+		"with -spec: emit the time-resolved fairness CSV (windowed rates and levels joined against the epoch fair-rate timeline) instead of the text report; the spec needs a probe block")
 	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
 		Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true,
 	})
 	flag.Parse()
+	if *timeseries {
+		if err := runTimeseries(os.Stdout, f.Spec, f.Sweep); err != nil {
+			fmt.Fprintln(os.Stderr, "netsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if ran, err := f.Run(os.Stdout); ran {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netsim:", err)
@@ -68,8 +82,35 @@ var scenarios = []struct {
 	{"background", experiments.NetsimBackground},
 	{"leavelatency", experiments.NetsimLeaveLatency},
 	{"audit", experiments.NetsimAudit},
+	{"convergence", experiments.NetsimConvergence},
 	{"scalefree", experiments.NetsimScaleFree},
 	{"fattree", experiments.NetsimFatTree},
+}
+
+// runTimeseries is the -timeseries path: load the spec, make sure the
+// timeseries stage is selected, run, and emit the long-format CSV.
+func runTimeseries(w io.Writer, specPath, sweepPath string) error {
+	if specPath == "" {
+		return fmt.Errorf("-timeseries needs -spec (a scenario file with a probe block)")
+	}
+	if sweepPath != "" {
+		return fmt.Errorf("-timeseries applies to -spec runs, not -sweep")
+	}
+	spec, err := scen.LoadFile(specPath)
+	if err != nil {
+		return err
+	}
+	if !slices.Contains(spec.Metrics, scen.MetricTimeseries) {
+		spec.Metrics = append(spec.Metrics, scen.MetricTimeseries)
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	}
+	res, err := scen.Run(spec)
+	if err != nil {
+		return err
+	}
+	return res.WriteTimeseriesCSV(w)
 }
 
 func run(w io.Writer, names string, o experiments.NetsimOptions) error {

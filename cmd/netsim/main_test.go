@@ -22,7 +22,7 @@ func TestRunAllScenarios(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"netsim star", "netsim figure 8", "tree depth", "netsim mesh", "netsim churn",
-		"background traffic", "netsim leave latency", "netsim audit",
+		"background traffic", "netsim leave latency", "netsim audit", "netsim convergence",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in -scenario all output", want)
@@ -114,6 +114,7 @@ func sweepCases() []struct {
 		{"fig8", func() (*scen.Sweep, error) { return experiments.Figure8Sweep(o, 0.0001) }},
 		{"background", func() (*scen.Sweep, error) { return experiments.BackgroundSweep(o) }},
 		{"leavelatency", func() (*scen.Sweep, error) { return experiments.LeaveLatencySweep(o) }},
+		{"convergence", func() (*scen.Sweep, error) { return experiments.ConvergenceSweep(o) }},
 	}
 }
 
@@ -184,6 +185,55 @@ func TestSweepCSVGolden(t *testing.T) {
 			t.Errorf("%s drifted from golden (run with UPDATE_GOLDEN=1 if intentional):\n--- got ---\n%s\n--- want ---\n%s",
 				c.name, b.String(), want)
 		}
+	}
+}
+
+// TestTimeseriesFlag: the -timeseries path emits the long-format CSV
+// for the committed probe spec, and rejects spec-less or probe-less
+// invocations.
+func TestTimeseriesFlag(t *testing.T) {
+	var b strings.Builder
+	if err := runTimeseries(&b, filepath.Join("testdata", "timeseries.json"), ""); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(b.String(), "\n")
+	if lines[0] != "time,window_start,session,receiver,rate_mean,level_mean,fair_rate,gap" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d CSV lines", len(lines))
+	}
+	if err := runTimeseries(&b, "", ""); err == nil {
+		t.Fatal("-timeseries without -spec accepted")
+	}
+	if err := runTimeseries(&b, "x.json", "y.json"); err == nil {
+		t.Fatal("-timeseries with -sweep accepted")
+	}
+	// audit.json carries no probe block: the appended timeseries stage
+	// must fail validation, not run silently without windows.
+	if err := runTimeseries(&b, filepath.Join("testdata", "audit.json"), ""); err == nil {
+		t.Fatal("-timeseries on a probe-less spec accepted")
+	}
+}
+
+// TestTimeseriesSpecStable: the committed timeseries spec decodes and
+// re-encodes byte-identically, like every committed spec file.
+func TestTimeseriesSpecStable(t *testing.T) {
+	path := filepath.Join("testdata", "timeseries.json")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := scen.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := loaded.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("%s: decode→encode not stable", path)
 	}
 }
 

@@ -1,7 +1,9 @@
 // Command redundancy evaluates the paper's analytical redundancy
 // formulas: the Appendix B expected link rate for a single layer with
 // random joins (Figure 5) and the impact of redundancy on constrained
-// fair rates (Figure 6), with custom parameters.
+// fair rates (Figure 6), with custom parameters. Like the simulator
+// binaries it also runs the declarative files (internal/cliutil):
+// -spec executes a scenario.Spec and -sweep a scenario.Sweep.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	redundancy -mode fig5
 //	redundancy -mode fig6
 //	redundancy -mode fairrate -capacity 30 -sessions 10 -multirate 3 -v 2.5
+//	redundancy -spec scenario.json
+//	redundancy -sweep sweep.json -format csv
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mlfair/internal/cliutil"
 	"mlfair/internal/experiments"
 	"mlfair/internal/redundancy"
 	"mlfair/internal/trace"
@@ -34,7 +39,15 @@ func main() {
 		multirate = flag.Int("multirate", 3, "multi-rate sessions m (mode=fairrate)")
 		v         = flag.Float64("v", 2, "redundancy v of the multi-rate sessions (mode=fairrate)")
 	)
+	d := cliutil.RegisterDeclarative(flag.CommandLine)
 	flag.Parse()
+	if ran, err := d.Run(os.Stdout); ran {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "redundancy:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *mode, *rates, *layerRate, *capacity, *sessions, *multirate, *v); err != nil {
 		fmt.Fprintln(os.Stderr, "redundancy:", err)
 		os.Exit(1)

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"mlfair/internal/cliutil"
 )
 
 func TestParseRates(t *testing.T) {
@@ -28,6 +31,24 @@ func TestModes(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, "bogus", "", 1, 1, 1, 0, 1); err == nil {
 		t.Fatal("bogus mode accepted")
+	}
+}
+
+// TestDeclarativeTrio: redundancy runs the shared -spec path like the
+// simulator binaries (the cliutil port).
+func TestDeclarativeTrio(t *testing.T) {
+	var b strings.Builder
+	d := &cliutil.Declarative{Spec: filepath.Join("..", "..", "internal", "scenario", "testdata", "paths-analytic.json")}
+	ran, err := d.Run(&b)
+	if !ran || err != nil {
+		t.Fatalf("spec run: ran=%v err=%v", ran, err)
+	}
+	if b.Len() == 0 {
+		t.Fatal("spec run produced no output")
+	}
+	both := &cliutil.Declarative{Spec: "a.json", Sweep: "b.json"}
+	if ran, err := both.Run(&b); !ran || err == nil {
+		t.Fatal("-spec with -sweep accepted")
 	}
 }
 

@@ -471,6 +471,89 @@ func NetsimBackground(w io.Writer, o NetsimOptions) error {
 	return err
 }
 
+// ConvergenceSweep declares the time-domain question — how fast does
+// each protocol converge to the max-min fair allocation, with and
+// without membership churn — as a sweep: the capacity-coupled audit
+// star with probe windows, protocol × churn-interval axes, and the
+// convergence outputs (time-to-within-ε-of-fair, fraction-of-time-
+// fair, post-convergence oscillation) computed per replication against
+// the epoch-incremental fair-rate timeline.
+func ConvergenceSweep(o NetsimOptions) (*scenario.Sweep, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	// One 8-layer session sends 128 packets per time unit, so the run
+	// lasts about o.Packets/128; churn spans it with one leave/rejoin
+	// round every eighth of the horizon.
+	horizon := float64(o.Packets) / 128
+	window := o.Packets / 128
+	if window < 1 {
+		window = 1
+	}
+	base := scenario.Spec{
+		Topology: scenario.TopologySpec{
+			Kind:             "star",
+			SharedCapacity:   24,
+			FanoutCapacities: []float64{2, 8, 32, 64},
+		},
+		Sessions:     []scenario.SessionSpec{{Protocol: "Deterministic", Layers: 8}},
+		DefaultLink:  &scenario.LinkSpec{Kind: "capacity"},
+		Packets:      o.Packets,
+		Seed:         o.Seed,
+		Probe:        &scenario.ProbeSpec{PacketWindow: window},
+		Churn:        &scenario.ChurnSpec{Downtime: horizon / 20, Horizon: horizon},
+		Replications: scenario.ReplicationSpec{N: o.Trials, Workers: o.Workers},
+	}
+	return &scenario.Sweep{
+		Name: fmt.Sprintf("netsim convergence: time-to-fair vs protocol and churn (capacity star 2/8/32/64 behind 24, %d packets, %d trials)",
+			o.Packets, o.Trials),
+		Base: base,
+		Axes: []scenario.Axis{
+			{Field: "sessions.protocol", Values: protocolValues()},
+			{Field: "churn.interval", Values: []any{0.0, horizon / 8}},
+		},
+		Outputs: []string{"time_to_fair", "frac_time_fair", "oscillation"},
+	}, nil
+}
+
+// NetsimConvergence runs ConvergenceSweep and tabulates the
+// per-protocol convergence metrics for the stable and churning points.
+func NetsimConvergence(w io.Writer, o NetsimOptions) error {
+	sw, err := ConvergenceSweep(o)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSweep(sw)
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable(sw.Name,
+		"protocol", "scenario", "time to fair", "ci95", "frac time fair", "oscillation")
+	for _, p := range res.Points {
+		name := "churning"
+		if p.Coords[1] == "0" {
+			name = "stable"
+		}
+		ttf, err := res.Cell(p.ID, "time_to_fair")
+		if err != nil {
+			return err
+		}
+		frac, err := res.Cell(p.ID, "frac_time_fair")
+		if err != nil {
+			return err
+		}
+		osc, err := res.Cell(p.ID, "oscillation")
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.Coords[0], name,
+			trace.Float(ttf.Mean), trace.Float(ttf.CI95()),
+			trace.Float(frac.Mean), trace.Float(osc.Mean))
+	}
+	_, err = t.WriteTo(w)
+	return err
+}
+
 // NetsimAudit is the end-to-end "simulate, then audit against the
 // paper's fair allocation" pipeline on a capacity-coupled star with
 // heterogeneous receivers: one spec selects the rates, max-min

@@ -146,6 +146,11 @@ type Config struct {
 	SignalPeriod float64
 	// Churn lists membership changes, in any order.
 	Churn []ChurnEvent
+	// Probe turns on streaming observation windows (ProbeConfig): the
+	// run is sampled into Result.Probe. Nil means no probing. Probing
+	// never changes dynamics: every other Result field is bit-identical
+	// with probes on or off.
+	Probe *ProbeConfig
 	// LeaveLatency models slow IGMP-style leave processing (the paper's
 	// Section 5 concern): after the highest subscription below a link
 	// drops, the link keeps carrying the abandoned layers for this many
@@ -207,6 +212,9 @@ type Result struct {
 	// Links holds per-(link, session) stats for every link crossed by at
 	// least one receiver of the session, in link-major order.
 	Links []LinkStats
+	// Probe holds the run's retained observation windows (nil unless
+	// Config.Probe was set).
+	Probe *ProbeSeries
 	// PacketsSent counts sender transmissions across all sessions.
 	PacketsSent int
 	// Duration is the simulated time.
@@ -266,6 +274,11 @@ func (c *Config) validate() error {
 	}
 	if !(c.LeaveLatency >= 0) || math.IsInf(c.LeaveLatency, 0) {
 		return fmt.Errorf("netsim: LeaveLatency = %v", c.LeaveLatency)
+	}
+	if c.Probe != nil {
+		if err := c.Probe.validate(); err != nil {
+			return err
+		}
 	}
 	for i, sc := range c.Sessions {
 		if sc.Layers < 1 {
@@ -619,6 +632,10 @@ type engine struct {
 	seq uint64
 	// fwdStack is forward's reusable DFS work stack of edge ids.
 	fwdStack []int32
+	// probe is the streaming observation state (nil when off); all its
+	// buffers are preallocated, so the hot path pays one nil check per
+	// event and nothing else.
+	probe *probeState
 
 	signalIdx int
 	// signalPeriod is the resolved Coordinated signal period (the
@@ -890,6 +907,9 @@ func newEngine(cfg Config) (*engine, error) {
 	}
 	for ci, ev := range cfg.Churn {
 		e.push(event{time: ev.Time, kind: evChurn, node: int32(ci)})
+	}
+	if cfg.Probe != nil {
+		e.probe = newProbeState(cfg.Probe, e)
 	}
 	return e, nil
 }
@@ -1447,6 +1467,9 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 			ev := e.q.pop()
+			if e.probe != nil {
+				e.probe.advanceTime(e, ev.time)
+			}
 			e.now = ev.time
 			e.pops++
 			switch ev.kind {
@@ -1461,6 +1484,9 @@ func Run(cfg Config) (*Result, error) {
 		// Fire every layer due at this tick — the contiguous range given
 		// by the tick's trailing zeros — layer-ascending, stopping
 		// exactly at the packet budget.
+		if e.probe != nil {
+			e.probe.advanceTime(e, ts)
+		}
 		e.now = ts
 		s := &e.sess[si]
 		n := s.tick + 1
@@ -1476,6 +1502,9 @@ func Run(cfg Config) (*Result, error) {
 				e.forwardLinger(s, l, 0, ts)
 			} else if s.subMax[0] > l {
 				e.forward(s, l, 0, ts)
+			}
+			if e.probe != nil {
+				e.probe.advancePackets(e, ts)
 			}
 		}
 		s.tick = n
@@ -1523,6 +1552,9 @@ func (e *engine) signal() {
 }
 
 func (e *engine) result() *Result {
+	if e.probe != nil {
+		e.probe.finish(e)
+	}
 	res := &Result{
 		ReceiverRates:   make([][]float64, len(e.sess)),
 		ReceiverPackets: make([][]int, len(e.sess)),
@@ -1531,6 +1563,9 @@ func (e *engine) result() *Result {
 		PacketsSent:     e.sent,
 		Duration:        e.now,
 		Events:          int64(e.sent) + e.pops,
+	}
+	if e.probe != nil {
+		res.Probe = e.probe.series(e)
 	}
 	for i := range e.sess {
 		s := &e.sess[i]

@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mlfair/internal/protocol"
+)
+
+func probeStarConfig(t *testing.T, packets int) Config {
+	t.Helper()
+	cfg, err := Star(12, 0.001, 0.03,
+		SessionConfig{Protocol: protocol.Deterministic, Layers: 6}, packets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestProbeDoesNotPerturbDynamics: probing is pure measurement — every
+// non-Probe Result field is bit-identical with probes on or off, for
+// both window modes.
+func TestProbeDoesNotPerturbDynamics(t *testing.T) {
+	base := probeStarConfig(t, 20000)
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []*ProbeConfig{
+		{Window: 7.5},
+		{PacketWindow: 256},
+		{Window: 3, MaxSamples: 8},
+	} {
+		cfg := base
+		cfg.Probe = pc
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Probe == nil {
+			t.Fatalf("probe %+v produced no series", *pc)
+		}
+		stripped := *got
+		stripped.Probe = nil
+		if !reflect.DeepEqual(&stripped, want) {
+			t.Fatalf("probe %+v perturbed the run:\n got %+v\nwant %+v", *pc, &stripped, want)
+		}
+	}
+}
+
+// TestProbeFoldsToTotals: with no ring overflow, the windows partition
+// the run — per-receiver deliveries and per-link crossings summed over
+// samples equal the Result's cumulative counters, windows are
+// contiguous, and the final sample closes at Duration.
+func TestProbeFoldsToTotals(t *testing.T) {
+	for _, pc := range []ProbeConfig{
+		{Window: 11, MaxSamples: 1 << 14},
+		{PacketWindow: 300, MaxSamples: 1 << 14},
+		// Layers-6 config: duration is exactly 20000/32 = 625, so this
+		// window puts a boundary precisely at the run end — the final
+		// tick's deliveries must still land in the tail sample.
+		{Window: 156.25, MaxSamples: 1 << 14},
+	} {
+		cfg := probeStarConfig(t, 20000)
+		cfg.Probe = &pc
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := res.Probe
+		if p.Dropped != 0 {
+			t.Fatalf("unexpected overflow: %d dropped", p.Dropped)
+		}
+		n := p.NumSamples()
+		if n < 2 {
+			t.Fatalf("expected several samples, got %d", n)
+		}
+		if p.Starts[0] != 0 {
+			t.Fatalf("first window starts at %v", p.Starts[0])
+		}
+		for s := 1; s < n; s++ {
+			if p.Starts[s] != p.Times[s-1] {
+				t.Fatalf("window %d not contiguous: start %v, previous close %v", s, p.Starts[s], p.Times[s-1])
+			}
+		}
+		if p.Times[n-1] != res.Duration {
+			t.Fatalf("final sample closes at %v, duration %v", p.Times[n-1], res.Duration)
+		}
+		for i := range res.ReceiverPackets {
+			for k, want := range res.ReceiverPackets[i] {
+				sum := 0
+				for s := 0; s < n; s++ {
+					sum += p.ReceiverDelivered(i, k, s)
+				}
+				if sum != want {
+					t.Fatalf("receiver r%d,%d: windows sum to %d, total %d", i+1, k+1, sum, want)
+				}
+			}
+		}
+		linkTotals := map[int]int{}
+		for _, ls := range res.Links {
+			linkTotals[ls.Link] += ls.Crossed
+		}
+		for j, want := range linkTotals {
+			sum := 0
+			for s := 0; s < n; s++ {
+				sum += p.LinkCrossed(j, s)
+			}
+			if sum != want {
+				t.Fatalf("link %d: windows sum to %d, total %d", j, sum, want)
+			}
+		}
+	}
+}
+
+// TestProbeWindowedRates: a windowed rate is the window's deliveries
+// over its duration, and link utilization is the crossing rate over
+// capacity.
+func TestProbeWindowedRates(t *testing.T) {
+	cfg := probeStarConfig(t, 20000)
+	cfg.Probe = &ProbeConfig{Window: 16}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probe
+	for s := 0; s < p.NumSamples(); s++ {
+		w := p.Times[s] - p.Starts[s]
+		if w <= 0 {
+			continue
+		}
+		got := p.ReceiverRate(0, 0, s)
+		want := float64(p.ReceiverDelivered(0, 0, s)) / w
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("sample %d: rate %v, want %v", s, got, want)
+		}
+		if u := p.LinkUtilization(0, s); math.Abs(u-p.LinkRate(0, s)/1.0) > 1e-12 {
+			t.Fatalf("sample %d: utilization %v vs rate %v over capacity 1", s, u, p.LinkRate(0, s))
+		}
+	}
+}
+
+// TestProbeRingOverflow: past MaxSamples the ring keeps the newest
+// windows, in chronological order, and counts the dropped prefix.
+func TestProbeRingOverflow(t *testing.T) {
+	cfg := probeStarConfig(t, 20000)
+	cfg.Probe = &ProbeConfig{PacketWindow: 100, MaxSamples: 16}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probe
+	if p.NumSamples() != 16 {
+		t.Fatalf("retained %d samples, want 16", p.NumSamples())
+	}
+	if p.Dropped == 0 {
+		t.Fatal("expected dropped samples")
+	}
+	for s := 1; s < p.NumSamples(); s++ {
+		if p.Times[s] <= p.Times[s-1] {
+			t.Fatalf("retained samples out of order at %d: %v then %v", s, p.Times[s-1], p.Times[s])
+		}
+	}
+	if p.Times[p.NumSamples()-1] != res.Duration {
+		t.Fatal("newest sample should close at the run end")
+	}
+}
+
+// TestProbeLevelsTrackChurn: a churned-out receiver reads level 0 in
+// samples taken while it is away.
+func TestProbeLevelsTrackChurn(t *testing.T) {
+	cfg := probeStarConfig(t, 20000)
+	cfg.Churn = []ChurnEvent{{Time: 50, Session: 0, Receiver: 3, Join: false}}
+	cfg.Probe = &ProbeConfig{Window: 10}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Probe
+	sawZero, sawJoined := false, false
+	for s := 0; s < p.NumSamples(); s++ {
+		lv := p.Level(0, 3, s)
+		if p.Times[s] > 50 && lv == 0 {
+			sawZero = true
+		}
+		if p.Times[s] <= 50 && lv > 0 {
+			sawJoined = true
+		}
+	}
+	if !sawJoined || !sawZero {
+		t.Fatalf("level series does not track churn (joined before: %v, zero after: %v)", sawJoined, sawZero)
+	}
+}
+
+// TestProbeValidation: malformed probe configs are rejected.
+func TestProbeValidation(t *testing.T) {
+	for _, pc := range []ProbeConfig{
+		{},                               // neither window
+		{Window: 2, PacketWindow: 10},    // both
+		{Window: -1},                     // negative
+		{Window: math.Inf(1)},            // infinite
+		{PacketWindow: -5},               // negative
+		{Window: 1, MaxSamples: -1},      // negative cap
+		{Window: math.NaN()},             // NaN
+		{PacketWindow: 10, Window: -0.5}, // negative + packet
+	} {
+		cfg := probeStarConfig(t, 1000)
+		cfg.Probe = &pc
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("probe config %+v accepted", pc)
+		}
+	}
+}

@@ -368,6 +368,14 @@ func compileBuilt(s *Spec, net *netmodel.Network, simulable bool) (*Compiled, er
 			churn = append(churn, netsim.ChurnEvent{Time: ev.Time, Session: ev.Session, Receiver: ev.Receiver, Join: ev.Join})
 		}
 	}
+	var probe *netsim.ProbeConfig
+	if s.Probe != nil {
+		probe = &netsim.ProbeConfig{
+			Window:       s.Probe.Window,
+			PacketWindow: s.Probe.PacketWindow,
+			MaxSamples:   s.Probe.MaxSamples,
+		}
+	}
 	c.Cfg = netsim.Config{
 		Network:      net,
 		Links:        specs,
@@ -375,6 +383,7 @@ func compileBuilt(s *Spec, net *netmodel.Network, simulable bool) (*Compiled, er
 		Packets:      s.Packets,
 		SignalPeriod: s.SignalPeriod,
 		Churn:        churn,
+		Probe:        probe,
 		LeaveLatency: s.LeaveLatency,
 		Seed:         s.Seed,
 	}

@@ -39,6 +39,15 @@ type Result struct {
 	// Gap[i][k] = achieved mean / fair rate ("gap" stage; 0 when the
 	// fair rate is 0).
 	Gap [][]float64
+	// Timeline is the epoch-incremental max-min fair-rate timeline over
+	// the membership schedule ("timeseries"/"convergence" stages).
+	Timeline []maxmin.TimelineEpoch
+	// TimeSeries joins the probe's replication-mean windows against the
+	// timeline ("timeseries" stage).
+	TimeSeries *TimeSeries
+	// Convergence summarizes the per-replication convergence scalars
+	// ("convergence" stage).
+	Convergence *ConvergenceReport
 	// BenchmarkFairness audits the four Section 2.1 properties on the
 	// benchmark allocation (a sanity check: the paper's Theorem 1 says
 	// all four hold when every session is multi-rate).
@@ -47,6 +56,25 @@ type Result struct {
 	// simulated mean-rate allocation — the paper's "do the protocols
 	// come close to max-min fairness" question as a verdict.
 	SimulatedFairness *fairness.Report
+}
+
+// ConvergenceReport is the "convergence" stage output: the
+// per-replication convergence scalars (each already averaged over
+// receivers) summarized across replications.
+type ConvergenceReport struct {
+	// Epsilon is the relative fair-rate band the scalars are defined
+	// against.
+	Epsilon float64
+	// TimeToFair is the earliest time after which every probe window
+	// stays within ε of the epoch fair rate (run duration = censored,
+	// never converged).
+	TimeToFair stats.Summary
+	// FracTimeFair is the duration-weighted fraction of the run inside
+	// the ε band.
+	FracTimeFair stats.Summary
+	// Oscillation is the post-convergence peak-to-peak windowed-rate
+	// amplitude over the mean fair rate.
+	Oscillation stats.Summary
 }
 
 // Run compiles and executes a Spec.
@@ -67,6 +95,18 @@ func RunCompiled(c *Compiled) (*Result, error) {
 	sel := s.metricSet()
 	res := &Result{Spec: s, Compiled: c}
 	needRates := sel[MetricRates] || sel[MetricGap] || sel[MetricFairness]
+	needTime := sel[MetricTimeseries] || sel[MetricConvergence]
+
+	if needTime {
+		if !c.Simulable {
+			return nil, fmt.Errorf("scenario: topology %q is not simulable", s.Topology.Kind)
+		}
+		epochs, err := FairTimeline(c)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fair-rate timeline: %w", err)
+		}
+		res.Timeline = epochs
+	}
 
 	if s.Replications.N > 0 {
 		if !c.Simulable {
@@ -75,6 +115,12 @@ func RunCompiled(c *Compiled) (*Result, error) {
 		res.Simulated = true
 		net := c.Net
 		var goodAcc, rootAcc, maxAcc stats.Accumulator
+		var timeToFairAcc, fracFairAcc, oscAcc stats.Accumulator
+		var tsAcc timeSeriesAcc
+		var convEval *convergenceEval
+		if sel[MetricConvergence] {
+			convEval = &convergenceEval{epochs: res.Timeline, eps: s.convergenceEpsilon()}
+		}
 		rateAccs := make([][]stats.Accumulator, net.NumSessions())
 		for i := range rateAccs {
 			rateAccs[i] = make([]stats.Accumulator, net.Session(i).NumReceivers())
@@ -82,6 +128,9 @@ func RunCompiled(c *Compiled) (*Result, error) {
 		goodput := netsim.MeanReceiverRateMetric()
 		err := netsim.StreamReplications(c.Cfg, s.Replications.N, s.Replications.Workers,
 			func(_ int, r *netsim.Result) error {
+				if needTime && r.Probe == nil {
+					return fmt.Errorf("scenario: timeseries/convergence stages ran without probe output")
+				}
 				if sel[MetricGoodput] {
 					goodAcc.Add(goodput(r))
 				}
@@ -106,6 +155,20 @@ func RunCompiled(c *Compiled) (*Result, error) {
 						}
 					}
 				}
+				if sel[MetricTimeseries] {
+					if err := tsAcc.add(r); err != nil {
+						return err
+					}
+				}
+				if convEval != nil {
+					if err := convEval.checkComplete(r.Probe); err != nil {
+						return err
+					}
+					cs := convEval.scalars(r.Probe)
+					timeToFairAcc.Add(cs.TimeToFair)
+					fracFairAcc.Add(cs.FracTimeFair)
+					oscAcc.Add(cs.Oscillation)
+				}
 				return nil
 			})
 		if err != nil {
@@ -117,6 +180,17 @@ func RunCompiled(c *Compiled) (*Result, error) {
 		res.Goodput = sum(&goodAcc)
 		res.RootRedundancy = sum(&rootAcc)
 		res.MaxLinkRedundancy = sum(&maxAcc)
+		if sel[MetricTimeseries] {
+			res.TimeSeries = tsAcc.finish(res.Timeline)
+		}
+		if convEval != nil {
+			res.Convergence = &ConvergenceReport{
+				Epsilon:      convEval.eps,
+				TimeToFair:   sum(&timeToFairAcc),
+				FracTimeFair: sum(&fracFairAcc),
+				Oscillation:  sum(&oscAcc),
+			}
+		}
 		if needRates {
 			res.Rates = make([][]stats.Summary, len(rateAccs))
 			res.MeanRates = make([][]float64, len(rateAccs))
@@ -240,6 +314,24 @@ func (r *Result) WriteReport(w io.Writer) error {
 			}
 		}
 		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if sel[MetricConvergence] && r.Convergence != nil {
+		cv := r.Convergence
+		t := trace.NewTable(
+			fmt.Sprintf("convergence vs max-min fair (ε = %s, %d epoch(s))", trace.Float(cv.Epsilon), len(r.Timeline)),
+			"metric", "mean", "ci95")
+		t.AddRow("time to fair", trace.Float(cv.TimeToFair.Mean), trace.Float(cv.TimeToFair.CI95))
+		t.AddRow("fraction of time fair", trace.Float(cv.FracTimeFair.Mean), trace.Float(cv.FracTimeFair.CI95))
+		t.AddRow("oscillation amplitude", trace.Float(cv.Oscillation.Mean), trace.Float(cv.Oscillation.CI95))
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if sel[MetricTimeseries] && r.TimeSeries != nil {
+		if _, err := fmt.Fprintf(w, "time series: %d windows x %d replications over %d fair-rate epoch(s)\n",
+			len(r.TimeSeries.Times), r.TimeSeries.Reps, len(r.Timeline)); err != nil {
 			return err
 		}
 	}

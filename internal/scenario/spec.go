@@ -53,6 +53,11 @@ type Spec struct {
 	LeaveLatency float64 `json:"leaveLatency,omitempty"`
 	// Churn schedules membership changes.
 	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Probe turns on netsim's streaming observation windows — required
+	// by the "timeseries" and "convergence" stages.
+	Probe *ProbeSpec `json:"probe,omitempty"`
+	// Convergence parameterizes the "convergence" stage.
+	Convergence *ConvergenceSpec `json:"convergence,omitempty"`
 	// Replications plans the simulation; N = 0 runs the analytic stages
 	// only (no simulation), which is the only mode the abstract "paths"
 	// topology supports.
@@ -61,9 +66,34 @@ type Spec struct {
 	// Topology.Seed overrides), and the replication seed chain.
 	Seed uint64 `json:"seed"`
 	// Metrics selects the report stages: "goodput", "redundancy",
-	// "rates", "maxmin", "fairness", "gap". Empty means
-	// ["goodput", "redundancy"].
+	// "rates", "maxmin", "fairness", "gap", "timeseries",
+	// "convergence". Empty means ["goodput", "redundancy"].
 	Metrics []string `json:"metrics,omitempty"`
+}
+
+// ProbeSpec is the JSON form of netsim.ProbeConfig: windowed streaming
+// observation of per-receiver throughput and subscription levels plus
+// per-link utilization. Exactly one of Window (virtual time) and
+// PacketWindow (sender transmissions) must be positive.
+type ProbeSpec struct {
+	Window       float64 `json:"window,omitempty"`
+	PacketWindow int     `json:"packetWindow,omitempty"`
+	// MaxSamples caps retained windows (0 = netsim's default ring).
+	MaxSamples int `json:"maxSamples,omitempty"`
+}
+
+// DefaultConvergenceEpsilon is the relative fair-rate band used when
+// ConvergenceSpec.Epsilon is zero: a receiver's window counts as fair
+// when its rate is within 50% of its epoch fair rate (the exponential
+// layer scheme quantizes achievable rates to powers of two, so bands
+// much tighter than a factor of two are unreachable by construction).
+const DefaultConvergenceEpsilon = 0.5
+
+// ConvergenceSpec parameterizes the "convergence" stage.
+type ConvergenceSpec struct {
+	// Epsilon is the relative band around the epoch fair rate within
+	// which a window counts as fair (0 = DefaultConvergenceEpsilon).
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // TopologySpec selects a topology generator or an explicit layout.
@@ -208,11 +238,19 @@ const (
 	MetricMaxMin     = "maxmin"
 	MetricFairness   = "fairness"
 	MetricGap        = "gap"
+	// MetricTimeseries joins the probe's windowed receiver rates and
+	// levels against the epoch-incremental fair-rate timeline.
+	MetricTimeseries = "timeseries"
+	// MetricConvergence reduces the joined time series to scalar
+	// convergence metrics (time-to-within-ε-of-fair, post-convergence
+	// oscillation amplitude, fraction-of-time-fair).
+	MetricConvergence = "convergence"
 )
 
 var knownMetrics = map[string]bool{
 	MetricGoodput: true, MetricRedundancy: true, MetricRates: true,
 	MetricMaxMin: true, MetricFairness: true, MetricGap: true,
+	MetricTimeseries: true, MetricConvergence: true,
 }
 
 // DefaultMetrics is the selection used when Spec.Metrics is empty.
@@ -277,6 +315,32 @@ func (s *Spec) Validate() error {
 	for _, m := range s.Metrics {
 		if !knownMetrics[m] {
 			return fmt.Errorf("scenario: unknown metric %q", m)
+		}
+	}
+	if s.Probe != nil {
+		p := s.Probe
+		if p.Window < 0 || math.IsNaN(p.Window) || math.IsInf(p.Window, 0) {
+			return fmt.Errorf("scenario: probe window = %v", p.Window)
+		}
+		if p.PacketWindow < 0 || p.MaxSamples < 0 {
+			return fmt.Errorf("scenario: probe packetWindow = %d, maxSamples = %d", p.PacketWindow, p.MaxSamples)
+		}
+		if (p.Window > 0) == (p.PacketWindow > 0) {
+			return fmt.Errorf("scenario: probe needs exactly one of window (%v) and packetWindow (%d) positive", p.Window, p.PacketWindow)
+		}
+	}
+	if s.Convergence != nil {
+		if e := s.Convergence.Epsilon; e < 0 || e >= 1 || math.IsNaN(e) {
+			return fmt.Errorf("scenario: convergence epsilon = %v outside [0, 1)", e)
+		}
+	}
+	sel := s.metricSet()
+	if sel[MetricTimeseries] || sel[MetricConvergence] {
+		if s.Probe == nil {
+			return fmt.Errorf("scenario: the timeseries/convergence stages need a probe block")
+		}
+		if s.Replications.N < 1 {
+			return fmt.Errorf("scenario: the timeseries/convergence stages need replications.n >= 1")
 		}
 	}
 	for i, ss := range s.Sessions {

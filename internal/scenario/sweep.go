@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -86,8 +87,35 @@ const maxSweepPoints = 4096
 //	best_rate           fastest receiver's goodput
 //	shared_redundancy   session 0's Definition-3 redundancy on link 0
 //	                    (the shared link of the star topologies)
+//	time_to_fair        mean time until the windowed rate stays within
+//	                    ε of the epoch max-min fair rate (probe needed)
+//	frac_time_fair      duration-weighted fraction of the run inside
+//	                    the ε band (probe needed)
+//	oscillation         post-convergence peak-to-peak rate amplitude
+//	                    over the fair rate (probe needed)
 func SweepOutputs() []string {
-	return []string{"goodput", "root_redundancy", "max_link_redundancy", "best_rate", "shared_redundancy"}
+	return append([]string{"goodput", "root_redundancy", "max_link_redundancy", "best_rate", "shared_redundancy"},
+		convergenceOutputs...)
+}
+
+// convergenceOutputs are the sweep columns computed from the probe's
+// time series against the epoch-incremental fair-rate timeline rather
+// than from the end-of-run Result; they require base.probe.
+var convergenceOutputs = []string{"time_to_fair", "frac_time_fair", "oscillation"}
+
+func isConvergenceOutput(name string) bool {
+	return slices.Contains(convergenceOutputs, name)
+}
+
+// hasConvergenceOutput reports whether any selected output needs the
+// probe + timeline machinery.
+func (sw *Sweep) hasConvergenceOutput() bool {
+	for _, o := range sw.outputSet() {
+		if isConvergenceOutput(o) {
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultSweepOutputs is the selection used when Sweep.Outputs is
@@ -181,7 +209,7 @@ func (sw *Sweep) Validate() error {
 		}
 	}
 	for i, o := range sw.outputSet() {
-		if _, ok := sweepMetrics[o]; !ok {
+		if _, ok := sweepMetrics[o]; !ok && !isConvergenceOutput(o) {
 			return fmt.Errorf("scenario: unknown sweep output %q (have %s)", o, strings.Join(SweepOutputs(), ", "))
 		}
 		for j, p := range sw.outputSet() {
@@ -189,6 +217,9 @@ func (sw *Sweep) Validate() error {
 				return fmt.Errorf("scenario: duplicate sweep output %q", o)
 			}
 		}
+	}
+	if sw.hasConvergenceOutput() && sw.Base.Probe == nil {
+		return fmt.Errorf("scenario: the %s outputs need base.probe to be set", strings.Join(convergenceOutputs, "/"))
 	}
 	return nil
 }

@@ -122,10 +122,6 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 		axes[i] = a.Field
 	}
 	outputs := sw.outputSet()
-	fns := make([]func(*netsim.Result) float64, len(outputs))
-	for i, o := range outputs {
-		fns[i] = sweepMetrics[o]
-	}
 	sim, err := results.New(axes, outputs)
 	if err != nil {
 		return nil, err
@@ -172,7 +168,7 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, fns, bench != nil, sim, bench, &mu)
+				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, bench != nil, sim, bench, &mu)
 				if err != nil {
 					mu.Lock()
 					errs[i] = err
@@ -203,10 +199,10 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 
 // runSweepPoint executes one point: replications stream into a
 // single-point shard, the analytic benchmark runs once, and both merge
-// into the shared stores under the lock.
+// into the shared stores under the lock. Convergence outputs resolve
+// against the point's own fair-rate timeline, computed once per point.
 func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
-	fns []func(*netsim.Result) float64, wantBench bool,
-	sim, bench *results.Store, mu *sync.Mutex) error {
+	wantBench bool, sim, bench *results.Store, mu *sync.Mutex) error {
 	n := p.Spec.Replications.N
 	shard, err := results.New(axes, outputs)
 	if err != nil {
@@ -215,6 +211,17 @@ func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
 	if err := shard.AddPoint(p.ID, p.Coords, n); err != nil {
 		return err
 	}
+	var convEval *convergenceEval
+	for _, o := range outputs {
+		if isConvergenceOutput(o) {
+			epochs, err := FairTimeline(c)
+			if err != nil {
+				return fmt.Errorf("scenario: sweep point %d: fair-rate timeline: %w", p.ID, err)
+			}
+			convEval = &convergenceEval{epochs: epochs, eps: p.Spec.convergenceEpsilon()}
+			break
+		}
+	}
 	var rateAccs [][]stats.Accumulator
 	if wantBench {
 		rateAccs = make([][]stats.Accumulator, c.Net.NumSessions())
@@ -222,10 +229,33 @@ func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
 			rateAccs[i] = make([]stats.Accumulator, c.Net.Session(i).NumReceivers())
 		}
 	}
-	row := make([]float64, len(fns))
+	row := make([]float64, len(outputs))
 	err = netsim.StreamReplications(c.Cfg, n, inner, func(rep int, r *netsim.Result) error {
-		for m, fn := range fns {
-			row[m] = fn(r)
+		var cs convScalars
+		csDone := false
+		for m, name := range outputs {
+			if fn, ok := sweepMetrics[name]; ok {
+				row[m] = fn(r)
+				continue
+			}
+			if !csDone {
+				if r.Probe == nil {
+					return fmt.Errorf("scenario: sweep point %d: output %q needs probe output", p.ID, name)
+				}
+				if err := convEval.checkComplete(r.Probe); err != nil {
+					return fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+				}
+				cs = convEval.scalars(r.Probe)
+				csDone = true
+			}
+			switch name {
+			case "time_to_fair":
+				row[m] = cs.TimeToFair
+			case "frac_time_fair":
+				row[m] = cs.FracTimeFair
+			case "oscillation":
+				row[m] = cs.Oscillation
+			}
 		}
 		if err := shard.Observe(p.ID, rep, row...); err != nil {
 			return err

@@ -1,0 +1,336 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"strconv"
+
+	"mlfair/internal/maxmin"
+	"mlfair/internal/netsim"
+)
+
+// This file is the time axis of the pipeline: the compiled churn
+// schedule becomes a membership-epoch sequence, the epoch-incremental
+// max-min allocator turns that into a fair-rate timeline, and the
+// probe's windowed observations join against it — per-window fairness
+// gaps ("timeseries") and scalar convergence metrics ("convergence").
+
+// FairTimeline computes the epoch-incremental max-min fair allocation
+// over the compiled scenario's membership schedule: one epoch at t=0
+// plus one per distinct membership-change time. With LeaveLatency > 0
+// a leave releases its bandwidth only when the slow-leave linger
+// expires, so the benchmark removes the receiver at leave time +
+// latency (a rejoin inside the linger window voids the removal) —
+// joins always take effect at their own time.
+func FairTimeline(c *Compiled) ([]maxmin.TimelineEpoch, error) {
+	events := membershipEvents(c.Cfg.Churn, c.Spec.LeaveLatency)
+	return maxmin.Timeline(c.Benchmark, events)
+}
+
+// membershipEvents maps the engine churn schedule onto benchmark
+// membership events, shifting leaves by the slow-leave latency.
+func membershipEvents(churn []netsim.ChurnEvent, leaveLatency float64) []maxmin.MembershipEvent {
+	sorted := slices.Clone(churn)
+	slices.SortStableFunc(sorted, func(a, b netsim.ChurnEvent) int {
+		switch {
+		case a.Time < b.Time:
+			return -1
+		case a.Time > b.Time:
+			return 1
+		}
+		return 0
+	})
+	out := make([]maxmin.MembershipEvent, 0, len(sorted))
+	for x, ev := range sorted {
+		if ev.Join {
+			out = append(out, maxmin.MembershipEvent{Time: ev.Time, Session: ev.Session, Receiver: ev.Receiver, Join: true})
+			continue
+		}
+		fire := ev.Time + leaveLatency
+		if leaveLatency > 0 {
+			// A rejoin inside the linger window means the link never
+			// freed the layers: the delayed removal is void.
+			void := false
+			for _, later := range sorted[x+1:] {
+				if later.Time > fire {
+					break
+				}
+				if later.Join && later.Session == ev.Session && later.Receiver == ev.Receiver && later.Time > ev.Time {
+					void = true
+					break
+				}
+			}
+			if void {
+				continue
+			}
+		}
+		out = append(out, maxmin.MembershipEvent{Time: fire, Session: ev.Session, Receiver: ev.Receiver, Join: false})
+	}
+	return out
+}
+
+// epochFairRate returns the fair rate of r_{i,k} under the epoch in
+// effect at time t (the latest epoch opening at or before t).
+func epochFairRate(epochs []maxmin.TimelineEpoch, i, k int, t float64) float64 {
+	// Epochs are few; a linear scan from the back is cheap and exact.
+	for x := len(epochs) - 1; x >= 0; x-- {
+		if epochs[x].Time <= t {
+			return epochs[x].Rates[i][k]
+		}
+	}
+	return epochs[0].Rates[i][k]
+}
+
+// TimeSeries is the "timeseries" stage output: the probe's observation
+// windows (identical across replications — window boundaries are a
+// pure function of the transmit calendar), carrying per-receiver
+// replication-mean windowed goodput and subscription level joined
+// against the epoch fair rate in effect at each window close.
+type TimeSeries struct {
+	// Times[s] / Starts[s] bound window s.
+	Times  []float64
+	Starts []float64
+	// Rate[i][k][s] is r_{i,k}'s mean windowed goodput; Level its mean
+	// subscription level; Fair the epoch fair rate at the window close;
+	// Gap = Rate/Fair (0 when Fair is 0, i.e. while departed).
+	Rate  [][][]float64
+	Level [][][]float64
+	Fair  [][][]float64
+	Gap   [][][]float64
+	// Reps is the replication count averaged over; Dropped the ring
+	// overflow of a single replication (0 unless MaxSamples was hit).
+	Reps    int
+	Dropped int
+}
+
+// timeSeriesAcc accumulates windowed sums across replications.
+type timeSeriesAcc struct {
+	ts   *TimeSeries
+	reps int
+}
+
+// add folds one replication's probe series in; the first replication
+// fixes the window grid, later ones must land on it exactly.
+func (a *timeSeriesAcc) add(r *netsim.Result) error {
+	p := r.Probe
+	if p == nil {
+		return fmt.Errorf("scenario: timeseries stage ran without probe output")
+	}
+	n := p.NumSamples()
+	if a.ts == nil {
+		ts := &TimeSeries{
+			Times:   slices.Clone(p.Times),
+			Starts:  slices.Clone(p.Starts),
+			Dropped: p.Dropped,
+			Rate:    make([][][]float64, len(r.ReceiverRates)),
+			Level:   make([][][]float64, len(r.ReceiverRates)),
+		}
+		for i := range r.ReceiverRates {
+			ts.Rate[i] = make([][]float64, len(r.ReceiverRates[i]))
+			ts.Level[i] = make([][]float64, len(r.ReceiverRates[i]))
+			for k := range r.ReceiverRates[i] {
+				ts.Rate[i][k] = make([]float64, n)
+				ts.Level[i][k] = make([]float64, n)
+			}
+		}
+		a.ts = ts
+	} else if !slices.Equal(a.ts.Times, p.Times) {
+		return fmt.Errorf("scenario: probe windows diverged across replications (%d vs %d samples)", len(a.ts.Times), n)
+	}
+	for i := range a.ts.Rate {
+		for k := range a.ts.Rate[i] {
+			for s := 0; s < n; s++ {
+				a.ts.Rate[i][k][s] += p.ReceiverRate(i, k, s)
+				a.ts.Level[i][k][s] += float64(p.Level(i, k, s))
+			}
+		}
+	}
+	a.reps++
+	return nil
+}
+
+// finish divides the sums into means and joins the fair-rate timeline.
+func (a *timeSeriesAcc) finish(epochs []maxmin.TimelineEpoch) *TimeSeries {
+	ts := a.ts
+	if ts == nil {
+		return nil
+	}
+	ts.Reps = a.reps
+	inv := 1 / float64(a.reps)
+	ts.Fair = make([][][]float64, len(ts.Rate))
+	ts.Gap = make([][][]float64, len(ts.Rate))
+	for i := range ts.Rate {
+		ts.Fair[i] = make([][]float64, len(ts.Rate[i]))
+		ts.Gap[i] = make([][]float64, len(ts.Rate[i]))
+		for k := range ts.Rate[i] {
+			n := len(ts.Times)
+			ts.Fair[i][k] = make([]float64, n)
+			ts.Gap[i][k] = make([]float64, n)
+			for s := 0; s < n; s++ {
+				ts.Rate[i][k][s] *= inv
+				ts.Level[i][k][s] *= inv
+				f := epochFairRate(epochs, i, k, ts.Times[s])
+				ts.Fair[i][k][s] = f
+				if f > 0 {
+					ts.Gap[i][k][s] = ts.Rate[i][k][s] / f
+				}
+			}
+		}
+	}
+	return ts
+}
+
+// convScalars are one replication's convergence metrics, averaged over
+// receivers (those with a positive fair rate in at least one window).
+type convScalars struct {
+	// TimeToFair is the earliest time after which every window stays
+	// within ε of the epoch fair rate — 0 when fair from the start, the
+	// run duration when never converged (censored).
+	TimeToFair float64
+	// FracTimeFair is the window-duration-weighted fraction of the run
+	// spent within the ε band.
+	FracTimeFair float64
+	// Oscillation is the post-convergence peak-to-peak windowed-rate
+	// amplitude, normalized by the mean fair rate over those windows
+	// (0 with fewer than two post-convergence windows).
+	Oscillation float64
+}
+
+// convergenceEval reduces one probe series against the fair-rate
+// timeline.
+type convergenceEval struct {
+	epochs []maxmin.TimelineEpoch
+	eps    float64
+}
+
+// checkComplete rejects probe series whose ring dropped the oldest
+// windows: with the early transient gone, time_to_fair and
+// frac_time_fair would silently read as "fair from the start". The
+// convergence stage demands the whole run.
+func (e *convergenceEval) checkComplete(p *netsim.ProbeSeries) error {
+	if p.Dropped > 0 {
+		return fmt.Errorf("scenario: convergence needs the full window series but the probe ring dropped the oldest %d windows — raise probe.maxSamples or widen the window", p.Dropped)
+	}
+	return nil
+}
+
+func (e *convergenceEval) scalars(p *netsim.ProbeSeries) convScalars {
+	var agg convScalars
+	counted := 0
+	n := p.NumSamples()
+	for i := 0; i < p.NumSessions(); i++ {
+		for k := 0; k < p.NumReceivers(i); k++ {
+			// Pass 1: last ε-violating window and the fair-time weights.
+			lastBad := -1
+			anyFair := false
+			fairDur, totDur := 0.0, 0.0
+			for s := 0; s < n; s++ {
+				if p.Times[s] <= p.Starts[s] {
+					continue // degenerate zero-width window: no rate defined
+				}
+				f := epochFairRate(e.epochs, i, k, p.Times[s])
+				if f <= 0 {
+					continue // departed: neither fair nor unfair
+				}
+				anyFair = true
+				w := p.Times[s] - p.Starts[s]
+				totDur += w
+				rel := math.Abs(p.ReceiverRate(i, k, s)-f) / f
+				if rel <= e.eps {
+					fairDur += w
+				} else {
+					lastBad = s
+				}
+			}
+			if !anyFair {
+				continue
+			}
+			counted++
+			var tConv float64
+			switch {
+			case lastBad < 0:
+				tConv = 0 // inside the band from the first window
+			case lastBad == n-1 || p.Times[lastBad] >= p.Times[n-1]:
+				tConv = p.Times[n-1] // never converged: censor at the run end
+			default:
+				tConv = p.Times[lastBad]
+			}
+			agg.TimeToFair += tConv
+			if totDur > 0 {
+				agg.FracTimeFair += fairDur / totDur
+			}
+			// Pass 2: post-convergence oscillation amplitude.
+			if lastBad < n-1 {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				fairSum, m := 0.0, 0
+				for s := lastBad + 1; s < n; s++ {
+					if p.Times[s] <= p.Starts[s] {
+						continue
+					}
+					f := epochFairRate(e.epochs, i, k, p.Times[s])
+					if f <= 0 {
+						continue
+					}
+					r := p.ReceiverRate(i, k, s)
+					lo = math.Min(lo, r)
+					hi = math.Max(hi, r)
+					fairSum += f
+					m++
+				}
+				if m >= 2 && fairSum > 0 {
+					agg.Oscillation += (hi - lo) / (fairSum / float64(m))
+				}
+			}
+		}
+	}
+	if counted > 0 {
+		agg.TimeToFair /= float64(counted)
+		agg.FracTimeFair /= float64(counted)
+		agg.Oscillation /= float64(counted)
+	}
+	return agg
+}
+
+// convergenceEpsilon resolves the spec's ε band.
+func (s *Spec) convergenceEpsilon() float64 {
+	if s.Convergence != nil && s.Convergence.Epsilon > 0 {
+		return s.Convergence.Epsilon
+	}
+	return DefaultConvergenceEpsilon
+}
+
+// WriteTimeseriesCSV renders the joined time series as one long-format
+// CSV: a row per (window, receiver) with the replication-mean windowed
+// rate and level, the epoch fair rate and the fairness gap — the
+// `cmd/netsim -timeseries` output.
+func (r *Result) WriteTimeseriesCSV(w io.Writer) error {
+	ts := r.TimeSeries
+	if ts == nil {
+		return fmt.Errorf("scenario: no time series (select the %q metric and a probe)", MetricTimeseries)
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("time,window_start,session,receiver,rate_mean,level_mean,fair_rate,gap\n")
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for s := range ts.Times {
+		for i := range ts.Rate {
+			for k := range ts.Rate[i] {
+				bw.WriteString(f(ts.Times[s]))
+				bw.WriteByte(',')
+				bw.WriteString(f(ts.Starts[s]))
+				fmt.Fprintf(bw, ",%d,%d,", i, k)
+				bw.WriteString(f(ts.Rate[i][k][s]))
+				bw.WriteByte(',')
+				bw.WriteString(f(ts.Level[i][k][s]))
+				bw.WriteByte(',')
+				bw.WriteString(f(ts.Fair[i][k][s]))
+				bw.WriteByte(',')
+				bw.WriteString(f(ts.Gap[i][k][s]))
+				bw.WriteByte('\n')
+			}
+		}
+	}
+	return bw.Flush()
+}
