@@ -361,6 +361,22 @@ func BenchmarkNetsimLargeStarProbed(b *testing.B) {
 	benchNetsimRun(b, cfg)
 }
 
+// BenchmarkNetsimLargeStarInstrumented is BenchmarkNetsimLargeStar
+// with an EngineStats sink attached: the instrumentation's whole cost
+// is one flush of atomic adds per run, so events/sec must hold within
+// 2% of the uninstrumented twin and allocs/event must not move. CI
+// pins both via benchjson's -overhead pair gate, which compares the
+// twins within the same run and therefore needs no committed baseline.
+func BenchmarkNetsimLargeStarInstrumented(b *testing.B) {
+	cfg, err := netsim.Star(200, 0.0001, 0.04,
+		netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 50000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Stats = &netsim.EngineStats{}
+	benchNetsimRun(b, cfg)
+}
+
 func BenchmarkNetsimDeepTree(b *testing.B) {
 	cfg, err := treesim.NetsimConfig(treesim.Config{
 		Tree: treesim.Binary(7, 0.02), Layers: 8,

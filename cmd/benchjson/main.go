@@ -21,7 +21,16 @@
 // probe hooks and other instrumentation land), or when a baseline
 // benchmark disappears from the run entirely. Benchmark names are
 // compared with the -GOMAXPROCS suffix stripped, so a baseline
-// travels across machines with different core counts.
+// travels across machines with different core counts. When the
+// baseline was produced under a different go version or GOARCH the
+// check still runs but prints a WARNING first — absolute throughput
+// comparisons across toolchains or architectures are advisory, not
+// authoritative.
+//
+// -overhead gates instrumentation cost within the current run alone,
+// independent of any baseline: each "Instr=Base:frac" pair requires
+// the instrumented benchmark to hold at least (1-frac) of its base
+// twin's events/sec and to add no per-event allocations.
 package main
 
 import (
@@ -33,6 +42,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"mlfair/internal/obs"
 )
 
 // Bench is one benchmark result.
@@ -42,9 +53,12 @@ type Bench struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Doc is the emitted document.
+// Doc is the emitted document. Manifest carries run provenance (go
+// version, host CPU, VCS revision) so a committed baseline records
+// where its numbers came from; older documents without one still load.
 type Doc struct {
 	Env        map[string]string `json:"env"`
+	Manifest   *obs.Manifest     `json:"manifest,omitempty"`
 	Benchmarks []Bench           `json:"benchmarks"`
 }
 
@@ -160,16 +174,143 @@ func checkAllocs(current *Doc, maxAllocs float64) (string, bool) {
 	return rep.String(), failed
 }
 
+// envWarnings compares the baseline's recorded environment (manifest
+// when present, env header as fallback) against the current run's and
+// returns WARNING lines for go-version or GOARCH mismatches. These
+// warn rather than fail: absolute throughput numbers measured under a
+// different toolchain or architecture are a weaker signal, but the
+// relative gates are still worth running.
+func envWarnings(baseline, current *Doc) string {
+	baseGo, baseArch := "", baseline.Env["goarch"]
+	if baseline.Manifest != nil {
+		baseGo = baseline.Manifest.GoVersion
+		if baseline.Manifest.GOARCH != "" {
+			baseArch = baseline.Manifest.GOARCH
+		}
+	}
+	curGo, curArch := "", current.Env["goarch"]
+	if current.Manifest != nil {
+		curGo = current.Manifest.GoVersion
+		if current.Manifest.GOARCH != "" {
+			curArch = current.Manifest.GOARCH
+		}
+	}
+	var rep strings.Builder
+	if baseGo != "" && curGo != "" && baseGo != curGo {
+		fmt.Fprintf(&rep, "WARNING    baseline built with %s, this run with %s: throughput comparison is advisory\n", baseGo, curGo)
+	}
+	if baseArch != "" && curArch != "" && baseArch != curArch {
+		fmt.Fprintf(&rep, "WARNING    baseline measured on %s, this run on %s: throughput comparison is advisory\n", baseArch, curArch)
+	}
+	return rep.String()
+}
+
+// overheadSpec is one parsed -overhead pair: the instrumented
+// benchmark must hold at least (1-maxFrac) of the base benchmark's
+// events/sec within the same run.
+type overheadSpec struct {
+	instr, base string
+	maxFrac     float64
+}
+
+// parseOverhead parses a comma-separated list of "Instr=Base:frac"
+// pairs ("BenchmarkXInstrumented=BenchmarkX:0.02").
+func parseOverhead(s string) ([]overheadSpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var specs []overheadSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		instr, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("overhead spec %q: want Instr=Base:frac", part)
+		}
+		base, fracStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("overhead spec %q: want Instr=Base:frac", part)
+		}
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("overhead spec %q: bad fraction %q", part, fracStr)
+		}
+		specs = append(specs, overheadSpec{instr: instr, base: base, maxFrac: frac})
+	}
+	return specs, nil
+}
+
+// overheadAllocsEpsilon bounds how much allocs/event the instrumented
+// twin may add over its base. The stats flush is a handful of atomic
+// adds once per run, so the true delta is zero; the epsilon only
+// absorbs measurement noise from differing events/op denominators.
+const overheadAllocsEpsilon = 1e-4
+
+// checkOverhead gates instrumented-vs-base benchmark pairs within the
+// current run: both twins measured on the same machine in the same
+// invocation, so the comparison is machine-independent and needs no
+// committed baseline. A pair with either side missing fails — the gate
+// must not silently pass because a benchmark was renamed away.
+func checkOverhead(current *Doc, specs []overheadSpec) (string, bool) {
+	byName := map[string]Bench{}
+	for _, b := range current.Benchmarks {
+		byName[normalizeName(b.Name)] = b
+	}
+	var rep strings.Builder
+	failed := false
+	for _, sp := range specs {
+		instr, iok := byName[normalizeName(sp.instr)]
+		base, bok := byName[normalizeName(sp.base)]
+		if !iok || !bok {
+			for name, ok := range map[string]bool{sp.instr: iok, sp.base: bok} {
+				if !ok {
+					fmt.Fprintf(&rep, "MISSING    %s: required by -overhead, absent from this run\n", normalizeName(name))
+				}
+			}
+			failed = true
+			continue
+		}
+		iv, bv := instr.Metrics["events/sec"], base.Metrics["events/sec"]
+		if bv <= 0 {
+			fmt.Fprintf(&rep, "MISSING    %s: no events/sec metric for -overhead base\n", normalizeName(sp.base))
+			failed = true
+			continue
+		}
+		status := "ok"
+		if iv < bv*(1-sp.maxFrac) {
+			status = "OVERHEAD"
+			failed = true
+		}
+		fmt.Fprintf(&rep, "%-10s %s vs %s: %.4g -> %.4g events/sec (%+.1f%%, budget -%.1f%%)\n",
+			status, normalizeName(sp.instr), normalizeName(sp.base), bv, iv, (iv/bv-1)*100, sp.maxFrac*100)
+		ia, iok2 := instr.Metrics["allocs/event"]
+		ba := base.Metrics["allocs/event"]
+		if iok2 && ia > ba+overheadAllocsEpsilon {
+			fmt.Fprintf(&rep, "ALLOCS     %s: %.4g allocs/event vs base %.4g (instrumentation must not allocate)\n",
+				normalizeName(sp.instr), ia, ba)
+			failed = true
+		}
+	}
+	return rep.String(), failed
+}
+
 func main() {
 	check := flag.String("check", "", "baseline JSON document to gate events/sec regressions against")
+	overhead := flag.String("overhead", "", "comma-separated Instr=Base:frac pairs gating instrumented overhead within this run (with -check)")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.02, "absolute allocs/event budget for every benchmark reporting the metric (with -check)")
 	flag.Parse()
+	overheads, err := parseOverhead(*overhead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	man := obs.NewManifest("benchjson")
+	doc.Manifest = &man
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -189,17 +330,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *check, err)
 		os.Exit(1)
 	}
+	fmt.Fprint(os.Stderr, envWarnings(&baseline, doc))
 	report, failed := checkRegression(&baseline, doc, *maxRegress)
 	fmt.Fprint(os.Stderr, report)
 	allocReport, allocFailed := checkAllocs(doc, *maxAllocs)
 	fmt.Fprint(os.Stderr, allocReport)
+	overReport, overFailed := checkOverhead(doc, overheads)
+	fmt.Fprint(os.Stderr, overReport)
 	if failed {
 		fmt.Fprintf(os.Stderr, "benchjson: events/sec regression gate failed (max tolerated %.0f%%)\n", *maxRegress*100)
 	}
 	if allocFailed {
 		fmt.Fprintf(os.Stderr, "benchjson: allocs/event gate failed (budget %g)\n", *maxAllocs)
 	}
-	if failed || allocFailed {
+	if overFailed {
+		fmt.Fprintf(os.Stderr, "benchjson: instrumented-overhead gate failed\n")
+	}
+	if failed || allocFailed || overFailed {
 		os.Exit(1)
 	}
 }

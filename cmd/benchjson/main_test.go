@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
+
+	"mlfair/internal/obs"
 )
 
 func TestParse(t *testing.T) {
@@ -109,6 +113,128 @@ func allocDoc(pairs map[string]float64) *Doc {
 		})
 	}
 	return d
+}
+
+// TestDocManifestRoundTrip: a Doc with an embedded manifest survives
+// the JSON round trip, and manifest-less documents (the committed
+// baseline predating provenance) still load with a nil Manifest.
+func TestDocManifestRoundTrip(t *testing.T) {
+	man := obs.NewManifest("benchjson")
+	in := &Doc{Env: map[string]string{"goos": "linux"}, Manifest: &man, Benchmarks: []Bench{}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Doc
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Manifest == nil || out.Manifest.Tool != "benchjson" || out.Manifest.GoVersion != runtime.Version() {
+		t.Fatalf("manifest did not round-trip: %+v", out.Manifest)
+	}
+	var old Doc
+	if err := json.Unmarshal([]byte(`{"env":{},"benchmarks":[]}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Manifest != nil {
+		t.Fatalf("manifest-less doc grew a manifest: %+v", old.Manifest)
+	}
+}
+
+// TestEnvWarnings: go-version and GOARCH mismatches between baseline
+// and current produce WARNING lines (never a failure); matching or
+// unknown environments stay silent.
+func TestEnvWarnings(t *testing.T) {
+	man := func(goVersion, goarch string) *obs.Manifest {
+		return &obs.Manifest{GoVersion: goVersion, GOARCH: goarch}
+	}
+	cur := &Doc{Env: map[string]string{}, Manifest: man("go1.24.0", "amd64")}
+
+	if w := envWarnings(&Doc{Env: map[string]string{}, Manifest: man("go1.24.0", "amd64")}, cur); w != "" {
+		t.Fatalf("matching envs warned:\n%s", w)
+	}
+	w := envWarnings(&Doc{Env: map[string]string{}, Manifest: man("go1.22.1", "arm64")}, cur)
+	if !strings.Contains(w, "WARNING") || !strings.Contains(w, "go1.22.1") || !strings.Contains(w, "arm64") {
+		t.Fatalf("mismatched env not warned:\n%s", w)
+	}
+	// A manifest-less baseline falls back to the env header for GOARCH
+	// and skips the go-version comparison entirely.
+	w = envWarnings(&Doc{Env: map[string]string{"goarch": "arm64"}}, cur)
+	if strings.Contains(w, "go1") {
+		t.Fatalf("go version warned without baseline data:\n%s", w)
+	}
+	if !strings.Contains(w, "arm64") {
+		t.Fatalf("env-header goarch mismatch not warned:\n%s", w)
+	}
+	if w := envWarnings(&Doc{Env: map[string]string{}}, cur); w != "" {
+		t.Fatalf("unknown baseline env warned:\n%s", w)
+	}
+}
+
+func TestParseOverhead(t *testing.T) {
+	specs, err := parseOverhead("BenchmarkAInstrumented=BenchmarkA:0.02, BenchmarkB2=BenchmarkB:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].instr != "BenchmarkAInstrumented" ||
+		specs[0].base != "BenchmarkA" || specs[0].maxFrac != 0.02 || specs[1].maxFrac != 0.1 {
+		t.Fatalf("parsed %+v", specs)
+	}
+	if specs, err := parseOverhead(""); err != nil || specs != nil {
+		t.Fatalf("empty spec: %v %v", specs, err)
+	}
+	for _, bad := range []string{"BenchmarkA:0.02", "BenchmarkA=BenchmarkB", "A=B:1.5", "A=B:x"} {
+		if _, err := parseOverhead(bad); err == nil {
+			t.Errorf("parseOverhead(%q) accepted", bad)
+		}
+	}
+}
+
+func overheadDoc(pairs map[string][2]float64) *Doc {
+	d := &Doc{Env: map[string]string{}}
+	for name, v := range pairs {
+		d.Benchmarks = append(d.Benchmarks, Bench{
+			Name: name, Iterations: 1,
+			Metrics: map[string]float64{"events/sec": v[0], "allocs/event": v[1]},
+		})
+	}
+	return d
+}
+
+func TestCheckOverhead(t *testing.T) {
+	specs := []overheadSpec{{instr: "BenchmarkAInstrumented", base: "BenchmarkA", maxFrac: 0.02}}
+
+	// Within budget (1% slower, same allocs): passes across -N suffixes.
+	rep, failed := checkOverhead(overheadDoc(map[string][2]float64{
+		"BenchmarkA-8": {100e6, 0.0001}, "BenchmarkAInstrumented-8": {99e6, 0.0001},
+	}), specs)
+	if failed {
+		t.Fatalf("within-budget pair failed:\n%s", rep)
+	}
+	// 5% slower with a 2% budget fails.
+	rep, failed = checkOverhead(overheadDoc(map[string][2]float64{
+		"BenchmarkA-8": {100e6, 0.0001}, "BenchmarkAInstrumented-8": {95e6, 0.0001},
+	}), specs)
+	if !failed || !strings.Contains(rep, "OVERHEAD") {
+		t.Fatalf("throughput overhead not flagged:\n%s", rep)
+	}
+	// Added per-event allocations fail even when throughput holds.
+	rep, failed = checkOverhead(overheadDoc(map[string][2]float64{
+		"BenchmarkA-8": {100e6, 0.0001}, "BenchmarkAInstrumented-8": {100e6, 0.01},
+	}), specs)
+	if !failed || !strings.Contains(rep, "ALLOCS") {
+		t.Fatalf("alloc overhead not flagged:\n%s", rep)
+	}
+	// Either twin missing from the run fails — a renamed benchmark must
+	// not silently disable the gate.
+	rep, failed = checkOverhead(overheadDoc(map[string][2]float64{"BenchmarkA-8": {100e6, 0}}), specs)
+	if !failed || !strings.Contains(rep, "MISSING    BenchmarkAInstrumented") {
+		t.Fatalf("missing instrumented twin not flagged:\n%s", rep)
+	}
+	// No specs: trivially green.
+	if rep, failed := checkOverhead(overheadDoc(nil), nil); failed {
+		t.Fatalf("empty overhead gate failed:\n%s", rep)
+	}
 }
 
 func TestCheckAllocs(t *testing.T) {

@@ -27,22 +27,35 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	return 1
+}
+
+func realMain() int {
 	fig := flag.String("fig", "all", "comma-separated figures to regenerate: 1 2 3 4 s3 5 6 markov 8a 8b all ext-latency ext-priority ext-weighted ext-converge ext-tree ext-churn ext")
 	quick := flag.Bool("quick", false, "reduced simulation sizes for Figure 8 (40 receivers, 20k packets, 5 trials)")
 	d := cliutil.RegisterDeclarative(flag.CommandLine)
+	ob := cliutil.RegisterObservability(flag.CommandLine, "experiments")
 	flag.Parse()
 
-	if ran, err := d.Run(os.Stdout); ran {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return
+	if err := ob.Start(); err != nil {
+		return fail(err)
 	}
-	if err := run(os.Stdout, *fig, *quick); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	ran, err := d.RunObserved(os.Stdout, ob)
+	if !ran {
+		err = run(os.Stdout, *fig, *quick)
 	}
+	if serr := ob.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return 0
 }
 
 func extOptions(quick bool) experiments.ExtensionOptions {

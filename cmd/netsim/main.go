@@ -37,6 +37,17 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// fail is the binary's single error exit path: every failure reports
+// through here with the same prefix.
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "netsim:", err)
+	return 1
+}
+
+func realMain() int {
 	scenarioFlag := flag.String("scenario", "all",
 		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | convergence | scalefree | fattree | all (comma-separated)")
 	timeseries := flag.Bool("timeseries", false,
@@ -44,30 +55,37 @@ func main() {
 	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
 		Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true,
 	})
+	ob := cliutil.RegisterObservability(flag.CommandLine, "netsim")
 	flag.Parse()
-	if *timeseries {
-		if err := runTimeseries(os.Stdout, f.Spec, f.Sweep); err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
-		return
+	if err := ob.Start(); err != nil {
+		return fail(err)
 	}
-	if ran, err := f.Run(os.Stdout); ran {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "netsim:", err)
-			os.Exit(1)
-		}
-		return
+	err := dispatch(f, ob, *scenarioFlag, *timeseries)
+	if serr := ob.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+// dispatch routes the parsed flags to the -timeseries, declarative, or
+// scenario-driver path.
+func dispatch(f *cliutil.SimFlags, ob *cliutil.Observability, scenarios string, timeseries bool) error {
+	if timeseries {
+		return runTimeseries(os.Stdout, f.Spec, f.Sweep, ob)
+	}
+	if ran, err := f.RunObserved(os.Stdout, ob); ran {
+		return err
 	}
 	f.ApplyQuick(10, 10000, 3)
+	ob.Manifest().SetSeed(f.Seed)
 	o := experiments.NetsimOptions{
 		Receivers: f.Receivers, Packets: f.Packets, Trials: f.Trials,
-		Workers: f.Workers, Seed: f.Seed,
+		Workers: f.Workers, Seed: f.Seed, Observe: ob.Observe(),
 	}
-	if err := run(os.Stdout, *scenarioFlag, o); err != nil {
-		fmt.Fprintln(os.Stderr, "netsim:", err)
-		os.Exit(1)
-	}
+	return run(os.Stdout, scenarios, o)
 }
 
 var scenarios = []struct {
@@ -89,7 +107,7 @@ var scenarios = []struct {
 
 // runTimeseries is the -timeseries path: load the spec, make sure the
 // timeseries stage is selected, run, and emit the long-format CSV.
-func runTimeseries(w io.Writer, specPath, sweepPath string) error {
+func runTimeseries(w io.Writer, specPath, sweepPath string, ob *cliutil.Observability) error {
 	if specPath == "" {
 		return fmt.Errorf("-timeseries needs -spec (a scenario file with a probe block)")
 	}
@@ -106,7 +124,8 @@ func runTimeseries(w io.Writer, specPath, sweepPath string) error {
 			return err
 		}
 	}
-	res, err := scen.Run(spec)
+	ob.NoteSpec(specPath)
+	res, err := scen.RunObserved(spec, ob.Observe())
 	if err != nil {
 		return err
 	}

@@ -193,7 +193,7 @@ func TestSweepCSVGolden(t *testing.T) {
 // invocations.
 func TestTimeseriesFlag(t *testing.T) {
 	var b strings.Builder
-	if err := runTimeseries(&b, filepath.Join("testdata", "timeseries.json"), ""); err != nil {
+	if err := runTimeseries(&b, filepath.Join("testdata", "timeseries.json"), "", nil); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(b.String(), "\n")
@@ -203,15 +203,15 @@ func TestTimeseriesFlag(t *testing.T) {
 	if len(lines) < 10 {
 		t.Fatalf("only %d CSV lines", len(lines))
 	}
-	if err := runTimeseries(&b, "", ""); err == nil {
+	if err := runTimeseries(&b, "", "", nil); err == nil {
 		t.Fatal("-timeseries without -spec accepted")
 	}
-	if err := runTimeseries(&b, "x.json", "y.json"); err == nil {
+	if err := runTimeseries(&b, "x.json", "y.json", nil); err == nil {
 		t.Fatal("-timeseries with -sweep accepted")
 	}
 	// audit.json carries no probe block: the appended timeseries stage
 	// must fail validation, not run silently without windows.
-	if err := runTimeseries(&b, filepath.Join("testdata", "audit.json"), ""); err == nil {
+	if err := runTimeseries(&b, filepath.Join("testdata", "audit.json"), "", nil); err == nil {
 		t.Fatal("-timeseries on a probe-less spec accepted")
 	}
 }

@@ -35,21 +35,29 @@ func main() {
 	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
 		Receivers: 100, Packets: 100000, Trials: 30, Seed: 1999,
 	})
+	ob := cliutil.RegisterObservability(flag.CommandLine, "protosim")
 	flag.Parse()
-	if ran, err := f.Run(os.Stdout); ran {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "protosim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(os.Stdout, options{
-		proto: *proto, receivers: f.Receivers, layers: *layers,
-		shared: *shared, ind: *ind, packets: f.Packets, trials: f.Trials,
-		seed: f.Seed, latency: *latency, drop: *drop,
-	}); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "protosim:", err)
 		os.Exit(1)
+	}
+	if err := ob.Start(); err != nil {
+		fail(err)
+	}
+	ran, err := f.RunObserved(os.Stdout, ob)
+	if !ran {
+		ob.Manifest().SetSeed(f.Seed)
+		err = run(os.Stdout, options{
+			proto: *proto, receivers: f.Receivers, layers: *layers,
+			shared: *shared, ind: *ind, packets: f.Packets, trials: f.Trials,
+			seed: f.Seed, latency: *latency, drop: *drop,
+		})
+	}
+	if serr := ob.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -40,17 +40,24 @@ func main() {
 		v         = flag.Float64("v", 2, "redundancy v of the multi-rate sessions (mode=fairrate)")
 	)
 	d := cliutil.RegisterDeclarative(flag.CommandLine)
+	ob := cliutil.RegisterObservability(flag.CommandLine, "redundancy")
 	flag.Parse()
-	if ran, err := d.Run(os.Stdout); ran {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "redundancy:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(os.Stdout, *mode, *rates, *layerRate, *capacity, *sessions, *multirate, *v); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "redundancy:", err)
 		os.Exit(1)
+	}
+	if err := ob.Start(); err != nil {
+		fail(err)
+	}
+	ran, err := d.RunObserved(os.Stdout, ob)
+	if !ran {
+		err = run(os.Stdout, *mode, *rates, *layerRate, *capacity, *sessions, *multirate, *v)
+	}
+	if serr := ob.Stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -34,17 +34,33 @@ func RegisterDeclarative(fs *flag.FlagSet) *Declarative {
 // whether one ran (the caller returns afterwards instead of running
 // its own drivers). Errors are the caller's to report.
 func (d *Declarative) Run(w io.Writer) (bool, error) {
+	return d.RunObserved(w, nil)
+}
+
+// RunObserved is Run with an optional Observability attachment: the
+// spec path lands in the run manifest and the scenario layer gets the
+// stats sink and progress reporter. A nil o is exactly Run.
+func (d *Declarative) RunObserved(w io.Writer, o *Observability) (bool, error) {
 	if d.Spec != "" && d.Sweep != "" {
 		return true, fmt.Errorf("-spec and -sweep are mutually exclusive")
+	}
+	var ob *scenario.Observe
+	note := func(path string) {
+		if o != nil {
+			o.NoteSpec(path)
+			ob = o.Observe()
+		}
 	}
 	switch {
 	case d.Spec != "":
 		if d.Format != "" && d.Format != "csv" {
 			return true, fmt.Errorf("-format applies to -sweep only (a -spec run emits its text report)")
 		}
-		return true, scenario.RunFile(w, d.Spec)
+		note(d.Spec)
+		return true, scenario.RunFileObserved(w, d.Spec, ob)
 	case d.Sweep != "":
-		return true, scenario.RunSweepFile(w, d.Sweep, d.Format)
+		note(d.Sweep)
+		return true, scenario.RunSweepFileObserved(w, d.Sweep, d.Format, ob)
 	}
 	return false, nil
 }

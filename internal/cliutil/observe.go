@@ -1,0 +1,210 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strings"
+	"time"
+
+	"mlfair/internal/netsim"
+	"mlfair/internal/obs"
+	"mlfair/internal/scenario"
+	"mlfair/internal/trace"
+)
+
+// Observability is the shared -cpuprofile/-memprofile/-trace/-metrics/
+// -progress flag set plus the run-scoped artifacts behind them: a
+// pprof CPU profile and execution trace bracketing the run, a heap
+// profile and an engine metrics snapshot (with run-provenance
+// manifest) written on Stop. One Observability serves a whole binary
+// invocation: Start it after flag.Parse, thread Observe() into the
+// scenario layer, Stop it on every exit path.
+type Observability struct {
+	Tool       string
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+	Metrics    string
+	Progress   bool
+
+	reg      *obs.Registry
+	stats    *netsim.EngineStats
+	man      *obs.Manifest
+	start    time.Time
+	cpuFile  *os.File
+	trcFile  *os.File
+	progress *trace.Progress
+}
+
+// RegisterObservability registers the observability flags on fs. tool
+// names the binary in the run manifest.
+func RegisterObservability(fs *flag.FlagSet, tool string) *Observability {
+	o := &Observability{Tool: tool}
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	fs.StringVar(&o.TracePath, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&o.Metrics, "metrics", "",
+		"write an engine metrics snapshot with run manifest to this file on exit (.prom selects Prometheus text exposition, anything else JSON)")
+	fs.BoolVar(&o.Progress, "progress", false,
+		"stream a live cells/throughput/ETA status line to stderr while scenarios and sweeps run")
+	return o
+}
+
+// Start opens the profiling sinks and the metrics registry. Call once
+// after flag parsing; every Start must be paired with Stop.
+func (o *Observability) Start() error {
+	o.start = time.Now()
+	man := obs.NewManifest(o.Tool)
+	o.man = &man
+	o.stats = &netsim.EngineStats{}
+	o.reg = obs.NewRegistry()
+	o.stats.MustRegister(o.reg)
+	if o.Progress {
+		o.progress = &trace.Progress{W: os.Stderr}
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		o.cpuFile = f
+	}
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-trace: %w", err)
+		}
+		o.trcFile = f
+	}
+	return nil
+}
+
+// Stop finalizes every requested artifact: it stops the CPU profile
+// and execution trace, writes the heap profile, and writes the metrics
+// snapshot with the completed manifest. Safe to call when Start failed
+// partway (only the opened sinks are closed).
+func (o *Observability) Stop() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(o.cpuFile.Close())
+		o.cpuFile = nil
+	}
+	if o.trcFile != nil {
+		rtrace.Stop()
+		keep(o.trcFile.Close())
+		o.trcFile = nil
+	}
+	if o.MemProfile != "" {
+		runtime.GC() // settle live-heap accounting before the snapshot
+		f, err := os.Create(o.MemProfile)
+		if err != nil {
+			keep(fmt.Errorf("-memprofile: %w", err))
+		} else {
+			keep(pprof.WriteHeapProfile(f))
+			keep(f.Close())
+		}
+	}
+	if o.Metrics != "" && o.man != nil {
+		o.man.WallSeconds = time.Since(o.start).Seconds()
+		o.man.VirtualTime = o.stats.VirtualTime.Load()
+		keep(o.writeMetrics())
+	}
+	return firstErr
+}
+
+// writeMetrics renders the snapshot: Prometheus text exposition for
+// .prom/.txt paths (manifest as a leading comment), JSON otherwise.
+func (o *Observability) writeMetrics() error {
+	f, err := os.Create(o.Metrics)
+	if err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	werr := func() error {
+		if strings.HasSuffix(o.Metrics, ".prom") || strings.HasSuffix(o.Metrics, ".txt") {
+			if err := o.man.WriteComment(f); err != nil {
+				return err
+			}
+			return o.reg.WritePrometheus(f)
+		}
+		return o.reg.WriteJSON(f, o.man)
+	}()
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("-metrics: %w", werr)
+	}
+	return nil
+}
+
+// Observe assembles the scenario-layer attachment: the shared engine
+// stats sink plus, under -progress, a stderr status-line renderer.
+// Valid to pass even when no observability flag was set — an inert
+// sink costs one atomic flush per replication.
+func (o *Observability) Observe() *scenario.Observe {
+	if o == nil {
+		return nil
+	}
+	ob := &scenario.Observe{Stats: o.stats}
+	if o.progress != nil {
+		pr := o.progress
+		ob.Progress = func(p scenario.SweepProgress) {
+			if p.Done {
+				pr.Done(p.String())
+			} else {
+				pr.Update(p.String())
+			}
+		}
+	}
+	return ob
+}
+
+// Stats exposes the engine sink (nil before Start).
+func (o *Observability) Stats() *netsim.EngineStats {
+	if o == nil {
+		return nil
+	}
+	return o.stats
+}
+
+// Manifest exposes the run manifest (nil before Start) so drivers can
+// note seeds and other provenance.
+func (o *Observability) Manifest() *obs.Manifest {
+	if o == nil {
+		return nil
+	}
+	return o.man
+}
+
+// NoteSpec records the declarative input file in the manifest: its
+// path always, its sha256 when readable.
+func (o *Observability) NoteSpec(path string) {
+	if o == nil || o.man == nil {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		o.man.SpecPath = path
+		return
+	}
+	o.man.SetSpec(path, data)
+}

@@ -1,0 +1,148 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlfair/internal/obs"
+)
+
+func TestRegisterObservabilityFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o := RegisterObservability(fs, "testtool")
+	err := fs.Parse([]string{
+		"-cpuprofile", "cpu.pprof", "-memprofile", "mem.pprof",
+		"-trace", "trace.out", "-metrics", "m.json", "-progress",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.CPUProfile != "cpu.pprof" || o.MemProfile != "mem.pprof" ||
+		o.TracePath != "trace.out" || o.Metrics != "m.json" || !o.Progress {
+		t.Fatalf("parsed observability flags %+v", o)
+	}
+}
+
+// TestObservabilityArtifacts: a full Start→run→Stop cycle writes every
+// requested artifact: a non-empty CPU profile, a heap profile, an
+// execution trace, and a JSON metrics snapshot whose manifest carries
+// the spec provenance and whose metrics include the engine counters.
+func TestObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeFile(t, "spec.json", testSpec)
+	o := &Observability{
+		Tool:       "testtool",
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		TracePath:  filepath.Join(dir, "trace.out"),
+		Metrics:    filepath.Join(dir, "metrics.json"),
+		Progress:   true,
+	}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	o.Manifest().SetSeed(11)
+	var b strings.Builder
+	d := &Declarative{Spec: specPath}
+	if ran, err := d.RunObserved(&b, o); !ran || err != nil {
+		t.Fatalf("observed spec run: ran=%v err=%v", ran, err)
+	}
+	if err := o.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.CPUProfile, o.MemProfile, o.TracePath, o.Metrics} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("empty artifact %s", p)
+		}
+	}
+	var snap obs.Snapshot
+	data, err := os.ReadFile(o.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	m := snap.Manifest
+	if m == nil || m.Tool != "testtool" || m.SpecPath != specPath || m.SpecSHA256 == "" {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Seed == nil || *m.Seed != 11 {
+		t.Fatalf("manifest seed = %v", m.Seed)
+	}
+	if m.WallSeconds <= 0 || m.VirtualTime <= 0 {
+		t.Fatalf("durations: wall %v virtual %v", m.WallSeconds, m.VirtualTime)
+	}
+	byName := map[string]obs.MetricSnapshot{}
+	for _, ms := range snap.Metrics {
+		byName[ms.Name] = ms
+	}
+	runs, ok := byName["netsim_runs_total"]
+	if !ok || runs.Value == nil || *runs.Value != 2 { // replications.n = 2
+		t.Fatalf("netsim_runs_total = %+v", runs)
+	}
+	events := byName["netsim_events_total"]
+	if events.Value == nil || *events.Value <= 0 {
+		t.Fatalf("netsim_events_total = %+v", events)
+	}
+}
+
+// TestObservabilityPromFormat: a .prom metrics path selects Prometheus
+// text exposition with the manifest riding as a comment line.
+func TestObservabilityPromFormat(t *testing.T) {
+	o := &Observability{Tool: "testtool", Metrics: filepath.Join(t.TempDir(), "metrics.prom")}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	o.Stats().Events.Add(42)
+	if err := o.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"# manifest: {", `"tool":"testtool"`,
+		"# TYPE netsim_events_total counter", "netsim_events_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestObservabilityNilSafety: every accessor used by the cmd binaries
+// tolerates a nil *Observability (the tests' plain-run path).
+func TestObservabilityNilSafety(t *testing.T) {
+	var o *Observability
+	if o.Observe() != nil {
+		t.Fatal("nil Observability produced an Observe")
+	}
+	if o.Stats() != nil || o.Manifest() != nil {
+		t.Fatal("nil Observability exposed instruments")
+	}
+	o.NoteSpec("x.json")
+	o.Manifest().SetSeed(1) // nil *Manifest must also be inert
+}
+
+// TestObservabilityStopBare: Stop without artifacts requested (and
+// after a Start) is a no-op that errors nowhere.
+func TestObservabilityStopBare(t *testing.T) {
+	o := &Observability{Tool: "bare"}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,19 @@ type NetsimOptions struct {
 	// Workers bounds the replication pool (0 = GOMAXPROCS).
 	Workers int
 	Seed    uint64
+	// Observe optionally attaches the observability layer (engine stats
+	// sink, progress reporting) to every scenario and sweep the drivers
+	// execute. Nil is fully inert; results are identical either way.
+	Observe *scenario.Observe
+}
+
+// engineConfig applies the observability attachment to a compiled
+// config for drivers that stream replications directly.
+func (o NetsimOptions) engineConfig(cfg netsim.Config) netsim.Config {
+	if o.Observe != nil && o.Observe.Stats != nil {
+		cfg.Stats = o.Observe.Stats
+	}
+	return cfg
 }
 
 // DefaultNetsimOptions resolves the scenario effects in a few seconds.
@@ -153,7 +166,7 @@ func NetsimStar(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -204,7 +217,7 @@ func NetsimFigure8(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -237,7 +250,7 @@ func NetsimLeaveLatency(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -280,7 +293,7 @@ func NetsimTree(w io.Writer, o NetsimOptions) error {
 		// Stream the replications: per-depth accumulation happens in
 		// replication order without retaining any result.
 		byDepth := make([]stats.Accumulator, depth+1)
-		err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, res *netsim.Result) error {
+		err = netsim.StreamReplications(o.engineConfig(c.Cfg), o.Trials, o.Workers, func(_ int, res *netsim.Result) error {
 			for _, ls := range res.Links {
 				byDepth[depthOf(ls.Link)].Add(ls.Redundancy)
 			}
@@ -335,7 +348,7 @@ func NetsimMesh(w io.Writer, o NetsimOptions) error {
 	const bb = sessions // backbone link index in the mesh layout
 	accBest := make([]stats.Accumulator, sessions)
 	accRed := make([]stats.Accumulator, sessions)
-	err = netsim.StreamReplications(c.Cfg, o.Trials, o.Workers, func(_ int, r *netsim.Result) error {
+	err = netsim.StreamReplications(o.engineConfig(c.Cfg), o.Trials, o.Workers, func(_ int, r *netsim.Result) error {
 		for i := 0; i < sessions; i++ {
 			m := 0.0
 			for _, v := range r.ReceiverRates[i] {
@@ -392,7 +405,7 @@ func NetsimChurn(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -446,7 +459,7 @@ func NetsimBackground(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -523,7 +536,7 @@ func NetsimConvergence(w io.Writer, o NetsimOptions) error {
 	if err != nil {
 		return err
 	}
-	res, err := scenario.RunSweep(sw)
+	res, err := scenario.RunSweepObserved(sw, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -560,7 +573,7 @@ func NetsimConvergence(w io.Writer, o NetsimOptions) error {
 // benchmark, fairness-property and gap stages, and the report shows the
 // achieved rates tracking their analytic max-min fair counterparts.
 func NetsimAudit(w io.Writer, o NetsimOptions) error {
-	res, err := scenario.Run(AuditSpec(o))
+	res, err := scenario.RunObserved(AuditSpec(o), o.Observe)
 	if err != nil {
 		return err
 	}
@@ -620,7 +633,7 @@ func NetsimScaleFree(w io.Writer, o NetsimOptions) error {
 	}
 	c.Spec.Name = fmt.Sprintf("netsim scale-free: %d nodes, %d links, %d sessions (mixed protocols), %d packets, %d trials",
 		c.Net.Graph().NumNodes(), c.Net.NumLinks(), c.Net.NumSessions(), o.Packets, o.Trials)
-	res, err := scenario.RunCompiled(c)
+	res, err := scenario.RunCompiledObserved(c, o.Observe)
 	if err != nil {
 		return err
 	}
@@ -638,7 +651,7 @@ func NetsimFatTree(w io.Writer, o NetsimOptions) error {
 	}
 	c.Spec.Name = fmt.Sprintf("netsim fat-tree: k=%d (%d hosts, %d links), %d sessions (mixed protocols), %d packets, %d trials",
 		k, k*k*k/4, c.Net.NumLinks(), c.Net.NumSessions(), o.Packets, o.Trials)
-	res, err := scenario.RunCompiled(c)
+	res, err := scenario.RunCompiledObserved(c, o.Observe)
 	if err != nil {
 		return err
 	}

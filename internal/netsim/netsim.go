@@ -151,6 +151,12 @@ type Config struct {
 	// never changes dynamics: every other Result field is bit-identical
 	// with probes on or off.
 	Probe *ProbeConfig
+	// Stats, when non-nil, receives the run's engine statistics
+	// (cumulative atomic counters — see EngineStats). The same sink may
+	// be shared by concurrent replications. Stats never change dynamics:
+	// every Result field is bit-identical with stats on or off, and the
+	// counters are flushed once at the end of the run, not per event.
+	Stats *EngineStats
 	// LeaveLatency models slow IGMP-style leave processing (the paper's
 	// Section 5 concern): after the highest subscription below a link
 	// drops, the link keeps carrying the abandoned layers for this many
@@ -644,6 +650,14 @@ type engine struct {
 	now          float64
 	sent         int
 	pops         int64
+	// Observability tallies (see EngineStats): pops split by kind, the
+	// queue's occupancy high-water mark, and calendar ticks fired.
+	// Maintained unconditionally — they ride events that already go
+	// through the scheduler or the calendar bookkeeping, never the
+	// per-crossing hot path — and flushed to cfg.Stats at result time.
+	popForward, popChurn, popSignal int64
+	ticksFired                      int64
+	heapHW                          int
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -918,6 +932,9 @@ func (e *engine) push(ev event) {
 	ev.key |= e.seq
 	e.seq++
 	e.q.push(ev)
+	if n := len(e.q.a); n > e.heapHW {
+		e.heapHW = n
+	}
 }
 
 // applyLevelChange records receiver k's new subscription level and
@@ -1474,10 +1491,13 @@ func Run(cfg Config) (*Result, error) {
 			e.pops++
 			switch ev.kind {
 			case evForward:
+				e.popForward++
 				e.dispatch(&e.sess[ev.sess], ev.layer, ev.node, e.now)
 			case evChurn:
+				e.popChurn++
 				e.applyChurn(cfg.Churn[ev.node])
 			case evSignal:
+				e.popSignal++
 				e.signal()
 			}
 		}
@@ -1509,6 +1529,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		s.tick = n
 		s.txMin = float64(n+1) * s.tickDt
+		e.ticksFired++
 	}
 	return e.result(), nil
 }
@@ -1637,6 +1658,7 @@ func (e *engine) result() *Result {
 			res.Links = append(res.Links, ls)
 		}
 	}
+	e.flushStats(res)
 	return res
 }
 

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"mlfair/internal/protocol"
@@ -167,6 +168,49 @@ func TestProbeRingOverflow(t *testing.T) {
 	}
 }
 
+// TestProbeRingOverflowExactAccounting: the capped ring's Dropped
+// count equals total windows minus retained (measured against an
+// uncapped run of the same config), the retained suffix is exactly
+// the uncapped run's newest windows, and an attached stats sink sees
+// every window flush — overwritten ones included.
+func TestProbeRingOverflowExactAccounting(t *testing.T) {
+	full := probeStarConfig(t, 20000)
+	full.Probe = &ProbeConfig{PacketWindow: 100}
+	fres, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := fres.Probe.NumSamples()
+	if total <= 16 {
+		t.Fatalf("uncapped run produced only %d windows; overflow test needs more", total)
+	}
+
+	capped := probeStarConfig(t, 20000)
+	capped.Probe = &ProbeConfig{PacketWindow: 100, MaxSamples: 16}
+	var st EngineStats
+	capped.Stats = &st
+	cres, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cres.Probe
+	if p.Dropped != total-16 {
+		t.Fatalf("Dropped = %d, want %d (total %d - retained 16)", p.Dropped, total-16, total)
+	}
+	for s := 0; s < p.NumSamples(); s++ {
+		if p.Times[s] != fres.Probe.Times[total-16+s] {
+			t.Fatalf("retained sample %d closes at %v, uncapped suffix has %v",
+				s, p.Times[s], fres.Probe.Times[total-16+s])
+		}
+	}
+	if got := st.ProbeWindows.Load(); got != int64(total) {
+		t.Fatalf("stats ProbeWindows = %d, want every flush (%d)", got, total)
+	}
+	if got := st.ProbeDropped.Load(); got != int64(p.Dropped) {
+		t.Fatalf("stats ProbeDropped = %d, want %d", got, p.Dropped)
+	}
+}
+
 // TestProbeLevelsTrackChurn: a churned-out receiver reads level 0 in
 // samples taken while it is away.
 func TestProbeLevelsTrackChurn(t *testing.T) {
@@ -209,6 +253,33 @@ func TestProbeValidation(t *testing.T) {
 		cfg.Probe = &pc
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("probe config %+v accepted", pc)
+		}
+	}
+}
+
+// TestProbeZeroWidthWindowError: the zero-width-window rejection names
+// the contract (exactly one positive window), a run that fails probe
+// validation publishes nothing into an attached stats sink, and
+// MaxSamples alone cannot stand in for a window.
+func TestProbeZeroWidthWindowError(t *testing.T) {
+	for _, pc := range []ProbeConfig{
+		{Window: 0, PacketWindow: 0},
+		{MaxSamples: 8},
+	} {
+		cfg := probeStarConfig(t, 1000)
+		var st EngineStats
+		cfg.Stats = &st
+		cfg.Probe = &pc
+		_, err := Run(cfg)
+		if err == nil {
+			t.Fatalf("zero-width probe config %+v accepted", pc)
+		}
+		if !strings.Contains(err.Error(), "exactly one of Window") {
+			t.Fatalf("error %q does not name the window contract", err)
+		}
+		if st.Runs.Load() != 0 || st.Events.Load() != 0 {
+			t.Fatalf("rejected run flushed stats: runs=%d events=%d",
+				st.Runs.Load(), st.Events.Load())
 		}
 	}
 }

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+
+	"mlfair/internal/obs"
+	"mlfair/internal/protocol"
+)
+
+// TestStatsDoNotPerturbDynamics: enabling the stats sink changes no
+// Result field — instrumentation is pure measurement, like probing.
+func TestStatsDoNotPerturbDynamics(t *testing.T) {
+	base := probeStarConfig(t, 20000)
+	base.Churn = []ChurnEvent{
+		{Time: 30, Session: 0, Receiver: 2, Join: false},
+		{Time: 90, Session: 0, Receiver: 2, Join: true},
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Stats = &EngineStats{}
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats sink perturbed the run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStatsMatchResult: the flushed counters agree with the Result's
+// own cumulative accounting.
+func TestStatsMatchResult(t *testing.T) {
+	cfg := probeStarConfig(t, 20000)
+	cfg.Churn = []ChurnEvent{{Time: 25, Session: 0, Receiver: 1, Join: false}}
+	cfg.Probe = &ProbeConfig{PacketWindow: 128, MaxSamples: 32}
+	st := &EngineStats{}
+	cfg.Stats = st
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs.Load() != 1 {
+		t.Fatalf("runs = %d", st.Runs.Load())
+	}
+	if st.Transmissions.Load() != int64(res.PacketsSent) {
+		t.Fatalf("transmissions = %d, packets sent = %d", st.Transmissions.Load(), res.PacketsSent)
+	}
+	if st.Events.Load() != res.Events {
+		t.Fatalf("events = %d, result events = %d", st.Events.Load(), res.Events)
+	}
+	var delivered, crossed, dropped int64
+	for i := range res.ReceiverPackets {
+		for _, n := range res.ReceiverPackets[i] {
+			delivered += int64(n)
+		}
+	}
+	for _, ls := range res.Links {
+		crossed += int64(ls.Crossed)
+		dropped += int64(ls.Dropped)
+	}
+	if st.Deliveries.Load() != delivered {
+		t.Fatalf("deliveries = %d, want %d", st.Deliveries.Load(), delivered)
+	}
+	if st.Crossings.Load() != crossed {
+		t.Fatalf("crossings = %d, want %d", st.Crossings.Load(), crossed)
+	}
+	if st.Drops.Load() != dropped {
+		t.Fatalf("drops = %d, want %d", st.Drops.Load(), dropped)
+	}
+	if st.ChurnEvents.Load() != 1 {
+		t.Fatalf("churn events = %d", st.ChurnEvents.Load())
+	}
+	if st.VirtualTime.Load() != res.Duration {
+		t.Fatalf("virtual time = %v, duration = %v", st.VirtualTime.Load(), res.Duration)
+	}
+	wantWindows := int64(res.Probe.NumSamples() + res.Probe.Dropped)
+	if st.ProbeWindows.Load() != wantWindows {
+		t.Fatalf("probe windows = %d, want %d", st.ProbeWindows.Load(), wantWindows)
+	}
+	if st.ProbeDropped.Load() != int64(res.Probe.Dropped) {
+		t.Fatalf("probe dropped = %d, want %d", st.ProbeDropped.Load(), res.Probe.Dropped)
+	}
+	if st.CalendarTicks.Load() < 1 || st.CalendarTicks.Load() > st.Transmissions.Load() {
+		t.Fatalf("calendar ticks = %d (transmissions %d)", st.CalendarTicks.Load(), st.Transmissions.Load())
+	}
+}
+
+// TestStatsSharedAcrossReplications: one sink fed by the parallel
+// runner accumulates exactly the per-replication sums (atomic
+// instruments make the sharing race-free; run under -race in CI).
+func TestStatsSharedAcrossReplications(t *testing.T) {
+	cfg := probeStarConfig(t, 8000)
+	st := &EngineStats{}
+	cfg.Stats = st
+	const n = 8
+	var events int64
+	var virtual float64
+	err := StreamReplications(cfg, n, 4, func(_ int, r *Result) error {
+		events += r.Events
+		virtual += r.Duration
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs.Load() != n {
+		t.Fatalf("runs = %d, want %d", st.Runs.Load(), n)
+	}
+	if st.Events.Load() != events {
+		t.Fatalf("events = %d, want %d", st.Events.Load(), events)
+	}
+	if st.VirtualTime.Load() != virtual {
+		t.Fatalf("virtual time = %v, want %v", st.VirtualTime.Load(), virtual)
+	}
+}
+
+// TestStatsHeapHighWater: DropTail delay queues schedule delivery
+// events, so the high-water mark must be positive there and zero on a
+// pure loss star under the Deterministic protocol (no scheduled
+// events at all).
+func TestStatsHeapHighWater(t *testing.T) {
+	cfg := probeStarConfig(t, 5000)
+	st := &EngineStats{}
+	cfg.Stats = st
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if hw := st.HeapHighWater.Load(); hw != 0 {
+		t.Fatalf("loss-only deterministic star heap high-water = %d, want 0", hw)
+	}
+
+	dt, err := Star(8, 0, 0, SessionConfig{Protocol: protocol.Deterministic, Layers: 4}, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range dt.Links {
+		dt.Links[j] = LinkSpec{Kind: DropTail, Capacity: 100, Buffer: 16, Delay: 0.5}
+	}
+	st2 := &EngineStats{}
+	dt.Stats = st2
+	if _, err := Run(dt); err != nil {
+		t.Fatal(err)
+	}
+	if st2.HeapHighWater.Load() < 1 {
+		t.Fatalf("droptail heap high-water = %d, want >= 1", st2.HeapHighWater.Load())
+	}
+	if st2.ForwardEvents.Load() < 1 {
+		t.Fatal("droptail run popped no delayed deliveries")
+	}
+}
+
+// TestStatsRegister: the full stat set registers cleanly and exposes
+// through the registry.
+func TestStatsRegister(t *testing.T) {
+	st := &EngineStats{}
+	reg := obs.NewRegistry()
+	st.MustRegister(reg)
+	snap := reg.Snapshot(nil)
+	if len(snap.Metrics) != 14 {
+		t.Fatalf("registered %d metrics", len(snap.Metrics))
+	}
+	for _, m := range snap.Metrics {
+		if m.Kind == "" || m.Name == "" {
+			t.Fatalf("malformed metric snapshot %+v", m)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestNewManifestFillsEnvironment(t *testing.T) {
+	m := NewManifest("obs_test")
+	if m.Tool != "obs_test" {
+		t.Fatalf("tool = %q", m.Tool)
+	}
+	if m.GoVersion != runtime.Version() {
+		t.Fatalf("go version = %q", m.GoVersion)
+	}
+	if m.GOOS != runtime.GOOS || m.GOARCH != runtime.GOARCH {
+		t.Fatalf("platform = %s/%s", m.GOOS, m.GOARCH)
+	}
+	if m.NumCPU < 1 {
+		t.Fatalf("numCPU = %d", m.NumCPU)
+	}
+	if m.Timestamp == "" {
+		t.Fatal("empty timestamp")
+	}
+}
+
+func TestManifestSpecAndSeed(t *testing.T) {
+	var m Manifest
+	m.SetSpec("testdata/spec.json", []byte("{}"))
+	if m.SpecPath != "testdata/spec.json" {
+		t.Fatalf("spec path = %q", m.SpecPath)
+	}
+	// sha256("{}")
+	if m.SpecSHA256 != "44136fa355b3678a1146ad16f7e8649e94fb4fc21fe77e8310c060f61caaff8a" {
+		t.Fatalf("spec hash = %q", m.SpecSHA256)
+	}
+	m.SetSeed(777)
+	if m.Seed == nil || *m.Seed != 777 {
+		t.Fatalf("seed = %v", m.Seed)
+	}
+}
+
+// TestSnapshotGolden pins the JSON snapshot schema byte-for-byte on a
+// fully deterministic registry + manifest, so any drift in field names,
+// ordering or formatting — the contract CI smoke jobs and external
+// dashboards parse — fails loudly.
+//
+// Regenerate intentionally with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/obs -run TestSnapshotGolden
+func TestSnapshotGolden(t *testing.T) {
+	r := NewRegistry()
+	var events Counter
+	events.Add(123456)
+	var hw Gauge
+	hw.Set(42)
+	var vt FloatCounter
+	vt.Add(625.5)
+	h := NewHistogram(ExpBuckets(1, 10, 3)...)
+	for _, v := range []float64{0.5, 5, 5000} {
+		h.Observe(v)
+	}
+	r.MustRegister("netsim_events_total", "engine events processed", &events)
+	r.MustRegister("netsim_heap_high_water", "event-queue high-water mark", &hw)
+	r.MustRegister("netsim_virtual_time", "simulated time units", &vt)
+	r.MustRegister("sweep_cell_seconds", "wall seconds per sweep cell", h)
+	seed := uint64(777)
+	man := &Manifest{
+		Tool:        "golden",
+		GoVersion:   "go1.24.0",
+		GOOS:        "linux",
+		GOARCH:      "amd64",
+		NumCPU:      8,
+		CPUModel:    "Example CPU @ 3.00GHz",
+		Module:      "mlfair",
+		Timestamp:   "2026-01-02T03:04:05Z",
+		SpecPath:    "testdata/spec.json",
+		SpecSHA256:  "44136fa355b3678a1146ad16f7e8649e94fb4fc21fe77e8310c060f61caaff8a",
+		Seed:        &seed,
+		WallSeconds: 1.5,
+		VirtualTime: 625.5,
+	}
+	var got bytes.Buffer
+	if err := r.WriteJSON(&got, man); err != nil {
+		t.Fatal(err)
+	}
+	// The document must parse as the Snapshot type it claims to be.
+	var back Snapshot
+	if err := json.Unmarshal(got.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Manifest == nil || len(back.Metrics) != 4 {
+		t.Fatalf("round-tripped snapshot shape: manifest %v, %d metrics", back.Manifest, len(back.Metrics))
+	}
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("snapshot schema drifted from golden.\nGot:\n%s\nWant:\n%s", got.Bytes(), want)
+	}
+}

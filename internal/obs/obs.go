@@ -1,0 +1,185 @@
+// Package obs is the runtime observability layer: an allocation-free
+// metrics core (atomic counters, gauges, fixed-bucket histograms), a
+// registry with Prometheus text exposition and a JSON snapshot writer,
+// and a run-provenance Manifest (go version, host, module version, spec
+// hash, seed, wall/virtual time) that travels with every snapshot.
+//
+// The instruments are safe for concurrent use and never allocate after
+// construction: Counter.Add, Gauge.Set/SetMax, FloatCounter.Add and
+// Histogram.Observe are single atomic operations (a bounded CAS loop
+// for the float paths), so they can sit on simulator hot paths and in
+// per-replication flush hooks without perturbing the engine's
+// allocs/event budget. Registration and exposition take the registry
+// lock and may allocate; they are expected once per run, not per event.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are the caller's bug; the counter does
+// not police them, keeping Add a single atomic op).
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic int64 instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v is larger — the high-water-mark
+// operation (lock-free CAS loop).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// FloatCounter is a monotonically increasing atomic float64 metric
+// (bit-packed into a uint64; Add is a CAS loop).
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds d.
+func (c *FloatCounter) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (c *FloatCounter) Load() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram: observation counts
+// per upper bound plus an implicit +Inf bucket, with a running sum and
+// count. All buckets are allocated at construction; Observe is a
+// linear scan over the (small, fixed) bound slice plus three atomic
+// adds — no allocation, no lock.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf excluded
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    FloatCounter
+	count  Counter
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (the +Inf bucket is implicit). It panics on unsorted,
+// duplicate or non-finite bounds — histogram shapes are static
+// configuration, not runtime input.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %v", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %v", b))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n ascending bounds start, start*factor, ... —
+// the usual log-spaced histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Inc()
+}
+
+// Count returns the total observation count.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// cumulative returns the bucket upper bounds (last one +Inf) and the
+// cumulative counts at each, Prometheus-style.
+func (h *Histogram) cumulative() ([]float64, []int64) {
+	le := make([]float64, len(h.bounds)+1)
+	copy(le, h.bounds)
+	le[len(h.bounds)] = math.Inf(1)
+	cum := make([]int64, len(h.counts))
+	total := int64(0)
+	for i := range h.counts {
+		total += h.counts[i].Load()
+		cum[i] = total
+	}
+	return le, cum
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (the
+// smallest bucket bound whose cumulative count reaches q of the total;
+// +Inf when the tail bucket holds it). Useful for progress/summary
+// rendering; not exported in snapshots.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	le, cum := h.cumulative()
+	rank := int64(math.Ceil(q * float64(total)))
+	i := sort.Search(len(cum), func(i int) bool { return cum[i] >= rank })
+	if i >= len(le) {
+		i = len(le) - 1
+	}
+	return le[i]
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Load() != 42 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(3)
+	if g.Load() != 10 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+	g.SetMax(5)
+	if g.Load() != 10 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(99)
+	if g.Load() != 99 {
+		t.Fatalf("SetMax = %d", g.Load())
+	}
+	var f FloatCounter
+	f.Add(0.5)
+	f.Add(1.25)
+	if f.Load() != 1.75 {
+		t.Fatalf("float counter = %v", f.Load())
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	le, cum := h.cumulative()
+	if len(le) != 4 || !math.IsInf(le[3], 1) {
+		t.Fatalf("bounds = %v", le)
+	}
+	// <=1: {0.5, 1}; <=10: +{5, 10}; <=100: +{50}; +Inf: +{1000}.
+	want := []int64{2, 4, 5, 6}
+	for i := range cum {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if h.Count() != 6 || h.Sum() != 1066.5 {
+		t.Fatalf("count %d sum %v", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("median bucket bound = %v", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("max bucket bound = %v", q)
+	}
+	var empty Histogram
+	if (&empty).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{
+		{2, 1},
+		{1, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds...)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v", got)
+		}
+	}
+}
+
+// TestInstrumentsAllocationFree pins the hot-path contract: recording
+// into any instrument performs zero allocations.
+func TestInstrumentsAllocationFree(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var f FloatCounter
+	h := NewHistogram(ExpBuckets(1, 2, 10)...)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Add(3)
+		g.SetMax(c.Load())
+		f.Add(0.5)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("instrument ops allocate %v per run", n)
+	}
+}
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	if err := r.Register("good_name", "", &c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("good_name", "", &c); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	for _, bad := range []string{"", "1leading", "has space", "has-dash"} {
+		if err := r.Register(bad, "", &c); err == nil {
+			t.Fatalf("bad name %q accepted", bad)
+		}
+	}
+	if err := r.Register("wrong_type", "", 42); err == nil {
+		t.Fatal("unsupported metric type accepted")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(5)
+	var g Gauge
+	g.Set(-3)
+	var f FloatCounter
+	f.Add(2.5)
+	h := NewHistogram(1, 10)
+	h.Observe(0.5)
+	h.Observe(20)
+	r.MustRegister("events_total", "processed events", &c)
+	r.MustRegister("heap_high_water", "", &g)
+	r.MustRegister("virtual_time_seconds", "simulated time", &f)
+	r.MustRegister("window_seconds", "", h)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP events_total processed events",
+		"# TYPE events_total counter",
+		"events_total 5",
+		"# TYPE heap_high_water gauge",
+		"heap_high_water -3",
+		"virtual_time_seconds 2.5",
+		"# TYPE window_seconds histogram",
+		`window_seconds_bucket{le="1"} 1`,
+		`window_seconds_bucket{le="10"} 1`,
+		`window_seconds_bucket{le="+Inf"} 2`,
+		"window_seconds_sum 20.5",
+		"window_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Name order: events_total before heap_high_water before the rest.
+	if strings.Index(out, "events_total") > strings.Index(out, "heap_high_water") {
+		t.Fatalf("metrics not in name order:\n%s", out)
+	}
+}
+
+// TestConcurrentInstruments exercises every instrument from many
+// goroutines (meaningful under -race) and checks the totals.
+func TestConcurrentInstruments(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var f FloatCounter
+	h := NewHistogram(8, 64)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.SetMax(int64(w*per + i))
+				f.Add(0.25)
+				h.Observe(float64(i % 100))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	if g.Load() != workers*per-1 {
+		t.Fatalf("gauge max = %d", g.Load())
+	}
+	if f.Load() != workers*per*0.25 {
+		t.Fatalf("float counter = %v", f.Load())
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

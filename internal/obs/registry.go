@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metrics and renders them: Prometheus text
+// exposition (WritePrometheus) and a JSON snapshot document
+// (Snapshot/WriteJSON) carrying an optional provenance Manifest.
+// Metrics are rendered in name order so both forms are deterministic
+// for a given registry content.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]entry
+}
+
+type entry struct {
+	help string
+	m    any // *Counter | *Gauge | *FloatCounter | *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]entry{}}
+}
+
+// validName is the Prometheus metric-name grammar.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a metric under name. The metric must be one of
+// *Counter, *Gauge, *FloatCounter or *Histogram; names must match the
+// Prometheus grammar and be unique within the registry.
+func (r *Registry) Register(name, help string, m any) error {
+	switch m.(type) {
+	case *Counter, *Gauge, *FloatCounter, *Histogram:
+	default:
+		return fmt.Errorf("obs: register %q: unsupported metric type %T", name, m)
+	}
+	if !validName(name) {
+		return fmt.Errorf("obs: invalid metric name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("obs: duplicate metric name %q", name)
+	}
+	r.entries[name] = entry{help: help, m: m}
+	return nil
+}
+
+// MustRegister is Register, panicking on error (registration failures
+// are programming errors, not runtime conditions).
+func (r *Registry) MustRegister(name, help string, m any) {
+	if err := r.Register(name, help, m); err != nil {
+		panic(err)
+	}
+}
+
+// sorted returns the registered names in order plus their entries.
+func (r *Registry) sorted() ([]string, map[string]entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	entries := make(map[string]entry, len(r.entries))
+	for n, e := range r.entries {
+		names = append(names, n)
+		entries[n] = e
+	}
+	sort.Strings(names)
+	return names, entries
+}
+
+// fmtFloat renders a float the shortest-round-trip way ("+Inf" for
+// the histogram tail bound, matching Prometheus's le label).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (# HELP / # TYPE headers, histogram _bucket/_sum/
+// _count expansion), metrics in name order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names, entries := r.sorted()
+	var b strings.Builder
+	for _, name := range names {
+		e := entries[name]
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, e.help)
+		}
+		switch m := e.m.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, m.Load())
+		case *FloatCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %s\n", name, name, fmtFloat(m.Load()))
+		case *Gauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, m.Load())
+		case *Histogram:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			le, cum := m.cumulative()
+			for i := range le {
+				bound := fmtFloat(le[i])
+				if i == len(le)-1 {
+					bound = "+Inf"
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, bound, cum[i])
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", name, fmtFloat(m.Sum()), name, m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot. LE is the
+// upper bound rendered as a string so the +Inf tail survives JSON.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricSnapshot is one metric's point-in-time value in a snapshot.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Help string `json:"help,omitempty"`
+	// Value carries counter and gauge readings (absent for histograms).
+	Value *float64 `json:"value,omitempty"`
+	// Count/Sum/Buckets carry histogram readings.
+	Count   *int64   `json:"count,omitempty"`
+	Sum     *float64 `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is the JSON snapshot document: provenance manifest plus
+// every registered metric's current value, in name order.
+type Snapshot struct {
+	Manifest *Manifest        `json:"manifest,omitempty"`
+	Metrics  []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures the registry's current values with the given
+// provenance manifest (nil for none).
+func (r *Registry) Snapshot(man *Manifest) Snapshot {
+	names, entries := r.sorted()
+	snap := Snapshot{Manifest: man, Metrics: make([]MetricSnapshot, 0, len(names))}
+	fp := func(v float64) *float64 { return &v }
+	ip := func(v int64) *int64 { return &v }
+	for _, name := range names {
+		e := entries[name]
+		ms := MetricSnapshot{Name: name, Help: e.help}
+		switch m := e.m.(type) {
+		case *Counter:
+			ms.Kind = "counter"
+			ms.Value = fp(float64(m.Load()))
+		case *FloatCounter:
+			ms.Kind = "counter"
+			ms.Value = fp(m.Load())
+		case *Gauge:
+			ms.Kind = "gauge"
+			ms.Value = fp(float64(m.Load()))
+		case *Histogram:
+			ms.Kind = "histogram"
+			ms.Count = ip(m.Count())
+			ms.Sum = fp(m.Sum())
+			le, cum := m.cumulative()
+			ms.Buckets = make([]Bucket, len(le))
+			for i := range le {
+				bound := fmtFloat(le[i])
+				if i == len(le)-1 {
+					bound = "+Inf"
+				}
+				ms.Buckets[i] = Bucket{LE: bound, Count: cum[i]}
+			}
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot document (two-space indented, trailing
+// newline — the same stability contract as the scenario encoders).
+func (r *Registry) WriteJSON(w io.Writer, man *Manifest) error {
+	b, err := json.MarshalIndent(r.Snapshot(man), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

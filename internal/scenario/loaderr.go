@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// locateError decorates a Decode/Validate error from a file with the
+// offending path, and — when the JSON decoder reported a byte offset
+// (syntax errors, type mismatches) — the 1-based line:column, so a
+// broken -spec/-sweep file is a jump-to-location diagnostic instead of
+// a bare decoder message.
+func locateError(path string, data []byte, err error) error {
+	var off int64 = -1
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		off = syn.Offset
+	case errors.As(err, &typ):
+		off = typ.Offset
+	}
+	if off < 0 {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	line, col := lineCol(data, off)
+	return fmt.Errorf("%s:%d:%d: %w", path, line, col, err)
+}
+
+// lineCol converts a byte offset into 1-based line and column.
+func lineCol(data []byte, off int64) (line, col int) {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:off] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}

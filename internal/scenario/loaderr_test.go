@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadFileReportsLineAndColumn: a syntactically broken spec file
+// fails with path:line:col pointing at the offending byte.
+func TestLoadFileReportsLineAndColumn(t *testing.T) {
+	path := writeTemp(t, "broken.json", "{\n  \"topology\": {\"kind\": \"star\"},\n  \"packets\": oops\n}\n")
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("broken spec accepted")
+	}
+	if want := path + ":3:15:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q missing location %q", err, want)
+	}
+}
+
+// TestLoadFileReportsTypeErrorLocation: type mismatches (well-formed
+// JSON, wrong shape) also carry the file location.
+func TestLoadFileReportsTypeErrorLocation(t *testing.T) {
+	path := writeTemp(t, "badtype.json", "{\n  \"packets\": \"lots\"\n}\n")
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("mistyped spec accepted")
+	}
+	if !strings.Contains(err.Error(), path+":2:") {
+		t.Fatalf("error %q missing %s:2: location", err, path)
+	}
+}
+
+// TestLoadFileNamesFileOnValidationError: offset-less failures
+// (validation, unknown fields) still name the offending file.
+func TestLoadFileNamesFileOnValidationError(t *testing.T) {
+	path := writeTemp(t, "invalid.json", "{\n  \"nonsenseField\": 1\n}\n")
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !strings.Contains(err.Error(), path+": ") {
+		t.Fatalf("error %q does not name the file", err)
+	}
+}
+
+// TestLoadSweepFileReportsLocation: the sweep loader shares the
+// located-error contract.
+func TestLoadSweepFileReportsLocation(t *testing.T) {
+	path := writeTemp(t, "sweep.json", "{\n  \"axes\": [\n    nope\n  ]\n}\n")
+	_, err := LoadSweepFile(path)
+	if err == nil {
+		t.Fatal("broken sweep accepted")
+	}
+	if want := path + ":3:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q missing location %q", err, want)
+	}
+}
+
+func TestLineCol(t *testing.T) {
+	data := []byte("ab\ncde\nf")
+	cases := []struct {
+		off       int64
+		line, col int
+	}{{0, 1, 1}, {1, 1, 2}, {3, 2, 1}, {6, 2, 4}, {7, 3, 1}, {99, 3, 2}}
+	for _, c := range cases {
+		if l, col := lineCol(data, c.off); l != c.line || col != c.col {
+			t.Fatalf("lineCol(%d) = %d:%d, want %d:%d", c.off, l, col, c.line, c.col)
+		}
+	}
+}

@@ -79,11 +79,18 @@ type ConvergenceReport struct {
 
 // Run compiles and executes a Spec.
 func Run(spec *Spec) (*Result, error) {
+	return RunObserved(spec, nil)
+}
+
+// RunObserved is Run with an optional observability attachment: the
+// scenario reports as a one-point sweep (see Observe). A nil ob is
+// exactly Run — results are bit-identical either way.
+func RunObserved(spec *Spec, ob *Observe) (*Result, error) {
 	c, err := Compile(spec)
 	if err != nil {
 		return nil, err
 	}
-	return RunCompiled(c)
+	return RunCompiledObserved(c, ob)
 }
 
 // RunCompiled executes an already-compiled scenario: a streaming
@@ -91,6 +98,12 @@ func Run(spec *Spec) (*Result, error) {
 // aggregates are bit-identical for any worker count) followed by the
 // analytic stages.
 func RunCompiled(c *Compiled) (*Result, error) {
+	return RunCompiledObserved(c, nil)
+}
+
+// RunCompiledObserved is RunCompiled with an optional observability
+// attachment.
+func RunCompiledObserved(c *Compiled, ob *Observe) (*Result, error) {
 	s := c.Spec
 	sel := s.metricSet()
 	res := &Result{Spec: s, Compiled: c}
@@ -126,7 +139,13 @@ func RunCompiled(c *Compiled) (*Result, error) {
 			rateAccs[i] = make([]stats.Accumulator, net.Session(i).NumReceivers())
 		}
 		goodput := netsim.MeanReceiverRateMetric()
-		err := netsim.StreamReplications(c.Cfg, s.Replications.N, s.Replications.Workers,
+		cfg := c.Cfg
+		if ob != nil && ob.Stats != nil {
+			cfg.Stats = ob.Stats
+		}
+		tr := newTracker(ob, 1, s.Replications.N, 1)
+		tr.pointStart(0)
+		err := netsim.StreamReplications(cfg, s.Replications.N, s.Replications.Workers,
 			func(_ int, r *netsim.Result) error {
 				if needTime && r.Probe == nil {
 					return fmt.Errorf("scenario: timeseries/convergence stages ran without probe output")
@@ -169,8 +188,11 @@ func RunCompiled(c *Compiled) (*Result, error) {
 					fracFairAcc.Add(cs.FracTimeFair)
 					oscAcc.Add(cs.Oscillation)
 				}
+				tr.cell(r.Events)
 				return nil
 			})
+		tr.pointEnd(0)
+		tr.finish()
 		if err != nil {
 			return nil, err
 		}
@@ -353,11 +375,17 @@ func (r *Result) WriteReport(w io.Writer) error {
 // RunFile loads a Spec from a JSON file, runs it, and writes the report
 // — the shared implementation behind every cmd binary's -spec flag.
 func RunFile(w io.Writer, path string) error {
+	return RunFileObserved(w, path, nil)
+}
+
+// RunFileObserved is RunFile with an optional observability attachment
+// (see RunObserved).
+func RunFileObserved(w io.Writer, path string, ob *Observe) error {
 	spec, err := LoadFile(path)
 	if err != nil {
 		return err
 	}
-	res, err := Run(spec)
+	res, err := RunObserved(spec, ob)
 	if err != nil {
 		return err
 	}

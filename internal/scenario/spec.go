@@ -17,6 +17,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -487,12 +488,17 @@ func (s *Spec) Encode(w io.Writer) error {
 	return err
 }
 
-// LoadFile reads and validates a Spec from a JSON file.
+// LoadFile reads and validates a Spec from a JSON file. Parse and
+// validation errors name the offending file; JSON errors that carry a
+// byte offset are reported as path:line:col.
 func LoadFile(path string) (*Spec, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Decode(f)
+	s, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, locateError(path, data, err)
+	}
+	return s, nil
 }

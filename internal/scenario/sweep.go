@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -639,12 +640,17 @@ func (sw *Sweep) Encode(w io.Writer) error {
 	return err
 }
 
-// LoadSweepFile reads and validates a Sweep from a JSON file.
+// LoadSweepFile reads and validates a Sweep from a JSON file. Parse
+// and validation errors name the offending file; JSON errors that
+// carry a byte offset are reported as path:line:col.
 func LoadSweepFile(path string) (*Sweep, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return DecodeSweep(f)
+	sw, err := DecodeSweep(bytes.NewReader(data))
+	if err != nil {
+		return nil, locateError(path, data, err)
+	}
+	return sw, nil
 }

@@ -113,9 +113,22 @@ func (sw *Sweep) CompilePoints() ([]Point, []*Compiled, error) {
 // stores are bit-identical for any worker split and any point
 // completion order.
 func RunSweep(sw *Sweep) (*SweepResult, error) {
+	return RunSweepObserved(sw, nil)
+}
+
+// RunSweepObserved is RunSweep with an optional observability
+// attachment: ob.Stats is injected into every point's engine config,
+// and ob.Progress receives streaming SweepProgress snapshots. A nil ob
+// is exactly RunSweep — results are bit-identical either way.
+func RunSweepObserved(sw *Sweep, ob *Observe) (*SweepResult, error) {
 	pts, compiled, err := sw.CompilePoints()
 	if err != nil {
 		return nil, err
+	}
+	if ob != nil && ob.Stats != nil {
+		for _, c := range compiled {
+			c.Cfg.Stats = ob.Stats
+		}
 	}
 	axes := make([]string, len(sw.Axes))
 	for i, a := range sw.Axes {
@@ -158,6 +171,12 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 		inner = 1
 	}
 
+	totalCells := 0
+	for i := range pts {
+		totalCells += pts[i].Spec.Replications.N
+	}
+	tr := newTracker(ob, len(pts), totalCells, pointWorkers)
+
 	var mu sync.Mutex // guards sim/bench merges and errs
 	errs := make([]error, len(pts))
 	failed := false
@@ -165,10 +184,12 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < pointWorkers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idxCh {
-				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, bench != nil, sim, bench, &mu)
+				tr.pointStart(w)
+				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, bench != nil, sim, bench, &mu, tr)
+				tr.pointEnd(w)
 				if err != nil {
 					mu.Lock()
 					errs[i] = err
@@ -176,7 +197,7 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range pts {
 		mu.Lock()
@@ -189,6 +210,7 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 	}
 	close(idxCh)
 	wg.Wait()
+	tr.finish()
 	for _, err := range errs { // first error in point order, deterministically
 		if err != nil {
 			return nil, err
@@ -202,7 +224,7 @@ func RunSweep(sw *Sweep) (*SweepResult, error) {
 // into the shared stores under the lock. Convergence outputs resolve
 // against the point's own fair-rate timeline, computed once per point.
 func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
-	wantBench bool, sim, bench *results.Store, mu *sync.Mutex) error {
+	wantBench bool, sim, bench *results.Store, mu *sync.Mutex, tr *tracker) error {
 	n := p.Spec.Replications.N
 	shard, err := results.New(axes, outputs)
 	if err != nil {
@@ -267,6 +289,7 @@ func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
 				}
 			}
 		}
+		tr.cell(r.Events)
 		return nil
 	})
 	if err != nil {
@@ -368,6 +391,12 @@ func (r *SweepResult) WriteJSON(w io.Writer) error {
 // result table — the shared implementation behind every cmd binary's
 // -sweep flag. format selects "csv" (default) or "json".
 func RunSweepFile(w io.Writer, path, format string) error {
+	return RunSweepFileObserved(w, path, format, nil)
+}
+
+// RunSweepFileObserved is RunSweepFile with an optional observability
+// attachment (see RunSweepObserved).
+func RunSweepFileObserved(w io.Writer, path, format string, ob *Observe) error {
 	switch format {
 	case "", "csv", "json":
 	default:
@@ -377,7 +406,7 @@ func RunSweepFile(w io.Writer, path, format string) error {
 	if err != nil {
 		return err
 	}
-	res, err := RunSweep(sw)
+	res, err := RunSweepObserved(sw, ob)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress renders a single self-rewriting status line (carriage
+// return, no scrollback spam) — the terminal half of the -progress
+// flag. It is safe for concurrent use; Update calls are throttled to
+// MinInterval, Done always renders and finishes the line with a
+// newline. Writing to a non-terminal is harmless: each rendered line
+// just starts with '\r'.
+type Progress struct {
+	// W receives the rendered line; typically os.Stderr so status never
+	// mixes into piped stdout data.
+	W io.Writer
+	// MinInterval throttles Update renders; zero means 100ms. Set
+	// negative to render every Update (tests).
+	MinInterval time.Duration
+
+	mu      sync.Mutex
+	last    time.Time
+	lastLen int
+}
+
+// Update renders line if the throttle interval has passed.
+func (p *Progress) Update(line string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	iv := p.MinInterval
+	if iv == 0 {
+		iv = 100 * time.Millisecond
+	}
+	if iv > 0 && !p.last.IsZero() && time.Since(p.last) < iv {
+		return
+	}
+	p.last = time.Now()
+	p.render(line)
+}
+
+// Done renders the final line unconditionally and terminates it with a
+// newline, then resets the renderer so a subsequent phase (the next
+// sweep of a multi-driver run) starts a fresh line.
+func (p *Progress) Done(line string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.render(line)
+	io.WriteString(p.W, "\n")
+	p.last = time.Time{}
+	p.lastLen = 0
+}
+
+// render rewrites the status line in place, blank-padding over any
+// residue from a longer previous line.
+func (p *Progress) render(line string) {
+	pad := ""
+	if n := p.lastLen - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	io.WriteString(p.W, "\r"+line+pad)
+	p.lastLen = len(line)
+}

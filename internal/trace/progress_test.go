@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressRewritesInPlace(t *testing.T) {
+	var b strings.Builder
+	p := &Progress{W: &b, MinInterval: -1}
+	p.Update("cells 1/4")
+	p.Update("cells 22/44")
+	p.Update("short")
+	p.Done("done")
+	out := b.String()
+	if strings.Count(out, "\r") != 4 {
+		t.Fatalf("expected 4 carriage returns, got %q", out)
+	}
+	// The shorter line after a longer one must blank-pad the residue:
+	// "cells 22/44" is 11 columns, "short" is 5, so 6 blanks follow.
+	if !strings.Contains(out, "\rshort"+strings.Repeat(" ", 6)+"\r") {
+		t.Fatalf("short line did not clear previous residue: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done did not terminate the line: %q", out)
+	}
+	// Done resets the renderer: the next phase starts a fresh unpadded
+	// line instead of clearing residue that scrolled away.
+	p.Update("next phase")
+	if got := b.String(); !strings.HasSuffix(got, "\n\rnext phase") {
+		t.Fatalf("renderer did not reset after Done: %q", got)
+	}
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var b strings.Builder
+	p := &Progress{W: &b, MinInterval: time.Hour}
+	p.Update("first")
+	p.Update("second") // inside the interval: suppressed
+	if got := b.String(); got != "\rfirst" {
+		t.Fatalf("throttle failed: %q", got)
+	}
+	p.Done("final") // Done always renders
+	if !strings.Contains(b.String(), "final\n") {
+		t.Fatalf("Done suppressed: %q", b.String())
+	}
+}

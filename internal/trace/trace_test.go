@@ -39,13 +39,39 @@ func TestTableColumnAlignment(t *testing.T) {
 	}
 }
 
+// TestAddRowShapes: over-length rows drop their extra cells,
+// under-length rows pad with empty cells, and both still render
+// column-aligned — every line (header, rule, data) comes out the same
+// width, with the kept cells in their proper columns.
 func TestAddRowShapes(t *testing.T) {
-	tb := NewTable("", "a", "b")
-	tb.AddRow("1")           // short
-	tb.AddRow("1", "2", "3") // long
+	tb := NewTable("", "alpha", "b")
+	tb.AddRow("1")                // short: second cell renders empty
+	tb.AddRow("1", "22", "drop!") // long: third cell dropped
+	tb.AddRow()                   // empty: a fully blank data row
+	if tb.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", tb.NumRows())
+	}
 	out := tb.String()
-	if strings.Contains(out, "3") {
+	if strings.Contains(out, "drop!") {
 		t.Fatalf("extra cell kept:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, rule, 3 data rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		if len(line) != len(lines[0]) {
+			t.Fatalf("line %d width %d != header width %d (misaligned padding):\n%s",
+				i, len(line), len(lines[0]), out)
+		}
+	}
+	// The long row's surviving cell lands in the second column: same
+	// offset as the "b" header.
+	if strings.Index(lines[3], "22") != strings.Index(lines[0], "b") {
+		t.Fatalf("kept cell out of column:\n%s", out)
+	}
+	if strings.TrimSpace(lines[4]) != "" {
+		t.Fatalf("empty row rendered content: %q", lines[4])
 	}
 }
 
