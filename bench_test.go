@@ -10,7 +10,9 @@ package mlfair
 import (
 	"io"
 	"math/rand/v2"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"mlfair/internal/capsim"
@@ -23,7 +25,9 @@ import (
 	"mlfair/internal/netsim"
 	"mlfair/internal/protocol"
 	"mlfair/internal/redundancy"
+	"mlfair/internal/scenario"
 	"mlfair/internal/sim"
+	"mlfair/internal/sweepexec"
 	"mlfair/internal/topology"
 	"mlfair/internal/treesim"
 )
@@ -484,4 +488,64 @@ func BenchmarkWeightedAllocation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- sweepexec: the distributed sweep scheduler ---
+
+// benchSweepScheduler drives a small sweep through sweepexec.Run with
+// the given checkpoint setup, reporting the engine's events/sec so the
+// checkpointing twin reads as a throughput delta. (Deliberately no
+// allocs/event metric: the scheduler's per-point bookkeeping is not
+// per-event work, so the engine's allocation budget does not apply.)
+func benchSweepScheduler(b *testing.B, checkpoint bool) {
+	b.Helper()
+	sw := &scenario.Sweep{
+		Base: scenario.Spec{
+			Topology:     scenario.TopologySpec{Kind: "star", Receivers: 100},
+			Sessions:     []scenario.SessionSpec{{Protocol: "deterministic", Layers: 8}},
+			DefaultLink:  &scenario.LinkSpec{Kind: "bernoulli", Loss: 0.02},
+			Packets:      250000,
+			Seed:         77,
+			Replications: scenario.ReplicationSpec{N: 8, Workers: 2},
+		},
+		Axes: []scenario.Axis{
+			{Field: "defaultLink.loss", Values: []any{0.01, 0.05}},
+		},
+		Outputs: []string{"goodput"},
+	}
+	root := b.TempDir()
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := &netsim.EngineStats{}
+		opts := sweepexec.Options{Observe: &scenario.Observe{Stats: st}}
+		if checkpoint {
+			opts.CheckpointDir = filepath.Join(root, strconv.Itoa(i))
+		}
+		if _, err := sweepexec.Run(sw, opts); err != nil {
+			b.Fatal(err)
+		}
+		events += st.Events.Load()
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
+// BenchmarkNetsimSweepScheduler is the sweepexec baseline: the
+// streaming point scheduler with no durability: 2 points x 8 heavy
+// replications per op, so the fixed per-commit file I/O of the
+// checkpointed twin reads as a small relative delta.
+func BenchmarkNetsimSweepScheduler(b *testing.B) {
+	benchSweepScheduler(b, false)
+}
+
+// BenchmarkNetsimSweepSchedulerCheckpointed runs the identical sweep
+// with checkpointing at the default per-point granularity — spill
+// shard + checkpoint rename as each point completes. CI's benchjson
+// -overhead pair gate pins the durability cost at <=2% events/sec
+// against the baseline twin within the same run.
+func BenchmarkNetsimSweepSchedulerCheckpointed(b *testing.B) {
+	benchSweepScheduler(b, true)
 }

@@ -53,7 +53,7 @@ func realMain() int {
 	timeseries := flag.Bool("timeseries", false,
 		"with -spec: emit the time-resolved fairness CSV (windowed rates and levels joined against the epoch fair-rate timeline) instead of the text report; the spec needs a probe block")
 	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
-		Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true,
+		Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Quick: true,
 	})
 	ob := cliutil.RegisterObservability(flag.CommandLine, "netsim")
 	flag.Parse()

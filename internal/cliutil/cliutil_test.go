@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,7 +11,7 @@ import (
 
 func TestRegisterSimDefaultsAndQuick(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
-	f := RegisterSim(fs, SimDefaults{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Workers: true, Quick: true})
+	f := RegisterSim(fs, SimDefaults{Receivers: 50, Packets: 50000, Trials: 8, Seed: 777, Quick: true})
 	if err := fs.Parse([]string{"-trials", "4", "-workers", "2", "-quick"}); err != nil {
 		t.Fatal(err)
 	}
@@ -31,9 +32,13 @@ func TestRegisterSimDefaultsAndQuick(t *testing.T) {
 	if f2.Receivers != 100 || f2.Packets != 100000 || f2.Trials != 30 {
 		t.Fatalf("sizing changed without -quick: %+v", f2)
 	}
-	// -workers and -quick are only registered when asked for.
-	if fs2.Lookup("workers") != nil || fs2.Lookup("quick") != nil {
-		t.Fatal("workers/quick registered without being requested")
+	// -quick is only registered when asked for; -workers always exists
+	// (every declarative binary's sweep path takes a worker budget).
+	if fs2.Lookup("quick") != nil {
+		t.Fatal("quick registered without being requested")
+	}
+	if fs2.Lookup("workers") == nil {
+		t.Fatal("workers not registered")
 	}
 }
 
@@ -122,5 +127,86 @@ func TestDeclarativeSpecRejectsFormat(t *testing.T) {
 	d = &Declarative{Spec: specPath, Format: "csv"}
 	if ran, err := d.Run(&b); !ran || err != nil {
 		t.Fatalf("-spec with default format: ran=%v err=%v", ran, err)
+	}
+}
+
+// TestDeclarativeDistributed drives the sweepexec CLI paths: a sharded
+// 3-process run whose merged table matches the in-process run byte for
+// byte, checkpoint/resume plumbing, and flag validation.
+func TestDeclarativeDistributed(t *testing.T) {
+	sweepPath := writeFile(t, "sweep.json", testSweep)
+
+	var single strings.Builder
+	if ran, err := (&Declarative{Sweep: sweepPath, Format: "csv"}).Run(&single); !ran || err != nil {
+		t.Fatalf("single run: ran=%v err=%v", ran, err)
+	}
+
+	dir := t.TempDir()
+	var shards []string
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("s%d.shard", i))
+		d := &Declarative{Sweep: sweepPath, Format: "csv", Shard: fmt.Sprintf("%d/3", i), ShardFile: path}
+		var b strings.Builder
+		if ran, err := d.Run(&b); !ran || err != nil {
+			t.Fatalf("shard %d: ran=%v err=%v", i, ran, err)
+		}
+		if b.Len() != 0 {
+			t.Fatalf("shard %d wrote a table to stdout:\n%s", i, b.String())
+		}
+		shards = append(shards, path)
+	}
+	var merged strings.Builder
+	d := &Declarative{Sweep: sweepPath, Format: "csv", Merge: strings.Join(shards, ",")}
+	if ran, err := d.Run(&merged); !ran || err != nil {
+		t.Fatalf("merge: ran=%v err=%v", ran, err)
+	}
+	if merged.String() != single.String() {
+		t.Fatalf("merged table differs from single run:\n--- merged ---\n%s--- single ---\n%s", merged.String(), single.String())
+	}
+
+	// Checkpoint + resume round trip through the flags.
+	ckdir := filepath.Join(t.TempDir(), "ck")
+	var b strings.Builder
+	if ran, err := (&Declarative{Sweep: sweepPath, Format: "csv", Checkpoint: ckdir}).Run(&b); !ran || err != nil {
+		t.Fatalf("checkpointed run: ran=%v err=%v", ran, err)
+	}
+	if b.String() != single.String() {
+		t.Fatal("checkpointed run differs from single run")
+	}
+	b.Reset()
+	if ran, err := (&Declarative{Sweep: sweepPath, Format: "csv", Checkpoint: ckdir, Resume: true}).Run(&b); !ran || err != nil {
+		t.Fatalf("resume: ran=%v err=%v", ran, err)
+	}
+	if b.String() != single.String() {
+		t.Fatal("resumed run differs from single run")
+	}
+
+	// Validation: distributed flags without -sweep; bad -shard syntax;
+	// a sharded table run with nowhere to write its slice.
+	if ran, err := (&Declarative{Shard: "0/3"}).Run(&b); !ran || err == nil {
+		t.Fatalf("-shard without -sweep: ran=%v err=%v", ran, err)
+	}
+	for _, bad := range []string{"3", "a/b", "3/3", "-1/3", "0/0"} {
+		if _, err := (&Declarative{Sweep: sweepPath, Shard: bad}).Run(&b); err == nil {
+			t.Fatalf("-shard %q accepted", bad)
+		}
+	}
+	if _, err := (&Declarative{Sweep: sweepPath, Shard: "0/3"}).Run(&b); err == nil {
+		t.Fatal("sharded run without -shardfile accepted")
+	}
+}
+
+// TestDistributedSweepLoadError: malformed sweep JSON reaching the
+// shard/checkpoint path reports with the loader's file:line:col
+// prefix, same as a plain -sweep run.
+func TestDistributedSweepLoadError(t *testing.T) {
+	bad := writeFile(t, "bad.json", "{\n  \"base\": {},\n  \"axes\": [,]\n}\n")
+	var b strings.Builder
+	_, err := (&Declarative{Sweep: bad, Shard: "0/2", ShardFile: filepath.Join(t.TempDir(), "s.shard")}).Run(&b)
+	if err == nil {
+		t.Fatal("malformed sweep accepted")
+	}
+	if !strings.Contains(err.Error(), "bad.json:3:13:") {
+		t.Fatalf("error lacks file:line:col: %v", err)
 	}
 }

@@ -41,6 +41,9 @@ type Manifest struct {
 	SpecSHA256 string `json:"specSHA256,omitempty"`
 	// Seed is the base RNG seed, when one governed the run.
 	Seed *uint64 `json:"seed,omitempty"`
+	// Shard is the distributed-sweep partition this run executed
+	// ("i/n"), when the run was sharded.
+	Shard string `json:"shard,omitempty"`
 	// WallSeconds is the run's wall-clock duration; VirtualTime the
 	// total simulated time across all replications.
 	WallSeconds float64 `json:"wallSeconds,omitempty"`
@@ -92,6 +95,14 @@ func (m *Manifest) SetSeed(seed uint64) {
 		return
 	}
 	m.Seed = &seed
+}
+
+// SetShard records the distributed-sweep partition ("i/n").
+func (m *Manifest) SetShard(shard string) {
+	if m == nil {
+		return
+	}
+	m.Shard = shard
 }
 
 // WriteComment writes the manifest as one "# manifest: {...}" line —

@@ -1,0 +1,337 @@
+package results
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"slices"
+)
+
+// The binary shard format serializes a Store's logical state — schema,
+// point definitions, and the observation set — so sweep workers can
+// spill partial results to disk and a coordinator can re-merge them
+// into a byte-identical store. One shard is one self-delimiting
+// section, so several stores (e.g. a simulated store followed by its
+// benchmark twin) can be concatenated in a single file.
+//
+// Layout (all integers little-endian):
+//
+//	magic      [8]byte  "MLFSHRD1"
+//	length     uint64   whole-section byte count, magic through checksum
+//	schemaHash uint64   SchemaHash(axes, metrics); must match the body
+//	nAxes      uint32   then per axis:   len uint32 + name bytes
+//	nMetrics   uint32   then per metric: len uint32 + name bytes
+//	nPoints    uint32   then per point:  id uint32, reps uint32,
+//	                    nAxes coordinates (len uint32 + bytes)
+//	nRecords   uint32   then per record: pointID uint32, rep uint32,
+//	                    nMetrics float64 bit patterns (uint64)
+//	checksum   uint32   CRC-32 (IEEE) of every preceding section byte
+//
+// ReadShard rejects — with an error, never a panic or a silent partial
+// store — truncated sections, checksum mismatches (flipped bytes),
+// schema hashes that disagree with the body, duplicate point
+// definitions, duplicate (point, replication) records, and any record
+// referencing an undefined point or out-of-range replication.
+
+// shardMagic identifies (and versions) the shard section format.
+var shardMagic = [8]byte{'M', 'L', 'F', 'S', 'H', 'R', 'D', '1'}
+
+// maxShardSection bounds a section's declared length, so a corrupt
+// header cannot demand an absurd read.
+const maxShardSection = 1 << 31
+
+// maxShardName bounds one axis/metric/coordinate string.
+const maxShardName = 1 << 20
+
+// SchemaHash fingerprints a result schema: FNV-1a over the
+// length-prefixed axis and metric names, with a domain separator
+// between the two lists. Shards and sweep checkpoints embed it so a
+// file produced under one schema can never silently merge into
+// another.
+func SchemaHash(axes, metrics []string) uint64 {
+	h := fnv.New64a()
+	var n [4]byte
+	write := func(names []string) {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(names)))
+		h.Write(n[:])
+		for _, name := range names {
+			binary.LittleEndian.PutUint32(n[:], uint32(len(name)))
+			h.Write(n[:])
+			io.WriteString(h, name)
+		}
+	}
+	write(axes)
+	io.WriteString(h, "|")
+	write(metrics)
+	return h.Sum64()
+}
+
+// SchemaHash fingerprints the store's schema (see the package-level
+// SchemaHash).
+func (s *Store) SchemaHash() uint64 { return SchemaHash(s.axes, s.metrics) }
+
+// ObservedReps returns the replication indices observed so far for
+// point id, ascending.
+func (s *Store) ObservedReps(id int) ([]int, error) {
+	p, ok := s.points[id]
+	if !ok {
+		return nil, fmt.Errorf("results: undefined point %d", id)
+	}
+	var reps []int
+	for r, seen := range p.seen {
+		if seen {
+			reps = append(reps, r)
+		}
+	}
+	return reps, nil
+}
+
+// Reps returns point id's replication capacity.
+func (s *Store) Reps(id int) (int, error) {
+	p, ok := s.points[id]
+	if !ok {
+		return 0, fmt.Errorf("results: undefined point %d", id)
+	}
+	return p.reps, nil
+}
+
+// NumObservations counts the observed (point, replication) cells.
+func (s *Store) NumObservations() int {
+	n := 0
+	for _, p := range s.points {
+		for _, seen := range p.seen {
+			if seen {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// WriteShard serializes the store as one binary shard section (see the
+// format comment above): schema, every defined point, and every
+// observed (point, replication) record, all in canonical order so the
+// bytes are a pure function of the store's logical state.
+func WriteShard(w io.Writer, s *Store) error {
+	var buf bytes.Buffer
+	buf.Write(shardMagic[:])
+	putU64(&buf, 0) // length, patched below
+	putU64(&buf, s.SchemaHash())
+	putNames(&buf, s.axes)
+	putNames(&buf, s.metrics)
+	putU32(&buf, uint32(len(s.ids)))
+	for _, id := range s.ids {
+		p := s.points[id]
+		putU32(&buf, uint32(id))
+		putU32(&buf, uint32(p.reps))
+		for _, c := range p.coords {
+			putU32(&buf, uint32(len(c)))
+			buf.WriteString(c)
+		}
+	}
+	records := 0
+	for _, p := range s.points {
+		for _, seen := range p.seen {
+			if seen {
+				records++
+			}
+		}
+	}
+	putU32(&buf, uint32(records))
+	for _, id := range s.ids {
+		p := s.points[id]
+		for r, seen := range p.seen {
+			if !seen {
+				continue
+			}
+			putU32(&buf, uint32(id))
+			putU32(&buf, uint32(r))
+			for m := range p.cols {
+				putU64(&buf, math.Float64bits(p.cols[m][r]))
+			}
+		}
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(b)+4)) // include checksum
+	putU32(&buf, crc32.ChecksumIEEE(buf.Bytes()))
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadShard reads one shard section from r and reconstructs its store.
+// Any deviation from the format — truncation, a flipped byte, a schema
+// hash that does not match the body, duplicate points or records —
+// returns an error; a successfully read shard always satisfies every
+// Store invariant.
+func ReadShard(r io.Reader) (*Store, error) {
+	head := make([]byte, 16)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("results: shard header: %w", err)
+	}
+	if !bytes.Equal(head[:8], shardMagic[:]) {
+		return nil, fmt.Errorf("results: bad shard magic %q", head[:8])
+	}
+	length := binary.LittleEndian.Uint64(head[8:])
+	if length < 16+8+4 || length > maxShardSection {
+		return nil, fmt.Errorf("results: shard section length %d out of range", length)
+	}
+	rest, err := io.ReadAll(io.LimitReader(r, int64(length-16)))
+	if err != nil {
+		return nil, fmt.Errorf("results: shard body: %w", err)
+	}
+	if uint64(len(rest)) != length-16 {
+		return nil, fmt.Errorf("results: shard truncated: %d of %d body bytes", len(rest), length-16)
+	}
+	body, sum := rest[:len(rest)-4], binary.LittleEndian.Uint32(rest[len(rest)-4:])
+	crc := crc32.ChecksumIEEE(head)
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	if crc != sum {
+		return nil, fmt.Errorf("results: shard checksum mismatch (stored %08x, computed %08x)", sum, crc)
+	}
+	c := &cursor{b: body}
+	schemaHash := c.u64()
+	axes := c.names("axis")
+	metrics := c.names("metric")
+	if c.err != nil {
+		return nil, c.err
+	}
+	if got := SchemaHash(axes, metrics); got != schemaHash {
+		return nil, fmt.Errorf("results: shard schema hash %016x does not match declared %016x", got, schemaHash)
+	}
+	s, err := New(axes, metrics)
+	if err != nil {
+		return nil, fmt.Errorf("results: shard schema: %w", err)
+	}
+	nPoints := c.u32()
+	for i := uint32(0); i < nPoints && c.err == nil; i++ {
+		id := c.u32()
+		reps := c.u32()
+		coords := make([]string, len(axes))
+		for a := range coords {
+			coords[a] = c.str("coordinate")
+		}
+		if c.err != nil {
+			break
+		}
+		if id > math.MaxInt32 || reps > math.MaxInt32 {
+			return nil, fmt.Errorf("results: shard point %d/%d out of range", id, reps)
+		}
+		if err := s.AddPoint(int(id), coords, int(reps)); err != nil {
+			return nil, fmt.Errorf("results: shard: %w", err)
+		}
+	}
+	nRecords := c.u32()
+	values := make([]float64, len(metrics))
+	for i := uint32(0); i < nRecords && c.err == nil; i++ {
+		id := c.u32()
+		rep := c.u32()
+		for m := range values {
+			values[m] = math.Float64frombits(c.u64())
+		}
+		if c.err != nil {
+			break
+		}
+		if id > math.MaxInt32 || rep > math.MaxInt32 {
+			return nil, fmt.Errorf("results: shard record %d/%d out of range", id, rep)
+		}
+		if err := s.Observe(int(id), int(rep), values...); err != nil {
+			return nil, fmt.Errorf("results: shard: %w", err)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.off != len(body) {
+		return nil, fmt.Errorf("results: shard has %d trailing bytes", len(body)-c.off)
+	}
+	return s, nil
+}
+
+// cursor is a bounds-checked little-endian reader over a shard body;
+// the first overrun latches err and zeroes every later read.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) || c.off+n < c.off {
+		c.err = fmt.Errorf("results: shard truncated at byte %d", c.off)
+		return nil
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) str(what string) string {
+	n := c.u32()
+	if c.err != nil {
+		return ""
+	}
+	if n > maxShardName {
+		c.err = fmt.Errorf("results: shard %s length %d exceeds %d", what, n, maxShardName)
+		return ""
+	}
+	return string(c.take(int(n)))
+}
+
+func (c *cursor) names(what string) []string {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if n > maxShardName {
+		c.err = fmt.Errorf("results: shard %s count %d exceeds %d", what, n, maxShardName)
+		return nil
+	}
+	names := make([]string, 0, min(int(n), 1024))
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		names = append(names, c.str(what))
+	}
+	return slices.Clip(names)
+}
+
+func putU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func putU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func putNames(buf *bytes.Buffer, names []string) {
+	putU32(buf, uint32(len(names)))
+	for _, n := range names {
+		putU32(buf, uint32(len(n)))
+		buf.WriteString(n)
+	}
+}

@@ -1,0 +1,218 @@
+package results
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// shardStore builds a small store with one fully observed point, one
+// partially observed point, and one defined-but-empty point — the
+// shapes a mid-sweep spill actually contains.
+func shardStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := New([]string{"loss", "layers"}, []string{"goodput", "best_rate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddPoint(0, []string{"0.01", "2"}, 2))
+	must(s.AddPoint(3, []string{"0.05", "4"}, 3))
+	must(s.AddPoint(7, []string{"0.1", "8"}, 2))
+	must(s.Observe(0, 0, 1.5, 2.25))
+	must(s.Observe(0, 1, 1.25, 2.5))
+	must(s.Observe(3, 2, 0.5, 0.75))
+	return s
+}
+
+// encodeShard serializes a store to bytes.
+func encodeShard(t *testing.T, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteShard(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardRoundTrip: write → read reconstructs the exact logical
+// store (same serialization, same CSV).
+func TestShardRoundTrip(t *testing.T) {
+	s := shardStore(t)
+	raw := encodeShard(t, s)
+	got, err := ReadShard(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeShard(t, got), raw) {
+		t.Fatal("round-tripped shard serializes differently")
+	}
+	var a, b bytes.Buffer
+	if err := s.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("CSV differs after round trip:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if got.SchemaHash() != s.SchemaHash() {
+		t.Fatal("schema hash changed")
+	}
+	if got.NumObservations() != 3 {
+		t.Fatalf("round trip lost observations: %d", got.NumObservations())
+	}
+}
+
+// TestShardSectionsConcatenate: two sections back to back read out as
+// two stores — the shard-file layout (sim section + bench section).
+func TestShardSectionsConcatenate(t *testing.T) {
+	s := shardStore(t)
+	other, err := New([]string{"loss", "layers"}, []string{"fair_rate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.AddPoint(0, []string{"0.01", "2"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Observe(0, 0, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	raw := append(encodeShard(t, s), encodeShard(t, other)...)
+	r := bytes.NewReader(raw)
+	first, err := ReadShard(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadShard(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NumObservations() != 3 || second.NumObservations() != 1 {
+		t.Fatalf("sections read %d/%d observations", first.NumObservations(), second.NumObservations())
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left unread", r.Len())
+	}
+}
+
+// reseal recomputes a mutated shard's trailing checksum, so tests can
+// prove the *structural* validations fire even when the CRC is
+// consistent with the corruption.
+func reseal(raw []byte) []byte {
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
+	return raw
+}
+
+// TestShardRejectsCorruption: every byte-level corruption — truncation
+// at any boundary, any flipped byte, a resealed schema-hash mismatch,
+// duplicate records — errors, never panics, never half-merges.
+func TestShardRejectsCorruption(t *testing.T) {
+	raw := encodeShard(t, shardStore(t))
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(raw); n++ {
+			if _, err := ReadShard(bytes.NewReader(raw[:n])); err == nil {
+				t.Fatalf("accepted %d of %d bytes", n, len(raw))
+			}
+		}
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		for i := range raw {
+			mut := bytes.Clone(raw)
+			mut[i] ^= 0x40
+			if _, err := ReadShard(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("accepted flipped byte %d", i)
+			}
+		}
+	})
+	t.Run("schema hash mismatch", func(t *testing.T) {
+		mut := bytes.Clone(raw)
+		binary.LittleEndian.PutUint64(mut[16:], binary.LittleEndian.Uint64(mut[16:])^1)
+		if _, err := ReadShard(bytes.NewReader(reseal(mut))); err == nil {
+			t.Fatal("accepted wrong schema hash under a valid checksum")
+		}
+	})
+	t.Run("duplicate record", func(t *testing.T) {
+		// Duplicate the final record (point 3, rep 2: 4+4+2*8 = 24
+		// bytes before the checksum) and bump the record count.
+		rec := raw[len(raw)-4-24 : len(raw)-4]
+		mut := bytes.Clone(raw[:len(raw)-4])
+		countOff := len(mut) - 3*24 - 4 // three records precede it
+		binary.LittleEndian.PutUint32(mut[countOff:], 4)
+		mut = append(mut, rec...)
+		mut = append(mut, 0, 0, 0, 0)
+		binary.LittleEndian.PutUint64(mut[8:], uint64(len(mut)))
+		if _, err := ReadShard(bytes.NewReader(reseal(mut))); err == nil {
+			t.Fatal("accepted duplicate (point, replication) record")
+		}
+	})
+	t.Run("trailing garbage inside section", func(t *testing.T) {
+		mut := bytes.Clone(raw[:len(raw)-4])
+		mut = append(mut, 0xAB, 0xCD)
+		mut = append(mut, 0, 0, 0, 0)
+		binary.LittleEndian.PutUint64(mut[8:], uint64(len(mut)))
+		if _, err := ReadShard(bytes.NewReader(reseal(mut))); err == nil {
+			t.Fatal("accepted trailing bytes inside the section")
+		}
+	})
+	t.Run("non-finite value", func(t *testing.T) {
+		// Overwrite the first record's first metric with NaN: the store
+		// rejects non-finite observations even when the CRC is resealed.
+		mut := bytes.Clone(raw)
+		off := len(mut) - 4 - 3*24 + 8
+		binary.LittleEndian.PutUint64(mut[off:], math.Float64bits(math.NaN()))
+		if _, err := ReadShard(bytes.NewReader(reseal(mut))); err == nil {
+			t.Fatal("accepted NaN observation")
+		}
+	})
+}
+
+// FuzzReadShard: no input may panic the reader, and any accepted input
+// must decode to a store whose canonical serialization round-trips.
+func FuzzReadShard(f *testing.F) {
+	valid := func() []byte {
+		s, _ := New([]string{"a"}, []string{"m"})
+		s.AddPoint(0, []string{"1"}, 1)
+		s.Observe(0, 0, 2.5)
+		var buf bytes.Buffer
+		WriteShard(&buf, s)
+		return buf.Bytes()
+	}()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-7])
+	f.Add([]byte("MLFSHRD1"))
+	f.Add([]byte{})
+	mut := bytes.Clone(valid)
+	mut[20] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadShard(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteShard(&buf, s); err != nil {
+			t.Fatalf("accepted shard fails to re-serialize: %v", err)
+		}
+		again, err := ReadShard(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical re-serialization no longer reads: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteShard(&buf2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("canonical serialization not a fixed point")
+		}
+	})
+}

@@ -53,6 +53,14 @@ type SweepProgress struct {
 	// fraction of worker-seconds spent inside point execution.
 	Workers     int
 	Utilization float64
+	// SkippedCells counts cells a resumed run restored from its
+	// checkpoint instead of re-simulating; SpilledShards counts shard
+	// files committed to the checkpoint directory; CheckpointedCells
+	// counts cells recorded durable in the checkpoint file. All three
+	// stay zero outside checkpointed (sweepexec) runs.
+	SkippedCells      int
+	SpilledShards     int
+	CheckpointedCells int
 	// Done marks the final snapshot.
 	Done bool
 }
@@ -67,6 +75,12 @@ func (p SweepProgress) String() string {
 	}
 	if p.Workers > 0 {
 		s += fmt.Sprintf(" | %d workers %d%% busy", p.Workers, int(p.Utilization*100+0.5))
+	}
+	if p.SkippedCells > 0 {
+		s += fmt.Sprintf(" | %d resumed", p.SkippedCells)
+	}
+	if p.SpilledShards > 0 || p.CheckpointedCells > 0 {
+		s += fmt.Sprintf(" | ckpt %d cells/%d shards", p.CheckpointedCells, p.SpilledShards)
 	}
 	if p.Done {
 		s += fmt.Sprintf(" | done in %s", fmtSeconds(p.Elapsed))
@@ -110,11 +124,11 @@ func fmtSeconds(s float64) string {
 	}
 }
 
-// tracker drives an Observe's Progress callback: atomic tallies fed
+// Tracker drives an Observe's Progress callback: atomic tallies fed
 // from worker goroutines plus one reporter goroutine that snapshots
 // them on a ticker. All methods are nil-receiver safe so execution
 // code never branches on whether observation is attached.
-type tracker struct {
+type Tracker struct {
 	ob          *Observe
 	start       time.Time
 	totalPoints int
@@ -124,6 +138,9 @@ type tracker struct {
 	donePoints  atomic.Int64
 	events      atomic.Int64
 	busyNanos   atomic.Int64
+	skipped     atomic.Int64
+	spills      atomic.Int64
+	ckptCells   atomic.Int64
 	// inflight[w] holds worker w's current point-start time in unix
 	// nanos (0 = idle), so utilization counts in-progress work too.
 	inflight []atomic.Int64
@@ -131,13 +148,13 @@ type tracker struct {
 	wg       sync.WaitGroup
 }
 
-// newTracker starts the reporter, or returns nil (a valid no-op
-// tracker) when ob carries no Progress callback.
-func newTracker(ob *Observe, totalPoints, totalCells, workers int) *tracker {
+// NewTracker starts the reporter, or returns nil (a valid no-op
+// Tracker) when ob carries no Progress callback.
+func NewTracker(ob *Observe, totalPoints, totalCells, workers int) *Tracker {
 	if ob == nil || ob.Progress == nil {
 		return nil
 	}
-	tr := &tracker{
+	tr := &Tracker{
 		ob:          ob,
 		start:       time.Now(),
 		totalPoints: totalPoints,
@@ -151,7 +168,7 @@ func newTracker(ob *Observe, totalPoints, totalCells, workers int) *tracker {
 	return tr
 }
 
-func (tr *tracker) loop() {
+func (tr *Tracker) loop() {
 	defer tr.wg.Done()
 	iv := tr.ob.Interval
 	if iv <= 0 {
@@ -169,8 +186,8 @@ func (tr *tracker) loop() {
 	}
 }
 
-// cell records one finished replication and its engine event count.
-func (tr *tracker) cell(events int64) {
+// Cell records one finished replication and its engine event count.
+func (tr *Tracker) Cell(events int64) {
 	if tr == nil {
 		return
 	}
@@ -178,15 +195,15 @@ func (tr *tracker) cell(events int64) {
 	tr.events.Add(events)
 }
 
-// pointStart / pointEnd bracket worker w's execution of one point.
-func (tr *tracker) pointStart(w int) {
+// PointStart / PointEnd bracket worker w's execution of one point.
+func (tr *Tracker) PointStart(w int) {
 	if tr == nil {
 		return
 	}
 	tr.inflight[w].Store(time.Now().UnixNano())
 }
 
-func (tr *tracker) pointEnd(w int) {
+func (tr *Tracker) PointEnd(w int) {
 	if tr == nil {
 		return
 	}
@@ -196,8 +213,34 @@ func (tr *tracker) pointEnd(w int) {
 	tr.donePoints.Add(1)
 }
 
-// finish stops the reporter and delivers the final Done snapshot.
-func (tr *tracker) finish() {
+// SkipCells records n cells restored from a checkpoint (a resumed
+// run's already-complete work) rather than simulated.
+func (tr *Tracker) SkipCells(n int) {
+	if tr == nil {
+		return
+	}
+	tr.skipped.Add(int64(n))
+}
+
+// Spill records one shard file committed to the checkpoint directory.
+func (tr *Tracker) Spill() {
+	if tr == nil {
+		return
+	}
+	tr.spills.Add(1)
+}
+
+// Checkpointed records the cumulative cell count the checkpoint file
+// currently covers.
+func (tr *Tracker) Checkpointed(cells int) {
+	if tr == nil {
+		return
+	}
+	tr.ckptCells.Store(int64(cells))
+}
+
+// Finish stops the reporter and delivers the final Done snapshot.
+func (tr *Tracker) Finish() {
 	if tr == nil {
 		return
 	}
@@ -206,7 +249,7 @@ func (tr *tracker) finish() {
 	tr.ob.Progress(tr.snapshot(true))
 }
 
-func (tr *tracker) snapshot(done bool) SweepProgress {
+func (tr *Tracker) snapshot(done bool) SweepProgress {
 	elapsed := time.Since(tr.start).Seconds()
 	cells := int(tr.doneCells.Load())
 	p := SweepProgress{
@@ -218,6 +261,10 @@ func (tr *tracker) snapshot(done bool) SweepProgress {
 		Elapsed:     elapsed,
 		Workers:     tr.workers,
 		Done:        done,
+
+		SkippedCells:      int(tr.skipped.Load()),
+		SpilledShards:     int(tr.spills.Load()),
+		CheckpointedCells: int(tr.ckptCells.Load()),
 	}
 	if elapsed > 0 {
 		p.EventsPerSec = float64(p.Events) / elapsed

@@ -143,8 +143,8 @@ func RunCompiledObserved(c *Compiled, ob *Observe) (*Result, error) {
 		if ob != nil && ob.Stats != nil {
 			cfg.Stats = ob.Stats
 		}
-		tr := newTracker(ob, 1, s.Replications.N, 1)
-		tr.pointStart(0)
+		tr := NewTracker(ob, 1, s.Replications.N, 1)
+		tr.PointStart(0)
 		err := netsim.StreamReplications(cfg, s.Replications.N, s.Replications.Workers,
 			func(_ int, r *netsim.Result) error {
 				if needTime && r.Probe == nil {
@@ -188,11 +188,11 @@ func RunCompiledObserved(c *Compiled, ob *Observe) (*Result, error) {
 					fracFairAcc.Add(cs.FracTimeFair)
 					oscAcc.Add(cs.Oscillation)
 				}
-				tr.cell(r.Events)
+				tr.Cell(r.Events)
 				return nil
 			})
-		tr.pointEnd(0)
-		tr.finish()
+		tr.PointEnd(0)
+		tr.Finish()
 		if err != nil {
 			return nil, err
 		}

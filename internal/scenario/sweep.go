@@ -75,9 +75,13 @@ type LogRangeSpec struct {
 	Points int     `json:"points"`
 }
 
-// maxSweepPoints caps a sweep's expansion, so a typo'd grid fails fast
-// instead of scheduling millions of simulations.
-const maxSweepPoints = 4096
+// maxSweepPoints caps a sweep's expansion. The point scheduler streams
+// points (internal/sweepexec materializes one point at a time), so the
+// historical 4096-point cap is gone; what remains is an overflow guard
+// that makes a typo'd grid — billions of points from a fat-fingered
+// range step — fail fast at validation instead of scheduling a sweep
+// that could never finish.
+const maxSweepPoints = 1 << 22
 
 // SweepOutputs lists the per-replication metric columns a sweep can
 // select, in the order they appear in docs/SWEEPS.md.
@@ -154,6 +158,20 @@ func (sw *Sweep) outputSet() []string {
 		return append([]string(nil), DefaultSweepOutputs...)
 	}
 	return append([]string(nil), sw.Outputs...)
+}
+
+// OutputColumns returns the effective per-replication metric columns
+// (the explicit Outputs, or DefaultSweepOutputs).
+func (sw *Sweep) OutputColumns() []string { return sw.outputSet() }
+
+// AxisFields returns the swept field paths — the result stores'
+// coordinate axes — in axis order.
+func (sw *Sweep) AxisFields() []string {
+	fields := make([]string, len(sw.Axes))
+	for i, a := range sw.Axes {
+		fields[i] = a.Field
+	}
+	return fields
 }
 
 // Title resolves the sweep's report title.
@@ -330,50 +348,110 @@ type Point struct {
 	Spec   *Spec
 }
 
-// Expand validates the sweep and materializes the cartesian product of
-// its axes, first axis slowest. Every point's Spec passes the same
-// validation a hand-written spec would.
-func (sw *Sweep) Expand() ([]Point, error) {
+// Expander streams a validated sweep's points without materializing
+// the cartesian product: PointAt resolves any single point by id, so a
+// scheduler can walk a grid far larger than memory would allow for the
+// full []Point slice. The expansion order (and therefore every point
+// id) is identical to Expand's: first axis slowest, last axis fastest.
+type Expander struct {
+	sw   *Sweep
+	vals [][]any
+}
+
+// Expander validates the sweep and prepares lazy point expansion.
+func (sw *Sweep) Expander() (*Expander, error) {
 	if err := sw.Validate(); err != nil {
 		return nil, err
 	}
 	vals := make([][]any, len(sw.Axes))
-	total := 1
 	for i, ax := range sw.Axes {
 		v, err := ax.expand()
 		if err != nil {
 			return nil, err
 		}
 		vals[i] = v
+	}
+	return &Expander{sw: sw, vals: vals}, nil
+}
+
+// Len returns the sweep's total point count.
+func (e *Expander) Len() int {
+	total := 1
+	for _, v := range e.vals {
 		total *= len(v)
 	}
-	points := make([]Point, 0, total)
-	idx := make([]int, len(sw.Axes))
-	for id := 0; id < total; id++ {
-		spec, err := cloneSpec(&sw.Base)
+	return total
+}
+
+// Sweep returns the expanded sweep.
+func (e *Expander) Sweep() *Sweep { return e.sw }
+
+// RepsAt returns point id's replication count without materializing
+// its spec: the replications.n axis value when that field is swept,
+// the base count otherwise. Invalid axis values are left for PointAt
+// to reject — RepsAt is a sizing estimate for progress accounting.
+func (e *Expander) RepsAt(id int) (int, error) {
+	if id < 0 || id >= e.Len() {
+		return 0, fmt.Errorf("scenario: sweep point %d out of range [0, %d)", id, e.Len())
+	}
+	n := e.sw.Base.Replications.N
+	rem := id
+	for a := len(e.vals) - 1; a >= 0; a-- {
+		v := e.vals[a][rem%len(e.vals[a])]
+		rem /= len(e.vals[a])
+		if e.sw.Axes[a].Field == "replications.n" {
+			if f, ok := toFloatValue(v); ok && f == float64(int(f)) {
+				n = int(f)
+			}
+		}
+	}
+	return n, nil
+}
+
+// PointAt materializes point id: the base spec with the id's row-major
+// axis values applied, fully validated. Each call builds a fresh Spec,
+// so callers may mutate or discard points independently.
+func (e *Expander) PointAt(id int) (*Point, error) {
+	if id < 0 || id >= e.Len() {
+		return nil, fmt.Errorf("scenario: sweep point %d out of range [0, %d)", id, e.Len())
+	}
+	spec, err := cloneSpec(&e.sw.Base)
+	if err != nil {
+		return nil, err
+	}
+	coords := make([]string, len(e.vals))
+	// Decode the row-major id: first axis slowest.
+	rem := id
+	for a := len(e.vals) - 1; a >= 0; a-- {
+		v := e.vals[a][rem%len(e.vals[a])]
+		rem /= len(e.vals[a])
+		if err := setSpecField(spec, e.sw.Axes[a].Field, v); err != nil {
+			return nil, err
+		}
+		coords[a] = formatAxisValue(v)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: sweep point %d (%s): %w", id, strings.Join(coords, ","), err)
+	}
+	return &Point{ID: id, Coords: coords, Spec: spec}, nil
+}
+
+// Expand validates the sweep and materializes the cartesian product of
+// its axes, first axis slowest. Every point's Spec passes the same
+// validation a hand-written spec would. For large grids prefer
+// Expander, which resolves points one at a time.
+func (sw *Sweep) Expand() ([]Point, error) {
+	e, err := sw.Expander()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, e.Len())
+	for id := 0; id < e.Len(); id++ {
+		p, err := e.PointAt(id)
 		if err != nil {
 			return nil, err
 		}
-		coords := make([]string, len(sw.Axes))
-		for a := range sw.Axes {
-			v := vals[a][idx[a]]
-			if err := setSpecField(spec, sw.Axes[a].Field, v); err != nil {
-				return nil, err
-			}
-			coords[a] = formatAxisValue(v)
-		}
-		if err := spec.Validate(); err != nil {
-			return nil, fmt.Errorf("scenario: sweep point %d (%s): %w", id, strings.Join(coords, ","), err)
-		}
-		points = append(points, Point{ID: id, Coords: coords, Spec: spec})
-		// Odometer: last axis fastest.
-		for a := len(idx) - 1; a >= 0; a-- {
-			idx[a]++
-			if idx[a] < len(vals[a]) {
-				break
-			}
-			idx[a] = 0
-		}
+		points = append(points, *p)
 	}
 	return points, nil
 }

@@ -75,9 +75,12 @@ func TestSweepValidateRejects(t *testing.T) {
 		{"analytic base", func(sw *Sweep) { sw.Base.Replications.N = 0 }},
 		{"invalid base", func(sw *Sweep) { sw.Base.Packets = 0 }},
 		{"grid explosion", func(sw *Sweep) {
+			// 2100^2 points exceeds the 1<<22 overflow guard (the old
+			// 4096 cap is gone: points expand lazily, so merely large
+			// grids are legal).
 			sw.Axes = []Axis{
-				{Field: "packets", Range: &RangeSpec{From: 1, To: 100, Step: 1}},
-				{Field: "seed", Range: &RangeSpec{From: 1, To: 100, Step: 1}},
+				{Field: "packets", Range: &RangeSpec{From: 1, To: 2100, Step: 1}},
+				{Field: "seed", Range: &RangeSpec{From: 1, To: 2100, Step: 1}},
 			}
 		}},
 		{"axis value breaking point validation", func(sw *Sweep) {

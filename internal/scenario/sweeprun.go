@@ -70,192 +70,170 @@ func (sw *Sweep) CompilePoints() ([]Point, []*Compiled, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	type topo struct {
-		net       *netmodel.Network
-		simulable bool
+	x, err := NewPointExecutor(sw)
+	if err != nil {
+		return nil, nil, err
 	}
-	cache := map[string]topo{}
 	compiled := make([]*Compiled, len(pts))
 	for i := range pts {
-		p := &pts[i]
-		key, err := topoCacheKey(p.Spec)
+		c, err := x.Compile(&pts[i])
 		if err != nil {
 			return nil, nil, err
-		}
-		ent, ok := cache[key]
-		if !ok {
-			net, simulable, err := p.Spec.buildTopology()
-			if err != nil {
-				return nil, nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
-			}
-			ent = topo{net: net, simulable: simulable}
-			cache[key] = ent
-		}
-		c, err := compileBuilt(p.Spec, ent.net, ent.simulable)
-		if err != nil {
-			return nil, nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
-		}
-		if !c.Simulable {
-			return nil, nil, fmt.Errorf("scenario: sweep point %d: topology %q is not simulable", p.ID, p.Spec.Topology.Kind)
 		}
 		compiled[i] = c
 	}
 	return pts, compiled, nil
 }
 
-// RunSweep expands, compiles and executes a sweep on a parallel
-// point×replication scheduler: points are dispatched to a worker pool,
-// each point streams its replications through netsim.StreamReplications
-// (which parallelizes the inner level), and every finished point's
-// result shard merges into the shared columnar store. Because the
-// store is merge-order invariant and each replication row is a pure
-// function of its point spec and replication index, the returned
-// stores are bit-identical for any worker split and any point
-// completion order.
-func RunSweep(sw *Sweep) (*SweepResult, error) {
-	return RunSweepObserved(sw, nil)
+// PointExecutor compiles and executes individual sweep points — the
+// shared core under both RunSweep's in-process scheduler and the
+// distributed checkpoint/resume scheduler in internal/sweepexec.
+// Compile shares generated topologies across points (thread-safe), and
+// ExecutePoint streams one point's replication rows to a callback in
+// replication order, so any scheduler layered on top inherits the
+// bit-identical-output guarantee.
+type PointExecutor struct {
+	sw       *Sweep
+	axes     []string
+	outputs  []string
+	bench    bool
+	stats    *netsim.EngineStats
+	mu       sync.Mutex
+	topoMemo map[string]cachedTopo
 }
 
-// RunSweepObserved is RunSweep with an optional observability
-// attachment: ob.Stats is injected into every point's engine config,
-// and ob.Progress receives streaming SweepProgress snapshots. A nil ob
-// is exactly RunSweep — results are bit-identical either way.
-func RunSweepObserved(sw *Sweep, ob *Observe) (*SweepResult, error) {
-	pts, compiled, err := sw.CompilePoints()
+type cachedTopo struct {
+	net       *netmodel.Network
+	simulable bool
+}
+
+// NewPointExecutor validates the sweep and prepares an executor.
+func NewPointExecutor(sw *Sweep) (*PointExecutor, error) {
+	if err := sw.Validate(); err != nil {
+		return nil, err
+	}
+	return &PointExecutor{
+		sw:       sw,
+		axes:     sw.AxisFields(),
+		outputs:  sw.outputSet(),
+		bench:    sw.Benchmark,
+		topoMemo: map[string]cachedTopo{},
+	}, nil
+}
+
+// SetStats attaches an engine-stats sink, injected into every
+// subsequently compiled point's config.
+func (x *PointExecutor) SetStats(st *netsim.EngineStats) { x.stats = st }
+
+// Axes returns the coordinate axes (the swept field paths).
+func (x *PointExecutor) Axes() []string { return append([]string(nil), x.axes...) }
+
+// Outputs returns the per-replication metric columns.
+func (x *PointExecutor) Outputs() []string { return append([]string(nil), x.outputs...) }
+
+// Benchmark reports whether the per-point analytic benchmark stage is
+// on (ExecutePoint then returns a BenchmarkColumns row).
+func (x *PointExecutor) Benchmark() bool { return x.bench }
+
+// Compile compiles one point, reusing generated topologies across
+// calls with equal topology inputs. Safe for concurrent use.
+func (x *PointExecutor) Compile(p *Point) (*Compiled, error) {
+	key, err := topoCacheKey(p.Spec)
 	if err != nil {
 		return nil, err
 	}
-	if ob != nil && ob.Stats != nil {
-		for _, c := range compiled {
-			c.Cfg.Stats = ob.Stats
-		}
-	}
-	axes := make([]string, len(sw.Axes))
-	for i, a := range sw.Axes {
-		axes[i] = a.Field
-	}
-	outputs := sw.outputSet()
-	sim, err := results.New(axes, outputs)
-	if err != nil {
-		return nil, err
-	}
-	var bench *results.Store
-	if sw.Benchmark {
-		if bench, err = results.New(axes, BenchmarkColumns); err != nil {
-			return nil, err
-		}
-	}
-	for i := range pts {
-		if err := sim.AddPoint(pts[i].ID, pts[i].Coords, pts[i].Spec.Replications.N); err != nil {
-			return nil, err
-		}
-		if bench != nil {
-			if err := bench.AddPoint(pts[i].ID, pts[i].Coords, 1); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// Worker budget: point-level parallelism times the replication
-	// workers each point hands to StreamReplications.
-	budget := sw.Base.Replications.Workers
-	if budget <= 0 {
-		budget = runtime.GOMAXPROCS(0)
-	}
-	pointWorkers := budget
-	if pointWorkers > len(pts) {
-		pointWorkers = len(pts)
-	}
-	inner := budget / pointWorkers
-	if inner < 1 {
-		inner = 1
-	}
-
-	totalCells := 0
-	for i := range pts {
-		totalCells += pts[i].Spec.Replications.N
-	}
-	tr := newTracker(ob, len(pts), totalCells, pointWorkers)
-
-	var mu sync.Mutex // guards sim/bench merges and errs
-	errs := make([]error, len(pts))
-	failed := false
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < pointWorkers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range idxCh {
-				tr.pointStart(w)
-				err := runSweepPoint(&pts[i], compiled[i], inner, axes, outputs, bench != nil, sim, bench, &mu, tr)
-				tr.pointEnd(w)
-				if err != nil {
-					mu.Lock()
-					errs[i] = err
-					failed = true
-					mu.Unlock()
-				}
-			}
-		}(w)
-	}
-	for i := range pts {
-		mu.Lock()
-		stop := failed
-		mu.Unlock()
-		if stop {
-			break
-		}
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	tr.finish()
-	for _, err := range errs { // first error in point order, deterministically
+	x.mu.Lock()
+	ent, ok := x.topoMemo[key]
+	x.mu.Unlock()
+	if !ok {
+		net, simulable, err := p.Spec.buildTopology()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
 		}
+		ent = cachedTopo{net: net, simulable: simulable}
+		x.mu.Lock()
+		x.topoMemo[key] = ent
+		x.mu.Unlock()
 	}
-	return &SweepResult{Sweep: sw, Points: pts, Compiled: compiled, Sim: sim, Bench: bench}, nil
+	c, err := compileBuilt(p.Spec, ent.net, ent.simulable)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+	}
+	if !c.Simulable {
+		return nil, fmt.Errorf("scenario: sweep point %d: topology %q is not simulable", p.ID, p.Spec.Topology.Kind)
+	}
+	if x.stats != nil {
+		c.Cfg.Stats = x.stats
+	}
+	return c, nil
 }
 
-// runSweepPoint executes one point: replications stream into a
-// single-point shard, the analytic benchmark runs once, and both merge
-// into the shared stores under the lock. Convergence outputs resolve
-// against the point's own fair-rate timeline, computed once per point.
-func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
-	wantBench bool, sim, bench *results.Store, mu *sync.Mutex, tr *tracker) error {
+// ExecutePoint runs point p's replications on inner parallel workers
+// and hands each non-skipped replication's metric row to onCell, in
+// ascending replication order on the calling goroutine (the row slice
+// is reused across calls — copy to retain). skip marks replications
+// whose rows are already known (a resume); nil skips nothing. Because
+// every replication is a pure function of (spec, replication index),
+// the rows delivered are bit-identical whether a point runs fresh, in
+// parts across crashes, or with any worker count.
+//
+// When the sweep's Benchmark stage is on, the returned row holds the
+// point's BenchmarkColumns values. The fairness-gap columns average
+// simulated receiver rates over every replication, so skipped
+// replications are re-simulated (their rows are simply not re-emitted);
+// without the benchmark stage only missing replications run.
+func (x *PointExecutor) ExecutePoint(p *Point, c *Compiled, skip []bool, inner int,
+	onCell func(rep int, row []float64, events int64) error) ([]float64, error) {
 	n := p.Spec.Replications.N
-	shard, err := results.New(axes, outputs)
-	if err != nil {
-		return err
+	if skip != nil && len(skip) != n {
+		return nil, fmt.Errorf("scenario: sweep point %d: skip mask has %d slots for %d replications", p.ID, len(skip), n)
 	}
-	if err := shard.AddPoint(p.ID, p.Coords, n); err != nil {
-		return err
+	missing := 0
+	for rep := 0; rep < n; rep++ {
+		if skip == nil || !skip[rep] {
+			missing++
+		}
 	}
+	if missing == 0 && !x.bench {
+		return nil, nil
+	}
+
 	var convEval *convergenceEval
-	for _, o := range outputs {
-		if isConvergenceOutput(o) {
-			epochs, err := FairTimeline(c)
-			if err != nil {
-				return fmt.Errorf("scenario: sweep point %d: fair-rate timeline: %w", p.ID, err)
+	if missing > 0 {
+		for _, o := range x.outputs {
+			if isConvergenceOutput(o) {
+				epochs, err := FairTimeline(c)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: sweep point %d: fair-rate timeline: %w", p.ID, err)
+				}
+				convEval = &convergenceEval{epochs: epochs, eps: p.Spec.convergenceEpsilon()}
+				break
 			}
-			convEval = &convergenceEval{epochs: epochs, eps: p.Spec.convergenceEpsilon()}
-			break
 		}
 	}
 	var rateAccs [][]stats.Accumulator
-	if wantBench {
+	if x.bench {
 		rateAccs = make([][]stats.Accumulator, c.Net.NumSessions())
 		for i := range rateAccs {
 			rateAccs[i] = make([]stats.Accumulator, c.Net.Session(i).NumReceivers())
 		}
 	}
-	row := make([]float64, len(outputs))
-	err = netsim.StreamReplications(c.Cfg, n, inner, func(rep int, r *netsim.Result) error {
+
+	row := make([]float64, len(x.outputs))
+	consume := func(rep int, r *netsim.Result) error {
+		if rateAccs != nil {
+			for i := range r.ReceiverRates {
+				for k, v := range r.ReceiverRates[i] {
+					rateAccs[i][k].Add(v)
+				}
+			}
+		}
+		if skip != nil && skip[rep] {
+			return nil
+		}
 		var cs convScalars
 		csDone := false
-		for m, name := range outputs {
+		for m, name := range x.outputs {
 			if fn, ok := sweepMetrics[name]; ok {
 				row[m] = fn(r)
 				continue
@@ -279,28 +257,28 @@ func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
 				row[m] = cs.Oscillation
 			}
 		}
-		if err := shard.Observe(p.ID, rep, row...); err != nil {
-			return err
-		}
-		if rateAccs != nil {
-			for i := range r.ReceiverRates {
-				for k, v := range r.ReceiverRates[i] {
-					rateAccs[i][k].Add(v)
-				}
-			}
-		}
-		tr.cell(r.Events)
-		return nil
-	})
+		return onCell(rep, row, r.Events)
+	}
+
+	// The benchmark's rate accumulators consume every replication in
+	// order, so the stream must cover 0..n-1 whenever the stage is on;
+	// otherwise a resumed point only runs the replications it is
+	// missing.
+	var err error
+	if x.bench || missing == n {
+		err = netsim.StreamReplications(c.Cfg, n, inner, consume)
+	} else {
+		err = x.runSelected(c.Cfg, skip, inner, consume)
+	}
 	if err != nil {
-		return fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
+		return nil, fmt.Errorf("scenario: sweep point %d: %w", p.ID, err)
 	}
 
 	var benchRow []float64
-	if wantBench {
+	if x.bench {
 		fair, err := maxmin.Allocate(c.Benchmark)
 		if err != nil {
-			return fmt.Errorf("scenario: sweep point %d: max-min benchmark: %w", p.ID, err)
+			return nil, fmt.Errorf("scenario: sweep point %d: max-min benchmark: %w", p.ID, err)
 		}
 		var fairAcc stats.Accumulator
 		fairMin := math.Inf(1)
@@ -330,13 +308,209 @@ func runSweepPoint(p *Point, c *Compiled, inner int, axes, outputs []string,
 		}
 		benchRow = []float64{fairAcc.Mean(), fairMin, gapAcc.Mean(), gapMin}
 	}
+	return benchRow, nil
+}
+
+// runSelected runs only the replications whose skip slot is false, in
+// parallel up to inner workers, and consumes them in ascending
+// replication order — the resume path's runner. Unlike
+// StreamReplications the selected set is sparse, so results are held
+// until consumption; the set is bounded by one point's replication
+// count.
+func (x *PointExecutor) runSelected(cfg netsim.Config, skip []bool, inner int,
+	consume func(rep int, r *netsim.Result) error) error {
+	var reps []int
+	for rep, s := range skip {
+		if !s {
+			reps = append(reps, rep)
+		}
+	}
+	if inner < 1 {
+		inner = runtime.GOMAXPROCS(0)
+	}
+	res := make([]*netsim.Result, len(reps))
+	errs := make([]error, len(reps))
+	sem := make(chan struct{}, inner)
+	var wg sync.WaitGroup
+	for j, rep := range reps {
+		wg.Add(1)
+		go func(j, rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = netsim.ReplicationSeed(cfg.Seed, rep)
+			res[j], errs[j] = netsim.Run(c)
+		}(j, rep)
+	}
+	wg.Wait()
+	for j, rep := range reps {
+		if errs[j] != nil {
+			return errs[j]
+		}
+		if err := consume(rep, res[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSweep expands, compiles and executes a sweep on a parallel
+// point×replication scheduler: points are dispatched to a worker pool,
+// each point streams its replications through netsim.StreamReplications
+// (which parallelizes the inner level), and every finished point's
+// result shard merges into the shared columnar store. Because the
+// store is merge-order invariant and each replication row is a pure
+// function of its point spec and replication index, the returned
+// stores are bit-identical for any worker split and any point
+// completion order.
+func RunSweep(sw *Sweep) (*SweepResult, error) {
+	return RunSweepObserved(sw, nil)
+}
+
+// RunSweepObserved is RunSweep with an optional observability
+// attachment: ob.Stats is injected into every point's engine config,
+// and ob.Progress receives streaming SweepProgress snapshots. A nil ob
+// is exactly RunSweep — results are bit-identical either way.
+func RunSweepObserved(sw *Sweep, ob *Observe) (*SweepResult, error) {
+	exec, err := NewPointExecutor(sw)
+	if err != nil {
+		return nil, err
+	}
+	if ob != nil && ob.Stats != nil {
+		exec.SetStats(ob.Stats)
+	}
+	pts, err := sw.Expand()
+	if err != nil {
+		return nil, err
+	}
+	compiled := make([]*Compiled, len(pts))
+	for i := range pts {
+		if compiled[i], err = exec.Compile(&pts[i]); err != nil {
+			return nil, err
+		}
+	}
+	sim, err := results.New(exec.axes, exec.outputs)
+	if err != nil {
+		return nil, err
+	}
+	var bench *results.Store
+	if sw.Benchmark {
+		if bench, err = results.New(exec.axes, BenchmarkColumns); err != nil {
+			return nil, err
+		}
+	}
+	for i := range pts {
+		if err := sim.AddPoint(pts[i].ID, pts[i].Coords, pts[i].Spec.Replications.N); err != nil {
+			return nil, err
+		}
+		if bench != nil {
+			if err := bench.AddPoint(pts[i].ID, pts[i].Coords, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	pointWorkers, inner := SweepWorkerSplit(sw.Base.Replications.Workers, len(pts))
+
+	totalCells := 0
+	for i := range pts {
+		totalCells += pts[i].Spec.Replications.N
+	}
+	tr := NewTracker(ob, len(pts), totalCells, pointWorkers)
+
+	var mu sync.Mutex // guards sim/bench merges and errs
+	errs := make([]error, len(pts))
+	failed := false
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pointWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range idxCh {
+				tr.PointStart(w)
+				err := runSweepPoint(exec, &pts[i], compiled[i], inner, sim, bench, &mu, tr)
+				tr.PointEnd(w)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					failed = true
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for i := range pts {
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop {
+			break
+		}
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	tr.Finish()
+	for _, err := range errs { // first error in point order, deterministically
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SweepResult{Sweep: sw, Points: pts, Compiled: compiled, Sim: sim, Bench: bench}, nil
+}
+
+// SweepWorkerSplit divides a worker budget (0 = GOMAXPROCS) between
+// point-level parallelism and the replication workers each point hands
+// to its inner runner — the split both sweep schedulers use.
+func SweepWorkerSplit(budget, points int) (pointWorkers, inner int) {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	pointWorkers = budget
+	if pointWorkers > points {
+		pointWorkers = points
+	}
+	if pointWorkers < 1 {
+		pointWorkers = 1
+	}
+	inner = budget / pointWorkers
+	if inner < 1 {
+		inner = 1
+	}
+	return pointWorkers, inner
+}
+
+// runSweepPoint executes one point: replications stream into a
+// single-point shard, the analytic benchmark runs once, and both merge
+// into the shared stores under the lock.
+func runSweepPoint(exec *PointExecutor, p *Point, c *Compiled, inner int,
+	sim, bench *results.Store, mu *sync.Mutex, tr *Tracker) error {
+	shard, err := results.New(exec.axes, exec.outputs)
+	if err != nil {
+		return err
+	}
+	if err := shard.AddPoint(p.ID, p.Coords, p.Spec.Replications.N); err != nil {
+		return err
+	}
+	benchRow, err := exec.ExecutePoint(p, c, nil, inner, func(rep int, row []float64, events int64) error {
+		if err := shard.Observe(p.ID, rep, row...); err != nil {
+			return err
+		}
+		tr.Cell(events)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 
 	mu.Lock()
 	defer mu.Unlock()
 	if err := sim.Merge(shard); err != nil {
 		return err
 	}
-	if wantBench {
+	if bench != nil {
 		if err := bench.Observe(p.ID, 0, benchRow...); err != nil {
 			return err
 		}

@@ -1,0 +1,120 @@
+package sweepexec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+func testCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		SchemaHash:  0x1122334455667788,
+		SweepHash:   0x8877665544332211,
+		ShardIndex:  1,
+		ShardCount:  3,
+		TotalPoints: 10,
+		Spills:      2,
+		Cells:       []Cell{{Point: 1, Rep: 0}, {Point: 1, Rep: 2}, {Point: 4, Rep: 1}},
+	}
+}
+
+// TestCheckpointRoundTrip: encode → decode is the identity.
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := testCheckpoint()
+	got, err := ReadCheckpoint(bytes.NewReader(ck.encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatalf("round trip changed the checkpoint:\n got %+v\nwant %+v", got, ck)
+	}
+}
+
+// reseal recomputes a mutated checkpoint's trailing checksum.
+func resealCk(raw []byte) []byte {
+	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
+	return raw
+}
+
+// TestCheckpointRejectsCorruption: truncation at any boundary, any
+// flipped byte, and resealed semantic corruption (duplicate cells,
+// out-of-shard cells, out-of-range points) all error, never panic.
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	raw := testCheckpoint().encode()
+
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(raw); n++ {
+			if _, err := ReadCheckpoint(bytes.NewReader(raw[:n])); err == nil {
+				t.Fatalf("accepted %d of %d bytes", n, len(raw))
+			}
+		}
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		for i := range raw {
+			mut := bytes.Clone(raw)
+			mut[i] ^= 0x10
+			if _, err := ReadCheckpoint(bytes.NewReader(mut)); err == nil {
+				t.Fatalf("accepted flipped byte %d", i)
+			}
+		}
+	})
+
+	seal := func(mut func(ck *Checkpoint)) []byte {
+		ck := testCheckpoint()
+		mut(ck)
+		return resealCk(ck.encode())
+	}
+	t.Run("duplicate cell", func(t *testing.T) {
+		raw := seal(func(ck *Checkpoint) { ck.Cells = append(ck.Cells, ck.Cells[0]) })
+		if _, err := ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Fatal("accepted duplicate cell")
+		}
+	})
+	t.Run("cell outside shard", func(t *testing.T) {
+		raw := seal(func(ck *Checkpoint) { ck.Cells[0].Point = 2 }) // 2 mod 3 != 1
+		if _, err := ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Fatal("accepted cell outside its shard")
+		}
+	})
+	t.Run("cell past point count", func(t *testing.T) {
+		raw := seal(func(ck *Checkpoint) { ck.Cells[0].Point = 13 })
+		if _, err := ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Fatal("accepted cell past the point count")
+		}
+	})
+	t.Run("invalid shard header", func(t *testing.T) {
+		raw := seal(func(ck *Checkpoint) { ck.ShardIndex, ck.ShardCount = 3, 3 })
+		if _, err := ReadCheckpoint(bytes.NewReader(raw)); err == nil {
+			t.Fatal("accepted shardIndex == shardCount")
+		}
+	})
+}
+
+// FuzzReadCheckpoint: no input may panic the decoder, and any accepted
+// checkpoint must re-encode to a decodable fixed point.
+func FuzzReadCheckpoint(f *testing.F) {
+	valid := testCheckpoint().encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("MLFCKPT1"))
+	f.Add([]byte{})
+	mut := bytes.Clone(valid)
+	mut[30] ^= 0xFF
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		enc := ck.encode()
+		again, err := ReadCheckpoint(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("accepted checkpoint fails to re-decode: %v", err)
+		}
+		if !bytes.Equal(enc, again.encode()) {
+			t.Fatal("canonical encoding not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,394 @@
+// Package sweepexec runs parameter sweeps as distributed, resumable
+// jobs. It layers three things over scenario's point executor:
+//
+//   - a streaming scheduler that walks the sweep grid lazily (point
+//     ids resolve one at a time, so grids far beyond the old in-memory
+//     expansion are fine),
+//   - sharding: `-shard i/n` partitions points by id mod n, so n
+//     independent processes each run a disjoint slice whose final
+//     shard files merge — bit-identically — into the single-process
+//     result, and
+//   - checkpoint/resume: completed (point, replication) cells spill to
+//     binary shard files under a checkpoint directory, and a resumed
+//     run restores them and simulates only what is missing.
+//
+// Every replication row is a pure function of (sweep point,
+// replication index) and the result store is merge-order invariant, so
+// any execution shape — one process, n shards, or a run crashed and
+// resumed at an arbitrary cell boundary — produces byte-identical CSV
+// and JSON output.
+package sweepexec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mlfair/internal/results"
+	"mlfair/internal/scenario"
+)
+
+// Options shape one sweep execution.
+type Options struct {
+	// Workers is the total worker budget, split between point-level and
+	// replication-level parallelism; 0 falls back to the sweep's own
+	// replications.workers (and from there to GOMAXPROCS).
+	Workers int
+	// ShardIndex / ShardCount select this process's point partition
+	// (point id mod ShardCount == ShardIndex). A zero ShardCount means
+	// unsharded (one process runs everything).
+	ShardIndex int
+	ShardCount int
+	// CheckpointDir, when set, enables durable progress: completed
+	// cells spill to shard files there under a crash-safe commit
+	// protocol. Empty disables checkpointing.
+	CheckpointDir string
+	// Resume restores CheckpointDir's previous progress (validating
+	// schema, sweep definition, shard and point-count fingerprints) and
+	// simulates only the missing cells.
+	Resume bool
+	// FlushCells is the commit granularity when checkpointing: every N
+	// observed cells (plus always at each point's end); 0 commits per
+	// point only.
+	FlushCells int
+	// AfterCell, when non-nil, is called under the scheduler lock after
+	// each observed cell (and after any commit that cell triggered)
+	// with the number of cells observed so far in this run. An error
+	// return aborts the run without a final commit — the crash-injection
+	// hook the resume tests drive.
+	AfterCell func(done int) error
+	// Observe is the optional observability attachment (engine stats
+	// sink and progress snapshots, including checkpoint counters).
+	Observe *scenario.Observe
+}
+
+// Result is one shard's completed sweep slice.
+type Result struct {
+	Sweep *scenario.Sweep
+	// Sim and Bench mirror scenario.SweepResult's stores, restricted to
+	// this shard's points (Bench is nil unless the sweep's Benchmark
+	// stage is on).
+	Sim   *results.Store
+	Bench *results.Store
+	// ResumedCells counts cells restored from the checkpoint rather
+	// than simulated.
+	ResumedCells int
+}
+
+// Run executes sw's points belonging to this shard, honoring
+// checkpoint/resume, and returns the shard's result slice.
+func Run(sw *scenario.Sweep, opts Options) (*Result, error) {
+	shardIndex, shardCount := opts.ShardIndex, opts.ShardCount
+	if shardCount == 0 {
+		shardCount = 1
+	}
+	if shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
+		return nil, fmt.Errorf("sweepexec: invalid shard %d/%d", shardIndex, shardCount)
+	}
+	if opts.Resume && opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("sweepexec: Resume requires a checkpoint directory")
+	}
+
+	exec, err := scenario.NewPointExecutor(sw)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Observe != nil && opts.Observe.Stats != nil {
+		exec.SetStats(opts.Observe.Stats)
+	}
+	e, err := sw.Expander()
+	if err != nil {
+		return nil, err
+	}
+	total := e.Len()
+	axes, outs := sw.AxisFields(), sw.OutputColumns()
+	swHash, err := SweepHash(sw)
+	if err != nil {
+		return nil, err
+	}
+
+	sim, err := results.New(axes, outs)
+	if err != nil {
+		return nil, err
+	}
+	var bench *results.Store
+	if sw.Benchmark {
+		if bench, err = results.New(axes, scenario.BenchmarkColumns); err != nil {
+			return nil, err
+		}
+	}
+
+	// This shard's slice of the grid, and its cell total for progress.
+	nMine, totalCells := 0, 0
+	for id := shardIndex; id < total; id += shardCount {
+		reps, err := e.RepsAt(id)
+		if err != nil {
+			return nil, err
+		}
+		nMine++
+		totalCells += reps
+	}
+
+	// Durable state: restore a previous run's cells, or start fresh.
+	ck := Checkpoint{
+		SchemaHash:  results.SchemaHash(axes, outs),
+		SweepHash:   swHash,
+		ShardIndex:  shardIndex,
+		ShardCount:  shardCount,
+		TotalPoints: total,
+	}
+	resumed := 0
+	if opts.CheckpointDir != "" {
+		if opts.Resume {
+			loaded, err := LoadCheckpoint(opts.CheckpointDir)
+			if os.IsNotExist(err) {
+				// The previous run died before its first commit; a
+				// resume of nothing is a fresh start.
+				loaded = nil
+			} else if err != nil {
+				return nil, err
+			}
+			if loaded != nil {
+				if err := validateResume(loaded, &ck); err != nil {
+					return nil, err
+				}
+				if err := restore(opts.CheckpointDir, loaded, sim, bench); err != nil {
+					return nil, err
+				}
+				ck = *loaded
+				resumed = len(ck.Cells)
+			}
+		} else if _, err := os.Stat(filepath.Join(opts.CheckpointDir, checkpointFile)); err == nil {
+			return nil, fmt.Errorf("sweepexec: %s already holds a checkpoint (resume it, or clear the directory)", opts.CheckpointDir)
+		}
+	}
+	budget := opts.Workers
+	if budget <= 0 {
+		budget = sw.Base.Replications.Workers
+	}
+	pointWorkers, inner := scenario.SweepWorkerSplit(budget, nMine)
+	tr := scenario.NewTracker(opts.Observe, nMine, totalCells, pointWorkers)
+	tr.SkipCells(resumed)
+
+	r := &runner{
+		exec:  exec,
+		e:     e,
+		sim:   sim,
+		bench: bench,
+		inner: inner,
+		flush: opts.FlushCells,
+		after: opts.AfterCell,
+		tr:    tr,
+		errs:  map[int]error{},
+	}
+	if opts.CheckpointDir != "" {
+		if r.ck, err = newCheckpointer(opts.CheckpointDir, ck, axes, outs, sw.Benchmark, tr); err != nil {
+			return nil, err
+		}
+	}
+
+	idCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pointWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for id := range idCh {
+				tr.PointStart(w)
+				err := r.point(id)
+				tr.PointEnd(w)
+				if err != nil {
+					r.mu.Lock()
+					r.errs[id] = err
+					r.mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for id := shardIndex; id < total; id += shardCount {
+		r.mu.Lock()
+		stop := r.stopErr != nil || len(r.errs) > 0
+		r.mu.Unlock()
+		if stop {
+			break
+		}
+		idCh <- id
+	}
+	close(idCh)
+	wg.Wait()
+	tr.Finish()
+
+	// A crash injection aborts before any error bookkeeping: the run
+	// ends with whatever the checkpoint committed, exactly like a kill.
+	if r.stopErr != nil {
+		return nil, r.stopErr
+	}
+	if len(r.errs) > 0 {
+		first := -1
+		for id := range r.errs {
+			if first < 0 || id < first {
+				first = id
+			}
+		}
+		return nil, r.errs[first]
+	}
+	return &Result{Sweep: sw, Sim: sim, Bench: bench, ResumedCells: resumed}, nil
+}
+
+// validateResume checks a loaded checkpoint against the fingerprints
+// of the run about to resume it.
+func validateResume(loaded, want *Checkpoint) error {
+	switch {
+	case loaded.SchemaHash != want.SchemaHash:
+		return fmt.Errorf("sweepexec: checkpoint schema hash %016x does not match the sweep's %016x", loaded.SchemaHash, want.SchemaHash)
+	case loaded.SweepHash != want.SweepHash:
+		return fmt.Errorf("sweepexec: checkpoint was taken under a different sweep definition (hash %016x vs %016x)", loaded.SweepHash, want.SweepHash)
+	case loaded.ShardIndex != want.ShardIndex || loaded.ShardCount != want.ShardCount:
+		return fmt.Errorf("sweepexec: checkpoint covers shard %d/%d, not %d/%d", loaded.ShardIndex, loaded.ShardCount, want.ShardIndex, want.ShardCount)
+	case loaded.TotalPoints != want.TotalPoints:
+		return fmt.Errorf("sweepexec: checkpoint covers %d points, sweep expands to %d", loaded.TotalPoints, want.TotalPoints)
+	}
+	return nil
+}
+
+// runner is one Run invocation's shared scheduler state; mu guards
+// everything below it.
+type runner struct {
+	exec  *scenario.PointExecutor
+	e     *scenario.Expander
+	inner int
+	flush int
+	after func(int) error
+	tr    *scenario.Tracker
+
+	mu      sync.Mutex
+	sim     *results.Store
+	bench   *results.Store
+	ck      *checkpointer
+	done    int
+	stopErr error
+	errs    map[int]error
+}
+
+// point executes one sweep point, skipping whatever a resume already
+// restored: fully complete points return immediately, partially
+// complete ones re-emit only the missing replications (the executor
+// re-simulates skipped replications only when the benchmark stage
+// needs their receiver rates).
+func (r *runner) point(id int) error {
+	p, err := r.e.PointAt(id)
+	if err != nil {
+		return err
+	}
+	n := p.Spec.Replications.N
+
+	r.mu.Lock()
+	if r.stopErr != nil {
+		r.mu.Unlock()
+		return nil
+	}
+	var skip []bool
+	restored := 0
+	if _, err := r.sim.Reps(id); err != nil {
+		if err := r.sim.AddPoint(id, p.Coords, n); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+	} else {
+		reps, err := r.sim.ObservedReps(id)
+		if err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		if restored = len(reps); restored > 0 {
+			skip = make([]bool, n)
+			for _, rep := range reps {
+				if rep >= n {
+					r.mu.Unlock()
+					return fmt.Errorf("sweepexec: point %d restored replication %d of %d", id, rep, n)
+				}
+				skip[rep] = true
+			}
+		}
+	}
+	benchDone := false
+	if r.bench != nil {
+		if _, err := r.bench.Reps(id); err != nil {
+			if err := r.bench.AddPoint(id, p.Coords, 1); err != nil {
+				r.mu.Unlock()
+				return err
+			}
+		} else if reps, _ := r.bench.ObservedReps(id); len(reps) == 1 {
+			benchDone = true
+		}
+	}
+	r.mu.Unlock()
+
+	if restored == n && (r.bench == nil || benchDone) {
+		return nil // fully restored from the checkpoint
+	}
+
+	c, err := r.exec.Compile(p)
+	if err != nil {
+		return err
+	}
+	benchRow, err := r.exec.ExecutePoint(p, c, skip, r.inner, func(rep int, row []float64, events int64) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.stopErr != nil {
+			return r.stopErr
+		}
+		if err := r.sim.Observe(id, rep, row...); err != nil {
+			return err
+		}
+		if r.ck != nil {
+			if err := r.ck.observe(id, p.Coords, n, rep, row); err != nil {
+				return err
+			}
+		}
+		r.done++
+		r.tr.Cell(events)
+		if r.ck != nil && r.flush > 0 && r.ck.pending() >= r.flush {
+			if err := r.ck.commit(); err != nil {
+				return err
+			}
+		}
+		if r.after != nil {
+			if err := r.after(r.done); err != nil {
+				r.stopErr = err
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		r.mu.Lock()
+		stopped := r.stopErr != nil
+		r.mu.Unlock()
+		if stopped {
+			return nil // the abort is already recorded globally
+		}
+		return err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopErr != nil {
+		return nil
+	}
+	if benchRow != nil && !benchDone {
+		if err := r.bench.Observe(id, 0, benchRow...); err != nil {
+			return err
+		}
+		if r.ck != nil {
+			if err := r.ck.benchRow(id, p.Coords, benchRow); err != nil {
+				return err
+			}
+		}
+	}
+	if r.ck != nil {
+		return r.ck.commit() // point-end flush
+	}
+	return nil
+}
