@@ -439,6 +439,32 @@ func BenchmarkNetsimFatTree(b *testing.B) {
 	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
 }
 
+// BenchmarkNetsimScaleFreeDense doubles the preferential-attachment
+// degree (Attach 4, ~600 links): more chords mean bushier trees and
+// wider per-node fan-out, stressing the wide-child descent path.
+func BenchmarkNetsimScaleFreeDense(b *testing.B) {
+	opts := topology.DefaultScaleFreeOptions()
+	opts.Attach = 4
+	net, err := topology.ScaleFree(rand.New(rand.NewPCG(5, 5)), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
+}
+
+// BenchmarkNetsimFatTreeWide scales the fabric to k=8 (128 hosts, 384
+// links): deeper receiver blocks and more links per session exercise
+// the per-link fold and the capacity-admission table at size.
+func BenchmarkNetsimFatTreeWide(b *testing.B) {
+	opts := topology.DefaultFatTreeOptions()
+	opts.K = 8
+	net, err := topology.FatTree(rand.New(rand.NewPCG(5, 5)), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
+}
+
 // BenchmarkNetsimParallelRunner measures replication-runner scaling:
 // compare ns/op across -cpu settings (the work per op is fixed at 8
 // replications, so ideal scaling halves ns/op per doubling).

@@ -18,8 +18,10 @@
 // -max-regress (default 0.25), when any benchmark reporting
 // allocs/event exceeds the absolute -max-allocs-per-event budget
 // (default 0.02 — the hot path must stay allocation-free even as
-// probe hooks and other instrumentation land), or when a baseline
-// benchmark disappears from the run entirely. Benchmark names are
+// probe hooks and other instrumentation land), when a baseline
+// benchmark disappears from the run entirely, or when a baseline
+// entry carries no positive events/sec metric (a corrupt baseline
+// must not silently shrink the gate's coverage). Benchmark names are
 // compared with the -GOMAXPROCS suffix stripped, so a baseline
 // travels across machines with different core counts. When the
 // baseline was produced under a different go version or GOARCH the
@@ -28,9 +30,11 @@
 // authoritative.
 //
 // -overhead gates instrumentation cost within the current run alone,
-// independent of any baseline: each "Instr=Base:frac" pair requires
-// the instrumented benchmark to hold at least (1-frac) of its base
-// twin's events/sec and to add no per-event allocations.
+// independent of any baseline (and usable without -check — the PGO CI
+// job feeds a merged PGO+NoPGO run and uses only this gate): each
+// "Instr=Base:frac" pair requires the instrumented benchmark to hold
+// at least (1-frac) of its base twin's events/sec and to add no
+// per-event allocations.
 package main
 
 import (
@@ -130,6 +134,11 @@ func checkRegression(baseline, current *Doc, maxRegress float64) (string, bool) 
 	for _, base := range baseline.Benchmarks {
 		want, ok := base.Metrics["events/sec"]
 		if !ok || want <= 0 {
+			// A baseline entry without a positive throughput metric is a
+			// corrupt or hand-edited document; skipping it would silently
+			// shrink the gate's coverage.
+			fmt.Fprintf(&rep, "BADBASE    %s: baseline entry has no positive events/sec metric\n", normalizeName(base.Name))
+			failed = true
 			continue
 		}
 		name := normalizeName(base.Name)
@@ -295,7 +304,7 @@ func checkOverhead(current *Doc, specs []overheadSpec) (string, bool) {
 
 func main() {
 	check := flag.String("check", "", "baseline JSON document to gate events/sec regressions against")
-	overhead := flag.String("overhead", "", "comma-separated Instr=Base:frac pairs gating instrumented overhead within this run (with -check)")
+	overhead := flag.String("overhead", "", "comma-separated Instr=Base:frac pairs gating instrumented overhead within this run (independent of -check)")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.02, "absolute allocs/event budget for every benchmark reporting the metric (with -check)")
 	flag.Parse()
@@ -317,24 +326,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	if *check == "" {
-		return
+	// The gates are independent: -check compares against a committed
+	// baseline (and brings the allocs budget with it), while -overhead
+	// compares twin benchmarks within this run alone — the PGO CI job
+	// uses -overhead with no baseline at all.
+	var failed, allocFailed bool
+	if *check != "" {
+		raw, err := os.ReadFile(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline Doc
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, envWarnings(&baseline, doc))
+		var report string
+		report, failed = checkRegression(&baseline, doc, *maxRegress)
+		fmt.Fprint(os.Stderr, report)
+		var allocReport string
+		allocReport, allocFailed = checkAllocs(doc, *maxAllocs)
+		fmt.Fprint(os.Stderr, allocReport)
 	}
-	raw, err := os.ReadFile(*check)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	var baseline Doc
-	if err := json.Unmarshal(raw, &baseline); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: baseline %s: %v\n", *check, err)
-		os.Exit(1)
-	}
-	fmt.Fprint(os.Stderr, envWarnings(&baseline, doc))
-	report, failed := checkRegression(&baseline, doc, *maxRegress)
-	fmt.Fprint(os.Stderr, report)
-	allocReport, allocFailed := checkAllocs(doc, *maxAllocs)
-	fmt.Fprint(os.Stderr, allocReport)
 	overReport, overFailed := checkOverhead(doc, overheads)
 	fmt.Fprint(os.Stderr, overReport)
 	if failed {

@@ -97,10 +97,18 @@ func TestCheckRegression(t *testing.T) {
 	if !failed || !strings.Contains(rep, "MISSING    BenchmarkB") {
 		t.Fatalf("missing benchmark not flagged:\n%s", rep)
 	}
-	// Benchmarks without events/sec in the baseline are ignored.
+	// A baseline entry without a positive events/sec metric fails the
+	// gate: a corrupt or hand-edited baseline must not silently shrink
+	// coverage.
 	noEv := &Doc{Benchmarks: []Bench{{Name: "BenchmarkC-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
-	if rep, failed := checkRegression(noEv, benchDoc(nil), 0.25); failed {
-		t.Fatalf("baseline without events/sec failed:\n%s", rep)
+	rep, failed = checkRegression(noEv, benchDoc(nil), 0.25)
+	if !failed || !strings.Contains(rep, "BADBASE    BenchmarkC") {
+		t.Fatalf("metric-less baseline entry not flagged:\n%s", rep)
+	}
+	zeroEv := benchDoc(map[string]float64{"BenchmarkD-8": 0})
+	rep, failed = checkRegression(zeroEv, benchDoc(map[string]float64{"BenchmarkD-8": 100}), 0.25)
+	if !failed || !strings.Contains(rep, "BADBASE    BenchmarkD") {
+		t.Fatalf("zero-throughput baseline entry not flagged:\n%s", rep)
 	}
 }
 

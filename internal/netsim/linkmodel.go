@@ -129,6 +129,17 @@ func CapacityLinks(n int) []LinkSpec {
 	return specs
 }
 
+// capDemand is one link's capacity-admission row: the engine keeps
+// these in a dense slice (engine.capDem) indexed by link, plus one
+// sentinel row with infinite capacity that non-Capacity edges alias,
+// so the admission test and the incremental demand maintenance each
+// touch a single 24-byte record.
+type capDemand struct {
+	dem float64 // current fluid demand of all sessions on the link
+	bg  float64 // constant background load (LinkSpec.Background)
+	cap float64 // resolved capacity
+}
+
 // linkState is one link's mutable run state. The engine keeps all links
 // in one flat value slice (only DropTail links hold an extra ring
 // allocation), so admission touches contiguous memory.

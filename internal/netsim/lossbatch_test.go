@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"mlfair/internal/protocol"
+	"mlfair/internal/topology"
+)
+
+// TestBatchedLossMatchesBernoulliLaw pins the engine's geometric-gap
+// loss thinning (lossGap counters refilled by the inlined
+// protocol.SampleGeometricInv) to the per-edge Bernoulli law it
+// amortizes: on every Bernoulli edge, each crossing must behave as an
+// independent Loss-probability coin, so a link's observed drops are
+// Binomial(Crossed, Loss). The test runs committed seeds through a
+// lossy star and bounds each link's drop-rate z-score, plus the
+// all-link aggregate (which would expose a systematic bias an
+// individual link's noise could hide), at 5 sigma — deterministic for
+// the committed seeds, and far beyond what an off-by-one gap, a
+// missing refill, or a draw-order slip produces.
+//
+// The sampler itself is chi-square/KS-tested against the geometric law
+// in internal/protocol; this test closes the loop through the engine's
+// walk, where the counters are decremented and consumed.
+func TestBatchedLossMatchesBernoulliLaw(t *testing.T) {
+	const shared, fanout = 0.03, 0.08
+	for _, seed := range []uint64{3, 19, 77} {
+		cfg := starCfg(t, 24, shared, fanout, protocol.Uncoordinated, 120000, seed)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totDev, totVar := 0.0, 0.0
+		checked := 0
+		for _, ls := range res.Links {
+			p := fanout
+			if ls.Link == 0 {
+				p = shared
+			}
+			n := float64(ls.Crossed)
+			if n < 2000 {
+				continue // too little traffic for a tight bound
+			}
+			dev := float64(ls.Dropped) - n*p
+			sigma := math.Sqrt(n * p * (1 - p))
+			if z := math.Abs(dev) / sigma; z > 5 {
+				t.Errorf("seed %d link %d: %d drops over %d crossings (p=%v), z=%.1f",
+					seed, ls.Link, ls.Dropped, ls.Crossed, p, z)
+			}
+			totDev += dev
+			totVar += n * p * (1 - p)
+			checked++
+		}
+		if checked < 10 {
+			t.Fatalf("seed %d: only %d links carried enough traffic", seed, checked)
+		}
+		if z := math.Abs(totDev) / math.Sqrt(totVar); z > 5 {
+			t.Errorf("seed %d: aggregate drop deviation z=%.1f across %d links",
+				seed, z, checked)
+		}
+	}
+}
+
+// TestBatchedLossBernoulliLawIrregular repeats the Bernoulli-law check
+// on random scale-free graphs — the irregular, hub-dominated shape the
+// specialized walks were built for, where wide counting-sorted hubs
+// and narrow scanned chains mix on one path and sessions overlap on
+// high-betweenness links. Per-link traffic is thinner than the star's,
+// so only the aggregate z-score is bounded (links are independent
+// Bernoulli processes, so deviations sum in variance).
+func TestBatchedLossBernoulliLawIrregular(t *testing.T) {
+	const p = 0.05
+	for _, seed := range []uint64{5, 23} {
+		opts := topology.DefaultScaleFreeOptions()
+		opts.Sessions = 8
+		net, err := topology.ScaleFree(rand.New(rand.NewPCG(seed, seed)), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Network:  net,
+			Links:    make([]LinkSpec, net.NumLinks()),
+			Sessions: make([]SessionConfig, net.NumSessions()),
+			Packets:  80000,
+			Seed:     seed,
+		}
+		for j := range cfg.Links {
+			cfg.Links[j] = LinkSpec{Kind: Bernoulli, Loss: p}
+		}
+		kinds := protocol.Kinds()
+		for i := range cfg.Sessions {
+			cfg.Sessions[i] = SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 6}
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totDev, totVar, crossings := 0.0, 0.0, 0
+		for _, ls := range res.Links {
+			n := float64(ls.Crossed)
+			if n == 0 {
+				continue
+			}
+			totDev += float64(ls.Dropped) - n*p
+			totVar += n * p * (1 - p)
+			crossings += ls.Crossed
+		}
+		if crossings < 50000 {
+			t.Fatalf("seed %d: only %d crossings", seed, crossings)
+		}
+		if z := math.Abs(totDev) / math.Sqrt(totVar); z > 5 {
+			t.Errorf("seed %d: aggregate drop deviation z=%.1f over %d crossings",
+				seed, z, crossings)
+		}
+	}
+}

@@ -40,11 +40,15 @@
 //     DropTail deliveries, churn, and the signal clock, with
 //     same-instant ties broken on a packed (priority, sequence) key.
 //   - Each session's multicast tree is renumbered in DFS pre-order and
-//     flattened to CSR arrays; every tree edge is one 64-byte record
-//     carrying its admission parameters, crossing counter, loss-gap
-//     counter, and the entered node's receiver and child blocks, so a
-//     packet hop reads one cache line instead of chasing parallel
-//     tables.
+//     flattened to CSR arrays; every tree edge is split into a 32-byte
+//     hot record (admission class, capacity-row index, the entered
+//     node's receiver and child blocks — everything the walk reads
+//     every crossing, two edges per cache line in DFS order) and a
+//     cold record (drop counter, geometric-sampling constant — read
+//     only on refills and at result time), with the crossing and
+//     loss-gap counters in dense parallel arrays, so a packet hop
+//     touches half the cache footprint of the old fused 64-byte
+//     record.
 //   - Packet delivery is batched: one transmission drains the whole
 //     multicast tree in a fused, iterative loop (reusable work stack,
 //     tail-descent into the first eligible child), delivering and
@@ -407,30 +411,60 @@ func (q *eventQueue) pop() event {
 
 // --- per-session state ---
 
-// treeEdge is one multicast-tree edge, fattened so the fused forwarding
-// loop reads one DFS-sequential record per hop instead of chasing
-// parallel arrays: the graph link it rides, the (session-internal) node
-// it enters, the link's immutable admission parameters, the entered
-// node's receiver and child-edge CSR blocks, its bucket-boundary row
-// offset, and the crossing/drop counters.
-type treeEdge struct {
+// hotEdge is the walk-side half of a multicast-tree edge: exactly the
+// 32 bytes the fused forwarding loop reads on every crossing — the
+// graph link, the resolved capacity-row index, the entered node's
+// receiver and child-edge CSR blocks, its bucket-boundary row offset,
+// and the packed admission class / wide-child flag. Records sit in DFS
+// pre-order, two per cache line, so an irregular descent streams
+// contiguous lines instead of striding 64-byte fused records. The
+// entered node id is not stored: it is gtOff >> rowShift, needed only
+// on the rare DropTail continuation path.
+//
+// Everything the walk touches rarely lives elsewhere: drop counters
+// and the geometric-sampling constant in coldEdge (read on drops and
+// gap refills only), the crossing counter and inter-drop gap in dense
+// parallel int64 arrays (sessState.crossed / lossGap — written every
+// crossing resp. every lossy crossing, deliberately not inflating this
+// record), and the child's subscription maximum in the edgeSub mirror
+// narrow-node scans already stream.
+type hotEdge struct {
+	link int32
+	// capIdx indexes engine.capDem: the edge's own link for Capacity
+	// edges, the always-admit sentinel row for every other kind (so
+	// subscription-driven demand updates stay branch-free).
+	capIdx         int32
+	recvLo, recvHi int32 // child's block in recvList
+	edgeLo, edgeHi int32 // child's own block in hot/order
+	gtOff          int32 // child << rowShift: child's row in gt
+	// meta packs the admission class (ek*, low bits under metaKindMask)
+	// with the metaWide flag: whether the entered child is a wide node,
+	// hoisted here so the descent never loads the node-indexed wide[].
+	meta uint32
+}
+
+const (
+	metaKindMask uint32 = 0x7
+	metaWide     uint32 = 1 << 3
+)
+
+// coldEdge is the accounting half of a tree edge: fields the walk
+// touches only on drops (rare by construction) or at result time.
+type coldEdge struct {
 	// invLog is 1/log(1-loss) for a lossy Bernoulli link: the constant
 	// factor of geometric inter-drop sampling, precomputed so a drop
 	// costs one log instead of two.
 	invLog float64
-	// lossGap is the crossings-until-next-drop counter (0 = draw on the
-	// next crossing). Per-edge rather than per-link: Bernoulli drops are
-	// i.i.d. per crossing, so thinning each session's crossing substream
-	// with its own geometric stream realizes exactly the same law as a
-	// shared per-link coin.
-	lossGap        int64
-	crossed        int64 // session packets that entered the link here
-	drops          int64 // session packets this link dropped
-	link, child    int32
-	recvLo, recvHi int32 // child's block in recvList
-	edgeLo, edgeHi int32 // child's own block in edges/order
-	gtOff          int32 // child << rowShift: child's row in gt
-	kind           int8  // admission class (ek*)
+	drops  int64 // session packets this link dropped
+}
+
+// buildEdge is the construction-time edge seed (global node ids) that
+// newEngine's tree discovery accumulates before the hot/cold split is
+// laid out in DFS order.
+type buildEdge struct {
+	link, child int32
+	kind        int8
+	invLog      float64
 }
 
 // Admission classes, resolved from LinkKind at build time: lossless
@@ -484,20 +518,29 @@ type sessState struct {
 	// tick n are exactly the contiguous range [M-1-TrailingZeros(n),
 	// M-1] (clamped, and pulled down to 0 when it reaches 1). One
 	// counter and one TrailingZeros replace a heap round trip per
-	// packet; times are n*tickDt, exact in float64.
+	// packet; times are n*tickDt, exact in float64. The next
+	// transmission instant lives in engine.txCal, not here.
 	tick   uint64  // finest-layer ticks elapsed
 	tickDt float64 // period of layer M-1
-	txMin  float64 // next transmission instant, (tick+1)*tickDt
 	// nAtLevel[v] counts receivers currently at subscription level v,
 	// letting the signal clock skip sessions with no receiver at or
 	// below the signal level.
 	nAtLevel []int32
 
-	// Tree topology, CSR over nodes. edges of node nd occupy
-	// edges[edgeStart[nd]:edgeStart[nd+1]]; edge ids index edges, order
-	// positions, pos, and edgeSub.
-	edgeStart  []int32
-	edges      []treeEdge
+	// Tree topology, CSR over nodes. Edges of node nd occupy
+	// hot[edgeStart[nd]:edgeStart[nd+1]]; edge ids index hot, cold,
+	// crossed, lossGap, order positions, pos, and edgeSub.
+	edgeStart []int32
+	hot       []hotEdge
+	cold      []coldEdge
+	// crossed[eid] counts session packets that entered the link at edge
+	// eid; lossGap[eid] is a Bernoulli edge's crossings-until-next-drop
+	// counter (0 = draw on the next crossing). Per-edge rather than
+	// per-link: Bernoulli drops are i.i.d. per crossing, so thinning
+	// each session's crossing substream with its own geometric stream
+	// realizes exactly the same law as a shared per-link coin.
+	crossed    []int64
+	lossGap    []int64
 	parent     []int32 // [node] tree parent, -1 off-tree/root
 	parentEdge []int32 // [node] edge id entering the node, -1 off-tree/root
 	// Child enumeration is hybrid by fan-out. Narrow nodes (fan-out <=
@@ -567,8 +610,12 @@ type sessState struct {
 	// propagation skips the counting machinery there.
 	solo []bool
 	// lossOnly marks trees carrying only instant loss links, routed to
-	// the specialized forwardLossOnly walk.
+	// the specialized forwardLossOnly walk; capOnly marks trees of
+	// Perfect/Capacity links only (the irregular-topology benchmark
+	// shape), routed to forwardCapOnly. Mutually exclusive: a pure
+	// Perfect tree counts as lossOnly.
 	lossOnly bool
+	capOnly  bool
 
 	// downRecv CSR: downRecv[downStart[eid]:downStart[eid+1]] lists the
 	// receivers downstream of edge eid in DFS order — the congestion
@@ -616,18 +663,21 @@ type engine struct {
 	links   []linkState
 	sess    []sessState
 	numSess int
-	// demand[j] is the current fluid demand of all sessions on link j:
-	// sum over sessions crossing j of cum[subMax[child]], maintained
-	// incrementally as subscriptions move. Exact for the power-of-two
-	// exponential scheme (every partial sum is an integer below 2^53).
-	// Maintenance is skipped entirely (trackDemand false) when no link
-	// is capacity-coupled, since nothing would read it.
-	demand      []float64
+	// capDem[j] packs link j's capacity-admission row — current fluid
+	// demand (sum over sessions crossing j of cum[subMax[child]],
+	// maintained incrementally as subscriptions move; exact for the
+	// power-of-two exponential scheme, every partial sum an integer
+	// below 2^53), constant background load, and capacity — into one
+	// 24-byte record so admission touches one cache line instead of
+	// three parallel arrays. Row NumLinks is the always-admit sentinel
+	// (capacity +Inf) that non-Capacity edges point their capIdx at:
+	// the demand deltas the subscription machinery blindly adds there
+	// are write-only (nothing ever admits against infinite capacity),
+	// which keeps applyLevelChange branch-free. Demand maintenance is
+	// skipped entirely (trackDemand false) when no link is
+	// capacity-coupled, since nothing would read it.
+	capDem      []capDemand
 	trackDemand bool
-	// Dense resolved Capacity parameters, split out of linkState so the
-	// admission fast path touches 8-byte rows.
-	linkCap []float64
-	linkBg  []float64
 	// linkLayerLoss[j] is link j's per-layer Bernoulli loss table (nil
 	// unless the spec sets LayerLoss); indexed by packet layer, clamped
 	// to the last entry.
@@ -642,6 +692,25 @@ type engine struct {
 	// buffers are preallocated, so the hot path pays one nil check per
 	// event and nothing else.
 	probe *probeState
+
+	// Uniform-calendar fast path: when every session shares one tick
+	// period (equal layer counts — the common case, and all of the
+	// committed benchmarks), the sessions' calendars advance in lockstep
+	// and the "earliest txMin, lowest index" rule the transmit loop
+	// needs is exactly round-robin order: sessions calCursor..S-1 sit at
+	// time T and 0..calCursor-1 at T+dt, so the minimum is always
+	// calCursor. Tracking it incrementally replaces the O(sessions)
+	// argmin scan per calendar tick — the dominant cost on hub-heavy
+	// multi-session topologies — with O(1), mirroring how the solo-node
+	// shortcut replaces the subscription count row. Mixed-period session
+	// sets fall back to the scan.
+	calUniform bool
+	calCursor  int
+	// txCal[i] is session i's next transmission instant, (tick+1)*tickDt
+	// — kept dense (rather than inside sessState) so the per-tick argmin
+	// peek touches a handful of cache lines instead of one line per
+	// session's sprawling state record.
+	txCal []float64
 
 	signalIdx int
 	// signalPeriod is the resolved Coordinated signal period (the
@@ -670,10 +739,11 @@ func newEngine(cfg Config) (*engine, error) {
 		links:   make([]linkState, net.NumLinks()),
 		sess:    make([]sessState, net.NumSessions()),
 		numSess: net.NumSessions(),
-		demand:  make([]float64, net.NumLinks()),
 	}
-	e.linkCap = make([]float64, net.NumLinks())
-	e.linkBg = make([]float64, net.NumLinks())
+	// The extra row is the always-admit sentinel non-Capacity edges
+	// alias via capIdx.
+	e.capDem = make([]capDemand, net.NumLinks()+1)
+	e.capDem[net.NumLinks()] = capDemand{cap: math.Inf(1)}
 	e.linkLayerLoss = make([][]float64, net.NumLinks())
 	e.leaveLatency = cfg.LeaveLatency
 	for j := range e.links {
@@ -682,8 +752,7 @@ func newEngine(cfg Config) (*engine, error) {
 			spec = cfg.Links[j]
 		}
 		e.links[j] = newLinkState(spec, net.Capacity(j))
-		e.linkCap[j] = e.links[j].cap
-		e.linkBg[j] = spec.Background
+		e.capDem[j] = capDemand{bg: spec.Background, cap: e.links[j].cap}
 		e.linkLayerLoss[j] = spec.LayerLoss
 		if spec.Kind == Capacity {
 			e.trackDemand = true
@@ -693,35 +762,27 @@ func newEngine(cfg Config) (*engine, error) {
 	// Scratch for tree discovery on global node ids, reused per session.
 	gParent := make([]int32, nn)
 	gParentLink := make([]int32, nn)
-	gChildren := make([][]treeEdge, nn)
+	gChildren := make([][]buildEdge, nn)
 	intern := make([]int32, nn) // global node id -> session-internal id
+	// Construction scratch reused across sessions, and one immutable
+	// layering scheme per distinct layer count (sessions only ever read
+	// it).
+	var globalOf, dfs, fill, dfill []int32
+	schemes := map[int]layering.Scheme{}
+	e.txCal = make([]float64, len(e.sess))
 	for i := range e.sess {
 		ns := net.Session(i)
 		sc := cfg.Sessions[i]
 		m := int32(sc.Layers)
 		s := &e.sess[i]
-		*s = sessState{
-			idx: i, cfg: sc,
-			scheme:    layering.Exponential(sc.Layers),
-			m:         m,
-			period:    make([]float64, sc.Layers),
-			cum:       make([]float64, sc.Layers+1),
-			recvNode:  make([]int32, ns.NumReceivers()),
-			levels:    make([]int32, ns.NumReceivers()),
-			countdown: make([]int64, ns.NumReceivers()),
-			clean:     make([]bool, ns.NumReceivers()),
-			received:  make([]int, ns.NumReceivers()),
+		sch, ok := schemes[sc.Layers]
+		if !ok {
+			sch = layering.Exponential(sc.Layers)
+			schemes[sc.Layers] = sch
 		}
-		for l := 0; l < sc.Layers; l++ {
-			s.period[l] = 1 / s.scheme.LayerRate(l)
-		}
-		s.tickDt = s.period[sc.Layers-1]
-		s.txMin = s.tickDt
-		s.nAtLevel = make([]int32, sc.Layers+1)
-		s.nAtLevel[0] = int32(ns.NumReceivers()) // all pre-join
-		for v := 0; v <= sc.Layers; v++ {
-			s.cum[v] = s.scheme.CumulativeRate(v)
-		}
+		*s = sessState{idx: i, cfg: sc, scheme: sch, m: m}
+		// The session's arrays are carved out of per-width slabs once
+		// the tree is discovered and every size is known (below).
 		// Discover the multicast tree on global node ids from the
 		// receivers' data-paths. The sender's parent slot is claimed up
 		// front: a walk that re-enters the root would otherwise hang a
@@ -760,7 +821,7 @@ func newEngine(cfg Config) (*engine, error) {
 					case DropTail:
 						ek = ekDropTail
 					}
-					gChildren[cur] = append(gChildren[cur], treeEdge{
+					gChildren[cur] = append(gChildren[cur], buildEdge{
 						link: int32(j), child: int32(nb), kind: ek, invLog: invLog,
 					})
 					nEdges++
@@ -779,26 +840,75 @@ func newEngine(cfg Config) (*engine, error) {
 		// per-node arrays below are visited near-sequentially by the
 		// forwarding DFS, and size everything by the tree, not the graph.
 		treeN := 1 + nEdges
-		s.parent = make([]int32, treeN)
-		s.parentEdge = make([]int32, treeN)
-		s.edgeStart = make([]int32, treeN+1)
-		s.edges = make([]treeEdge, 0, nEdges)
-		s.order = make([]int32, nEdges)
-		s.pos = make([]int32, nEdges)
-		s.subMax = make([]int32, treeN)
+		nR := ns.NumReceivers()
 		for s.rowShift = 1; 1<<s.rowShift < int(m)+1; s.rowShift++ {
 		}
-		s.lvlCnt = make([]int32, treeN<<s.rowShift)
-		s.gt = make([]int32, treeN<<s.rowShift)
-		s.wide = make([]bool, treeN)
-		s.edgeSub = make([]int32, nEdges)
+		rowLen := treeN << s.rowShift
+		// Slab allocation: one backing array per element width, carved
+		// into the session's arrays — a handful of allocations per
+		// session instead of ~25, with the walk-side arrays adjacent in
+		// memory. Capacities are capped at each carve so an accidental
+		// append could never bleed into a neighbor. downRecv is the one
+		// exception: its length (the sum of receiver depths) is only
+		// known after the counting pass further down.
+		s32 := make([]int32, 3*nR+(sc.Layers+1)+3*treeN+2*(treeN+1)+2*rowLen+4*nEdges+1)
+		s64 := make([]int64, nR+2*nEdges)
+		nf := 2*sc.Layers + 1 + 2*nEdges
+		if cfg.LeaveLatency > 0 {
+			nf += nEdges << s.rowShift
+		}
+		sf := make([]float64, nf)
+		sb := make([]bool, nR+2*treeN)
+		take32 := func(n int) []int32 { v := s32[:n:n]; s32 = s32[n:]; return v }
+		take64 := func(n int) []int64 { v := s64[:n:n]; s64 = s64[n:]; return v }
+		takeF := func(n int) []float64 { v := sf[:n:n]; sf = sf[n:]; return v }
+		takeB := func(n int) []bool { v := sb[:n:n]; sb = sb[n:]; return v }
+		s.edgeStart = take32(treeN + 1)
+		s.edgeSub = take32(nEdges)
+		s.order = take32(nEdges)
+		s.pos = take32(nEdges)
+		s.gt = take32(rowLen)
+		s.lvlCnt = take32(rowLen)
+		s.subMax = take32(treeN)
+		s.parent = take32(treeN)
+		s.parentEdge = take32(treeN)
+		s.recvStart = take32(treeN + 1)
+		s.recvList = take32(nR)
+		s.recvNode = take32(nR)
+		s.levels = take32(nR)
+		s.nAtLevel = take32(sc.Layers + 1)
+		s.downStart = take32(nEdges + 1)
+		s.crossed = take64(nEdges)
+		s.lossGap = take64(nEdges)
+		s.countdown = take64(nR)
+		s.period = takeF(sc.Layers)
+		s.cum = takeF(sc.Layers + 1)
+		s.fluidInt = takeF(nEdges)
+		s.fluidT = takeF(nEdges)
+		if cfg.LeaveLatency > 0 {
+			s.linger = takeF(nEdges << s.rowShift)
+		}
+		s.wide = takeB(treeN)
+		s.solo = takeB(treeN)
+		s.clean = takeB(nR)
+		s.received = make([]int, nR)
+		s.hot = make([]hotEdge, 0, nEdges)
+		s.cold = make([]coldEdge, 0, nEdges)
+		for l := 0; l < sc.Layers; l++ {
+			s.period[l] = 1 / s.scheme.LayerRate(l)
+		}
+		s.tickDt = s.period[sc.Layers-1]
+		e.txCal[i] = s.tickDt
+		s.nAtLevel[0] = int32(nR) // all pre-join
+		for v := 0; v <= sc.Layers; v++ {
+			s.cum[v] = s.scheme.CumulativeRate(v)
+		}
 		s.parent[0] = -1
 		s.parentEdge[0] = -1
 		// Pass 1: pre-order numbering (children in data-path discovery
 		// order, so the permutation is deterministic).
-		globalOf := make([]int32, 0, treeN)
-		dfs := make([]int32, 0, treeN)
-		dfs = append(dfs, int32(ns.Sender))
+		globalOf = globalOf[:0]
+		dfs = append(dfs[:0], int32(ns.Sender))
 		for len(dfs) > 0 {
 			gnd := dfs[len(dfs)-1]
 			dfs = dfs[:len(dfs)-1]
@@ -814,15 +924,13 @@ func newEngine(cfg Config) (*engine, error) {
 		for k := range ns.Receivers {
 			s.recvNode[k] = intern[ns.Receivers[k]]
 		}
-		s.recvStart = make([]int32, treeN+1)
 		for k := range s.recvNode {
 			s.recvStart[s.recvNode[k]+1]++
 		}
 		for nd := 0; nd < treeN; nd++ {
 			s.recvStart[nd+1] += s.recvStart[nd]
 		}
-		s.recvList = make([]int32, len(s.recvNode))
-		fill := append([]int32(nil), s.recvStart[:treeN]...)
+		fill = append(fill[:0], s.recvStart[:treeN]...)
 		for k := range s.recvNode {
 			nd := s.recvNode[k]
 			s.recvList[fill[nd]] = int32(k)
@@ -830,18 +938,26 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		// Pass 2: CSR blocks in internal id order; with pre-order ids a
 		// packet's DFS touches the rows near-sequentially.
+		capSentinel := int32(net.NumLinks())
 		for ind := int32(0); ind < int32(treeN); ind++ {
-			s.edgeStart[ind] = int32(len(s.edges))
+			s.edgeStart[ind] = int32(len(s.hot))
 			for _, ed := range gChildren[globalOf[ind]] {
-				eid := int32(len(s.edges))
-				ied := ed
-				ied.child = intern[ed.child]
-				ied.recvLo = s.recvStart[ied.child]
-				ied.recvHi = s.recvStart[ied.child+1]
-				ied.gtOff = ied.child << s.rowShift
-				s.edges = append(s.edges, ied)
-				s.parent[ied.child] = ind
-				s.parentEdge[ied.child] = eid
+				eid := int32(len(s.hot))
+				child := intern[ed.child]
+				capIdx := capSentinel
+				if ed.kind == ekCapacity {
+					capIdx = ed.link
+				}
+				s.hot = append(s.hot, hotEdge{
+					link: ed.link, capIdx: capIdx,
+					recvLo: s.recvStart[child],
+					recvHi: s.recvStart[child+1],
+					gtOff:  child << s.rowShift,
+					meta:   uint32(ed.kind),
+				})
+				s.cold = append(s.cold, coldEdge{invLog: ed.invLog})
+				s.parent[child] = ind
+				s.parentEdge[child] = eid
 				// Identity permutation: every edge starts in bucket 0
 				// (all subMax are 0 before receivers join), which is
 				// trivially counting-sorted.
@@ -849,34 +965,44 @@ func newEngine(cfg Config) (*engine, error) {
 				s.pos[eid] = eid
 			}
 		}
-		s.edgeStart[treeN] = int32(len(s.edges))
+		s.edgeStart[treeN] = int32(len(s.hot))
 		// Each child's own edge block is known only now.
-		for eid := range s.edges {
-			s.edges[eid].edgeLo = s.edgeStart[s.edges[eid].child]
-			s.edges[eid].edgeHi = s.edgeStart[s.edges[eid].child+1]
+		for eid := range s.hot {
+			child := s.hot[eid].gtOff >> s.rowShift
+			s.hot[eid].edgeLo = s.edgeStart[child]
+			s.hot[eid].edgeHi = s.edgeStart[child+1]
 		}
-		s.fluidInt = make([]float64, nEdges)
-		s.fluidT = make([]float64, nEdges)
-		if cfg.LeaveLatency > 0 {
-			s.linger = make([]float64, nEdges<<s.rowShift)
-		}
-		s.lossOnly = true
-		for eid := range s.edges {
-			if k := s.edges[eid].kind; k != ekAlways && k != ekBernoulli {
+		s.lossOnly, s.capOnly = true, true
+		for eid := range s.hot {
+			switch int8(s.hot[eid].meta & metaKindMask) {
+			case ekAlways:
+			case ekBernoulli:
+				s.capOnly = false
+			case ekCapacity:
 				s.lossOnly = false
-				break
+			default: // ekLayerLoss, ekDropTail: generic walk only
+				s.lossOnly, s.capOnly = false, false
 			}
 		}
-		s.solo = make([]bool, treeN)
+		if s.lossOnly {
+			// A pure-Perfect tree takes the (cheaper) loss walk.
+			s.capOnly = false
+		}
 		for nd := 0; nd < treeN; nd++ {
 			s.wide[nd] = s.edgeStart[nd+1]-s.edgeStart[nd] > wideFanout
 			s.solo[nd] = (s.edgeStart[nd+1]-s.edgeStart[nd])+(s.recvStart[nd+1]-s.recvStart[nd]) == 1
+		}
+		// wide[] is known only now; stamp each edge with its child's
+		// wideness so the descent skips the node-indexed load.
+		for eid := range s.hot {
+			if s.wide[s.hot[eid].gtOff>>s.rowShift] {
+				s.hot[eid].meta |= metaWide
+			}
 		}
 		// Downstream-receiver CSR per edge: a receiver at internal node
 		// nd sits below every edge on nd's root path, i.e. below
 		// parentEdge of each ancestor. Receivers are grouped per edge in
 		// DFS (pre-order) receiver order.
-		s.downStart = make([]int32, nEdges+1)
 		for k := range s.recvNode {
 			for nd := s.recvNode[k]; nd != 0; nd = s.parent[nd] {
 				s.downStart[s.parentEdge[nd]+1]++
@@ -886,7 +1012,7 @@ func newEngine(cfg Config) (*engine, error) {
 			s.downStart[eid+1] += s.downStart[eid]
 		}
 		s.downRecv = make([]int32, s.downStart[nEdges])
-		dfill := append([]int32(nil), s.downStart[:nEdges]...)
+		dfill = append(dfill[:0], s.downStart[:nEdges]...)
 		// recvList is already in pre-order node order; walking it keeps
 		// each edge's block in DFS order, matching the old subtree walk.
 		for _, k := range s.recvList {
@@ -902,6 +1028,14 @@ func newEngine(cfg Config) (*engine, error) {
 		for k := range s.levels {
 			e.applyLevelChange(s, k, 1)
 			e.armReceiver(s, k, 1)
+		}
+	}
+
+	e.calUniform = len(e.sess) > 0
+	for i := 1; i < len(e.sess); i++ {
+		if e.sess[i].tickDt != e.sess[0].tickDt {
+			e.calUniform = false
+			break
 		}
 	}
 
@@ -995,7 +1129,8 @@ func (e *engine) applyLevelChange(s *sessState, k int, nl int32) {
 		s.fluidT[eid] = e.now
 		s.edgeSub[eid] = nm
 		if e.trackDemand {
-			e.demand[s.edges[eid].link] += s.cum[nm] - s.cum[om]
+			// Non-Capacity edges alias the write-only sentinel row.
+			e.capDem[s.hot[eid].capIdx].dem += s.cum[nm] - s.cum[om]
 		}
 		if s.linger != nil && nm < om {
 			// Layers nm..om-1 just lost their last subscriber below this
@@ -1059,7 +1194,7 @@ func (e *engine) congestReceiver(s *sessState, k int) {
 
 // forward drains one packet through the session tree from node at time
 // t: one fused, allocation-free loop over a reusable work stack of edge
-// ids. Per hop it reads the 48-byte edge record (admission parameters,
+// ids. Per hop it reads the 32-byte hot edge record (admission class,
 // the entered node's receiver and child blocks), decides admission
 // inline (Perfect/Bernoulli/Capacity; DropTail goes through the queue
 // model and schedules a continuation event at its exit time), delivers
@@ -1091,6 +1226,10 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 		e.forwardLossOnly(s, layer, node, countJoins)
 		return
 	}
+	if s.capOnly {
+		e.forwardCapOnly(s, layer, node, countJoins)
+		return
+	}
 	st := e.fwdStack[:0]
 	if s.wide[node] {
 		base := s.edgeStart[node]
@@ -1108,30 +1247,34 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 		eid := st[len(st)-1]
 		st = st[:len(st)-1]
 	descend:
-		ed := &s.edges[eid]
-		ed.crossed++
+		ed := &s.hot[eid]
+		s.crossed[eid]++
 		dropped := false
-		switch ed.kind {
+		switch int8(ed.meta & metaKindMask) {
 		case ekAlways:
 		case ekBernoulli:
 			// The i.i.d. Bernoulli drop process is realized by sampling
 			// inter-drop gaps geometrically — exactly the same law as a
 			// per-crossing coin flip, one RNG draw per drop instead of
-			// one per crossing (protocol.SampleGeometric with the
-			// constant log factor precomputed in ed.invLog).
-			gap := ed.lossGap
+			// one per crossing. The refill happens at the consumption
+			// point (a crossing with an exhausted gap), keeping the RNG
+			// draw order identical to the per-crossing formulation.
+			gap := s.lossGap[eid]
 			if gap == 0 {
+				// protocol.SampleGeometricInv, textually inlined (the
+				// call costs ~2% on loss-heavy walks; the property
+				// suite pins the equivalence draw for draw).
 				u := e.rng.Float64()
 				if u <= 0 {
 					u = math.SmallestNonzeroFloat64
 				}
-				gap = int64(math.Log(u)*ed.invLog) + 1
+				gap = int64(math.Log(u)*s.cold[eid].invLog) + 1
 				if gap < 1 {
 					gap = 1
 				}
 			}
 			gap--
-			ed.lossGap = gap
+			s.lossGap[eid] = gap
 			dropped = gap == 0
 		case ekLayerLoss:
 			// Layer-dependent loss breaks the geometric-gap trick (the
@@ -1146,9 +1289,9 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 		case ekCapacity:
 			// Drop with probability (d-c)/d; comparing r*d < d-c avoids
 			// the division on the admission fast path.
-			d := e.demand[ed.link] + e.linkBg[ed.link]
-			c := e.linkCap[ed.link]
-			dropped = d > c && e.rng.Float64()*d < d-c
+			cd := &e.capDem[ed.capIdx]
+			d := cd.dem + cd.bg
+			dropped = d > cd.cap && e.rng.Float64()*d < d-cd.cap
 		default: // ekDropTail
 			exit, drop := e.links[ed.link].admitQueue(t)
 			if drop {
@@ -1156,12 +1299,12 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 				break
 			}
 			if exit > t {
-				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.child})
+				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.gtOff >> s.rowShift})
 				continue
 			}
 		}
 		if dropped {
-			ed.drops++
+			s.cold[eid].drops++
 			e.notifyLoss(s, layer, eid)
 			continue
 		}
@@ -1180,7 +1323,7 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 		}
 		// Expand the entered node's eligible children and tail-descend
 		// into the first one (in the same order the stack would yield).
-		if s.wide[ed.child] {
+		if ed.meta&metaWide != 0 {
 			if cn := s.gt[ed.gtOff+layer]; cn > 0 {
 				cb := ed.edgeLo
 				for p := cn - 1; p >= 1; p-- {
@@ -1211,8 +1354,8 @@ func (e *engine) forward(s *sessState, layer, node int32, t float64) {
 // forwardLossOnly is forward's walk for sessions whose tree carries
 // only instant loss links (Perfect / Bernoulli) — the paper's Section 4
 // setting and the common large-topology scenario — with the admission
-// switch compiled out: an edge either always admits (invLog 0) or runs
-// the geometric gap counter. Behavior is identical to the generic walk.
+// switch compiled out: an edge either always admits or runs the
+// geometric gap counter. Behavior is identical to the generic walk.
 func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins bool) {
 	st := e.fwdStack[:0]
 	if s.wide[node] {
@@ -1231,24 +1374,29 @@ func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins boo
 		eid := st[len(st)-1]
 		st = st[:len(st)-1]
 	descend:
-		ed := &s.edges[eid]
-		ed.crossed++
-		if ed.invLog != 0 {
-			gap := ed.lossGap
+		ed := &s.hot[eid]
+		s.crossed[eid]++
+		// In a loss-only tree the kind bits are ekAlways (0) or
+		// ekBernoulli, so any set kind bit means "run the gap counter".
+		if ed.meta&metaKindMask != 0 {
+			gap := s.lossGap[eid]
 			if gap == 0 {
+				// protocol.SampleGeometricInv, textually inlined (the
+				// call costs ~2% on loss-heavy walks; the property
+				// suite pins the equivalence draw for draw).
 				u := e.rng.Float64()
 				if u <= 0 {
 					u = math.SmallestNonzeroFloat64
 				}
-				gap = int64(math.Log(u)*ed.invLog) + 1
+				gap = int64(math.Log(u)*s.cold[eid].invLog) + 1
 				if gap < 1 {
 					gap = 1
 				}
 			}
 			gap--
-			ed.lossGap = gap
+			s.lossGap[eid] = gap
 			if gap == 0 {
-				ed.drops++
+				s.cold[eid].drops++
 				e.notifyLoss(s, layer, eid)
 				continue
 			}
@@ -1265,7 +1413,84 @@ func (e *engine) forwardLossOnly(s *sessState, layer, node int32, countJoins boo
 				}
 			}
 		}
-		if s.wide[ed.child] {
+		if ed.meta&metaWide != 0 {
+			if cn := s.gt[ed.gtOff+layer]; cn > 0 {
+				cb := ed.edgeLo
+				for p := cn - 1; p >= 1; p-- {
+					st = append(st, s.order[cb+p])
+				}
+				eid = s.order[cb]
+				goto descend
+			}
+		} else {
+			first := int32(-1)
+			for ceid := ed.edgeHi - 1; ceid >= ed.edgeLo; ceid-- {
+				if s.edgeSub[ceid] > layer {
+					if first >= 0 {
+						st = append(st, first)
+					}
+					first = ceid
+				}
+			}
+			if first >= 0 {
+				eid = first
+				goto descend
+			}
+		}
+	}
+	e.fwdStack = st[:0]
+}
+
+// forwardCapOnly is forward's walk for sessions whose tree carries
+// only Perfect and capacity-coupled links — the irregular-topology
+// (ScaleFree / FatTree) benchmark shape — with the admission switch
+// narrowed to one branch: an edge either always admits or runs the
+// fluid-overload coin against its packed capDem row. Behavior is
+// identical to the generic walk.
+func (e *engine) forwardCapOnly(s *sessState, layer, node int32, countJoins bool) {
+	st := e.fwdStack[:0]
+	if s.wide[node] {
+		base := s.edgeStart[node]
+		for p := s.gt[(node<<s.rowShift)+layer] - 1; p >= 0; p-- {
+			st = append(st, s.order[base+p])
+		}
+	} else {
+		for ceid := s.edgeStart[node+1] - 1; ceid >= s.edgeStart[node]; ceid-- {
+			if s.edgeSub[ceid] > layer {
+				st = append(st, ceid)
+			}
+		}
+	}
+	for len(st) > 0 {
+		eid := st[len(st)-1]
+		st = st[:len(st)-1]
+	descend:
+		ed := &s.hot[eid]
+		s.crossed[eid]++
+		// In a cap-only tree the kind bits are ekAlways (0) or
+		// ekCapacity, so any set kind bit means "run the overload coin".
+		if ed.meta&metaKindMask != 0 {
+			cd := &e.capDem[ed.capIdx]
+			d := cd.dem + cd.bg
+			if d > cd.cap && e.rng.Float64()*d < d-cd.cap {
+				s.cold[eid].drops++
+				e.notifyLoss(s, layer, eid)
+				continue
+			}
+		}
+		for x := ed.recvLo; x < ed.recvHi; x++ {
+			k := s.recvList[x]
+			if s.levels[k] > layer {
+				s.received[k]++
+				if countJoins {
+					s.countdown[k]--
+					if s.countdown[k] <= 0 {
+						e.joinReceiver(s, int(k))
+					}
+				}
+			}
+		}
+		if ed.meta&metaWide != 0 {
 			if cn := s.gt[ed.gtOff+layer]; cn > 0 {
 				cb := ed.edgeLo
 				for p := cn - 1; p >= 1; p-- {
@@ -1328,7 +1553,7 @@ func (s *sessState) pushEligibleLinger(st []int32, nd, layer int32, t float64) [
 	}
 	for ceid := lo; ceid < hi; ceid++ {
 		if s.edgeSub[ceid] <= layer && s.linger[(ceid<<s.rowShift)+layer] > t {
-			s.edges[ceid].crossed++ // a leave still being processed wastes the link
+			s.crossed[ceid]++ // a leave still being processed wastes the link
 		}
 	}
 	return st
@@ -1359,25 +1584,28 @@ func (e *engine) forwardLinger(s *sessState, layer, node int32, t float64) {
 	for len(st) > 0 {
 		eid := st[len(st)-1]
 		st = st[:len(st)-1]
-		ed := &s.edges[eid]
-		ed.crossed++
+		ed := &s.hot[eid]
+		s.crossed[eid]++
 		dropped := false
-		switch ed.kind {
+		switch int8(ed.meta & metaKindMask) {
 		case ekAlways:
 		case ekBernoulli:
-			gap := ed.lossGap
+			gap := s.lossGap[eid]
 			if gap == 0 {
+				// protocol.SampleGeometricInv, textually inlined (the
+				// call costs ~2% on loss-heavy walks; the property
+				// suite pins the equivalence draw for draw).
 				u := e.rng.Float64()
 				if u <= 0 {
 					u = math.SmallestNonzeroFloat64
 				}
-				gap = int64(math.Log(u)*ed.invLog) + 1
+				gap = int64(math.Log(u)*s.cold[eid].invLog) + 1
 				if gap < 1 {
 					gap = 1
 				}
 			}
 			gap--
-			ed.lossGap = gap
+			s.lossGap[eid] = gap
 			dropped = gap == 0
 		case ekLayerLoss:
 			ll := e.linkLayerLoss[ed.link]
@@ -1387,9 +1615,9 @@ func (e *engine) forwardLinger(s *sessState, layer, node int32, t float64) {
 			}
 			dropped = p > 0 && e.rng.Float64() < p
 		case ekCapacity:
-			d := e.demand[ed.link] + e.linkBg[ed.link]
-			c := e.linkCap[ed.link]
-			dropped = d > c && e.rng.Float64()*d < d-c
+			cd := &e.capDem[ed.capIdx]
+			d := cd.dem + cd.bg
+			dropped = d > cd.cap && e.rng.Float64()*d < d-cd.cap
 		default: // ekDropTail
 			exit, drop := e.links[ed.link].admitQueue(t)
 			if drop {
@@ -1397,12 +1625,12 @@ func (e *engine) forwardLinger(s *sessState, layer, node int32, t float64) {
 				break
 			}
 			if exit > t {
-				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.child})
+				e.push(event{time: exit, kind: evForward, sess: int32(s.idx), layer: layer, node: ed.gtOff >> s.rowShift})
 				continue
 			}
 		}
 		if dropped {
-			ed.drops++
+			s.cold[eid].drops++
 			e.notifyLoss(s, layer, eid)
 			continue
 		}
@@ -1418,7 +1646,7 @@ func (e *engine) forwardLinger(s *sessState, layer, node int32, t float64) {
 				}
 			}
 		}
-		st = s.pushEligibleLinger(st, ed.child, layer, t)
+		st = s.pushEligibleLinger(st, ed.gtOff>>s.rowShift, layer, t)
 	}
 	e.fwdStack = st[:0]
 }
@@ -1461,18 +1689,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for e.sent < cfg.Packets {
 		// Next sender transmission: the lowest-index session holding the
-		// earliest calendar entry.
-		ts := math.Inf(1)
-		si := -1
-		for i := range e.sess {
-			if e.sess[i].txMin < ts {
-				ts = e.sess[i].txMin
-				si = i
+		// earliest calendar entry. With a uniform calendar that is the
+		// round-robin cursor (see calUniform); otherwise scan.
+		var ts float64
+		var si int
+		if e.calUniform {
+			si = e.calCursor
+			ts = e.txCal[si]
+		} else {
+			ts = math.Inf(1)
+			si = -1
+			for i, tx := range e.txCal {
+				if tx < ts {
+					ts = tx
+					si = i
+				}
 			}
-		}
-		if si < 0 {
-			// No sessions can ever transmit (zero-session network).
-			return nil, fmt.Errorf("netsim: event queue drained before packet budget")
+			if si < 0 {
+				// No sessions can ever transmit (zero-session network).
+				return nil, fmt.Errorf("netsim: event queue drained before packet budget")
+			}
 		}
 		// Scheduled events run first: anything strictly earlier than the
 		// next transmission, plus same-instant packet events (delayed
@@ -1528,8 +1764,13 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 		s.tick = n
-		s.txMin = float64(n+1) * s.tickDt
+		e.txCal[si] = float64(n+1) * s.tickDt
 		e.ticksFired++
+		if e.calUniform {
+			if e.calCursor++; e.calCursor == len(e.sess) {
+				e.calCursor = 0
+			}
+		}
 	}
 	return e.result(), nil
 }
@@ -1588,18 +1829,29 @@ func (e *engine) result() *Result {
 	if e.probe != nil {
 		res.Probe = e.probe.series(e)
 	}
+	// Per-receiver outputs are subslices of three flat backings (the
+	// [][] shape is API; the allocation count need not scale with
+	// sessions).
+	totR := 0
+	for i := range e.sess {
+		totR += len(e.sess[i].received)
+	}
+	rateBuf := make([]float64, totR)
+	pktBuf := make([]int, totR)
+	lvlBuf := make([]int, totR)
 	for i := range e.sess {
 		s := &e.sess[i]
-		for eid := range s.edges {
-			res.Events += s.edges[eid].crossed
+		for _, n := range s.crossed {
+			res.Events += n
 		}
 		if e.now > 0 && len(s.received) > 0 {
 			levelInt := s.levelInt + float64(s.sumLevel)*(e.now-s.levelT)
 			res.MeanLevels[i] = levelInt / e.now / float64(len(s.received))
 		}
-		res.ReceiverRates[i] = make([]float64, len(s.received))
-		res.ReceiverPackets[i] = make([]int, len(s.received))
-		res.FinalLevels[i] = make([]int, len(s.received))
+		nR := len(s.received)
+		res.ReceiverRates[i], rateBuf = rateBuf[:nR:nR], rateBuf[nR:]
+		res.ReceiverPackets[i], pktBuf = pktBuf[:nR:nR], pktBuf[nR:]
+		res.FinalLevels[i], lvlBuf = lvlBuf[:nR:nR], lvlBuf[nR:]
 		for k, n := range s.received {
 			res.ReceiverPackets[i][k] = n
 			res.FinalLevels[i][k] = int(s.levels[k])
@@ -1609,38 +1861,39 @@ func (e *engine) result() *Result {
 			}
 		}
 	}
-	// Fold edge-indexed counters back to (session, link): each session's
-	// tree crosses a link through at most one edge.
-	linkCrossed := make([][]int, len(e.sess))
-	linkDropped := make([][]int, len(e.sess))
-	linkFluid := make([][]float64, len(e.sess))
+	// Fold edge-indexed counters back to (session, link) in flat
+	// session-major slabs: each session's tree crosses a link through
+	// at most one edge.
+	nL := e.net.NumLinks()
+	linkCrossed := make([]int, len(e.sess)*nL)
+	linkDropped := make([]int, len(e.sess)*nL)
+	linkFluid := make([]float64, len(e.sess)*nL)
 	for i := range e.sess {
 		s := &e.sess[i]
-		linkCrossed[i] = make([]int, e.net.NumLinks())
-		linkDropped[i] = make([]int, e.net.NumLinks())
-		linkFluid[i] = make([]float64, e.net.NumLinks())
-		for eid := range s.edges {
-			j := s.edges[eid].link
-			linkCrossed[i][j] = int(s.edges[eid].crossed)
-			linkDropped[i][j] = int(s.edges[eid].drops)
+		base := i * nL
+		for eid := range s.hot {
+			j := base + int(s.hot[eid].link)
+			linkCrossed[j] = int(s.crossed[eid])
+			linkDropped[j] = int(s.cold[eid].drops)
 			if e.now > 0 {
 				fluid := s.fluidInt[eid] + s.cum[s.edgeSub[eid]]*(e.now-s.fluidT[eid])
-				linkFluid[i][j] = fluid / e.now
+				linkFluid[j] = fluid / e.now
 			}
 		}
 	}
 	total := 0
-	for j := 0; j < e.net.NumLinks(); j++ {
+	for j := 0; j < nL; j++ {
 		total += len(e.net.OnLink(j))
 	}
 	res.Links = make([]LinkStats, 0, total)
-	for j := 0; j < e.net.NumLinks(); j++ {
+	for j := 0; j < nL; j++ {
 		for _, sr := range e.net.OnLink(j) {
+			at := sr.Session*nL + j
 			ls := LinkStats{
 				Link: j, Session: sr.Session,
-				Crossed:             linkCrossed[sr.Session][j],
-				Dropped:             linkDropped[sr.Session][j],
-				FluidRate:           linkFluid[sr.Session][j],
+				Crossed:             linkCrossed[at],
+				Dropped:             linkDropped[at],
+				FluidRate:           linkFluid[at],
 				DownstreamReceivers: len(sr.Receivers),
 			}
 			if e.now > 0 {

@@ -184,8 +184,8 @@ func (p *probeState) flush(e *engine, t float64) {
 	}
 	for i := range e.sess {
 		s := &e.sess[i]
-		for eid := range s.edges {
-			cum[s.edges[eid].link] += s.edges[eid].crossed
+		for eid := range s.hot {
+			cum[s.hot[eid].link] += s.crossed[eid]
 		}
 	}
 	lBase := slot * p.numLinks

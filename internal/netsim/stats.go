@@ -86,9 +86,9 @@ func (e *engine) flushStats(res *Result) {
 	var crossed, drops, delivered int64
 	for i := range e.sess {
 		s := &e.sess[i]
-		for eid := range s.edges {
-			crossed += s.edges[eid].crossed
-			drops += s.edges[eid].drops
+		for eid := range s.hot {
+			crossed += s.crossed[eid]
+			drops += s.cold[eid].drops
 		}
 		for _, n := range s.received {
 			delivered += int64(n)

@@ -145,6 +145,30 @@ func SampleGeometric(rng *rand.Rand, p float64) int {
 	return n
 }
 
+// SampleGeometricInv draws from the same Geometric(p) law as
+// SampleGeometric, taking the precomputed constant invLog = 1/log(1-p)
+// instead of p itself. It exists for batched thinning loops: a caller
+// sampling many inter-success gaps against one fixed p hoists the two
+// logarithms of the denominator out of the loop and pays one uniform
+// draw plus one multiply per gap. The returned value is int64 because
+// gaps scale as 1/p and overflow int32 for very small loss rates.
+//
+// invLog must come from p in (0, 1); the p >= 1 short-circuit of
+// SampleGeometric is deliberately absent here (invLog would be -0 and
+// the draw consumption would differ).
+func SampleGeometricInv(rng *rand.Rand, invLog float64) int64 {
+	u := rng.Float64()
+	// Guard against u == 0 (log(0) = -Inf).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	n := int64(math.Log(u)*invLog) + 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // OnCongestion reacts to a lost or congestion-marked packet: leave the
 // highest joined layer (unless only the base layer is joined) and reset
 // the join state.
