@@ -23,6 +23,7 @@ import (
 	"mlfair/internal/maxmin"
 	"mlfair/internal/netmodel"
 	"mlfair/internal/netsim"
+	"mlfair/internal/obs"
 	"mlfair/internal/protocol"
 	"mlfair/internal/redundancy"
 	"mlfair/internal/scenario"
@@ -463,6 +464,52 @@ func BenchmarkNetsimFatTreeWide(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchNetsimRun(b, largeTopoBenchConfig(b, net, 100000))
+}
+
+// --- netsim: planetary scale (session-sharded, memory-planned) ---
+
+// benchNetsimPlanetary drives the planetary topology (link-disjoint
+// regional backbones, PoP fan-out, 64 receivers per PoP) through
+// benchNetsimRun with session-sharded execution, then reports the
+// process's kernel peak RSS. The RSS metric is a process-wide high
+// water, so the suite orders these benchmarks smallest-first and CI
+// budgets the largest via benchjson -max-rss-bytes.
+func benchNetsimPlanetary(b *testing.B, po topology.PlanetaryOptions, packets int) {
+	b.Helper()
+	net, firstAccess, err := topology.Planetary(rand.New(rand.NewPCG(5, 5)), po)
+	if err != nil {
+		b.Fatal(err)
+	}
+	links := make([]netsim.LinkSpec, net.NumLinks())
+	for j := 0; j < firstAccess; j++ {
+		links[j] = netsim.LinkSpec{Kind: netsim.Capacity}
+	}
+	kinds := protocol.Kinds()
+	sess := make([]netsim.SessionConfig, net.NumSessions())
+	for i := range sess {
+		sess[i] = netsim.SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 8}
+	}
+	benchNetsimRun(b, netsim.Config{
+		Network: net, Links: links, Sessions: sess,
+		Packets: packets, Shards: runtime.NumCPU(),
+	})
+	b.ReportMetric(float64(obs.ReadPeakRSS()), "peak-RSS-bytes")
+}
+
+// BenchmarkNetsimPlanetary1M is the 2^20-receiver single run: 8 regions
+// x 2048 PoPs x 64 receivers (131k links). Construction amortizes into
+// the loop, so events/sec here is the end-to-end figure the ROADMAP's
+// intra-run-scale target is gated on.
+func BenchmarkNetsimPlanetary1M(b *testing.B) {
+	benchNetsimPlanetary(b, topology.PlanetaryOptions1M(), 16384)
+}
+
+// BenchmarkNetsimPlanetary10M is the 10^7-receiver single run: 8
+// regions x 20480 PoPs x 64 receivers (1.3M links). The interesting
+// number is peak-RSS-bytes — the run must fit the documented planetary
+// memory budget (docs/SCALE.md) on a stock CI runner.
+func BenchmarkNetsimPlanetary10M(b *testing.B) {
+	benchNetsimPlanetary(b, topology.PlanetaryOptions10M(), 4096)
 }
 
 // BenchmarkNetsimParallelRunner measures replication-runner scaling:

@@ -18,7 +18,9 @@
 // -max-regress (default 0.25), when any benchmark reporting
 // allocs/event exceeds the absolute -max-allocs-per-event budget
 // (default 0.02 — the hot path must stay allocation-free even as
-// probe hooks and other instrumentation land), when a baseline
+// probe hooks and other instrumentation land), when any benchmark
+// reporting peak-RSS-bytes exceeds the absolute -max-rss-bytes budget
+// (0 disables — the planetary-scale memory gate), when a baseline
 // benchmark disappears from the run entirely, or when a baseline
 // entry carries no positive events/sec metric (a corrupt baseline
 // must not silently shrink the gate's coverage). Benchmark names are
@@ -183,6 +185,34 @@ func checkAllocs(current *Doc, maxAllocs float64) (string, bool) {
 	return rep.String(), failed
 }
 
+// checkRSS gates peak-RSS-bytes absolutely, like checkAllocs: every
+// benchmark in the current run that reports the metric must stay at or
+// below the byte budget. The metric is the kernel's per-process peak
+// (obs.ReadPeakRSS), so later benchmarks inherit earlier ones' high
+// water — the planetary suite orders its benchmarks smallest-first and
+// budgets the largest. 0 disables the gate.
+func checkRSS(current *Doc, maxRSS int64) (string, bool) {
+	if maxRSS <= 0 {
+		return "", false
+	}
+	var rep strings.Builder
+	failed := false
+	for _, b := range current.Benchmarks {
+		got, ok := b.Metrics["peak-RSS-bytes"]
+		if !ok {
+			continue
+		}
+		status := "ok"
+		if got > float64(maxRSS) {
+			status = "RSS"
+			failed = true
+		}
+		fmt.Fprintf(&rep, "%-10s %s: %.0f peak-RSS-bytes (budget %d)\n",
+			status, normalizeName(b.Name), got, maxRSS)
+	}
+	return rep.String(), failed
+}
+
 // envWarnings compares the baseline's recorded environment (manifest
 // when present, env header as fallback) against the current run's and
 // returns WARNING lines for go-version or GOARCH mismatches. These
@@ -307,6 +337,7 @@ func main() {
 	overhead := flag.String("overhead", "", "comma-separated Instr=Base:frac pairs gating instrumented overhead within this run (independent of -check)")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.02, "absolute allocs/event budget for every benchmark reporting the metric (with -check)")
+	maxRSS := flag.Int64("max-rss-bytes", 0, "absolute peak-RSS-bytes budget for every benchmark reporting the metric (with -check; 0 disables)")
 	flag.Parse()
 	overheads, err := parseOverhead(*overhead)
 	if err != nil {
@@ -330,7 +361,7 @@ func main() {
 	// baseline (and brings the allocs budget with it), while -overhead
 	// compares twin benchmarks within this run alone — the PGO CI job
 	// uses -overhead with no baseline at all.
-	var failed, allocFailed bool
+	var failed, allocFailed, rssFailed bool
 	if *check != "" {
 		raw, err := os.ReadFile(*check)
 		if err != nil {
@@ -349,6 +380,9 @@ func main() {
 		var allocReport string
 		allocReport, allocFailed = checkAllocs(doc, *maxAllocs)
 		fmt.Fprint(os.Stderr, allocReport)
+		var rssReport string
+		rssReport, rssFailed = checkRSS(doc, *maxRSS)
+		fmt.Fprint(os.Stderr, rssReport)
 	}
 	overReport, overFailed := checkOverhead(doc, overheads)
 	fmt.Fprint(os.Stderr, overReport)
@@ -358,10 +392,13 @@ func main() {
 	if allocFailed {
 		fmt.Fprintf(os.Stderr, "benchjson: allocs/event gate failed (budget %g)\n", *maxAllocs)
 	}
+	if rssFailed {
+		fmt.Fprintf(os.Stderr, "benchjson: peak-RSS gate failed (budget %d bytes)\n", *maxRSS)
+	}
 	if overFailed {
 		fmt.Fprintf(os.Stderr, "benchjson: instrumented-overhead gate failed\n")
 	}
-	if failed || allocFailed || overFailed {
+	if failed || allocFailed || rssFailed || overFailed {
 		os.Exit(1)
 	}
 }

@@ -263,3 +263,36 @@ func TestCheckAllocs(t *testing.T) {
 		t.Fatalf("metric-less benchmark failed the alloc gate:\n%s", rep)
 	}
 }
+
+func rssDoc(pairs map[string]float64) *Doc {
+	d := &Doc{Env: map[string]string{}}
+	for name, v := range pairs {
+		d.Benchmarks = append(d.Benchmarks, Bench{
+			Name: name, Iterations: 1,
+			Metrics: map[string]float64{"peak-RSS-bytes": v},
+		})
+	}
+	return d
+}
+
+func TestCheckRSS(t *testing.T) {
+	// Under budget: passes.
+	rep, failed := checkRSS(rssDoc(map[string]float64{"BenchmarkA-8": 1 << 30}), 2<<30)
+	if failed {
+		t.Fatalf("under-budget run failed:\n%s", rep)
+	}
+	// Over budget fails.
+	rep, failed = checkRSS(rssDoc(map[string]float64{"BenchmarkA-8": 3 << 30}), 2<<30)
+	if !failed || !strings.Contains(rep, "RSS") || !strings.Contains(rep, "BenchmarkA") {
+		t.Fatalf("RSS overage not flagged:\n%s", rep)
+	}
+	// Budget 0 disables the gate entirely.
+	if rep, failed := checkRSS(rssDoc(map[string]float64{"BenchmarkA-8": 3 << 30}), 0); failed || rep != "" {
+		t.Fatalf("disabled RSS gate produced output:\n%s", rep)
+	}
+	// Benchmarks without the metric are ignored.
+	noMetric := &Doc{Benchmarks: []Bench{{Name: "BenchmarkC-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
+	if rep, failed := checkRSS(noMetric, 2<<30); failed {
+		t.Fatalf("metric-less benchmark failed the RSS gate:\n%s", rep)
+	}
+}

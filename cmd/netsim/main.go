@@ -3,8 +3,10 @@
 // star, binary loss trees, multi-session capacity-coupled meshes,
 // membership churn, droptail bottlenecks with background cross-traffic,
 // the end-to-end max-min fairness audit, the Figure-8 and leave-latency
-// sweeps, and the large-topology scenarios (random scale-free graphs
-// and k-ary fat-tree fabrics) — or through declarative files: a
+// sweeps, the large-topology scenarios (random scale-free graphs and
+// k-ary fat-tree fabrics), and the planetary-scale single run
+// (session-sharded, memory-planned, up to 10^7 receivers) — or through
+// declarative files: a
 // scenario.Spec (-spec; docs/SCENARIOS.md) or a scenario.Sweep
 // parameter study emitting a CSV/JSON result table (-sweep;
 // docs/SWEEPS.md).
@@ -49,7 +51,7 @@ func fail(err error) int {
 
 func realMain() int {
 	scenarioFlag := flag.String("scenario", "all",
-		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | convergence | scalefree | fattree | all (comma-separated)")
+		"star | fig8 | tree | mesh | churn | background | leavelatency | audit | convergence | scalefree | fattree | planetary | all (comma-separated)")
 	timeseries := flag.Bool("timeseries", false,
 		"with -spec: emit the time-resolved fairness CSV (windowed rates and levels joined against the epoch fair-rate timeline) instead of the text report; the spec needs a probe block")
 	f := cliutil.RegisterSim(flag.CommandLine, cliutil.SimDefaults{
@@ -103,6 +105,7 @@ var scenarios = []struct {
 	{"convergence", experiments.NetsimConvergence},
 	{"scalefree", experiments.NetsimScaleFree},
 	{"fattree", experiments.NetsimFatTree},
+	{"planetary", experiments.NetsimPlanetary},
 }
 
 // runTimeseries is the -timeseries path: load the spec, make sure the

@@ -23,6 +23,7 @@ func TestRunAllScenarios(t *testing.T) {
 	for _, want := range []string{
 		"netsim star", "netsim figure 8", "tree depth", "netsim mesh", "netsim churn",
 		"background traffic", "netsim leave latency", "netsim audit", "netsim convergence",
+		"netsim planetary",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in -scenario all output", want)

@@ -34,6 +34,8 @@ type Observability struct {
 	reg      *obs.Registry
 	stats    *netsim.EngineStats
 	man      *obs.Manifest
+	maxRSS   *obs.Gauge
+	heapSys  *obs.Gauge
 	start    time.Time
 	cpuFile  *os.File
 	trcFile  *os.File
@@ -63,6 +65,10 @@ func (o *Observability) Start() error {
 	o.stats = &netsim.EngineStats{}
 	o.reg = obs.NewRegistry()
 	o.stats.MustRegister(o.reg)
+	o.maxRSS = &obs.Gauge{}
+	o.heapSys = &obs.Gauge{}
+	o.reg.MustRegister("process_max_rss_bytes", "kernel-reported peak resident set size (0 = not measured)", o.maxRSS)
+	o.reg.MustRegister("process_heap_sys_bytes", "Go heap address space obtained from the OS", o.heapSys)
 	if o.Progress {
 		o.progress = &trace.Progress{W: os.Stderr}
 	}
@@ -125,6 +131,10 @@ func (o *Observability) Stop() error {
 	if o.Metrics != "" && o.man != nil {
 		o.man.WallSeconds = time.Since(o.start).Seconds()
 		o.man.VirtualTime = o.stats.VirtualTime.Load()
+		o.man.MaxRSSBytes = obs.ReadPeakRSS()
+		o.man.HeapSysBytes = obs.ReadHeapSys()
+		o.maxRSS.Set(o.man.MaxRSSBytes)
+		o.heapSys.Set(o.man.HeapSysBytes)
 		keep(o.writeMetrics())
 	}
 	return firstErr

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -92,6 +93,20 @@ func TestObservabilityArtifacts(t *testing.T) {
 	events := byName["netsim_events_total"]
 	if events.Value == nil || *events.Value <= 0 {
 		t.Fatalf("netsim_events_total = %+v", events)
+	}
+	// Process-memory accounting: on Linux both the manifest fields and
+	// the registry gauges must report real byte counts; elsewhere peak
+	// RSS may legitimately read 0 (not measured).
+	heapSys := byName["process_heap_sys_bytes"]
+	if heapSys.Value == nil || *heapSys.Value <= 0 || m.HeapSysBytes <= 0 {
+		t.Fatalf("process_heap_sys_bytes = %+v, manifest %d", heapSys, m.HeapSysBytes)
+	}
+	maxRSS, ok := byName["process_max_rss_bytes"]
+	if !ok || maxRSS.Value == nil {
+		t.Fatalf("process_max_rss_bytes missing: %+v", maxRSS)
+	}
+	if runtime.GOOS == "linux" && (*maxRSS.Value <= 0 || m.MaxRSSBytes <= 0) {
+		t.Fatalf("peak RSS not measured on linux: gauge %v, manifest %d", *maxRSS.Value, m.MaxRSSBytes)
 	}
 }
 

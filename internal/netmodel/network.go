@@ -51,8 +51,9 @@ func NewNetwork(g *Graph, sessions []*Session, paths [][][]int) (*Network, error
 		if len(paths[i]) != len(s.Receivers) {
 			return nil, fmt.Errorf("netmodel: session %d has %d paths for %d receivers", i, len(paths[i]), len(s.Receivers))
 		}
+		froms := append([]int{s.Sender}, s.ExtraSenders...)
 		for k, p := range paths[i] {
-			if err := validateWalkFromAny(g, append([]int{s.Sender}, s.ExtraSenders...), s.Receivers[k], p); err != nil {
+			if err := validateWalkFromAny(g, froms, s.Receivers[k], p); err != nil {
 				return nil, fmt.Errorf("netmodel: session %d receiver %d: %w", i, k, err)
 			}
 		}
@@ -97,15 +98,30 @@ func validateWalk(g *Graph, from, to int, p []int) error {
 		return nil
 	}
 	cur := from
-	seen := make(map[int]bool, len(p))
-	for _, j := range p {
+	// Loop-freedom check: short walks (the overwhelming case — tree
+	// depths, not graph diameters) are checked pairwise without
+	// allocating, so million-receiver networks validate without a map
+	// per receiver; long walks fall back to a set.
+	var seen map[int]bool
+	if len(p) > 32 {
+		seen = make(map[int]bool, len(p))
+	}
+	for idx, j := range p {
 		if j < 0 || j >= g.NumLinks() {
 			return fmt.Errorf("link %d out of range", j)
 		}
-		if seen[j] {
-			return fmt.Errorf("link %d repeated in data-path", j)
+		if seen != nil {
+			if seen[j] {
+				return fmt.Errorf("link %d repeated in data-path", j)
+			}
+			seen[j] = true
+		} else {
+			for _, q := range p[:idx] {
+				if q == j {
+					return fmt.Errorf("link %d repeated in data-path", j)
+				}
+			}
 		}
-		seen[j] = true
 		l := g.Link(j)
 		switch cur {
 		case l.From:
@@ -123,26 +139,103 @@ func validateWalk(g *Graph, from, to int, p []int) error {
 }
 
 // index precomputes R_{i,j} and |R_j| from the data-paths.
+//
+// The construction is linear in the total path footprint (sum of path
+// lengths over all receivers) rather than links x sessions x receivers:
+// a per-session sweep discovers each (session, link) segment once via an
+// epoch-stamped scratch row, segments are counting-sorted by link (the
+// sweep emits them session-ascending, and counting sort is stable, so
+// each link's segment list stays session-ascending exactly as before),
+// and a second sweep scatters receiver indices k-ascending into one flat
+// backing. Output is byte-for-byte the historical shape: everything
+// lives in two backing arrays instead of per-link append chains.
 func (n *Network) index() {
 	nl := n.graph.NumLinks()
 	n.onLink = make([][]SessionReceivers, nl)
 	n.crossing = make([]int, nl)
-	for j := 0; j < nl; j++ {
-		for i := range n.sessions {
-			var ks []int
-			for k, p := range n.paths[i] {
-				for _, pj := range p {
-					if pj == j {
-						ks = append(ks, k)
-						break
-					}
+	// Sweep 1: enumerate segments (distinct (session, link) pairs with
+	// at least one crossing receiver) in session-major order, counting
+	// each segment's receivers. stamp/linkSeg are epoch-cleared per
+	// session: linkSeg[j] names the session's segment on link j.
+	stamp := make([]int32, nl)
+	linkSeg := make([]int32, nl)
+	var segLink, segCnt []int32
+	sessSegEnd := make([]int32, len(n.sessions)+1)
+	totKs := 0
+	for i := range n.sessions {
+		epoch := int32(i + 1)
+		for _, p := range n.paths[i] {
+			for _, j := range p {
+				if stamp[j] != epoch {
+					stamp[j] = epoch
+					linkSeg[j] = int32(len(segLink))
+					segLink = append(segLink, int32(j))
+					segCnt = append(segCnt, 0)
 				}
-			}
-			if len(ks) > 0 {
-				n.onLink[j] = append(n.onLink[j], SessionReceivers{Session: i, Receivers: ks})
-				n.crossing[j] += len(ks)
+				segCnt[linkSeg[j]]++
+				totKs++
 			}
 		}
+		sessSegEnd[i+1] = int32(len(segLink))
+	}
+	// Counting sort of segments by link: segStart[j] is link j's block
+	// in the sorted order; slot[s] the segment's position in it.
+	segStart := make([]int32, nl+1)
+	for _, j := range segLink {
+		segStart[j+1]++
+	}
+	for j := 0; j < nl; j++ {
+		segStart[j+1] += segStart[j]
+	}
+	slot := make([]int32, len(segLink))
+	fill := append([]int32(nil), segStart[:nl]...)
+	for s, j := range segLink {
+		slot[s] = fill[j]
+		fill[j]++
+	}
+	// Flat backings: one SessionReceivers record per segment (in sorted
+	// order, so each link's block is a subslice) and one shared receiver
+	// array carved by segment.
+	flat := make([]SessionReceivers, len(segLink))
+	ks := make([]int, totKs)
+	ksOff := make([]int32, len(segLink)+1)
+	for s := range segLink {
+		ksOff[s+1] = ksOff[s] + segCnt[s]
+	}
+	for i := range n.sessions {
+		// Re-stamp this session's links from its own segment block (the
+		// sweep-1 stamps are long gone), then scatter its receivers:
+		// the outer loop is k-ascending, so each segment's Receivers
+		// list is ascending — the historical order.
+		for s := sessSegEnd[i]; s < sessSegEnd[i+1]; s++ {
+			linkSeg[segLink[s]] = s
+			flat[slot[s]] = SessionReceivers{Session: i, Receivers: ks[ksOff[s]:ksOff[s]:ksOff[s+1]]}
+		}
+		for k, p := range n.paths[i] {
+			for _, j := range p {
+				s := linkSeg[j]
+				at := slot[s]
+				rs := flat[at].Receivers
+				if len(rs) > 0 && rs[len(rs)-1] == k {
+					// A link repeated within one path (possible only on
+					// abstract networks, which skip walk validation)
+					// still counts the receiver once.
+					continue
+				}
+				flat[at].Receivers = append(rs, k)
+			}
+		}
+	}
+	for j := 0; j < nl; j++ {
+		if segStart[j] == segStart[j+1] {
+			continue
+		}
+		n.onLink[j] = flat[segStart[j]:segStart[j+1]:segStart[j+1]]
+		c := 0
+		for _, sr := range n.onLink[j] {
+			c += len(sr.Receivers)
+		}
+		n.crossing[j] = c
 	}
 }
 

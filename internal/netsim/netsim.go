@@ -161,6 +161,23 @@ type Config struct {
 	// every Result field is bit-identical with stats on or off, and the
 	// counters are flushed once at the end of the run, not per event.
 	Stats *EngineStats
+	// Shards selects the event-loop execution mode. 0 (the default) is
+	// the sequential engine: one event loop, one RNG stream — the
+	// committed-golden code path. Any value >= 1 enables session-sharded
+	// execution: sessions whose multicast trees share no link (computed
+	// by union-find over link sets) run as independent event loops on up
+	// to Shards concurrent goroutines, each with its own calendar and a
+	// per-group RNG stream derived from Seed, merged deterministically at
+	// result time. The Result is a pure function of the Config alone —
+	// every Shards >= 1 yields the identical Result, so the value only
+	// tunes parallelism, never output. Probing is not supported in
+	// sharded mode.
+	Shards int
+	// MemBudget, when positive, caps the engine's planned peak memory in
+	// bytes: Run calls PlanMemory first and fails fast — before any
+	// large allocation — when the plan exceeds the budget. 0 disables
+	// the check.
+	MemBudget int64
 	// LeaveLatency models slow IGMP-style leave processing (the paper's
 	// Section 5 concern): after the highest subscription below a link
 	// drops, the link keeps carrying the abandoned layers for this many
@@ -285,7 +302,16 @@ func (c *Config) validate() error {
 	if !(c.LeaveLatency >= 0) || math.IsInf(c.LeaveLatency, 0) {
 		return fmt.Errorf("netsim: LeaveLatency = %v", c.LeaveLatency)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("netsim: Shards = %d", c.Shards)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("netsim: MemBudget = %d", c.MemBudget)
+	}
 	if c.Probe != nil {
+		if c.Shards > 0 {
+			return fmt.Errorf("netsim: probing is not supported with Shards > 0 (probe windows need the sequential engine's total event order)")
+		}
 		if err := c.Probe.validate(); err != nil {
 			return err
 		}
@@ -657,30 +683,45 @@ func (s *sessState) swapOrder(i, j int32) {
 // --- engine ---
 
 type engine struct {
-	cfg     Config
-	net     *netmodel.Network
-	rng     *rand.Rand
-	links   []linkState
-	sess    []sessState
+	cfg Config
+	net *netmodel.Network
+	rng *rand.Rand
+	// links holds per-link queue state; allocated only when some spec is
+	// DropTail (the only kind with mutable link state), so the engine's
+	// footprint never scales with raw link count on queue-free networks.
+	links []linkState
+	sess  []sessState
+	// gsess maps the engine's local session index to the network's
+	// global session index. Nil means identity: the engine owns every
+	// session (the sequential path). Sharded group engines own a subset.
+	gsess   []int
 	numSess int
-	// capDem[j] packs link j's capacity-admission row — current fluid
-	// demand (sum over sessions crossing j of cum[subMax[child]],
-	// maintained incrementally as subscriptions move; exact for the
-	// power-of-two exponential scheme, every partial sum an integer
-	// below 2^53), constant background load, and capacity — into one
-	// 24-byte record so admission touches one cache line instead of
-	// three parallel arrays. Row NumLinks is the always-admit sentinel
-	// (capacity +Inf) that non-Capacity edges point their capIdx at:
-	// the demand deltas the subscription machinery blindly adds there
-	// are write-only (nothing ever admits against infinite capacity),
-	// which keeps applyLevelChange branch-free. Demand maintenance is
-	// skipped entirely (trackDemand false) when no link is
-	// capacity-coupled, since nothing would read it.
+	// churn is the engine's churn schedule with ChurnEvent.Session
+	// rewritten to local session indices (the sequential engine aliases
+	// cfg.Churn unchanged; group engines carry their filtered slice).
+	churn []ChurnEvent
+	// capDem packs capacity-admission rows — current fluid demand (sum
+	// over sessions crossing the link of cum[subMax[child]], maintained
+	// incrementally as subscriptions move; exact for the power-of-two
+	// exponential scheme, every partial sum an integer below 2^53),
+	// constant background load, and capacity — into 24-byte records so
+	// admission touches one cache line instead of three parallel arrays.
+	// The slice is dense over the Capacity-kind links only (hotEdge.capIdx
+	// carries the remapped row index), sized numCapacityLinks+1: the last
+	// row is the always-admit sentinel (capacity +Inf) that non-Capacity
+	// edges point their capIdx at. The demand deltas the subscription
+	// machinery blindly adds to the sentinel are write-only (nothing ever
+	// admits against infinite capacity), which keeps applyLevelChange
+	// branch-free. Demand maintenance is skipped entirely (trackDemand
+	// false) when no link is capacity-coupled, since nothing would read
+	// it. Every engine owns its rows outright, so sharded group engines
+	// never share a sentinel cache line.
 	capDem      []capDemand
+	capSentinel int32
 	trackDemand bool
-	// linkLayerLoss[j] is link j's per-layer Bernoulli loss table (nil
-	// unless the spec sets LayerLoss); indexed by packet layer, clamped
-	// to the last entry.
+	// linkLayerLoss[j] is link j's per-layer Bernoulli loss table,
+	// indexed by graph link; nil unless some spec sets LayerLoss (the
+	// tables themselves alias the spec's).
 	linkLayerLoss [][]float64
 	leaveLatency  float64
 
@@ -730,32 +771,81 @@ type engine struct {
 }
 
 func newEngine(cfg Config) (*engine, error) {
+	return newEngineFor(cfg, nil, cfg.Churn, cfg.Seed)
+}
+
+// newEngineFor builds an engine that owns a subset of the network's
+// sessions. sessIDs lists the owned sessions by global index in
+// ascending order (nil means all of them — the sequential path, which
+// must stay exactly the historical engine); churn is the schedule with
+// ChurnEvent.Session already rewritten to local indices (the caller
+// filters it for group engines); seed feeds the engine's private PCG
+// stream. Everything the engine allocates is sized by its own sessions'
+// trees, so disjoint group engines partition — not duplicate — the
+// sequential engine's memory.
+func newEngineFor(cfg Config, sessIDs []int, churn []ChurnEvent, seed uint64) (*engine, error) {
 	net := cfg.Network
 	g := net.Graph()
+	numSess := net.NumSessions()
+	if sessIDs != nil {
+		numSess = len(sessIDs)
+	}
 	e := &engine{
 		cfg:     cfg,
 		net:     net,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
-		links:   make([]linkState, net.NumLinks()),
-		sess:    make([]sessState, net.NumSessions()),
-		numSess: net.NumSessions(),
+		rng:     rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		sess:    make([]sessState, numSess),
+		gsess:   sessIDs,
+		churn:   churn,
+		numSess: numSess,
+	}
+	e.leaveLatency = cfg.LeaveLatency
+	// One pass over the specs decides which per-link structures exist at
+	// all: queue state only when some link is DropTail (the only kind
+	// with mutable per-link state), loss tables only when some spec sets
+	// LayerLoss, and capacity rows dense over the Capacity links alone —
+	// so a 10M-receiver access fan-out of Perfect links costs zero
+	// per-link engine state.
+	anyDropTail, anyLayerLoss, numCap := false, false, 0
+	for j := range cfg.Links {
+		switch cfg.Links[j].Kind {
+		case DropTail:
+			anyDropTail = true
+		case Capacity:
+			numCap++
+		}
+		if cfg.Links[j].LayerLoss != nil {
+			anyLayerLoss = true
+		}
 	}
 	// The extra row is the always-admit sentinel non-Capacity edges
-	// alias via capIdx.
-	e.capDem = make([]capDemand, net.NumLinks()+1)
-	e.capDem[net.NumLinks()] = capDemand{cap: math.Inf(1)}
-	e.linkLayerLoss = make([][]float64, net.NumLinks())
-	e.leaveLatency = cfg.LeaveLatency
-	for j := range e.links {
-		spec := LinkSpec{}
-		if cfg.Links != nil {
-			spec = cfg.Links[j]
+	// alias via capIdx; capRemap translates graph link -> dense row.
+	e.capSentinel = int32(numCap)
+	e.capDem = make([]capDemand, numCap+1)
+	e.capDem[numCap] = capDemand{cap: math.Inf(1)}
+	var capRemap []int32
+	if numCap > 0 {
+		e.trackDemand = true
+		capRemap = make([]int32, net.NumLinks())
+		r := int32(0)
+		for j := range cfg.Links {
+			if cfg.Links[j].Kind == Capacity {
+				capRemap[j] = r
+				e.capDem[r] = capDemand{bg: cfg.Links[j].Background, cap: cfg.Links[j].effCapacity(net.Capacity(j))}
+				r++
+			}
 		}
-		e.links[j] = newLinkState(spec, net.Capacity(j))
-		e.capDem[j] = capDemand{bg: spec.Background, cap: e.links[j].cap}
-		e.linkLayerLoss[j] = spec.LayerLoss
-		if spec.Kind == Capacity {
-			e.trackDemand = true
+	}
+	if anyDropTail {
+		e.links = make([]linkState, net.NumLinks())
+		for j := range e.links {
+			e.links[j] = newLinkState(cfg.Links[j], net.Capacity(j))
+		}
+	}
+	if anyLayerLoss {
+		e.linkLayerLoss = make([][]float64, net.NumLinks())
+		for j := range cfg.Links {
+			e.linkLayerLoss[j] = cfg.Links[j].LayerLoss
 		}
 	}
 	nn := g.NumNodes()
@@ -765,22 +855,28 @@ func newEngine(cfg Config) (*engine, error) {
 	gChildren := make([][]buildEdge, nn)
 	intern := make([]int32, nn) // global node id -> session-internal id
 	// Construction scratch reused across sessions, and one immutable
-	// layering scheme per distinct layer count (sessions only ever read
-	// it).
+	// layering scheme per distinct layer count, in a dense slice keyed by
+	// layer count (the zero Scheme has NumLayers 0, so presence is the
+	// value itself — no map on the construction path).
 	var globalOf, dfs, fill, dfill []int32
-	schemes := map[int]layering.Scheme{}
+	schemes := make([]layering.Scheme, MaxLayers+1)
+	maxEdges := 0
 	e.txCal = make([]float64, len(e.sess))
-	for i := range e.sess {
-		ns := net.Session(i)
-		sc := cfg.Sessions[i]
+	for li := range e.sess {
+		gi := li
+		if sessIDs != nil {
+			gi = sessIDs[li]
+		}
+		ns := net.Session(gi)
+		sc := cfg.Sessions[gi]
 		m := int32(sc.Layers)
-		s := &e.sess[i]
-		sch, ok := schemes[sc.Layers]
-		if !ok {
+		s := &e.sess[li]
+		sch := schemes[sc.Layers]
+		if sch.NumLayers() == 0 {
 			sch = layering.Exponential(sc.Layers)
 			schemes[sc.Layers] = sch
 		}
-		*s = sessState{idx: i, cfg: sc, scheme: sch, m: m}
+		*s = sessState{idx: li, cfg: sc, scheme: sch, m: m}
 		// The session's arrays are carved out of per-width slabs once
 		// the tree is discovered and every size is known (below).
 		// Discover the multicast tree on global node ids from the
@@ -797,7 +893,7 @@ func newEngine(cfg Config) (*engine, error) {
 		nEdges := 0
 		for k := range ns.Receivers {
 			cur := ns.Sender
-			for _, j := range net.Path(i, k) {
+			for _, j := range net.Path(gi, k) {
 				nb := g.Other(j, cur)
 				if p := gParent[nb]; p == -1 {
 					gParent[nb] = int32(cur)
@@ -826,11 +922,11 @@ func newEngine(cfg Config) (*engine, error) {
 					})
 					nEdges++
 				} else if p != int32(cur) {
-					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached from %d and %d)", i, nb, p, cur)
+					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached from %d and %d)", gi, nb, p, cur)
 				} else if gParentLink[nb] != int32(j) {
 					// Same parent node over a parallel link: still two
 					// distinct physical trees.
-					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached via links %d and %d)", i, nb, gParentLink[nb], j)
+					return nil, fmt.Errorf("netsim: session %d data-paths do not form a tree (node %d reached via links %d and %d)", gi, nb, gParentLink[nb], j)
 				}
 				cur = nb
 			}
@@ -898,7 +994,7 @@ func newEngine(cfg Config) (*engine, error) {
 			s.period[l] = 1 / s.scheme.LayerRate(l)
 		}
 		s.tickDt = s.period[sc.Layers-1]
-		e.txCal[i] = s.tickDt
+		e.txCal[li] = s.tickDt
 		s.nAtLevel[0] = int32(nR) // all pre-join
 		for v := 0; v <= sc.Layers; v++ {
 			s.cum[v] = s.scheme.CumulativeRate(v)
@@ -938,15 +1034,14 @@ func newEngine(cfg Config) (*engine, error) {
 		}
 		// Pass 2: CSR blocks in internal id order; with pre-order ids a
 		// packet's DFS touches the rows near-sequentially.
-		capSentinel := int32(net.NumLinks())
 		for ind := int32(0); ind < int32(treeN); ind++ {
 			s.edgeStart[ind] = int32(len(s.hot))
 			for _, ed := range gChildren[globalOf[ind]] {
 				eid := int32(len(s.hot))
 				child := intern[ed.child]
-				capIdx := capSentinel
+				capIdx := e.capSentinel
 				if ed.kind == ekCapacity {
-					capIdx = ed.link
+					capIdx = capRemap[ed.link]
 				}
 				s.hot = append(s.hot, hotEdge{
 					link: ed.link, capIdx: capIdx,
@@ -1029,7 +1124,14 @@ func newEngine(cfg Config) (*engine, error) {
 			e.applyLevelChange(s, k, 1)
 			e.armReceiver(s, k, 1)
 		}
+		if nEdges > maxEdges {
+			maxEdges = nEdges
+		}
 	}
+	// The DFS work stack can hold at most one entry per tree edge;
+	// reserving the worst case up front keeps the walk append-free for
+	// the whole run (part of the PlanMemory no-growth contract).
+	e.fwdStack = make([]int32, 0, maxEdges)
 
 	e.calUniform = len(e.sess) > 0
 	for i := 1; i < len(e.sess); i++ {
@@ -1042,7 +1144,7 @@ func newEngine(cfg Config) (*engine, error) {
 	// Seed the clock: the global signal and churn (transmissions live on
 	// the per-session calendars). Preallocate the arena at its expected
 	// high-water mark so steady state never appends.
-	e.q.a = make([]event, 0, len(cfg.Churn)+1+64)
+	e.q.a = make([]event, 0, len(e.churn)+1+64)
 	e.signalPeriod = cfg.SignalPeriod
 	if e.signalPeriod == 0 {
 		e.signalPeriod = 1
@@ -1053,7 +1155,7 @@ func newEngine(cfg Config) (*engine, error) {
 			break
 		}
 	}
-	for ci, ev := range cfg.Churn {
+	for ci, ev := range e.churn {
 		e.push(event{time: ev.Time, kind: evChurn, node: int32(ci)})
 	}
 	if cfg.Probe != nil {
@@ -1683,6 +1785,18 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.MemBudget > 0 {
+		plan, err := PlanMemory(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Total > cfg.MemBudget {
+			return nil, fmt.Errorf("netsim: memory plan %d bytes exceeds MemBudget %d", plan.Total, cfg.MemBudget)
+		}
+	}
+	if cfg.Shards > 0 {
+		return runSharded(cfg)
+	}
 	e, err := newEngine(cfg)
 	if err != nil {
 		return nil, err
@@ -1731,7 +1845,7 @@ func Run(cfg Config) (*Result, error) {
 				e.dispatch(&e.sess[ev.sess], ev.layer, ev.node, e.now)
 			case evChurn:
 				e.popChurn++
-				e.applyChurn(cfg.Churn[ev.node])
+				e.applyChurn(e.churn[ev.node])
 			case evSignal:
 				e.popSignal++
 				e.signal()

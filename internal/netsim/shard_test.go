@@ -1,0 +1,284 @@
+package netsim
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mlfair/internal/netmodel"
+	"mlfair/internal/protocol"
+	"mlfair/internal/routing"
+)
+
+// disjointCfg builds a config with three link-disjoint star sessions —
+// three independent shard groups — covering the three protocols and
+// three link models (Bernoulli, Capacity, DropTail shared links), plus
+// churn on session 1. Receivers: n per session.
+func disjointCfg(t *testing.T, n, packets int, seed uint64) Config {
+	t.Helper()
+	g := netmodel.NewGraph(3 * (2 + n))
+	sessions := make([]*netmodel.Session, 3)
+	var specs []LinkSpec
+	shared := []LinkSpec{
+		{Kind: Bernoulli, Loss: 0.02},
+		{Kind: Capacity, Capacity: 24},
+		{Kind: DropTail, Capacity: 32, Buffer: 8, Delay: 0.01},
+	}
+	kinds := protocol.Kinds()
+	for i := 0; i < 3; i++ {
+		base := i * (2 + n)
+		sender, hub := base, base+1
+		g.AddLink(sender, hub, 1)
+		specs = append(specs, shared[i])
+		receivers := make([]int, n)
+		for k := 0; k < n; k++ {
+			g.AddLink(hub, base+2+k, 1)
+			specs = append(specs, LinkSpec{Kind: Bernoulli, Loss: 0.04})
+			receivers[k] = base + 2 + k
+		}
+		sessions[i] = &netmodel.Session{Sender: sender, Receivers: receivers,
+			Type: netmodel.MultiRate, MaxRate: netmodel.NoRateCap}
+	}
+	net, err := routing.BuildNetwork(g, sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Network: net,
+		Links:   specs,
+		Sessions: []SessionConfig{
+			{Protocol: kinds[0], Layers: 8},
+			{Protocol: kinds[1], Layers: 6},
+			{Protocol: kinds[2], Layers: 8},
+		},
+		Packets: packets,
+		Seed:    seed,
+	}
+	cfg.Churn = []ChurnEvent{
+		{Time: 2, Session: 1, Receiver: 0, Join: false},
+		{Time: 5, Session: 1, Receiver: 0, Join: true},
+		{Time: 3, Session: 1, Receiver: n - 1, Join: false},
+	}
+	return cfg
+}
+
+// TestShardCountInvariance is the sharding contract's property test:
+// on a multi-group topology, every Shards >= 1 yields the identical
+// Result — the shard count tunes parallelism, never output. The config
+// spans all three protocols, Bernoulli/Capacity/DropTail links, and
+// churn, so every event family crosses the per-group engines.
+func TestShardCountInvariance(t *testing.T) {
+	cfg := disjointCfg(t, 12, 30000, 11)
+	cfg.Shards = 1
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.PacketsSent == 0 || want.Events == 0 {
+		t.Fatalf("degenerate reference run: %+v", want)
+	}
+	for shards := 2; shards <= 5; shards++ {
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Shards=%d diverged from Shards=1", shards)
+		}
+	}
+}
+
+// TestShardInvarianceAcrossSeeds re-runs the invariance check over
+// several seeds so a lucky event ordering can't hide a merge bug.
+func TestShardInvarianceAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := disjointCfg(t, 6, 12000, seed)
+		cfg.Shards = 1
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Shards = 4
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: Shards=4 diverged from Shards=1", seed)
+		}
+	}
+}
+
+// TestSingleGroupShardedMatchesSequential: when the whole topology is
+// one link-connectivity component (a shared backbone couples every
+// session), the sharded path runs the one group with the base seed and
+// must reproduce the sequential engine's Result exactly — the sharded
+// runner costs nothing in reproducibility when there is nothing to
+// shard.
+func TestSingleGroupShardedMatchesSequential(t *testing.T) {
+	cfg, _, err := Mesh(3, 5, LinkSpec{Kind: Capacity, Capacity: 24}, 0.01,
+		SessionConfig{Protocol: protocol.Coordinated, Layers: 8}, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3} {
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("single-group Shards=%d diverged from the sequential engine", shards)
+		}
+	}
+}
+
+// TestShardedStatsMerge: a sharded run flushes EngineStats once — one
+// Runs increment, counters summed across groups, and the events total
+// agreeing with Result.Events.
+func TestShardedStatsMerge(t *testing.T) {
+	cfg := disjointCfg(t, 8, 15000, 3)
+	cfg.Shards = 3
+	cfg.Stats = &EngineStats{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Stats.Runs.Load(); got != 1 {
+		t.Fatalf("Runs = %d, want 1", got)
+	}
+	if got := cfg.Stats.Events.Load(); got != res.Events {
+		t.Fatalf("stats events %d != result events %d", got, res.Events)
+	}
+	if cfg.Stats.VirtualTime.Load() != res.Duration {
+		t.Fatalf("virtual time %v != duration %v", cfg.Stats.VirtualTime.Load(), res.Duration)
+	}
+}
+
+// TestShardsRejectProbe: probe windows need the sequential engine's
+// total event order, so Shards > 0 with a probe config is a validation
+// error, not a silent fallback.
+func TestShardsRejectProbe(t *testing.T) {
+	cfg := disjointCfg(t, 4, 1000, 1)
+	cfg.Shards = 2
+	cfg.Probe = &ProbeConfig{PacketWindow: 64}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "probing is not supported") {
+		t.Fatalf("probe under sharding accepted: %v", err)
+	}
+}
+
+// TestSessionGroupsOf pins the grouping itself: disjoint stars get one
+// group per session, a shared backbone collapses everything to one.
+func TestSessionGroupsOf(t *testing.T) {
+	cfg := disjointCfg(t, 4, 1000, 1)
+	groupOf, n := sessionGroupsOf(cfg)
+	if n != 3 {
+		t.Fatalf("disjoint stars: %d groups, want 3", n)
+	}
+	// Group ids are assigned in order of lowest session index.
+	for i, g := range groupOf {
+		if g != i {
+			t.Fatalf("groupOf = %v, want identity", groupOf)
+		}
+	}
+	mesh, _, err := Mesh(3, 4, LinkSpec{Kind: Capacity, Capacity: 24}, 0.01,
+		SessionConfig{Protocol: protocol.Deterministic, Layers: 8}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := sessionGroupsOf(mesh); n != 1 {
+		t.Fatalf("shared backbone: %d groups, want 1", n)
+	}
+}
+
+// TestPlanMemoryAccounting: the plan's arithmetic invariants, plus a
+// live-measurement sanity check — the bytes actually allocated by a
+// sequential run land within a factor of two of the plan's accounting
+// (the plan tracks every slab the engine carves, so a big mismatch
+// means a formula drifted from newEngineFor).
+func TestPlanMemoryAccounting(t *testing.T) {
+	cfg := starCfg(t, 5000, 0.0001, 0.04, protocol.Deterministic, 100, 1)
+	plan, err := PlanMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Receivers != 5000 || plan.Links != 5001 || plan.Sessions != 1 || plan.Groups != 1 {
+		t.Fatalf("plan shape: %+v", plan)
+	}
+	peak := plan.ScratchBytes
+	if plan.ResultBytes > peak {
+		peak = plan.ResultBytes
+	}
+	if plan.Total != plan.SessionBytes+plan.FixedBytes+peak {
+		t.Fatalf("plan total %d inconsistent with parts: %+v", plan.Total, plan)
+	}
+	if plan.BytesPerReceiver <= 0 || plan.BytesPerReceiver > 4096 {
+		t.Fatalf("bytes/receiver = %v", plan.BytesPerReceiver)
+	}
+	planned := plan.SessionBytes + plan.FixedBytes + plan.ScratchBytes + plan.ResultBytes
+	measured := allocatedBytes(t, cfg)
+	if measured < planned/2 || measured > planned*2 {
+		t.Fatalf("run allocated %d bytes, plan accounts for %d (off by more than 2x)", measured, planned)
+	}
+}
+
+// allocatedBytes measures the heap bytes one Run allocates (engine +
+// result, not the prebuilt network), single-threaded and GC-settled.
+func allocatedBytes(t *testing.T, cfg Config) int64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// TestPlanMemoryCountsShardGroups: under sharding the per-engine fixed
+// state multiplies by the group count, so a sharded plan is never
+// smaller than the sequential one.
+func TestPlanMemoryCountsShardGroups(t *testing.T) {
+	cfg := disjointCfg(t, 16, 1000, 1)
+	seq, err := PlanMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	sh, err := PlanMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Groups != 3 {
+		t.Fatalf("sharded plan groups = %d, want 3", sh.Groups)
+	}
+	if sh.Total < seq.Total {
+		t.Fatalf("sharded plan %d < sequential plan %d", sh.Total, seq.Total)
+	}
+}
+
+// TestMemBudgetFailFast: a budget below the plan fails before any
+// engine allocation with an error naming both numbers; a budget at the
+// plan runs.
+func TestMemBudgetFailFast(t *testing.T) {
+	cfg := starCfg(t, 200, 0.0001, 0.04, protocol.Deterministic, 1000, 1)
+	plan, err := PlanMemory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MemBudget = plan.Total - 1
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "exceeds MemBudget") {
+		t.Fatalf("under-budget run accepted: %v", err)
+	}
+	cfg.MemBudget = plan.Total
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -48,6 +48,13 @@ type Manifest struct {
 	// total simulated time across all replications.
 	WallSeconds float64 `json:"wallSeconds,omitempty"`
 	VirtualTime float64 `json:"virtualTime,omitempty"`
+	// MaxRSSBytes is the process's kernel-reported peak resident set
+	// size at snapshot time (ReadPeakRSS; 0 = not measured), and
+	// HeapSysBytes the Go heap address space obtained from the OS
+	// (ReadHeapSys) — the two numbers the planetary-scale memory budget
+	// is audited against.
+	MaxRSSBytes  int64 `json:"maxRSSBytes,omitempty"`
+	HeapSysBytes int64 `json:"heapSysBytes,omitempty"`
 }
 
 // NewManifest fills the environment fields: go version, GOOS/GOARCH,

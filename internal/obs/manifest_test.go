@@ -64,25 +64,30 @@ func TestSnapshotGolden(t *testing.T) {
 	for _, v := range []float64{0.5, 5, 5000} {
 		h.Observe(v)
 	}
+	var rss Gauge
+	rss.Set(2415919104)
 	r.MustRegister("netsim_events_total", "engine events processed", &events)
 	r.MustRegister("netsim_heap_high_water", "event-queue high-water mark", &hw)
 	r.MustRegister("netsim_virtual_time", "simulated time units", &vt)
+	r.MustRegister("process_max_rss_bytes", "kernel-reported peak resident set size", &rss)
 	r.MustRegister("sweep_cell_seconds", "wall seconds per sweep cell", h)
 	seed := uint64(777)
 	man := &Manifest{
-		Tool:        "golden",
-		GoVersion:   "go1.24.0",
-		GOOS:        "linux",
-		GOARCH:      "amd64",
-		NumCPU:      8,
-		CPUModel:    "Example CPU @ 3.00GHz",
-		Module:      "mlfair",
-		Timestamp:   "2026-01-02T03:04:05Z",
-		SpecPath:    "testdata/spec.json",
-		SpecSHA256:  "44136fa355b3678a1146ad16f7e8649e94fb4fc21fe77e8310c060f61caaff8a",
-		Seed:        &seed,
-		WallSeconds: 1.5,
-		VirtualTime: 625.5,
+		Tool:         "golden",
+		GoVersion:    "go1.24.0",
+		GOOS:         "linux",
+		GOARCH:       "amd64",
+		NumCPU:       8,
+		CPUModel:     "Example CPU @ 3.00GHz",
+		Module:       "mlfair",
+		Timestamp:    "2026-01-02T03:04:05Z",
+		SpecPath:     "testdata/spec.json",
+		SpecSHA256:   "44136fa355b3678a1146ad16f7e8649e94fb4fc21fe77e8310c060f61caaff8a",
+		Seed:         &seed,
+		WallSeconds:  1.5,
+		VirtualTime:  625.5,
+		MaxRSSBytes:  2415919104,
+		HeapSysBytes: 2147483648,
 	}
 	var got bytes.Buffer
 	if err := r.WriteJSON(&got, man); err != nil {
@@ -93,7 +98,7 @@ func TestSnapshotGolden(t *testing.T) {
 	if err := json.Unmarshal(got.Bytes(), &back); err != nil {
 		t.Fatalf("snapshot does not round-trip: %v", err)
 	}
-	if back.Manifest == nil || len(back.Metrics) != 4 {
+	if back.Manifest == nil || len(back.Metrics) != 5 {
 		t.Fatalf("round-tripped snapshot shape: manifest %v, %d metrics", back.Manifest, len(back.Metrics))
 	}
 	golden := filepath.Join("testdata", "snapshot.golden.json")

@@ -1,0 +1,14 @@
+package obs
+
+import "runtime"
+
+// ReadHeapSys returns the bytes of heap address space the Go runtime
+// has obtained from the OS (runtime.MemStats.HeapSys) — the runtime's
+// own view of heap footprint, complementing the kernel's peak-RSS
+// accounting from ReadPeakRSS. ReadMemStats stops the world briefly, so
+// call this at run boundaries, not on hot paths.
+func ReadHeapSys() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapSys)
+}

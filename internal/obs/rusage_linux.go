@@ -1,0 +1,18 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// ReadPeakRSS returns the process's peak resident set size in bytes —
+// getrusage(RUSAGE_SELF) ru_maxrss, which Linux reports in KiB — or 0
+// when the syscall fails. This is the kernel's high-water mark for the
+// whole process, so it bounds every per-run heap estimate (PlanMemory)
+// from above and is the metric the planetary memory budget is gated on.
+func ReadPeakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return int64(ru.Maxrss) * 1024
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package obs
+
+// ReadPeakRSS returns 0: peak-RSS accounting is wired up only where
+// the getrusage units are well-defined (Linux reports ru_maxrss in
+// KiB; other platforms disagree on units or lack the call). Callers
+// treat 0 as "not measured".
+func ReadPeakRSS() int64 { return 0 }

@@ -1,0 +1,96 @@
+package mlfair
+
+// Allocation-shape regression tests for the planetary-scale work: the
+// netsim engine packs all per-receiver and per-(link,session) state
+// into width-segregated slabs sized up front, so the NUMBER of heap
+// allocations one run performs is a function of sessions and links
+// (one slab per width class per session, a handful of per-engine
+// rows), never of receivers. These tests pin that shape by measuring
+// malloc counts at 10^4 vs 10^6 receivers — if someone reintroduces a
+// per-receiver allocation, the big run's count explodes and the test
+// names the ratio.
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"mlfair/internal/netsim"
+	"mlfair/internal/protocol"
+	"mlfair/internal/topology"
+)
+
+// runMallocs counts the mallocs one sequential netsim.Run performs
+// (engine construction + run + result fold; the network is prebuilt by
+// the caller and does not count).
+func runMallocs(t *testing.T, cfg netsim.Config) int64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := netsim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return int64(after.Mallocs - before.Mallocs)
+}
+
+// TestStarRunAllocCountFlatInReceivers: the modified star at 10k vs 1M
+// receivers (1 session; links scale with receivers, but per-link state
+// is slab-packed too) must keep its malloc count within a small
+// constant factor — 100x more receivers, ~1x the allocations.
+func TestStarRunAllocCountFlatInReceivers(t *testing.T) {
+	sc := netsim.SessionConfig{Protocol: protocol.Deterministic, Layers: 8}
+	small, err := netsim.Star(10000, 0.0001, 0.04, sc, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := netsim.Star(1000000, 0.0001, 0.04, sc, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runMallocs(t, small)
+	b := runMallocs(t, big)
+	if b > 3*a+512 {
+		t.Fatalf("star malloc count scales with receivers: %d at 10k, %d at 1M", a, b)
+	}
+}
+
+// TestPlanetaryRunAllocCountFlatInReceivers: the planetary topology at
+// 8k vs 1M receivers (sessions fixed at 8; links scale with PoPs). The
+// malloc count may grow with links — tree discovery builds one child
+// list per internal node — but normalized by the link count it must
+// stay flat, and it must come nowhere near the 128x receiver growth.
+func TestPlanetaryRunAllocCountFlatInReceivers(t *testing.T) {
+	build := func(pops int) netsim.Config {
+		o := topology.PlanetaryOptions1M()
+		o.PoPs = pops
+		net, firstAccess, err := topology.Planetary(rand.New(rand.NewPCG(5, 5)), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links := make([]netsim.LinkSpec, net.NumLinks())
+		for j := 0; j < firstAccess; j++ {
+			links[j] = netsim.LinkSpec{Kind: netsim.Capacity}
+		}
+		kinds := protocol.Kinds()
+		sess := make([]netsim.SessionConfig, net.NumSessions())
+		for i := range sess {
+			sess[i] = netsim.SessionConfig{Protocol: kinds[i%len(kinds)], Layers: 8}
+		}
+		return netsim.Config{Network: net, Links: links, Sessions: sess, Packets: 256, Seed: 1}
+	}
+	cfgSmall := build(16) // 8*16*64   = 8192 receivers
+	cfgBig := build(2048) // 8*2048*64 = 1048576 receivers
+	a := runMallocs(t, cfgSmall)
+	b := runMallocs(t, cfgBig)
+	linkRatio := float64(cfgBig.Network.NumLinks()) / float64(cfgSmall.Network.NumLinks())
+	if ratio := float64(b) / float64(a); ratio > 2*linkRatio {
+		t.Fatalf("planetary malloc count outgrows links: %d at 8k, %d at 1M (ratio %.1f, links grew %.1fx)",
+			a, b, ratio, linkRatio)
+	} else if ratio > 32 {
+		// Receivers grew 128x; anything in that neighborhood means a
+		// per-receiver allocation crept back in.
+		t.Fatalf("planetary malloc count tracks receivers: %d at 8k, %d at 1M (ratio %.1f)", a, b, ratio)
+	}
+}
