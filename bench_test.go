@@ -474,7 +474,7 @@ func BenchmarkNetsimFatTreeWide(b *testing.B) {
 // process's kernel peak RSS. The RSS metric is a process-wide high
 // water, so the suite orders these benchmarks smallest-first and CI
 // budgets the largest via benchjson -max-rss-bytes.
-func benchNetsimPlanetary(b *testing.B, po topology.PlanetaryOptions, packets int) {
+func benchNetsimPlanetary(b *testing.B, po topology.PlanetaryOptions, packets, shards int) {
 	b.Helper()
 	net, firstAccess, err := topology.Planetary(rand.New(rand.NewPCG(5, 5)), po)
 	if err != nil {
@@ -491,7 +491,7 @@ func benchNetsimPlanetary(b *testing.B, po topology.PlanetaryOptions, packets in
 	}
 	benchNetsimRun(b, netsim.Config{
 		Network: net, Links: links, Sessions: sess,
-		Packets: packets, Shards: runtime.NumCPU(),
+		Packets: packets, Shards: shards,
 	})
 	b.ReportMetric(float64(obs.ReadPeakRSS()), "peak-RSS-bytes")
 }
@@ -501,7 +501,36 @@ func benchNetsimPlanetary(b *testing.B, po topology.PlanetaryOptions, packets in
 // the loop, so events/sec here is the end-to-end figure the ROADMAP's
 // intra-run-scale target is gated on.
 func BenchmarkNetsimPlanetary1M(b *testing.B) {
-	benchNetsimPlanetary(b, topology.PlanetaryOptions1M(), 16384)
+	benchNetsimPlanetary(b, topology.PlanetaryOptions1M(), 16384, runtime.NumCPU())
+}
+
+// planetaryOptions1MOneRegion is the single-session 2^20-receiver
+// shape: one region, 16384 PoPs x 64 receivers on a 128-router core.
+// Session-group sharding cannot split one session, so any speedup here
+// comes purely from the intra-session subtree fan-out (the auto cut
+// frontier engages on the per-PoP receiver population).
+func planetaryOptions1MOneRegion() topology.PlanetaryOptions {
+	o := topology.PlanetaryOptions1M()
+	o.Regions = 1
+	o.PoPs = 16384
+	return o
+}
+
+// BenchmarkNetsimPlanetary1MSubtree measures the multi-core execution
+// of one giant session: 2^20 receivers in a single tree, subtree-
+// sharded across the machine's cores. Its events/sec against the
+// sequential twin below is the shard-scaling figure CI derives as a
+// "speedup" metric (benchjson -speedup); the Result is byte-identical
+// to the twin's for any shard count.
+func BenchmarkNetsimPlanetary1MSubtree(b *testing.B) {
+	benchNetsimPlanetary(b, planetaryOptions1MOneRegion(), 16384, runtime.NumCPU())
+}
+
+// BenchmarkNetsimPlanetary1MSubtreeSeq is the sequential twin: the
+// identical single-session tree with Shards = 0, one event loop, no
+// partition. Only the execution strategy differs.
+func BenchmarkNetsimPlanetary1MSubtreeSeq(b *testing.B) {
+	benchNetsimPlanetary(b, planetaryOptions1MOneRegion(), 16384, 0)
 }
 
 // BenchmarkNetsimPlanetary10M is the 10^7-receiver single run: 8
@@ -509,7 +538,7 @@ func BenchmarkNetsimPlanetary1M(b *testing.B) {
 // number is peak-RSS-bytes — the run must fit the documented planetary
 // memory budget (docs/SCALE.md) on a stock CI runner.
 func BenchmarkNetsimPlanetary10M(b *testing.B) {
-	benchNetsimPlanetary(b, topology.PlanetaryOptions10M(), 4096)
+	benchNetsimPlanetary(b, topology.PlanetaryOptions10M(), 4096, runtime.NumCPU())
 }
 
 // BenchmarkNetsimParallelRunner measures replication-runner scaling:

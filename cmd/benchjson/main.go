@@ -25,11 +25,19 @@
 // entry carries no positive events/sec metric (a corrupt baseline
 // must not silently shrink the gate's coverage). Benchmark names are
 // compared with the -GOMAXPROCS suffix stripped, so a baseline
-// travels across machines with different core counts. When the
-// baseline was produced under a different go version or GOARCH the
-// check still runs but prints a WARNING first — absolute throughput
-// comparisons across toolchains or architectures are advisory, not
-// authoritative.
+// travels across machines with different core counts; when the suffix
+// differs between baseline and run, that benchmark's throughput
+// comparison downgrades to a WARNING (multi-core events/sec scales
+// with the core count — a smaller runner must not mis-gate), while
+// the absolute allocs and RSS budgets still apply. When the baseline
+// was produced under a different go version, GOARCH, or host CPU
+// count the check still runs but prints a WARNING first — absolute
+// throughput comparisons across toolchains, architectures, or
+// machine sizes are advisory, not authoritative.
+//
+// -speedup derives a "speedup" metric on parallel/sequential twin
+// pairs ("Par=Seq", comma-separated) from this run's events/sec, so
+// shard-scaling benchmarks carry their ratio into the document.
 //
 // -overhead gates instrumentation cost within the current run alone,
 // independent of any baseline (and usable without -check — the PGO CI
@@ -52,10 +60,14 @@ import (
 	"mlfair/internal/obs"
 )
 
-// Bench is one benchmark result.
+// Bench is one benchmark result. GOMAXPROCS is the parallelism the
+// benchmark ran under, recovered from the -N name suffix (0 when the
+// name carries none) — recorded per entry because multi-core
+// benchmarks' events/sec is only comparable at equal core counts.
 type Bench struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	GOMAXPROCS int                `json:"gomaxprocs,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
@@ -90,6 +102,7 @@ func parse(r io.Reader) (*Doc, error) {
 			continue
 		}
 		b := Bench{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		_, b.GOMAXPROCS = splitProcs(fields[0])
 		ok := true
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -106,16 +119,25 @@ func parse(r io.Reader) (*Doc, error) {
 	return doc, sc.Err()
 }
 
+// splitProcs splits a benchmark name into its base name and the
+// trailing -GOMAXPROCS suffix ("BenchmarkNetsimLargeStar-8" →
+// "BenchmarkNetsimLargeStar", 8); procs is 0 when the name carries no
+// numeric suffix.
+func splitProcs(name string) (string, int) {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i], n
+		}
+	}
+	return name, 0
+}
+
 // normalizeName strips the trailing -GOMAXPROCS suffix from a
 // benchmark name ("BenchmarkNetsimLargeStar-8" →
 // "BenchmarkNetsimLargeStar").
 func normalizeName(name string) string {
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			return name[:i]
-		}
-	}
-	return name
+	base, _ := splitProcs(name)
+	return base
 }
 
 // checkRegression compares the current run's events/sec throughput
@@ -123,40 +145,55 @@ func normalizeName(name string) string {
 // the gate fails: a benchmark regresses when its throughput drops
 // below (1 - maxRegress) of the baseline, and a baseline benchmark
 // missing from the run is a failure too (a silently deleted benchmark
-// must not pass the gate).
+// must not pass the gate). When the two runs executed a benchmark at
+// different GOMAXPROCS (the -N name suffix), the throughput comparison
+// is a WARNING instead of a gate — a multi-core benchmark's events/sec
+// scales with the core count, so a 4-core runner must not flag a
+// "regression" against an 8-core baseline (the absolute allocs and RSS
+// gates still apply; they are core-count independent).
 func checkRegression(baseline, current *Doc, maxRegress float64) (string, bool) {
-	cur := map[string]float64{}
+	type entry struct {
+		v     float64
+		procs int
+	}
+	cur := map[string]entry{}
 	for _, b := range current.Benchmarks {
 		if v, ok := b.Metrics["events/sec"]; ok {
-			cur[normalizeName(b.Name)] = v
+			name, procs := splitProcs(b.Name)
+			cur[name] = entry{v, procs}
 		}
 	}
 	var rep strings.Builder
 	failed := false
 	for _, base := range baseline.Benchmarks {
 		want, ok := base.Metrics["events/sec"]
+		name, baseProcs := splitProcs(base.Name)
 		if !ok || want <= 0 {
 			// A baseline entry without a positive throughput metric is a
 			// corrupt or hand-edited document; skipping it would silently
 			// shrink the gate's coverage.
-			fmt.Fprintf(&rep, "BADBASE    %s: baseline entry has no positive events/sec metric\n", normalizeName(base.Name))
+			fmt.Fprintf(&rep, "BADBASE    %s: baseline entry has no positive events/sec metric\n", name)
 			failed = true
 			continue
 		}
-		name := normalizeName(base.Name)
 		got, ok := cur[name]
 		if !ok {
 			fmt.Fprintf(&rep, "MISSING    %s: in baseline, absent from this run\n", name)
 			failed = true
 			continue
 		}
+		if baseProcs > 0 && got.procs > 0 && baseProcs != got.procs {
+			fmt.Fprintf(&rep, "WARNING    %s: baseline at GOMAXPROCS=%d, this run at %d: %.4g -> %.4g events/sec (%+.1f%%) not gated\n",
+				name, baseProcs, got.procs, want, got.v, (got.v/want-1)*100)
+			continue
+		}
 		status := "ok"
-		if got < want*(1-maxRegress) {
+		if got.v < want*(1-maxRegress) {
 			status = "REGRESSION"
 			failed = true
 		}
 		fmt.Fprintf(&rep, "%-10s %s: %.4g -> %.4g events/sec (%+.1f%%)\n",
-			status, name, want, got, (got/want-1)*100)
+			status, name, want, got.v, (got.v/want-1)*100)
 	}
 	return rep.String(), failed
 }
@@ -240,6 +277,61 @@ func envWarnings(baseline, current *Doc) string {
 	}
 	if baseArch != "" && curArch != "" && baseArch != curArch {
 		fmt.Fprintf(&rep, "WARNING    baseline measured on %s, this run on %s: throughput comparison is advisory\n", baseArch, curArch)
+	}
+	if baseline.Manifest != nil && current.Manifest != nil &&
+		baseline.Manifest.NumCPU > 0 && current.Manifest.NumCPU > 0 &&
+		baseline.Manifest.NumCPU != current.Manifest.NumCPU {
+		fmt.Fprintf(&rep, "WARNING    baseline host had %d CPUs, this host has %d: multi-core throughput comparison is advisory\n",
+			baseline.Manifest.NumCPU, current.Manifest.NumCPU)
+	}
+	return rep.String()
+}
+
+// parseSpeedup parses a comma-separated list of "Par=Seq" benchmark
+// pairs ("BenchmarkXSubtree=BenchmarkXSubtreeSeq").
+func parseSpeedup(s string) ([][2]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pairs [][2]string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		par, seq, ok := strings.Cut(part, "=")
+		if !ok || par == "" || seq == "" {
+			return nil, fmt.Errorf("speedup spec %q: want Par=Seq", part)
+		}
+		pairs = append(pairs, [2]string{par, seq})
+	}
+	return pairs, nil
+}
+
+// applySpeedup derives a "speedup" metric on each pair's parallel
+// benchmark — its events/sec over its sequential twin's, both measured
+// in this run — so shard-scaling twins carry their ratio into the
+// emitted document and dashboards need no cross-entry arithmetic. A
+// pair with a side missing (or a throughput-less twin) only warns: the
+// metric is derived data, not a gate.
+func applySpeedup(doc *Doc, pairs [][2]string) string {
+	byName := map[string]*Bench{}
+	for i := range doc.Benchmarks {
+		byName[normalizeName(doc.Benchmarks[i].Name)] = &doc.Benchmarks[i]
+	}
+	var rep strings.Builder
+	for _, pr := range pairs {
+		par, pok := byName[normalizeName(pr[0])]
+		seq, sok := byName[normalizeName(pr[1])]
+		if !pok || !sok {
+			fmt.Fprintf(&rep, "WARNING    speedup pair %s=%s: side absent from this run\n", pr[0], pr[1])
+			continue
+		}
+		pv, sv := par.Metrics["events/sec"], seq.Metrics["events/sec"]
+		if pv <= 0 || sv <= 0 {
+			fmt.Fprintf(&rep, "WARNING    speedup pair %s=%s: no positive events/sec on both sides\n", pr[0], pr[1])
+			continue
+		}
+		par.Metrics["speedup"] = pv / sv
+		fmt.Fprintf(&rep, "SPEEDUP    %s: %.2fx over %s\n",
+			normalizeName(par.Name), pv/sv, normalizeName(seq.Name))
 	}
 	return rep.String()
 }
@@ -335,11 +427,17 @@ func checkOverhead(current *Doc, specs []overheadSpec) (string, bool) {
 func main() {
 	check := flag.String("check", "", "baseline JSON document to gate events/sec regressions against")
 	overhead := flag.String("overhead", "", "comma-separated Instr=Base:frac pairs gating instrumented overhead within this run (independent of -check)")
+	speedup := flag.String("speedup", "", "comma-separated Par=Seq pairs deriving a speedup metric on the parallel twin from this run's events/sec")
 	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated fractional events/sec regression vs the baseline")
 	maxAllocs := flag.Float64("max-allocs-per-event", 0.02, "absolute allocs/event budget for every benchmark reporting the metric (with -check)")
 	maxRSS := flag.Int64("max-rss-bytes", 0, "absolute peak-RSS-bytes budget for every benchmark reporting the metric (with -check; 0 disables)")
 	flag.Parse()
 	overheads, err := parseOverhead(*overhead)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	speedups, err := parseSpeedup(*speedup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -351,6 +449,9 @@ func main() {
 	}
 	man := obs.NewManifest("benchjson")
 	doc.Manifest = &man
+	// Derived metrics land before the document is emitted, so the
+	// committed baseline carries them too.
+	fmt.Fprint(os.Stderr, applySpeedup(doc, speedups))
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {

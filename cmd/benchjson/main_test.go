@@ -34,6 +34,12 @@ some unrelated noise
 	if star.Name != "BenchmarkNetsimLargeStar-8" || star.Iterations != 286 {
 		t.Fatalf("bad first benchmark: %+v", star)
 	}
+	if star.GOMAXPROCS != 8 {
+		t.Fatalf("GOMAXPROCS = %d, want 8", star.GOMAXPROCS)
+	}
+	if doc.Benchmarks[1].GOMAXPROCS != 0 {
+		t.Fatalf("suffix-less benchmark GOMAXPROCS = %d, want 0", doc.Benchmarks[1].GOMAXPROCS)
+	}
 	if star.Metrics["events/sec"] != 201378085 {
 		t.Fatalf("events/sec = %v", star.Metrics["events/sec"])
 	}
@@ -82,10 +88,21 @@ func benchDoc(pairs map[string]float64) *Doc {
 func TestCheckRegression(t *testing.T) {
 	baseline := benchDoc(map[string]float64{"BenchmarkA-8": 100, "BenchmarkB-8": 200})
 
-	// Within tolerance (and across core-count suffixes): passes.
-	rep, failed := checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-4": 80, "BenchmarkB-2": 210}), 0.25)
+	// Within tolerance at equal core counts: passes.
+	rep, failed := checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-8": 80, "BenchmarkB-8": 210}), 0.25)
 	if failed {
 		t.Fatalf("within-tolerance run failed:\n%s", rep)
+	}
+	// Across core-count suffixes the throughput gate downgrades to a
+	// WARNING: even a drop far beyond tolerance must not fail, because
+	// a 2-core runner legitimately runs a multi-core benchmark slower
+	// than an 8-core baseline.
+	rep, failed = checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-2": 30, "BenchmarkB-8": 210}), 0.25)
+	if failed {
+		t.Fatalf("cross-core run mis-gated:\n%s", rep)
+	}
+	if !strings.Contains(rep, "WARNING    BenchmarkA") || !strings.Contains(rep, "GOMAXPROCS=8") {
+		t.Fatalf("cross-core warning missing:\n%s", rep)
 	}
 	// A >25% drop fails.
 	rep, failed = checkRegression(baseline, benchDoc(map[string]float64{"BenchmarkA-8": 74, "BenchmarkB-8": 210}), 0.25)
@@ -294,5 +311,59 @@ func TestCheckRSS(t *testing.T) {
 	noMetric := &Doc{Benchmarks: []Bench{{Name: "BenchmarkC-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}}}
 	if rep, failed := checkRSS(noMetric, 2<<30); failed {
 		t.Fatalf("metric-less benchmark failed the RSS gate:\n%s", rep)
+	}
+}
+
+func TestParseSpeedup(t *testing.T) {
+	pairs, err := parseSpeedup("BenchmarkPar=BenchmarkSeq, BenchmarkX=BenchmarkY")
+	if err != nil || len(pairs) != 2 || pairs[0] != [2]string{"BenchmarkPar", "BenchmarkSeq"} {
+		t.Fatalf("pairs = %v, err = %v", pairs, err)
+	}
+	if pairs, err := parseSpeedup(""); err != nil || pairs != nil {
+		t.Fatalf("empty spec: %v, %v", pairs, err)
+	}
+	for _, bad := range []string{"BenchmarkPar", "=BenchmarkSeq", "BenchmarkPar="} {
+		if _, err := parseSpeedup(bad); err == nil {
+			t.Fatalf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+// TestApplySpeedup: the derived metric lands on the parallel twin
+// (core-count suffixes ignored), and missing or throughput-less sides
+// warn without gating.
+func TestApplySpeedup(t *testing.T) {
+	doc := benchDoc(map[string]float64{"BenchmarkPar-8": 300, "BenchmarkSeq-8": 100})
+	rep := applySpeedup(doc, [][2]string{{"BenchmarkPar", "BenchmarkSeq"}})
+	var par *Bench
+	for i := range doc.Benchmarks {
+		if normalizeName(doc.Benchmarks[i].Name) == "BenchmarkPar" {
+			par = &doc.Benchmarks[i]
+		}
+	}
+	if par == nil || par.Metrics["speedup"] != 3 {
+		t.Fatalf("speedup metric not derived: %+v\n%s", doc.Benchmarks, rep)
+	}
+	if !strings.Contains(rep, "SPEEDUP") {
+		t.Fatalf("report missing SPEEDUP line:\n%s", rep)
+	}
+	rep = applySpeedup(doc, [][2]string{{"BenchmarkPar", "BenchmarkGone"}})
+	if !strings.Contains(rep, "WARNING") {
+		t.Fatalf("missing twin did not warn:\n%s", rep)
+	}
+}
+
+// TestEnvWarningsNumCPU: a host-CPU-count mismatch between manifests
+// warns (multi-core throughput is machine-size dependent) but never
+// fails by itself.
+func TestEnvWarningsNumCPU(t *testing.T) {
+	base := &Doc{Env: map[string]string{}, Manifest: &obs.Manifest{NumCPU: 8}}
+	cur := &Doc{Env: map[string]string{}, Manifest: &obs.Manifest{NumCPU: 2}}
+	if rep := envWarnings(base, cur); !strings.Contains(rep, "8 CPUs") || !strings.Contains(rep, "WARNING") {
+		t.Fatalf("CPU-count mismatch not warned:\n%s", rep)
+	}
+	cur.Manifest.NumCPU = 8
+	if rep := envWarnings(base, cur); strings.Contains(rep, "CPUs") {
+		t.Fatalf("equal CPU counts warned:\n%s", rep)
 	}
 }

@@ -174,7 +174,7 @@ func (o *Observability) Observe() *scenario.Observe {
 	if o == nil {
 		return nil
 	}
-	ob := &scenario.Observe{Stats: o.stats}
+	ob := &scenario.Observe{Stats: o.stats, Manifest: o.man}
 	if o.progress != nil {
 		pr := o.progress
 		ob.Progress = func(p scenario.SweepProgress) {

@@ -65,10 +65,20 @@ func NetsimPlanetary(w io.Writer, o NetsimOptions) error {
 		Packets:  o.Packets,
 		Seed:     o.Seed,
 		Shards:   runtime.NumCPU(),
+		// The access links are the Sreenivasan bottleneck boundary:
+		// cutting them shards each region's delivery fan-out across
+		// cores as per-PoP subtrees, while the thin core prefix stays
+		// one short sequential walk per engine. Results stay invariant
+		// in the shard and worker counts, so the golden output is
+		// machine-independent.
+		CutLinks: topology.PlanetaryCutFrontier(firstAccess, net.NumLinks()),
 	})
 	plan, err := netsim.PlanMemory(cfg)
 	if err != nil {
 		return err
+	}
+	if o.Observe != nil {
+		o.Observe.Manifest.SetDecomposition(plan.Groups, plan.Subtrees, plan.CutFrontier)
 	}
 	fmt.Fprintf(w, "netsim planetary: %d regions x %d PoPs x %d receivers = %d receivers, %d links, %d packets, %d trials\n",
 		po.Regions, po.PoPs, po.ReceiversPerPoP, po.NumReceivers(), net.NumLinks(), o.Packets, o.Trials)

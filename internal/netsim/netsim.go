@@ -168,11 +168,21 @@ type Config struct {
 	// by union-find over link sets) run as independent event loops on up
 	// to Shards concurrent goroutines, each with its own calendar and a
 	// per-group RNG stream derived from Seed, merged deterministically at
-	// result time. The Result is a pure function of the Config alone —
-	// every Shards >= 1 yields the identical Result, so the value only
-	// tunes parallelism, never output. Probing is not supported in
-	// sharded mode.
+	// result time. A group holding one giant session is additionally
+	// decomposed below a cut frontier into link-disjoint subtrees that
+	// fan out across workers (see subtree.go and CutLinks). The Result
+	// is a pure function of the Config alone — every Shards >= 1 yields
+	// the identical Result, so the value only tunes parallelism, never
+	// output.
 	Shards int
+	// CutLinks, under Shards >= 1, names the links whose tree edges form
+	// the subtree-sharding cut frontier for single-session shard groups
+	// (for the planetary topology: the access links below firstAccess).
+	// Empty selects an automatic cost-balanced frontier from per-subtree
+	// receiver counts. Like Shards itself, CutLinks only shapes the
+	// parallel decomposition — every frontier yields the same Result for
+	// a given Config; it is ignored at Shards == 0.
+	CutLinks []int
 	// MemBudget, when positive, caps the engine's planned peak memory in
 	// bytes: Run calls PlanMemory first and fails fast — before any
 	// large allocation — when the plan exceeds the budget. 0 disables
@@ -309,11 +319,13 @@ func (c *Config) validate() error {
 		return fmt.Errorf("netsim: MemBudget = %d", c.MemBudget)
 	}
 	if c.Probe != nil {
-		if c.Shards > 0 {
-			return fmt.Errorf("netsim: probing is not supported with Shards > 0 (probe windows need the sequential engine's total event order)")
-		}
 		if err := c.Probe.validate(); err != nil {
 			return err
+		}
+	}
+	for _, j := range c.CutLinks {
+		if j < 0 || j >= c.Network.NumLinks() {
+			return fmt.Errorf("netsim: CutLinks entry %d out of range [0, %d)", j, c.Network.NumLinks())
 		}
 	}
 	for i, sc := range c.Sessions {
@@ -472,6 +484,10 @@ type hotEdge struct {
 const (
 	metaKindMask uint32 = 0x7
 	metaWide     uint32 = 1 << 3
+	// metaCut marks a subtree-sharding cut edge (see subtree.go): the
+	// core walk fixes its admission outcome but never descends through
+	// it — the subtree below runs in the parallel fan-out phase.
+	metaCut uint32 = 1 << 4
 )
 
 // coldEdge is the accounting half of a tree edge: fields the walk
@@ -733,6 +749,9 @@ type engine struct {
 	// buffers are preallocated, so the hot path pays one nil check per
 	// event and nothing else.
 	probe *probeState
+	// part is the intra-session subtree decomposition (subtree.go); non-nil
+	// only on single-session shard-group engines whose tree was cut.
+	part *treePartition
 
 	// Uniform-calendar fast path: when every session shares one tick
 	// period (equal layer counts — the common case, and all of the
@@ -1161,6 +1180,13 @@ func newEngineFor(cfg Config, sessIDs []int, churn []ChurnEvent, seed uint64) (*
 	if cfg.Probe != nil {
 		e.probe = newProbeState(cfg.Probe, e)
 	}
+	// Intra-session subtree decomposition: only for sharded group engines
+	// (sessIDs non-nil — the sequential path stays exactly the historical
+	// engine) holding a single session. Eligibility and the frontier are
+	// pure functions of the Config, never of Shards' value or core count.
+	if cfg.Shards > 0 && sessIDs != nil && len(e.sess) == 1 {
+		e.part = newTreePartition(e, &e.sess[0], seed)
+	}
 	return e, nil
 }
 
@@ -1190,8 +1216,21 @@ func (e *engine) applyLevelChange(s *sessState, k int, nl int32) {
 	s.levels[k] = nl
 	s.nAtLevel[a]--
 	s.nAtLevel[nl]++
-	nd := s.recvNode[k]
-	b := nl
+	e.propagateFrom(s, s.recvNode[k], a, nl)
+	if p := e.part; p != nil {
+		// Sequential-phase changes (churn, signals, core-walk drops)
+		// propagate straight through cut edges; re-sync the owning
+		// subtree's rollup snapshot so the deferred path stays coherent.
+		if j := p.subOfNode[s.recvNode[k]]; j >= 0 {
+			p.prevRootMax[j] = s.subMax[p.subRoot[j]]
+		}
+	}
+}
+
+// propagateFrom bubbles a contribution change (level a -> b) at node nd
+// up the session tree: per ancestor it is one counting-bucket bump;
+// propagation stops at the first node whose maximum does not move.
+func (e *engine) propagateFrom(s *sessState, nd, a, b int32) {
 	for {
 		om := s.subMax[nd]
 		var nm int32
@@ -1901,7 +1940,7 @@ func (e *engine) signal() {
 		lvl := int32(protocol.SignalLevel(e.signalIdx, s.cfg.Layers-1))
 		eligible := false
 		for v := int32(1); v <= lvl; v++ {
-			if s.nAtLevel[v] > 0 {
+			if e.levelPopulated(s, v) {
 				eligible = true
 				break
 			}
@@ -1959,7 +1998,7 @@ func (e *engine) result() *Result {
 			res.Events += n
 		}
 		if e.now > 0 && len(s.received) > 0 {
-			levelInt := s.levelInt + float64(s.sumLevel)*(e.now-s.levelT)
+			levelInt := e.sessionLevelIntegral(s, e.now)
 			res.MeanLevels[i] = levelInt / e.now / float64(len(s.received))
 		}
 		nR := len(s.received)

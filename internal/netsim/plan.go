@@ -22,6 +22,14 @@ type MemoryPlan struct {
 	// computed for; Groups is the number of independent engines (1
 	// sequential, the link-connectivity component count when sharded).
 	Receivers, Links, Sessions, Groups int
+	// Subtrees is the total intra-session subtree count across every
+	// group engine that decomposes its single session's tree (see
+	// newTreePartition — the plan replays the same eligibility rules and
+	// frontier policy), zero when no engine partitions. CutFrontier is
+	// the total cut-edge count; exactly one cut edge enters each
+	// subtree, so the two are equal by construction and reported
+	// separately only so logs read naturally.
+	Subtrees, CutFrontier int
 	// SessionBytes is the sum of every session's slab footprint: the
 	// CSR tree, receiver protocol arrays, subscription rows, and
 	// downstream-receiver lists.
@@ -69,15 +77,52 @@ func PlanMemory(cfg Config) (*MemoryPlan, error) {
 		szLS    = int64(unsafe.Sizeof(LinkStats{}))
 	)
 
+	// Shard groups are a pure function of the topology; computed up
+	// front because the per-session subtree replay below needs to know
+	// which sessions run alone in their group.
+	var groupOf []int
+	if cfg.Shards > 0 {
+		groupOf, p.Groups = sessionGroupsOf(cfg)
+	}
+	groupSize := make([]int, p.Groups)
+	if groupOf != nil {
+		for _, gp := range groupOf {
+			groupSize[gp]++
+		}
+	}
+	var cutSet map[int]bool
+	if len(cfg.CutLinks) > 0 {
+		cutSet = make(map[int]bool, len(cfg.CutLinks))
+		for _, j := range cfg.CutLinks {
+			cutSet[j] = true
+		}
+	}
+
 	// Per-session slabs: replay the discovery walk with an epoch-stamped
 	// visited array to size each tree (distinct nodes reached by the
-	// session's paths) without building it.
+	// session's paths) without building it. Sessions that run alone in
+	// their shard group additionally replay newTreePartition's frontier
+	// policy — same eligibility rules, same guards — so the plan carries
+	// the partition slabs and the subtree counts the engines will build.
 	visited := make([]int32, nn)
+	var cnt, visitB, rootMark, nodesCnt []int32
+	var partFixed, partScratch int64
 	maxEdges, maxTreeN, totR := 0, 0, 0
 	for i := 0; i < S; i++ {
 		ns := net.Session(i)
 		L := cfg.Sessions[i].Layers
 		epoch := int32(i + 1)
+		doPart := groupOf != nil && groupSize[groupOf[i]] == 1 && cfg.LeaveLatency == 0
+		if doPart && cnt == nil {
+			cnt = make([]int32, nn)
+			visitB = make([]int32, nn)
+			rootMark = make([]int32, nn)
+			nodesCnt = make([]int32, nn)
+		}
+		if doPart {
+			cnt[ns.Sender] = 0
+		}
+		hasDT := false
 		visited[ns.Sender] = epoch
 		nE := 0
 		sumDepth := 0
@@ -89,7 +134,16 @@ func PlanMemory(cfg Config) (*MemoryPlan, error) {
 				nb := g.Other(j, cur)
 				if visited[nb] != epoch {
 					visited[nb] = epoch
+					if doPart {
+						cnt[nb] = 0
+					}
 					nE++
+				}
+				if doPart {
+					cnt[nb]++
+					if cfg.Links[j].Kind == DropTail {
+						hasDT = true
+					}
 				}
 				cur = nb
 			}
@@ -97,6 +151,82 @@ func PlanMemory(cfg Config) (*MemoryPlan, error) {
 		treeN := 1 + nE
 		nR := ns.NumReceivers()
 		totR += nR
+		if doPart && !hasDT && treeN >= 3 && nR > 0 &&
+			(cutSet != nil || nR >= autoCutMinReceivers) {
+			// Frontier replay: walk each receiver path once more, cutting
+			// at the first frontier edge (explicit membership, or the
+			// auto threshold on the receiver counts gathered above —
+			// first-cut-wins is exactly newTreePartition's outermost
+			// collapse). Distinct roots give the subtree count, stamped
+			// node discovery the per-subtree sizes for the DFS stacks.
+			cnt[ns.Sender] = int32(nR)
+			c := int32(nR / autoCutTargetSubtrees)
+			if c < 1 {
+				c = 1
+			}
+			numSub, cutRecv := 0, 0
+			var roots []int32
+			visitB[ns.Sender] = epoch
+			for k := range ns.Receivers {
+				cur := ns.Sender
+				root := int32(-1)
+				for _, j := range net.Path(i, k) {
+					nb := g.Other(j, cur)
+					if root < 0 {
+						isCut := false
+						if cutSet != nil {
+							isCut = cutSet[j]
+						} else {
+							isCut = cnt[nb] <= c && cnt[cur] > c
+						}
+						if isCut {
+							root = int32(nb)
+							if rootMark[nb] != epoch {
+								rootMark[nb] = epoch
+								nodesCnt[nb] = 0
+								numSub++
+								cutRecv += int(cnt[nb])
+								roots = append(roots, int32(nb))
+							}
+						}
+					}
+					if visitB[nb] != epoch {
+						visitB[nb] = epoch
+						if root >= 0 {
+							nodesCnt[root]++
+						}
+					}
+					cur = nb
+				}
+			}
+			ok := numSub >= 2
+			if cutSet == nil && ok {
+				ok = cutRecv*2 >= nR && numSub*autoCutMinAvgReceivers <= cutRecv
+			}
+			if ok {
+				maxStack := 0
+				for _, r := range roots {
+					if n := int(nodesCnt[r]) - 1; n > maxStack {
+						maxStack = n
+					}
+				}
+				W := cfg.Shards / p.Groups
+				if W < 1 {
+					W = 1
+				}
+				if W > numSub {
+					W = numSub
+				}
+				p.Subtrees += numSub
+				p.CutFrontier += numSub
+				partFixed += 4*int64(treeN) + // subOfNode
+					// subRoot/cutEid/prevRootMax, the per-subtree level
+					// rows, arrivals, and the rng slice + PCG states.
+					int64(numSub)*(12+4*int64(L+1)+24+4+8+64) +
+					int64(W)*(8+4*int64(maxStack)) // per-worker DFS stacks
+				partScratch += 8 * int64(treeN) // counts + sizes
+			}
+		}
 		rowShift := 1
 		for 1<<rowShift < L+1 {
 			rowShift++
@@ -151,18 +281,17 @@ func PlanMemory(cfg Config) (*MemoryPlan, error) {
 	if anyLayerLoss {
 		perEngineLinks += 24 * int64(nL) // slice headers aliasing the specs
 	}
-	if cfg.Shards > 0 {
-		_, p.Groups = sessionGroupsOf(cfg)
-	}
 	p.FixedBytes = perEngineLinks*int64(p.Groups) +
 		8*int64(S) + // txCal (partitioned across groups)
 		szEvent*int64(len(cfg.Churn)+1+64+int(p.Groups)*64) + // event arenas
-		4*int64(maxEdges)*int64(p.Groups) // fwdStack per engine (worst case)
+		4*int64(maxEdges)*int64(p.Groups) + // fwdStack per engine (worst case)
+		partFixed // subtree partitions of single-session groups
 
 	// Construction scratch: global-id discovery arrays plus the largest
 	// session's child lists and pre-order worklists; sharded runs build
 	// engines sequentially, so one copy is live at a time.
-	p.ScratchBytes = int64(nn)*(4+4+4+24) + int64(maxEdges)*int64(unsafe.Sizeof(buildEdge{})) + 16*int64(maxTreeN)
+	p.ScratchBytes = int64(nn)*(4+4+4+24) + int64(maxEdges)*int64(unsafe.Sizeof(buildEdge{})) + 16*int64(maxTreeN) +
+		partScratch // newTreePartition's counts + sizes accumulators
 
 	// Result fold: per-receiver outputs, the dense (session, link)
 	// scatter rows, and the LinkStats backing.
@@ -185,6 +314,10 @@ func PlanMemory(cfg Config) (*MemoryPlan, error) {
 
 // String renders the plan the way the planetary driver logs it.
 func (p *MemoryPlan) String() string {
-	return fmt.Sprintf("plan: %d receivers, %d links, %d sessions, %d group(s): %d B steady (%.1f B/receiver) + max(%d B scratch, %d B result) = %d B peak",
+	s := fmt.Sprintf("plan: %d receivers, %d links, %d sessions, %d group(s): %d B steady (%.1f B/receiver) + max(%d B scratch, %d B result) = %d B peak",
 		p.Receivers, p.Links, p.Sessions, p.Groups, p.SessionBytes+p.FixedBytes, p.BytesPerReceiver, p.ScratchBytes, p.ResultBytes, p.Total)
+	if p.Subtrees > 0 {
+		s += fmt.Sprintf(", %d subtree shard(s) over a %d-edge cut frontier", p.Subtrees, p.CutFrontier)
+	}
+	return s
 }

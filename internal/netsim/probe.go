@@ -231,6 +231,76 @@ func (p *probeState) series(e *engine) *ProbeSeries {
 	return ps
 }
 
+// mergedProbeSeries assembles the global ProbeSeries from the group
+// engines' probe rings. Every group flushed the identical time-window
+// boundary grid (runShard advances each probe to the shared horizon
+// before finish adds the common tail), so the rings align
+// sample-for-sample: sample s covers the same (start, close] interval
+// in every group. Receivers are scattered into global session offsets
+// (each receiver lives in exactly one group); link crossings are summed
+// across groups (each link is crossed by at most one group's sessions,
+// the rest contribute zeros).
+func mergedProbeSeries(cfg Config, engines []*engine) *ProbeSeries {
+	net := cfg.Network
+	S := net.NumSessions()
+	base := engines[0].probe
+	n := base.count
+	if n > base.cap {
+		n = base.cap
+	}
+	recvOff := make([]int32, S)
+	off := int32(0)
+	for i := 0; i < S; i++ {
+		recvOff[i] = off
+		off += int32(net.Session(i).NumReceivers())
+	}
+	numRecv := int(off)
+	nL := net.NumLinks()
+	ps := &ProbeSeries{
+		Times:     make([]float64, n),
+		Starts:    make([]float64, n),
+		Dropped:   base.count - n,
+		numLinks:  nL,
+		numRecv:   numRecv,
+		recvOff:   recvOff,
+		recvDelta: make([]int64, n*numRecv),
+		levels:    make([]int32, n*numRecv),
+		linkDelta: make([]int64, n*nL),
+		caps:      make([]float64, nL),
+	}
+	for j := 0; j < nL; j++ {
+		ps.caps[j] = net.Capacity(j)
+	}
+	first := base.count - n // oldest retained sample, identical per group
+	for s := 0; s < n; s++ {
+		slot := (first + s) % base.cap
+		ps.Times[s] = base.times[slot]
+		ps.Starts[s] = base.starts[slot]
+	}
+	for _, e := range engines {
+		p := e.probe
+		for s := 0; s < n; s++ {
+			slot := (first + s) % p.cap
+			rBase := slot * p.numRecv
+			gBase := s * numRecv
+			for li := range e.sess {
+				gi := e.gsess[li]
+				lo := rBase + int(p.recvOff[li])
+				gl := gBase + int(recvOff[gi])
+				cnt := len(e.sess[li].received)
+				copy(ps.recvDelta[gl:gl+cnt], p.recvDelta[lo:lo+cnt])
+				copy(ps.levels[gl:gl+cnt], p.levels[lo:lo+cnt])
+			}
+			lBase := slot * p.numLinks
+			gl := s * nL
+			for j := 0; j < nL; j++ {
+				ps.linkDelta[gl+j] += p.linkDelta[lBase+j]
+			}
+		}
+	}
+	return ps
+}
+
 // ProbeSeries is the run's retained observation windows in
 // chronological order — the time-resolved view the timeseries and
 // convergence stages consume. Sample s covers [Starts[s], Times[s]).

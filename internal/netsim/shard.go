@@ -185,8 +185,12 @@ func groupBudgets(cfg Config, groupOf []int, numGroups int) (budgets []int, hori
 // runShard executes one group engine against its transmission budget,
 // then drains the scheduled events the sequential engine would have
 // processed before the global horizon and parks the clock there. The
-// main loop is the sequential Run loop verbatim (modulo the budget);
-// probing is rejected in sharded mode, so the probe hooks are absent.
+// main loop is the sequential Run loop verbatim (modulo the budget),
+// including the probe hooks: every group flushes the same time-window
+// boundary grid (boundaries are multiples of Window below the shared
+// horizon), so per-group rings merge window-by-window at result time.
+// Transmissions route through forwardSubtree on engines whose single
+// session was partitioned (e.part non-nil).
 func (e *engine) runShard(budget int, horizon float64) {
 	for e.sent < budget {
 		var ts float64
@@ -210,6 +214,9 @@ func (e *engine) runShard(budget int, horizon float64) {
 				break
 			}
 			ev := e.q.pop()
+			if e.probe != nil {
+				e.probe.advanceTime(e, ev.time)
+			}
 			e.now = ev.time
 			e.pops++
 			switch ev.kind {
@@ -224,6 +231,9 @@ func (e *engine) runShard(budget int, horizon float64) {
 				e.signal()
 			}
 		}
+		if e.probe != nil {
+			e.probe.advanceTime(e, ts)
+		}
 		e.now = ts
 		s := &e.sess[si]
 		n := s.tick + 1
@@ -236,7 +246,14 @@ func (e *engine) runShard(budget int, horizon float64) {
 			if s.linger != nil {
 				e.forwardLinger(s, l, 0, ts)
 			} else if s.subMax[0] > l {
-				e.forward(s, l, 0, ts)
+				if e.part != nil {
+					e.forwardSubtree(s, l)
+				} else {
+					e.forward(s, l, 0, ts)
+				}
+			}
+			if e.probe != nil {
+				e.probe.advancePackets(e, ts)
 			}
 		}
 		s.tick = n
@@ -258,6 +275,9 @@ func (e *engine) runShard(budget int, horizon float64) {
 			break
 		}
 		ev := e.q.pop()
+		if e.probe != nil {
+			e.probe.advanceTime(e, ev.time)
+		}
 		e.now = ev.time
 		e.pops++
 		switch ev.kind {
@@ -271,6 +291,12 @@ func (e *engine) runShard(budget int, horizon float64) {
 			e.popSignal++
 			e.signal()
 		}
+	}
+	// Flush every window boundary strictly below the shared horizon, so
+	// group rings line up sample-for-sample regardless of when each
+	// group's own activity stopped; finish() then adds the common tail.
+	if e.probe != nil {
+		e.probe.advanceTime(e, horizon)
 	}
 	e.now = horizon
 }
@@ -287,6 +313,13 @@ func runSharded(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("netsim: event queue drained before packet budget")
 	}
 	groupOf, numGroups := sessionGroupsOf(cfg)
+	if cfg.Probe != nil && cfg.Probe.PacketWindow > 0 && numGroups > 1 {
+		// Packet-window boundaries count transmissions across ALL
+		// sessions in one global order; group engines only see their own
+		// budgets, so the windows cannot be reconstructed after the
+		// split. Time windows shard fine (the boundary grid is global).
+		return nil, fmt.Errorf("netsim: packet-window probing is not supported across %d shard groups (packet boundaries interleave all sessions); use a time Window or Shards on a single-component topology", numGroups)
+	}
 	budgets, horizon := groupBudgets(cfg, groupOf, numGroups)
 	groups := make([][]int, numGroups)
 	for i := 0; i < S; i++ {
@@ -317,6 +350,18 @@ func runSharded(cfg Config) (*Result, error) {
 	if workers > numGroups {
 		workers = numGroups
 	}
+	// Partitioned engines (single giant session) spend the rest of the
+	// Shards budget on intra-session fan-out workers. Purely a
+	// parallelism split: worker counts never reach any output.
+	wPer := cfg.Shards / numGroups
+	if wPer < 1 {
+		wPer = 1
+	}
+	for _, e := range engines {
+		if e.part != nil {
+			e.part.setWorkers(wPer)
+		}
+	}
 	if workers <= 1 {
 		for g, e := range engines {
 			e.runShard(budgets[g], horizon)
@@ -334,6 +379,11 @@ func runSharded(cfg Config) (*Result, error) {
 			}(g)
 		}
 		wg.Wait()
+	}
+	for _, e := range engines {
+		if e.part != nil {
+			e.part.stop()
+		}
 	}
 	if numGroups == 1 {
 		// The single group owns every session under the replication
@@ -360,6 +410,12 @@ func mergedResult(cfg Config, engines []*engine, horizon float64) *Result {
 	totR := 0
 	for i := 0; i < S; i++ {
 		totR += net.Session(i).NumReceivers()
+	}
+	if cfg.Probe != nil {
+		for _, e := range engines {
+			e.probe.finish(e)
+		}
+		res.Probe = mergedProbeSeries(cfg, engines)
 	}
 	rateBuf := make([]float64, totR)
 	pktBuf := make([]int, totR)
@@ -388,7 +444,7 @@ func mergedResult(cfg Config, engines []*engine, horizon float64) *Result {
 				res.Events += n
 			}
 			if horizon > 0 && len(s.received) > 0 {
-				levelInt := s.levelInt + float64(s.sumLevel)*(horizon-s.levelT)
+				levelInt := e.sessionLevelIntegral(s, horizon)
 				res.MeanLevels[gi] = levelInt / horizon / float64(len(s.received))
 			}
 			for k, n := range s.received {

@@ -161,15 +161,118 @@ func TestShardedStatsMerge(t *testing.T) {
 	}
 }
 
-// TestShardsRejectProbe: probe windows need the sequential engine's
-// total event order, so Shards > 0 with a probe config is a validation
-// error, not a silent fallback.
-func TestShardsRejectProbe(t *testing.T) {
+// TestShardedProbeMatchesSequential: on a single-component topology
+// (one shard group, base seed) a probed sharded run must reproduce the
+// sequential probed Result byte-for-byte — ProbeSeries included. This
+// is the satellite contract for lifting the old probe + Shards
+// rejection: probing stays pure measurement in sharded mode too.
+func TestShardedProbeMatchesSequential(t *testing.T) {
+	cfg, _, err := Mesh(3, 5, LinkSpec{Kind: Capacity, Capacity: 24}, 0.01,
+		SessionConfig{Protocol: protocol.Coordinated, Layers: 8}, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []*ProbeConfig{
+		{Window: 8, MaxSamples: 32},
+		{PacketWindow: 1000},
+	} {
+		cfg.Probe = probe
+		cfg.Shards = 0
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Probe == nil || seq.Probe.NumSamples() == 0 {
+			t.Fatal("no probe samples in the sequential reference")
+		}
+		for _, shards := range []int{1, 3} {
+			cfg.Shards = shards
+			got, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, seq) {
+				t.Fatalf("probed single-group Shards=%d diverged from sequential (%+v)", shards, probe)
+			}
+		}
+	}
+}
+
+// TestShardedProbeMultiGroup: with several shard groups, time-window
+// probes merge into one global ProbeSeries — invariant in the shard
+// count, window grid aligned across groups, and the windowed deltas
+// summing back to the Result's cumulative counters.
+func TestShardedProbeMultiGroup(t *testing.T) {
+	cfg := disjointCfg(t, 8, 15000, 5)
+	cfg.Probe = &ProbeConfig{Window: 10, MaxSamples: 256}
+	cfg.Shards = 1
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := want.Probe
+	if ps == nil || ps.NumSamples() < 2 || ps.Dropped != 0 {
+		t.Fatalf("probe series: %+v", ps)
+	}
+	for shards := 2; shards <= 4; shards++ {
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probed Shards=%d diverged from Shards=1", shards)
+		}
+	}
+	// The windows partition the run: start[0] = 0, contiguous
+	// boundaries, final close at Duration.
+	n := ps.NumSamples()
+	if ps.Starts[0] != 0 || ps.Times[n-1] != want.Duration {
+		t.Fatalf("window grid [%v, %v] does not span [0, %v]", ps.Starts[0], ps.Times[n-1], want.Duration)
+	}
+	for s := 1; s < n; s++ {
+		if ps.Starts[s] != ps.Times[s-1] {
+			t.Fatalf("sample %d start %v != previous close %v", s, ps.Starts[s], ps.Times[s-1])
+		}
+	}
+	// Deliveries summed over windows equal the cumulative counters.
+	for i := range want.ReceiverPackets {
+		for k, totPkts := range want.ReceiverPackets[i] {
+			sum := 0
+			for s := 0; s < n; s++ {
+				sum += ps.ReceiverDelivered(i, k, s)
+			}
+			if sum != totPkts {
+				t.Fatalf("receiver (%d,%d): windows sum to %d, result says %d", i, k, sum, totPkts)
+			}
+		}
+	}
+	// Link crossings likewise (all sessions fold into one per-link sum).
+	crossed := make(map[int]int)
+	for _, ls := range want.Links {
+		crossed[ls.Link] += ls.Crossed
+	}
+	for j := 0; j < ps.NumLinks(); j++ {
+		sum := 0
+		for s := 0; s < n; s++ {
+			sum += ps.LinkCrossed(j, s)
+		}
+		if sum != crossed[j] {
+			t.Fatalf("link %d: windows sum to %d, result says %d", j, sum, crossed[j])
+		}
+	}
+}
+
+// TestShardsRejectMultiGroupPacketProbe: packet-window boundaries count
+// transmissions across all sessions in one global order, which no group
+// engine can see — multi-group packet probing is a clear error, while
+// the same probe on a single-component topology is accepted.
+func TestShardsRejectMultiGroupPacketProbe(t *testing.T) {
 	cfg := disjointCfg(t, 4, 1000, 1)
 	cfg.Shards = 2
 	cfg.Probe = &ProbeConfig{PacketWindow: 64}
-	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "probing is not supported") {
-		t.Fatalf("probe under sharding accepted: %v", err)
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "packet-window probing") {
+		t.Fatalf("multi-group packet-window probe accepted: %v", err)
 	}
 }
 

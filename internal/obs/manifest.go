@@ -48,6 +48,15 @@ type Manifest struct {
 	// total simulated time across all replications.
 	WallSeconds float64 `json:"wallSeconds,omitempty"`
 	VirtualTime float64 `json:"virtualTime,omitempty"`
+	// ShardGroups / ShardSubtrees / CutFrontier record the execution
+	// decomposition the run's memory plan chose: independent
+	// session-group engines, intra-session subtree shards across those
+	// engines, and the cut-edge count of the subtree frontier (equal to
+	// ShardSubtrees by construction — one cut edge enters each subtree).
+	// All zero when the run was sequential.
+	ShardGroups   int `json:"shardGroups,omitempty"`
+	ShardSubtrees int `json:"shardSubtrees,omitempty"`
+	CutFrontier   int `json:"cutFrontier,omitempty"`
 	// MaxRSSBytes is the process's kernel-reported peak resident set
 	// size at snapshot time (ReadPeakRSS; 0 = not measured), and
 	// HeapSysBytes the Go heap address space obtained from the OS
@@ -102,6 +111,17 @@ func (m *Manifest) SetSeed(seed uint64) {
 		return
 	}
 	m.Seed = &seed
+}
+
+// SetDecomposition records the engine decomposition the run executed
+// under: group engines, subtree shards, and the cut-frontier size.
+func (m *Manifest) SetDecomposition(groups, subtrees, cutFrontier int) {
+	if m == nil {
+		return
+	}
+	m.ShardGroups = groups
+	m.ShardSubtrees = subtrees
+	m.CutFrontier = cutFrontier
 }
 
 // SetShard records the distributed-sweep partition ("i/n").

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mlfair/internal/netsim"
+	"mlfair/internal/obs"
 )
 
 // Observe is the optional observability attachment for scenario and
@@ -28,6 +29,11 @@ type Observe struct {
 	// Interval is the minimum delay between Progress calls; zero means
 	// 200ms.
 	Interval time.Duration
+	// Manifest, when non-nil, receives run-shape provenance from
+	// drivers that compute a memory plan — the shard-group count, the
+	// intra-session subtree count, and the cut-frontier size — via its
+	// nil-safe setters.
+	Manifest *obs.Manifest
 }
 
 // SweepProgress is one snapshot of a running sweep (or single

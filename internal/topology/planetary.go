@@ -77,6 +77,22 @@ func (o PlanetaryOptions) NumReceivers() int {
 	return o.Regions * o.PoPs * o.ReceiversPerPoP
 }
 
+// PlanetaryCutFrontier returns the access links — [firstAccess,
+// numLinks) in Planetary's layered link order — as an explicit subtree
+// cut frontier for netsim.Config.CutLinks. Cutting every access link
+// partitions each region's tree into its per-PoP receiver subtrees
+// below the thin scale-free core, which is exactly the bottleneck
+// boundary the Sreenivasan et al. analysis predicts: nearly all
+// delivery work lands below the frontier and fans out across cores,
+// while the core prefix stays one short sequential walk.
+func PlanetaryCutFrontier(firstAccess, numLinks int) []int {
+	cut := make([]int, 0, numLinks-firstAccess)
+	for j := firstAccess; j < numLinks; j++ {
+		cut = append(cut, j)
+	}
+	return cut
+}
+
 // Planetary builds the planetary-scale network: per region, a
 // preferential-attachment core tree rooted at the region's first
 // router, PoPs attached to degree-preferential core routers, and
